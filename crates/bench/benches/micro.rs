@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks over the reproduction's hot paths:
+//! selection strategies, SSL losses (forward+backward), kNN
+//! classification, PCA/eigendecomposition, k-means, augmentation
+//! throughput, and a full EDSR training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use edsr_cl::{knn_classify, ContinualModel, ModelConfig};
+use edsr_core::{SelectionContext, SelectionStrategy};
+use edsr_data::{Augmenter, GridSpec};
+use edsr_linalg::{kmeans, sym_eigen, Pca};
+use edsr_nn::Binder;
+use edsr_ssl::SslVariant;
+use edsr_tensor::rng::seeded;
+use edsr_tensor::{Matrix, Tape};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for &n in &[100usize, 400] {
+        let mut rng = seeded(1);
+        let reps = Matrix::randn(n, 48, 1.0, &mut rng);
+        for strategy in [
+            SelectionStrategy::Random,
+            SelectionStrategy::Distant,
+            SelectionStrategy::KMeans,
+            SelectionStrategy::HighEntropy,
+            SelectionStrategy::TraceGreedy,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &reps,
+                |b, reps| {
+                    b.iter(|| {
+                        let ctx = SelectionContext {
+                            reps,
+                            aug_view_std: None,
+                            cluster_hint: 5,
+                        };
+                        let mut sel_rng = seeded(2);
+                        black_box(strategy.select(&ctx, 16, &mut sel_rng))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ssl_losses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssl_step");
+    for (name, variant) in [
+        ("barlowtwins", SslVariant::BarlowTwins { lambda: 0.02 }),
+        ("simsiam", SslVariant::SimSiam),
+    ] {
+        let mut rng = seeded(3);
+        let model =
+            ContinualModel::new(&ModelConfig::image(192).with_variant(variant), &mut rng);
+        let batch = Matrix::randn(64, 192, 1.0, &mut rng);
+        let grid = GridSpec::new(8, 8, 3);
+        let aug = Augmenter::standard_image(grid);
+        group.bench_function(name, |b| {
+            let mut step_rng = seeded(4);
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let mut binder = Binder::new();
+                let (_, _, loss) = model.css_on_batch(
+                    &mut tape,
+                    &mut binder,
+                    &aug,
+                    &batch,
+                    0,
+                    &mut step_rng,
+                );
+                let grads = tape.backward(loss);
+                black_box(grads.get(loss).is_some())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn_classifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_classifier");
+    for &n in &[200usize, 1000] {
+        let mut rng = seeded(5);
+        let train = Matrix::randn(n, 48, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 10).collect();
+        let test = Matrix::randn(50, 48, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("classify", n), &n, |b, _| {
+            b.iter(|| black_box(knn_classify(&train, &labels, &test, 15)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    let mut rng = seeded(6);
+    let x = Matrix::randn(200, 48, 1.0, &mut rng);
+    group.bench_function("pca_fit_48d", |b| b.iter(|| black_box(Pca::fit(&x, 16))));
+    let sym = x.transpose_matmul(&x);
+    group.bench_function("jacobi_eigen_48d", |b| b.iter(|| black_box(sym_eigen(&sym))));
+    group.bench_function("kmeans_k16", |b| {
+        b.iter(|| {
+            let mut krng = seeded(7);
+            black_box(kmeans(&x, 16, 20, &mut krng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_augmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augmentation");
+    let grid = GridSpec::new(8, 8, 3);
+    let mut rng = seeded(8);
+    let batch = Matrix::randn(64, grid.dim(), 1.0, &mut rng);
+    let image = Augmenter::standard_image(grid);
+    group.bench_function("image_two_views_64", |b| {
+        let mut arng = seeded(9);
+        b.iter(|| black_box(image.two_views(&batch, &mut arng)))
+    });
+    let tabular = Augmenter::tabular(batch.clone(), 0.4);
+    group.bench_function("tabular_two_views_64", |b| {
+        let mut arng = seeded(10);
+        b.iter(|| black_box(tabular.two_views(&batch, &mut arng)))
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128] {
+        let mut rng = seeded(11);
+        let a = Matrix::randn(n, n, 1.0, &mut rng);
+        let bm = Matrix::randn(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |b, _| {
+            b.iter(|| black_box(a.matmul(&bm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_ssl_losses,
+    bench_knn_classifier,
+    bench_linalg,
+    bench_augmentation,
+    bench_matmul
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Runs every table/figure binary in sequence (same process), writing
+//! each report under `results/`. Mirrors DESIGN.md §4's experiment index.
+//!
+//! Usage: `cargo run --release -p edsr-bench --bin exp_all`
+//! Set `EDSR_QUICK=1` for a single-seed smoke pass.
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("current_exe dir");
+    let experiments =
+        ["table3", "table4", "table5", "table6", "table7", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "arch_ablation"];
+    for exp in experiments {
+        println!("\n########## {exp} ##########");
+        let status = Command::new(exe_dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("{exp} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments complete; reports in results/.");
+}

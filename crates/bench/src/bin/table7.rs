@@ -1,0 +1,103 @@
+//! **Table VII** — the tabular stream (§IV-E): Multitask, Finetune,
+//! CaSSLe, EDSR over the five heterogeneous-dimension tabular datasets,
+//! memory = 1% of each increment, 10 seeds.
+//!
+//! Paper shapes: Multitask is *worse* than the continual methods (the
+//! size-imbalanced joint mixture under-trains small datasets); EDSR best
+//! Acc and lowest Fgt. LUMP is excluded (mixup cannot span heterogeneous
+//! input dims).
+
+use edsr_bench::{aggregate, seeds_for, Report, TABULAR_SEEDS};
+use edsr_cl::{
+    run_multitask, run_sequence, tabular_augmenters, Cassle, ContinualModel, Finetune, Method,
+    ModelConfig, TrainConfig,
+};
+use edsr_core::prelude::seeded;
+use edsr_core::Edsr;
+use edsr_data::{tabular_sequence, TabularConfig, TABULAR_SPECS};
+
+/// Paper row: (name, acc, fgt or NaN).
+const PAPER: &[(&str, f32, f32)] = &[
+    ("Multitask", 80.38, f32::NAN),
+    ("Finetune", 80.82, 0.79),
+    ("CaSSLe", 81.09, 0.69),
+    ("EDSR", 81.27, 0.52),
+];
+
+fn main() {
+    let mut report = Report::new("table7");
+    let seeds = seeds_for(&TABULAR_SEEDS);
+    let cfg = TrainConfig::tabular();
+    let data_cfg = TabularConfig::default();
+    let input_dims: Vec<usize> = TABULAR_SPECS.iter().map(|s| s.input_dim).collect();
+
+    report.line("Table VII — learning the tabular stream (Acc / Fgt, 1% memory)");
+    report.line(format!("{} seeds; paper values in parentheses\n", seeds.len()));
+
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+
+    // Multitask.
+    let mt: Vec<f32> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut data_rng = seeded(seed);
+            let seq = tabular_sequence(&data_cfg, &mut data_rng);
+            let augs = tabular_augmenters(&seq, 0.4);
+            let model_cfg = ModelConfig::tabular(input_dims.clone());
+            let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
+            let mut run_rng = seeded(seed + 2000);
+            run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng).acc_pct()
+        })
+        .collect();
+    let (m, s) = edsr_cl::mean_std(&mt);
+    rows.push(("Multitask".into(), format!("{m:5.2} ± {s:.2}"), "-".into()));
+
+    for name in ["Finetune", "CaSSLe", "EDSR"] {
+        let runs: Vec<edsr_cl::RunResult> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut data_rng = seeded(seed);
+                let seq = tabular_sequence(&data_cfg, &mut data_rng);
+                let augs = tabular_augmenters(&seq, 0.4);
+                let model_cfg = ModelConfig::tabular(input_dims.clone());
+                let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
+                let mut run_rng = seeded(seed + 2000);
+                let mut method: Box<dyn Method> = match name {
+                    "Finetune" => Box::new(Finetune::new()),
+                    "CaSSLe" => Box::new(Cassle::new()),
+                    _ => {
+                        // 1% memory per increment: use the largest train
+                        // split to size the budget; end_task clamps.
+                        let budget = (seq
+                            .tasks
+                            .iter()
+                            .map(|t| t.train.len())
+                            .max()
+                            .unwrap_or(100)
+                            / 100)
+                            .max(2);
+                        Box::new(Edsr::paper_default(budget, cfg.replay_batch, 10))
+                    }
+                };
+                run_sequence(method.as_mut(), &mut model, &seq, &augs, &cfg, &mut run_rng)
+            })
+            .collect();
+        let agg = aggregate(&runs);
+        rows.push((name.into(), agg.acc_cell(), agg.fgt_cell()));
+    }
+
+    report.line(format!("{:<10} | {:>14} {:>9} | {:>14} {:>9}", "Method", "Acc", "(paper)", "Fgt", "(paper)"));
+    for (row, (name, acc, fgt)) in rows.iter().enumerate() {
+        let (_, pa, pf) = PAPER[row];
+        let pf_cell = if pf.is_nan() { "-".to_string() } else { format!("({pf:.2})") };
+        report.line(format!(
+            "{:<10} | {:>14} {:>9} | {:>14} {:>9}",
+            name,
+            acc,
+            format!("({pa:.2})"),
+            fgt,
+            pf_cell
+        ));
+    }
+    report.finish();
+}

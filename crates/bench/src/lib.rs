@@ -1,0 +1,243 @@
+//! # edsr-bench
+//!
+//! Experiment harness for the EDSR reproduction: one binary per paper
+//! table/figure (DESIGN.md §4) plus Criterion micro-benchmarks.
+//!
+//! Binaries print the same rows/series the paper reports, with paper
+//! values shown alongside for shape comparison (absolute numbers differ by
+//! design — the substrate is a simulator, see DESIGN.md §2).
+//!
+//! Run e.g. `cargo run --release -p edsr-bench --bin table3`. Results are
+//! written under `results/` as plain text as well.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use edsr_cl::metrics::mean_std;
+use edsr_cl::{
+    run_multitask, run_sequence, ContinualModel, Method, ModelConfig, MultitaskResult,
+    RunResult, TrainConfig,
+};
+use edsr_core::prelude::seeded;
+use edsr_data::Preset;
+
+/// A named factory producing fresh method instances per seed.
+pub type MethodFactory<'a> = (&'a str, Box<dyn Fn() -> Box<dyn Method>>);
+
+/// Seeds used for image experiments (paper: 4 runs).
+pub const IMAGE_SEEDS: [u64; 4] = [11, 22, 33, 44];
+
+/// Seeds used for tabular experiments (paper: 10 runs).
+pub const TABULAR_SEEDS: [u64; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+
+/// Aggregated Acc/Fgt over seeds, in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct AccFgt {
+    /// Mean final accuracy (percent).
+    pub acc: f32,
+    /// Std of final accuracy.
+    pub acc_std: f32,
+    /// Mean final forgetting (percent).
+    pub fgt: f32,
+    /// Std of final forgetting.
+    pub fgt_std: f32,
+    /// Mean wall-clock seconds per run.
+    pub seconds: f64,
+}
+
+impl AccFgt {
+    /// Formats as the paper's `acc ± std` cell.
+    pub fn acc_cell(&self) -> String {
+        format!("{:5.2} ± {:.2}", self.acc, self.acc_std)
+    }
+
+    /// Formats as the paper's `fgt ± std` cell.
+    pub fn fgt_cell(&self) -> String {
+        format!("{:5.2} ± {:.2}", self.fgt, self.fgt_std)
+    }
+}
+
+/// Aggregates per-seed run results.
+pub fn aggregate(runs: &[RunResult]) -> AccFgt {
+    let accs: Vec<f32> = runs.iter().map(RunResult::final_acc_pct).collect();
+    let fgts: Vec<f32> = runs.iter().map(RunResult::final_fgt_pct).collect();
+    let (acc, acc_std) = mean_std(&accs);
+    let (fgt, fgt_std) = mean_std(&fgts);
+    let seconds = runs.iter().map(RunResult::total_seconds).sum::<f64>() / runs.len() as f64;
+    AccFgt { acc, acc_std, fgt, fgt_std, seconds }
+}
+
+/// Builds the standard image model config for a preset.
+pub fn image_model_config(preset: &Preset) -> ModelConfig {
+    ModelConfig::image(preset.grid.dim())
+}
+
+/// Runs one method over one preset for the given seeds, building fresh
+/// data/model per seed (data seed = seed, model seed = seed + 1000,
+/// training stream seed = seed + 2000, matching all experiments).
+pub fn run_method_over_seeds(
+    preset: &Preset,
+    cfg: &TrainConfig,
+    seeds: &[u64],
+    mut make_method: impl FnMut() -> Box<dyn Method>,
+) -> Vec<RunResult> {
+    run_method_over_seeds_with_model(
+        preset,
+        cfg,
+        seeds,
+        &image_model_config(preset),
+        &mut make_method,
+    )
+}
+
+/// As [`run_method_over_seeds`] with an explicit model config (Table VI
+/// swaps the SSL variant).
+pub fn run_method_over_seeds_with_model(
+    preset: &Preset,
+    cfg: &TrainConfig,
+    seeds: &[u64],
+    model_cfg: &ModelConfig,
+    make_method: &mut dyn FnMut() -> Box<dyn Method>,
+) -> Vec<RunResult> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut data_rng = seeded(seed);
+            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+            let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
+            let mut run_rng = seeded(seed + 2000);
+            let mut method = make_method();
+            run_sequence(method.as_mut(), &mut model, &seq, &augs, cfg, &mut run_rng)
+        })
+        .collect()
+}
+
+/// Runs the Multitask upper bound over seeds, returning mean/std percent.
+pub fn run_multitask_over_seeds(
+    preset: &Preset,
+    cfg: &TrainConfig,
+    seeds: &[u64],
+) -> (f32, f32, Vec<MultitaskResult>) {
+    let results: Vec<MultitaskResult> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut data_rng = seeded(seed);
+            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+            let model_cfg = image_model_config(preset);
+            let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
+            let mut run_rng = seeded(seed + 2000);
+            run_multitask(&mut model, &seq, &augs, cfg, &mut run_rng)
+        })
+        .collect();
+    let accs: Vec<f32> = results.iter().map(MultitaskResult::acc_pct).collect();
+    let (m, s) = mean_std(&accs);
+    (m, s, results)
+}
+
+/// A writer that tees output to stdout and `results/<name>.txt`.
+pub struct Report {
+    file: Option<std::fs::File>,
+    start: Instant,
+}
+
+impl Report {
+    /// Opens `results/<name>.txt` (best-effort) and starts the clock.
+    pub fn new(name: &str) -> Self {
+        let _ = std::fs::create_dir_all("results");
+        let file = std::fs::File::create(format!("results/{name}.txt")).ok();
+        Self { file, start: Instant::now() }
+    }
+
+    /// Writes one line to stdout and the report file.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        println!("{text}");
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{text}");
+        }
+    }
+
+    /// Writes the closing timing line.
+    pub fn finish(&mut self) {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.line(format!("\n[completed in {elapsed:.1}s]"));
+    }
+}
+
+/// Seed-count control: `EDSR_QUICK=1` uses a single seed (smoke tests);
+/// `EDSR_SEEDS=n` truncates to `n` seeds (budgeted single-core runs);
+/// otherwise the full list is used.
+pub fn seeds_for(seeds: &[u64]) -> Vec<u64> {
+    if std::env::var("EDSR_QUICK").is_ok() {
+        return seeds.iter().take(1).copied().collect();
+    }
+    if let Ok(n) = std::env::var("EDSR_SEEDS") {
+        if let Ok(n) = n.parse::<usize>() {
+            return seeds.iter().take(n.max(1)).copied().collect();
+        }
+    }
+    seeds.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_cl::metrics::AccuracyMatrix;
+
+    fn run_result(accs: &[f32]) -> RunResult {
+        let mut matrix = AccuracyMatrix::new();
+        for (i, &a) in accs.iter().enumerate() {
+            // Constant-accuracy history: row i repeats `a` i+1 times.
+            matrix.push_row(vec![a; i + 1]);
+        }
+        RunResult {
+            method: "m".into(),
+            benchmark: "b".into(),
+            matrix,
+            task_seconds: vec![1.0; accs.len()],
+            task_losses: vec![0.0; accs.len()],
+        }
+    }
+
+    #[test]
+    fn aggregate_means_and_stds() {
+        let runs = vec![run_result(&[0.8, 0.8]), run_result(&[0.6, 0.6])];
+        let agg = aggregate(&runs);
+        assert!((agg.acc - 70.0).abs() < 1e-4);
+        assert!((agg.acc_std - 10.0).abs() < 1e-4);
+        assert_eq!(agg.fgt, 0.0);
+        assert!((agg.seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cells_format_like_the_paper() {
+        let runs = vec![run_result(&[0.9])];
+        let agg = aggregate(&runs);
+        assert!(agg.acc_cell().contains('±'));
+        assert!(agg.fgt_cell().contains('±'));
+    }
+
+    #[test]
+    fn seeds_for_respects_env_overrides() {
+        // Serialize env mutation within this test.
+        std::env::remove_var("EDSR_QUICK");
+        std::env::set_var("EDSR_SEEDS", "2");
+        assert_eq!(seeds_for(&IMAGE_SEEDS), vec![11, 22]);
+        std::env::set_var("EDSR_QUICK", "1");
+        assert_eq!(seeds_for(&IMAGE_SEEDS), vec![11]);
+        std::env::remove_var("EDSR_QUICK");
+        std::env::remove_var("EDSR_SEEDS");
+        assert_eq!(seeds_for(&IMAGE_SEEDS).len(), 4);
+    }
+
+    #[test]
+    fn report_writes_results_file() {
+        let mut report = Report::new("unit-test-report");
+        report.line("hello");
+        report.finish();
+        let content = std::fs::read_to_string("results/unit-test-report.txt").expect("file");
+        assert!(content.contains("hello"));
+        assert!(content.contains("completed in"));
+        let _ = std::fs::remove_file("results/unit-test-report.txt");
+    }
+}

@@ -1,0 +1,27 @@
+//! # edsr-cl
+//!
+//! The continual-learning harness of the EDSR reproduction: the
+//! [`ContinualModel`] (encoder + SSL head + distillation head), episodic
+//! [`MemoryBuffer`], the kNN evaluation protocol and Acc/Fgt metrics
+//! (paper Eq. 17–18), the sequence [`trainer`], and all baseline methods
+//! of Table III (Finetune, SI, DER, LUMP, CaSSLe, Multitask).
+
+pub mod eval;
+pub mod memory;
+pub mod methods;
+pub mod metrics;
+pub mod model;
+pub mod trainer;
+
+pub use eval::{accuracy, knn_classify};
+pub use memory::{MemoryBatch, MemoryBuffer, MemoryItem};
+pub use methods::{Cassle, Der, Finetune, LinReplay, Lump, Si};
+pub use metrics::{mean_std, AccuracyMatrix};
+pub use model::{ContinualModel, FrozenModel, ModelConfig};
+pub use trainer::{
+    apply_step, evaluate_row, image_augmenters, run_multitask, run_sequence,
+    tabular_augmenters, Method, MultitaskResult, OptimizerKind, RunResult, TrainConfig,
+};
+
+#[cfg(test)]
+mod trainer_tests;

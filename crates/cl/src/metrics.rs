@@ -1,0 +1,233 @@
+//! Continual-learning metrics: the accuracy matrix `A`, forgetting matrix
+//! `F`, and the averages `Acc_i` / `Fgt_i` (paper Eq. 17–18, Fig. 3).
+
+/// Lower-triangular accuracy matrix: `a[i][j]` = test accuracy on `X^j`
+/// after learning `X^i` (`j ≤ i`).
+///
+/// ```
+/// use edsr_cl::AccuracyMatrix;
+/// let mut a = AccuracyMatrix::new();
+/// a.push_row(vec![0.9]);
+/// a.push_row(vec![0.8, 0.7]); // task 0 dropped 0.9 → 0.8
+/// assert!((a.final_acc() - 0.75).abs() < 1e-6);
+/// assert!((a.final_fgt() - 0.1).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccuracyMatrix {
+    rows: Vec<Vec<f32>>,
+}
+
+impl AccuracyMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    /// Records the evaluation row after learning increment `i`:
+    /// accuracies on `X^0..=X^i` in order.
+    ///
+    /// # Panics
+    /// Panics unless exactly `i+1` accuracies are given in sequence order.
+    pub fn push_row(&mut self, accuracies: Vec<f32>) {
+        assert_eq!(
+            accuracies.len(),
+            self.rows.len() + 1,
+            "push_row: row {} must have {} entries",
+            self.rows.len(),
+            self.rows.len() + 1
+        );
+        assert!(
+            accuracies.iter().all(|a| (0.0..=1.0).contains(a)),
+            "push_row: accuracy out of [0,1]"
+        );
+        self.rows.push(accuracies);
+    }
+
+    /// Number of completed increments.
+    pub fn num_increments(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `A_{i,j}`: accuracy on task `j` after learning task `i`.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(j <= i, "A_(i,j) undefined for j > i");
+        self.rows[i][j]
+    }
+
+    /// `Acc_i` (Eq. 17): mean accuracy over learned tasks after task `i`.
+    pub fn acc_at(&self, i: usize) -> f32 {
+        let row = &self.rows[i];
+        row.iter().sum::<f32>() / row.len() as f32
+    }
+
+    /// Final `Acc` (after the last increment).
+    pub fn final_acc(&self) -> f32 {
+        self.acc_at(self.rows.len() - 1)
+    }
+
+    /// `F_{i,j} = max_{i' ≤ i} (A_{i',j} − A_{i,j})` — the forgetting of
+    /// task `j` at time `i`. `F_{i,i} = 0` by construction.
+    pub fn forgetting(&self, i: usize, j: usize) -> f32 {
+        assert!(j <= i, "F_(i,j) undefined for j > i");
+        let current = self.rows[i][j];
+        let peak = (j..=i).map(|ip| self.rows[ip][j]).fold(f32::NEG_INFINITY, f32::max);
+        peak - current
+    }
+
+    /// `Fgt_i` (Eq. 18): mean forgetting over *old* tasks (`j < i`).
+    /// Defined as 0 at `i = 0` (nothing to forget).
+    pub fn fgt_at(&self, i: usize) -> f32 {
+        if i == 0 {
+            return 0.0;
+        }
+        let total: f32 = (0..i).map(|j| self.forgetting(i, j)).sum();
+        total / i as f32
+    }
+
+    /// Final `Fgt`.
+    pub fn final_fgt(&self) -> f32 {
+        self.fgt_at(self.rows.len().saturating_sub(1))
+    }
+
+    /// New-task accuracy `A_{i,i}` per increment (Fig. 5's plasticity
+    /// curve).
+    pub fn new_task_accuracies(&self) -> Vec<f32> {
+        (0..self.rows.len()).map(|i| self.rows[i][i]).collect()
+    }
+
+    /// The full forgetting matrix as rows `i` of `F_{i,j}` for `j ≤ i`
+    /// (Fig. 4's heat data).
+    pub fn forgetting_matrix(&self) -> Vec<Vec<f32>> {
+        (0..self.rows.len())
+            .map(|i| (0..=i).map(|j| self.forgetting(i, j)).collect())
+            .collect()
+    }
+}
+
+impl Default for AccuracyMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mean and (population) standard deviation of a slice — used to report
+/// the paper's `mean ± std` rows over seeds.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> AccuracyMatrix {
+        // A = [0.9]
+        //     [0.7, 0.8]
+        //     [0.6, 0.75, 0.85]
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.9]);
+        a.push_row(vec![0.7, 0.8]);
+        a.push_row(vec![0.6, 0.75, 0.85]);
+        a
+    }
+
+    #[test]
+    fn acc_averages_row() {
+        let a = example();
+        assert!((a.acc_at(0) - 0.9).abs() < 1e-6);
+        assert!((a.acc_at(1) - 0.75).abs() < 1e-6);
+        assert!((a.final_acc() - (0.6 + 0.75 + 0.85) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forgetting_uses_peak() {
+        let a = example();
+        // Task 0 peaked at 0.9; at i=2 it is 0.6 → F = 0.3.
+        assert!((a.forgetting(2, 0) - 0.3).abs() < 1e-6);
+        // Task 1 peaked at 0.8; at i=2 it is 0.75 → F = 0.05.
+        assert!((a.forgetting(2, 1) - 0.05).abs() < 1e-6);
+        // Self-forgetting is zero.
+        assert_eq!(a.forgetting(2, 2), 0.0);
+        assert_eq!(a.forgetting(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fgt_excludes_current_task() {
+        let a = example();
+        assert_eq!(a.fgt_at(0), 0.0);
+        assert!((a.fgt_at(2) - (0.3 + 0.05) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forgetting_nonnegative_even_with_backward_transfer() {
+        // Accuracy on task 0 *improves* later; forgetting must clamp at 0
+        // via the peak definition (peak is the later, higher value).
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.5]);
+        a.push_row(vec![0.7, 0.6]);
+        assert_eq!(a.forgetting(1, 0), 0.0);
+        assert!(a.fgt_at(1) >= 0.0);
+    }
+
+    #[test]
+    fn new_task_accuracies_diagonal() {
+        let a = example();
+        assert_eq!(a.new_task_accuracies(), vec![0.9, 0.8, 0.85]);
+    }
+
+    #[test]
+    fn forgetting_matrix_shape() {
+        let a = example();
+        let f = a.forgetting_matrix();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[2].len(), 3);
+        assert_eq!(f[0], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have")]
+    fn wrong_row_length_panics() {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn acc_matrix_properties_on_random_history() {
+        // Build a random-but-valid history and verify structural
+        // invariants: F_{i,i}=0, F >= 0, Acc within [0,1], Fgt >= 0.
+        let mut rng = edsr_tensor::rng::seeded(900);
+        for _trial in 0..25 {
+            let n = 2 + edsr_tensor::rng::index(&mut rng, 6);
+            let mut a = AccuracyMatrix::new();
+            for i in 0..n {
+                let row: Vec<f32> = (0..=i)
+                    .map(|_| edsr_tensor::rng::uniform(&mut rng, 0.0, 1.0))
+                    .collect();
+                a.push_row(row);
+            }
+            for i in 0..n {
+                assert_eq!(a.forgetting(i, i), 0.0);
+                assert!((0.0..=1.0).contains(&a.acc_at(i)));
+                assert!(a.fgt_at(i) >= 0.0);
+                for j in 0..=i {
+                    assert!(a.forgetting(i, j) >= -1e-6);
+                }
+            }
+            assert_eq!(a.new_task_accuracies().len(), n);
+        }
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        let (m0, s0) = mean_std(&[]);
+        assert_eq!((m0, s0), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,37 @@
+//! # edsr-core
+//!
+//! The paper's contribution: **E**ffective **D**ata **S**election and
+//! **R**eplay for unsupervised continual learning (ICDE 2024).
+//!
+//! - [`select`]: entropy-based data selection (Eq. 12–15) and the Table-V
+//!   baseline selectors.
+//! - [`noise`]: the kNN-std replay-noise magnitude `r(x^m)` (§III-B).
+//! - [`method`]: the [`Edsr`] continual-learning method (Fig. 2) with all
+//!   ablation switches (replay loss, selection strategy, neighbour count,
+//!   similarity-weighted replay).
+//!
+//! This crate also re-exports the substrate crates as a facade, so
+//! `edsr_core::prelude::*` is enough to run experiments.
+
+pub mod method;
+pub mod noise;
+pub mod select;
+
+pub use method::{Edsr, EdsrConfig, ReplayLoss, ReplaySampling};
+pub use noise::noise_magnitudes;
+pub use select::{table5_strategies, SelectionContext, SelectionStrategy};
+
+/// One-stop imports for examples and experiment binaries.
+pub mod prelude {
+    pub use crate::{Edsr, EdsrConfig, ReplayLoss, ReplaySampling, SelectionStrategy};
+    pub use edsr_cl::{
+        run_multitask, run_sequence, image_augmenters, tabular_augmenters, Cassle,
+        ContinualModel, Der, Finetune, Lump, Method, ModelConfig, RunResult, Si, TrainConfig,
+    };
+    pub use edsr_data::{cifar10_sim, cifar100_sim, domainnet_sim, test_sim, tiny_imagenet_sim};
+    pub use edsr_ssl::SslVariant;
+    pub use edsr_tensor::rng::seeded;
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,94 @@
+//! The replay-noise magnitude `r(x^m)` (paper §III-B).
+//!
+//! For each stored sample, `r(x^m)` is the standard deviation of the
+//! representations of its `k` nearest neighbours inside the increment it
+//! was selected from — a data-dependent scale that relates the sample to
+//! its augmentation-overlapping neighbourhood \[71\].
+
+use edsr_linalg::stats::scalar_std;
+use edsr_linalg::{knn_search, Metric};
+use edsr_tensor::Matrix;
+
+/// Computes `r(x^m)` for each selected row.
+///
+/// `all_reps` are the representations `X̂ⁿ` of the full increment;
+/// `selected` indexes the stored subset. `k = 0` returns all-zero
+/// magnitudes (the `L_dis` ablation: Fig. 6's "0 neighbours" point).
+pub fn noise_magnitudes(all_reps: &Matrix, selected: &[usize], k: usize) -> Vec<f32> {
+    if k == 0 {
+        return vec![0.0; selected.len()];
+    }
+    selected
+        .iter()
+        .map(|&idx| {
+            let neighbors =
+                knn_search(all_reps, all_reps.row(idx), k, Metric::Euclidean, Some(idx));
+            if neighbors.is_empty() {
+                return 0.0;
+            }
+            let rows: Vec<usize> = neighbors.iter().map(|n| n.index).collect();
+            scalar_std(&all_reps.select_rows(&rows))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_tensor::rng::seeded;
+
+    #[test]
+    fn zero_k_disables_noise() {
+        let mut rng = seeded(420);
+        let reps = Matrix::randn(10, 4, 1.0, &mut rng);
+        assert_eq!(noise_magnitudes(&reps, &[0, 3, 7], 0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn magnitude_scales_with_neighborhood_spread() {
+        // Sample 0 sits in a tight cluster; sample 10 in a loose one.
+        let mut rng = seeded(421);
+        let mut reps = Matrix::zeros(20, 3);
+        for r in 0..10 {
+            for c in 0..3 {
+                reps.set(r, c, edsr_tensor::rng::gaussian(&mut rng) * 0.01);
+            }
+        }
+        for r in 10..20 {
+            for c in 0..3 {
+                reps.set(r, c, 50.0 + edsr_tensor::rng::gaussian(&mut rng) * 2.0);
+            }
+        }
+        let mags = noise_magnitudes(&reps, &[0, 10], 5);
+        assert!(mags[1] > mags[0] * 10.0, "loose {} vs tight {}", mags[1], mags[0]);
+    }
+
+    #[test]
+    fn excludes_self_from_neighborhood() {
+        // One far outlier: its kNN std reflects the cluster it is far
+        // from, not zero (which self-inclusion with k=1 could produce).
+        let mut reps = Matrix::zeros(5, 2);
+        reps.set(4, 0, 100.0);
+        for r in 0..4 {
+            reps.set(r, 0, r as f32);
+        }
+        let mags = noise_magnitudes(&reps, &[4], 3);
+        assert!(mags[0] > 0.0, "self-exclusion failed: {mags:?}");
+    }
+
+    #[test]
+    fn single_neighbor_gives_zero_std() {
+        let mut rng = seeded(422);
+        let reps = Matrix::randn(3, 2, 1.0, &mut rng);
+        let mags = noise_magnitudes(&reps, &[0], 1);
+        assert_eq!(mags[0], 0.0);
+    }
+
+    #[test]
+    fn k_clamps_to_population() {
+        let mut rng = seeded(423);
+        let reps = Matrix::randn(4, 2, 1.0, &mut rng);
+        let mags = noise_magnitudes(&reps, &[1], 100);
+        assert!(mags[0].is_finite());
+    }
+}

@@ -1,0 +1,199 @@
+//! CSV import/export for [`Dataset`] — the bridge for running the library
+//! on real data instead of the built-in synthetic benchmarks.
+//!
+//! Format: one sample per line, `label,f_0,f_1,…,f_{d-1}`; an optional
+//! header line is detected (first field not parseable as an integer) and
+//! skipped. Labels are non-negative integers; features are `f32`.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use edsr_tensor::Matrix;
+
+use crate::dataset::Dataset;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying file error.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The file contained no samples.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv parse error, line {line}: {message}"),
+            CsvError::Empty => write!(f, "csv file contains no samples"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `data` as `label,features…` lines (no header).
+pub fn write_csv(data: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for r in 0..data.len() {
+        write!(w, "{}", data.labels[r])?;
+        for &v in data.inputs.row(r) {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_csv`] (or any `label,features…`
+/// CSV). A header line is skipped if its first field is not an integer.
+pub fn read_csv(name: &str, path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let first = fields.next().unwrap_or("").trim();
+        let label: usize = match first.parse() {
+            Ok(l) => l,
+            Err(_) if idx == 0 => continue, // header
+            Err(_) => {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("label {first:?} is not a non-negative integer"),
+                })
+            }
+        };
+        let features: Result<Vec<f32>, _> =
+            fields.map(|f| f.trim().parse::<f32>()).collect();
+        let features = features.map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("feature parse failed: {e}"),
+        })?;
+        match width {
+            None => width = Some(features.len()),
+            Some(w) if w != features.len() => {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("expected {w} features, found {}", features.len()),
+                })
+            }
+            _ => {}
+        }
+        labels.push(label);
+        rows.push(features);
+    }
+
+    let Some(width) = width else { return Err(CsvError::Empty) };
+    if width == 0 {
+        return Err(CsvError::Parse { line: 1, message: "no feature columns".into() });
+    }
+    let mut inputs = Matrix::zeros(rows.len(), width);
+    for (r, row) in rows.iter().enumerate() {
+        inputs.row_mut(r).copy_from_slice(row);
+    }
+    Ok(Dataset::new(name, inputs, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("edsr-csv-{name}-{}.csv", std::process::id()));
+        p
+    }
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            Matrix::from_vec(3, 2, vec![1.0, 2.5, -3.0, 4.0, 0.0, 0.125]),
+            vec![0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = toy();
+        let path = tmp("roundtrip");
+        write_csv(&d, &path).expect("write");
+        let back = read_csv("toy", &path).expect("read");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.dim(), 2);
+        assert_eq!(back.labels, d.labels);
+        assert_eq!(back.inputs.max_abs_diff(&d.inputs), 0.0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn header_line_is_skipped() {
+        let path = tmp("header");
+        std::fs::write(&path, "label,f0,f1\n0,1.0,2.0\n1,3.0,4.0\n").unwrap();
+        let d = read_csv("h", &path).expect("read");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels, vec![0, 1]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "0,1.0,2.0\n1,3.0\n").unwrap();
+        let err = read_csv("r", &path).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_label_mid_file_errors() {
+        let path = tmp("badlabel");
+        std::fs::write(&path, "0,1.0\nx,2.0\n").unwrap();
+        assert!(matches!(read_csv("b", &path), Err(CsvError::Parse { line: 2, .. })));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(read_csv("e", &path), Err(CsvError::Empty)));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let path = tmp("blank");
+        std::fs::write(&path, "0,1.0\n\n1,2.0\n\n").unwrap();
+        let d = read_csv("b", &path).expect("read");
+        assert_eq!(d.len(), 2);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,201 @@
+//! Core dataset containers.
+//!
+//! Labels are carried for *evaluation only* (the kNN-classifier protocol of
+//! the paper); no training code path reads them — that is the
+//! "unsupervised" in UCL.
+
+use edsr_tensor::Matrix;
+
+/// A labeled set of samples (rows of `inputs`).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Sample matrix, `n x d`.
+    pub inputs: Matrix,
+    /// Per-row class label — used exclusively by evaluation.
+    pub labels: Vec<usize>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that labels align with rows.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != inputs.rows()`.
+    pub fn new(name: impl Into<String>, inputs: Matrix, labels: Vec<usize>) -> Self {
+        assert_eq!(inputs.rows(), labels.len(), "Dataset: label/row count mismatch");
+        Self { inputs, labels, name: name.into() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.rows()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.inputs.cols()
+    }
+
+    /// Distinct labels, sorted.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut c = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Sub-dataset from row indices (order preserved).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            inputs: self.inputs.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            name: format!("{}[subset:{}]", self.name, indices.len()),
+        }
+    }
+
+    /// Sub-dataset containing only the given classes.
+    pub fn filter_classes(&self, classes: &[usize]) -> Dataset {
+        let indices: Vec<usize> = (0..self.len())
+            .filter(|&i| classes.contains(&self.labels[i]))
+            .collect();
+        self.subset(&indices)
+    }
+
+    /// Concatenates datasets (dimension must agree).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or dimensions differ.
+    pub fn concat(name: impl Into<String>, parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "Dataset::concat: no parts");
+        let inputs = Matrix::vstack(&parts.iter().map(|d| &d.inputs).collect::<Vec<_>>());
+        let labels = parts.iter().flat_map(|d| d.labels.iter().copied()).collect();
+        Dataset { inputs, labels, name: name.into() }
+    }
+}
+
+/// One continual-learning increment: a train split to learn from (without
+/// labels) and a test split for the kNN evaluation.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// Classes present in this increment.
+    pub classes: Vec<usize>,
+}
+
+/// An ordered sequence of increments `X^1 … X^n`.
+#[derive(Debug, Clone)]
+pub struct TaskSequence {
+    /// Benchmark name, e.g. `cifar10-sim`.
+    pub name: String,
+    /// The increments in presentation order.
+    pub tasks: Vec<Task>,
+}
+
+impl TaskSequence {
+    /// Number of increments.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks exist.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Union of all train splits (the Multitask upper-bound's data).
+    pub fn joint_train(&self) -> Dataset {
+        let parts: Vec<&Dataset> = self.tasks.iter().map(|t| &t.train).collect();
+        Dataset::concat(format!("{}-joint", self.name), &parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]),
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.classes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(s.inputs.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn filter_classes_selects_only_requested() {
+        let d = toy();
+        let f = d.filter_classes(&[1]);
+        assert_eq!(f.len(), 2);
+        assert!(f.labels.iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = Dataset::concat("both", &[&d, &d]);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.labels[4], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label/row count mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::new("bad", Matrix::zeros(3, 2), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vstack: column mismatch")]
+    fn concat_dimension_mismatch_panics() {
+        let a = Dataset::new("a", Matrix::zeros(1, 2), vec![0]);
+        let b = Dataset::new("b", Matrix::zeros(1, 3), vec![0]);
+        let _ = Dataset::concat("ab", &[&a, &b]);
+    }
+
+    #[test]
+    fn empty_subset_is_empty() {
+        let d = toy();
+        let s = d.subset(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn filter_unknown_class_yields_empty() {
+        let d = toy();
+        assert!(d.filter_classes(&[99]).is_empty());
+    }
+
+    #[test]
+    fn joint_train_unions_tasks() {
+        let d = toy();
+        let t1 = Task { train: d.filter_classes(&[0]), test: d.filter_classes(&[0]), classes: vec![0] };
+        let t2 = Task { train: d.filter_classes(&[1]), test: d.filter_classes(&[1]), classes: vec![1] };
+        let seq = TaskSequence { name: "toy".into(), tasks: vec![t1, t2] };
+        assert_eq!(seq.joint_train().len(), 4);
+    }
+}

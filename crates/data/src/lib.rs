@@ -1,0 +1,33 @@
+//! # edsr-data
+//!
+//! Data substrate for the EDSR reproduction: synthetic class-manifold
+//! image analogues of the paper's four vision benchmarks, synthetic
+//! tabular analogues of its five Table-II datasets, class-incremental task
+//! splitting, stochastic augmentation pipelines (the paper's image ops and
+//! SCARF's `tabularCrop`), and minibatch iteration.
+//!
+//! Labels exist solely for the kNN evaluation protocol; no training path
+//! reads them.
+
+pub mod augment;
+pub mod batch;
+pub mod csv;
+pub mod dataset;
+pub mod grid;
+pub mod presets;
+pub mod synth;
+pub mod tabular;
+pub mod tasks;
+
+pub use augment::{AugOp, Augmenter};
+pub use batch::BatchIter;
+pub use csv::{read_csv, write_csv, CsvError};
+pub use dataset::{Dataset, Task, TaskSequence};
+pub use grid::{render_ascii, GridSpec};
+pub use presets::{
+    all_image_presets, cifar10_sim, cifar100_sim, domainnet_sim, test_sim, tiny_imagenet_sim,
+    Preset,
+};
+pub use synth::{make_class_datasets, ClassModel, SynthConfig};
+pub use tabular::{generate_tabular, tabular_sequence, TabularConfig, TabularSpec, TABULAR_SPECS};
+pub use tasks::split_by_classes;

@@ -1,0 +1,571 @@
+//! Synthetic image-like datasets.
+//!
+//! Stand-in for CIFAR-10/100, Tiny-ImageNet and DomainNet-real per the
+//! substitution policy (DESIGN.md §2). Each class is a smooth low-rank
+//! manifold over an `H x W x C` grid:
+//!
+//! `x = s_c · center_k + s_m · B_k z + s_n · ε`,  `z ~ N(0, I_r)`, `ε ~ N(0, I_d)`
+//!
+//! where `center_k` and the columns of `B_k` are *spatially smooth* random
+//! patterns (coarse Gaussian grids bilinearly upsampled). Spatial
+//! smoothness is what makes crop/blur augmentations label-preserving and
+//! gives augmentation views the overlap property that contrastive
+//! learning — and EDSR's representation-noise argument \[71\] — relies on.
+
+use edsr_tensor::rng::gaussian;
+use rand::RngExt;
+use edsr_tensor::Matrix;
+use rand::rngs::StdRng;
+
+use crate::dataset::Dataset;
+use crate::grid::GridSpec;
+
+/// Shape parameters for the class-manifold generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Rank of each class manifold (latent dimension).
+    pub n_latent: usize,
+    /// Scale of the class center pattern.
+    pub center_scale: f32,
+    /// Scale of the within-class manifold variation.
+    pub manifold_scale: f32,
+    /// Scale of isotropic pixel noise.
+    pub noise_scale: f32,
+    /// Upsampling factor for smooth patterns (coarse grid = full / factor).
+    pub coarse_factor: usize,
+    /// Per-sample *nuisance* transforms (see [`NuisanceConfig`]).
+    pub nuisance: NuisanceConfig,
+}
+
+/// Per-sample nuisance variation.
+///
+/// The dominant component is a random draw over a *fixed global pattern
+/// subspace* (see [`NuisanceWorld`]): each sample receives
+/// `x += Σ_j c_j·g_j`, `c ~ N(0, pattern_scale²)`. This is what makes
+/// representation learning *necessary and possible* in the simulation:
+/// nuisance dominates raw input distances (raw-space kNN is poor), it is
+/// continuous and high-dimensional (cannot be matched by nearest
+/// neighbours), yet it is linearly removable — and the matching
+/// `PatternJitter` augmentation re-randomizes the same coefficients, so a
+/// CSSL encoder that minimizes view variance learns to project the
+/// subspace out. Forgetting then manifests as losing that learned
+/// invariance. Flips/shifts/gain add milder geometric nuisance.
+#[derive(Debug, Clone, Copy)]
+pub struct NuisanceConfig {
+    /// Number of smooth global nuisance patterns (plus one per-channel DC
+    /// pattern is always included).
+    pub n_patterns: usize,
+    /// Std of the per-sample pattern coefficients.
+    pub pattern_scale: f32,
+    /// Per-channel multiplicative gain range: `a ~ U(1−gain, 1+gain)`.
+    pub gain: f32,
+    /// Mirror the sample horizontally with probability ½.
+    pub flip: bool,
+    /// Maximum |spatial shift| in pixels (edge-replicated).
+    pub shift: usize,
+}
+
+impl Default for NuisanceConfig {
+    fn default() -> Self {
+        Self { n_patterns: 6, pattern_scale: 1.0, gain: 0.2, flip: true, shift: 1 }
+    }
+}
+
+/// The fixed nuisance pattern subspace shared by a benchmark's generator
+/// and its `PatternJitter` augmentation.
+#[derive(Debug, Clone)]
+pub struct NuisanceWorld {
+    /// Unit-RMS flattened patterns (per-channel DC patterns first, then
+    /// smooth random patterns).
+    pub patterns: Vec<Vec<f32>>,
+}
+
+impl NuisanceWorld {
+    /// Draws the pattern set for a benchmark instance.
+    pub fn generate(grid: GridSpec, cfg: &NuisanceConfig, rng: &mut StdRng) -> Self {
+        let mut patterns = Vec::with_capacity(grid.channels + cfg.n_patterns);
+        let plane = grid.height * grid.width;
+        for c in 0..grid.channels {
+            // Channel DC pattern, unit RMS over the whole grid.
+            let mut p = vec![0.0f32; grid.dim()];
+            let v = (grid.dim() as f32 / plane as f32).sqrt();
+            for e in &mut p[c * plane..(c + 1) * plane] {
+                *e = v;
+            }
+            patterns.push(p);
+        }
+        for _ in 0..cfg.n_patterns {
+            let mut p = smooth_pattern(grid, 2, rng);
+            // Symmetrized like the class patterns: flips then leave the
+            // nuisance subspace invariant, so flip views need no extra
+            // nulling directions.
+            symmetrize(&mut p, grid);
+            patterns.push(p);
+        }
+        Self { patterns }
+    }
+
+    /// Adds `Σ c_j·g_j` with fresh `c ~ N(0, scale²)` to a flat sample.
+    pub fn add_random_draw(&self, x: &mut [f32], scale: f32, rng: &mut StdRng) {
+        for p in &self.patterns {
+            let c = gaussian(rng) * scale;
+            for (xi, &pi) in x.iter_mut().zip(p) {
+                *xi += c * pi;
+            }
+        }
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            n_latent: 4,
+            center_scale: 0.8,
+            manifold_scale: 0.25,
+            noise_scale: 0.10,
+            coarse_factor: 2,
+            nuisance: NuisanceConfig::default(),
+        }
+    }
+}
+
+/// One generated class: a smooth center and a smooth low-rank basis.
+///
+/// Patterns are mirror-symmetrized (`p ← (p + flip(p))/2`, re-normalized):
+/// horizontal flips are then exactly content-preserving, so the flip
+/// nuisance and flip augmentation cost no class information — mirroring
+/// how real-image classes are (statistically) flip-invariant.
+#[derive(Debug, Clone)]
+pub struct ClassModel {
+    center: Vec<f32>,
+    basis: Vec<Vec<f32>>,
+}
+
+/// Mirror-symmetrizes a flattened pattern horizontally and rescales it
+/// back to unit RMS.
+fn symmetrize(p: &mut [f32], grid: GridSpec) {
+    for c in 0..grid.channels {
+        for r in 0..grid.height {
+            for col in 0..grid.width / 2 {
+                let a = grid.index(c, r, col);
+                let b = grid.index(c, r, grid.width - 1 - col);
+                let mean = 0.5 * (p[a] + p[b]);
+                p[a] = mean;
+                p[b] = mean;
+            }
+        }
+    }
+    let norm = p.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-9);
+    let scale = (p.len() as f32).sqrt() / norm;
+    for v in p.iter_mut() {
+        *v *= scale;
+    }
+}
+
+/// Draws a spatially smooth random pattern: a coarse Gaussian grid,
+/// bilinearly upsampled to the full resolution, unit-normalized.
+pub fn smooth_pattern(grid: GridSpec, coarse_factor: usize, rng: &mut StdRng) -> Vec<f32> {
+    let factor = coarse_factor.max(1);
+    let ch = grid.height.div_ceil(factor);
+    let cw = grid.width.div_ceil(factor);
+    let coarse_grid = GridSpec::new(ch.max(1), cw.max(1), grid.channels);
+    let coarse: Vec<f32> = (0..coarse_grid.dim()).map(|_| gaussian(rng)).collect();
+
+    let mut out = vec![0.0f32; grid.dim()];
+    for c in 0..grid.channels {
+        for r in 0..grid.height {
+            for col in 0..grid.width {
+                let y = r as f32 / grid.height.max(2) as f32 * (coarse_grid.height - 1) as f32;
+                let x = col as f32 / grid.width.max(2) as f32 * (coarse_grid.width - 1) as f32;
+                out[grid.index(c, r, col)] = coarse_grid.bilinear(&coarse, c, y, x);
+            }
+        }
+    }
+    let norm = out.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-9);
+    let scale = (grid.dim() as f32).sqrt() / norm; // unit RMS
+    for v in &mut out {
+        *v *= scale;
+    }
+    out
+}
+
+impl ClassModel {
+    /// Draws a fresh class model.
+    pub fn generate(grid: GridSpec, cfg: &SynthConfig, rng: &mut StdRng) -> Self {
+        let mut center = smooth_pattern(grid, cfg.coarse_factor, rng);
+        symmetrize(&mut center, grid);
+        let basis = (0..cfg.n_latent)
+            .map(|_| {
+                let mut b = smooth_pattern(grid, cfg.coarse_factor, rng);
+                symmetrize(&mut b, grid);
+                b
+            })
+            .collect();
+        Self { center, basis }
+    }
+
+    /// Samples one flattened grid from this class (clean content plus
+    /// per-sample nuisance).
+    pub fn sample(
+        &self,
+        grid: GridSpec,
+        cfg: &SynthConfig,
+        world: &NuisanceWorld,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        let d = self.center.len();
+        let mut x: Vec<f32> = self.center.iter().map(|&v| v * cfg.center_scale).collect();
+        for b in &self.basis {
+            let z = gaussian(rng) * cfg.manifold_scale;
+            for (xi, &bi) in x.iter_mut().zip(b) {
+                *xi += z * bi;
+            }
+        }
+        for xi in x.iter_mut().take(d) {
+            *xi += gaussian(rng) * cfg.noise_scale;
+        }
+        apply_nuisance(&mut x, grid, &cfg.nuisance, world, rng);
+        x
+    }
+}
+
+/// Applies the per-sample nuisance transforms in place.
+fn apply_nuisance(
+    x: &mut [f32],
+    grid: GridSpec,
+    cfg: &NuisanceConfig,
+    world: &NuisanceWorld,
+    rng: &mut StdRng,
+) {
+    use edsr_tensor::rng::uniform;
+    // Spatial shift with edge replication.
+    if cfg.shift > 0 {
+        let s = cfg.shift as i32;
+        let dy = rng.random_range(-s..=s);
+        let dx = rng.random_range(-s..=s);
+        if dy != 0 || dx != 0 {
+            let src = x.to_vec();
+            for c in 0..grid.channels {
+                for r in 0..grid.height {
+                    for col in 0..grid.width {
+                        let sr = (r as i32 - dy).clamp(0, grid.height as i32 - 1) as usize;
+                        let sc = (col as i32 - dx).clamp(0, grid.width as i32 - 1) as usize;
+                        x[grid.index(c, r, col)] = src[grid.index(c, sr, sc)];
+                    }
+                }
+            }
+        }
+    }
+    // Horizontal mirror.
+    if cfg.flip && rng.random::<f32>() < 0.5 {
+        for c in 0..grid.channels {
+            for r in 0..grid.height {
+                for col in 0..grid.width / 2 {
+                    let a = grid.index(c, r, col);
+                    let b = grid.index(c, r, grid.width - 1 - col);
+                    x.swap(a, b);
+                }
+            }
+        }
+    }
+    // Mild per-channel gain.
+    if cfg.gain > 0.0 {
+        let plane = grid.height * grid.width;
+        for c in 0..grid.channels {
+            let a = uniform(rng, 1.0 - cfg.gain, 1.0 + cfg.gain);
+            for v in &mut x[c * plane..(c + 1) * plane] {
+                *v *= a;
+            }
+        }
+    }
+    // Dominant nuisance: random draw over the global pattern subspace.
+    world.add_random_draw(x, cfg.pattern_scale, rng);
+}
+
+/// Shifts every sample of a dataset by a smooth additive pattern:
+/// `x ← x + strength·pattern`.
+///
+/// Used to give each *increment* a distinct "domain style": real benchmark
+/// splits put visually distinct class groups in different increments, so
+/// consecutive increments genuinely interfere; the additive style shift
+/// reproduces that interference (which is what makes forgetting — and
+/// therefore the paper's comparisons — observable) without distorting the
+/// nuisance pattern subspace.
+pub fn apply_style(data: &mut crate::dataset::Dataset, pattern: &[f32], strength: f32) {
+    assert_eq!(pattern.len(), data.dim(), "apply_style: pattern dimension mismatch");
+    for r in 0..data.inputs.rows() {
+        for (c, v) in data.inputs.row_mut(r).iter_mut().enumerate() {
+            *v += strength * pattern[c];
+        }
+    }
+}
+
+/// Generates paired train/test datasets over `num_classes` fresh classes,
+/// along with the nuisance pattern world the matching `PatternJitter`
+/// augmentation must share.
+///
+/// Labels are `0..num_classes` and only used for evaluation.
+pub fn make_class_datasets(
+    name: &str,
+    num_classes: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    grid: GridSpec,
+    cfg: &SynthConfig,
+    rng: &mut StdRng,
+) -> (Dataset, Dataset, NuisanceWorld) {
+    let d = grid.dim();
+    let world = NuisanceWorld::generate(grid, &cfg.nuisance, rng);
+    let models: Vec<ClassModel> =
+        (0..num_classes).map(|_| ClassModel::generate(grid, cfg, rng)).collect();
+
+    let build = |per_class: usize, split: &str, rng: &mut StdRng| {
+        let n = per_class * num_classes;
+        let mut inputs = Matrix::zeros(n, d);
+        let mut labels = Vec::with_capacity(n);
+        let mut row = 0;
+        for (k, model) in models.iter().enumerate() {
+            for _ in 0..per_class {
+                let sample = model.sample(grid, cfg, &world, rng);
+                inputs.row_mut(row).copy_from_slice(&sample);
+                labels.push(k);
+                row += 1;
+            }
+        }
+        Dataset::new(format!("{name}-{split}"), inputs, labels)
+    };
+
+    let train = build(train_per_class, "train", rng);
+    let test = build(test_per_class, "test", rng);
+    (train, test, world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_linalg::stats::sq_euclidean;
+    use edsr_tensor::rng::seeded;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(8, 8, 1)
+    }
+
+    #[test]
+    fn smooth_pattern_is_spatially_correlated() {
+        let mut rng = seeded(140);
+        let g = grid();
+        // Average |difference| between horizontal neighbours must be well
+        // below that of random pairs — smoothness.
+        let p = smooth_pattern(g, 2, &mut rng);
+        let mut neighbor_diff = 0.0;
+        let mut count = 0;
+        for r in 0..g.height {
+            for c in 0..g.width - 1 {
+                neighbor_diff += (p[g.index(0, r, c)] - p[g.index(0, r, c + 1)]).abs();
+                count += 1;
+            }
+        }
+        neighbor_diff /= count as f32;
+        let mut random_diff = 0.0;
+        for i in 0..p.len() / 2 {
+            random_diff += (p[i] - p[p.len() - 1 - i]).abs();
+        }
+        random_diff /= (p.len() / 2) as f32;
+        assert!(
+            neighbor_diff < random_diff,
+            "no spatial correlation: neighbor {neighbor_diff} vs random {random_diff}"
+        );
+    }
+
+    #[test]
+    fn smooth_pattern_unit_rms() {
+        let mut rng = seeded(141);
+        let g = grid();
+        let p = smooth_pattern(g, 2, &mut rng);
+        let rms = (p.iter().map(|v| v * v).sum::<f32>() / p.len() as f32).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4, "rms {rms}");
+    }
+
+    /// Clean config: nuisance disabled, so raw geometry exposes classes.
+    fn clean_cfg() -> SynthConfig {
+        SynthConfig {
+            nuisance: NuisanceConfig { n_patterns: 0, pattern_scale: 0.0, gain: 0.0, flip: false, shift: 0 },
+            ..SynthConfig::default()
+        }
+    }
+
+    #[test]
+    fn classes_are_separated_without_nuisance() {
+        let mut rng = seeded(142);
+        let (train, _, _) =
+            make_class_datasets("t", 3, 30, 5, grid(), &clean_cfg(), &mut rng);
+        // Within-class distances should be smaller than between-class ones
+        // on average.
+        let mut within = 0.0;
+        let mut within_n = 0;
+        let mut between = 0.0;
+        let mut between_n = 0;
+        for i in 0..train.len() {
+            for j in (i + 1)..train.len() {
+                let d = sq_euclidean(train.inputs.row(i), train.inputs.row(j));
+                if train.labels[i] == train.labels[j] {
+                    within += d;
+                    within_n += 1;
+                } else {
+                    between += d;
+                    between_n += 1;
+                }
+            }
+        }
+        let within = within / within_n as f32;
+        let between = between / between_n as f32;
+        assert!(between > within * 1.5, "within {within} between {between}");
+    }
+
+    #[test]
+    fn dataset_shapes_and_labels() {
+        let mut rng = seeded(143);
+        let (train, test, _) =
+            make_class_datasets("t", 4, 10, 3, grid(), &SynthConfig::default(), &mut rng);
+        assert_eq!(train.len(), 40);
+        assert_eq!(test.len(), 12);
+        assert_eq!(train.dim(), 64);
+        assert_eq!(train.classes(), vec![0, 1, 2, 3]);
+        assert_eq!(test.classes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nuisance_dominates_raw_distances() {
+        // The design property (DESIGN.md §2): with nuisance ON, raw
+        // within-class distances are inflated to the same order as
+        // between-class ones, so raw-space matching degrades. Compare the
+        // between/within ratio with and without nuisance.
+        let ratio = |cfg: &SynthConfig, seed: u64| {
+            let mut rng = seeded(seed);
+            let (train, _, _) = make_class_datasets("t", 3, 20, 2, grid(), cfg, &mut rng);
+            let (mut within, mut wn, mut between, mut bn) = (0.0f32, 0, 0.0f32, 0);
+            for i in 0..train.len() {
+                for j in (i + 1)..train.len() {
+                    let d = sq_euclidean(train.inputs.row(i), train.inputs.row(j));
+                    if train.labels[i] == train.labels[j] {
+                        within += d;
+                        wn += 1;
+                    } else {
+                        between += d;
+                        bn += 1;
+                    }
+                }
+            }
+            (between / bn as f32) / (within / wn as f32)
+        };
+        let clean = ratio(&clean_cfg(), 146);
+        let noisy = ratio(&SynthConfig::default(), 146);
+        assert!(
+            noisy < clean * 0.7,
+            "nuisance did not reduce raw separability: clean ratio {clean}, noisy {noisy}"
+        );
+        assert!(noisy < 1.6, "raw data still trivially separable: ratio {noisy}");
+    }
+
+    #[test]
+    fn train_and_test_share_class_structure() {
+        // A test sample should be closer to its own class's train samples
+        // than to other classes' (nearest-centroid sanity check) — on
+        // clean (nuisance-free) data.
+        let mut rng = seeded(144);
+        let (train, test, _) =
+            make_class_datasets("t", 3, 40, 10, grid(), &clean_cfg(), &mut rng);
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let mut best = (f32::INFINITY, 0usize);
+            for k in 0..3 {
+                let idx: Vec<usize> =
+                    (0..train.len()).filter(|&j| train.labels[j] == k).collect();
+                let mean_d: f32 = idx
+                    .iter()
+                    .map(|&j| sq_euclidean(test.inputs.row(i), train.inputs.row(j)))
+                    .sum::<f32>()
+                    / idx.len() as f32;
+                if mean_d < best.0 {
+                    best = (mean_d, k);
+                }
+            }
+            if best.1 == test.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / test.len() as f32;
+        assert!(acc > 0.8, "centroid accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn apply_style_shifts_all_samples_identically() {
+        let mut rng = seeded(147);
+        let (mut train, _, _) = make_class_datasets("t", 2, 5, 2, grid(), &clean_cfg(), &mut rng);
+        let before = train.inputs.clone();
+        let pattern = smooth_pattern(grid(), 2, &mut rng);
+        apply_style(&mut train, &pattern, 0.5);
+        for r in 0..train.len() {
+            for (c, &p) in pattern.iter().enumerate() {
+                let delta = train.inputs.get(r, c) - before.get(r, c);
+                assert!((delta - 0.5 * p).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn nuisance_world_pattern_count_and_rms() {
+        let mut rng = seeded(148);
+        let cfg = NuisanceConfig { n_patterns: 4, pattern_scale: 1.0, gain: 0.0, flip: false, shift: 0 };
+        let world = NuisanceWorld::generate(grid(), &cfg, &mut rng);
+        // channels + n_patterns patterns, all unit-RMS.
+        assert_eq!(world.patterns.len(), grid().channels + 4);
+        for p in &world.patterns {
+            let rms = (p.iter().map(|v| v * v).sum::<f32>() / p.len() as f32).sqrt();
+            assert!((rms - 1.0).abs() < 1e-3, "rms {rms}");
+        }
+    }
+
+    #[test]
+    fn nuisance_patterns_are_flip_symmetric() {
+        let mut rng = seeded(149);
+        let g = GridSpec::new(6, 6, 2);
+        let cfg = NuisanceConfig { n_patterns: 3, pattern_scale: 1.0, gain: 0.0, flip: true, shift: 0 };
+        let world = NuisanceWorld::generate(g, &cfg, &mut rng);
+        for p in &world.patterns {
+            for c in 0..g.channels {
+                for r in 0..g.height {
+                    for col in 0..g.width / 2 {
+                        let a = p[g.index(c, r, col)];
+                        let b = p[g.index(c, r, g.width - 1 - col)];
+                        assert!((a - b).abs() < 1e-5, "asymmetric nuisance pattern");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_random_draw_stays_in_span() {
+        // With a single pattern, the draw moves the sample only along it.
+        let mut rng = seeded(150);
+        let world = NuisanceWorld {
+            patterns: vec![vec![1.0, 0.0, 0.0, 0.0]],
+        };
+        let mut x = vec![1.0f32, 2.0, 3.0, 4.0];
+        world.add_random_draw(&mut x, 2.0, &mut rng);
+        assert_eq!(&x[1..], &[2.0, 3.0, 4.0]);
+        assert!((x[0] - 1.0).abs() > 1e-4);
+    }
+
+    #[test]
+    fn generator_is_seed_deterministic() {
+        let g = grid();
+        let cfg = SynthConfig::default();
+        let mut r1 = seeded(145);
+        let mut r2 = seeded(145);
+        let (a, _, _) = make_class_datasets("t", 2, 5, 2, g, &cfg, &mut r1);
+        let (b, _, _) = make_class_datasets("t", 2, 5, 2, g, &cfg, &mut r2);
+        assert!(a.inputs.max_abs_diff(&b.inputs) == 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Class-incremental task construction (paper §IV-A2).
+//!
+//! A benchmark's classes are partitioned into consecutive groups of
+//! `classes_per_task`; each group forms one increment with its train and
+//! test rows. Fig. 7's alternate splits reuse the same function with a
+//! different group size.
+
+use rand::rngs::StdRng;
+
+use crate::dataset::{Dataset, Task, TaskSequence};
+
+/// Splits paired train/test datasets into a class-incremental sequence.
+///
+/// When `shuffle_classes` is set, class order is randomized first (the
+/// common benchmark practice across seeds).
+///
+/// # Panics
+/// Panics if `classes_per_task` is zero or does not divide the class count.
+pub fn split_by_classes(
+    name: &str,
+    train: &Dataset,
+    test: &Dataset,
+    classes_per_task: usize,
+    shuffle_classes: bool,
+    rng: &mut StdRng,
+) -> TaskSequence {
+    assert!(classes_per_task > 0, "split_by_classes: classes_per_task must be positive");
+    let mut classes = train.classes();
+    assert_eq!(
+        classes,
+        test.classes(),
+        "split_by_classes: train/test class sets differ"
+    );
+    assert_eq!(
+        classes.len() % classes_per_task,
+        0,
+        "split_by_classes: {} classes not divisible by {classes_per_task}",
+        classes.len()
+    );
+    if shuffle_classes {
+        edsr_tensor::rng::shuffle(rng, &mut classes);
+    }
+
+    let tasks = classes
+        .chunks(classes_per_task)
+        .map(|group| Task {
+            train: train.filter_classes(group),
+            test: test.filter_classes(group),
+            classes: group.to_vec(),
+        })
+        .collect();
+    TaskSequence { name: name.into(), tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_tensor::rng::seeded;
+    use edsr_tensor::Matrix;
+
+    fn datasets(num_classes: usize, per_class: usize) -> (Dataset, Dataset) {
+        let n = num_classes * per_class;
+        let inputs = Matrix::from_vec(n, 2, (0..n * 2).map(|i| i as f32).collect());
+        let labels: Vec<usize> = (0..n).map(|i| i / per_class).collect();
+        let train = Dataset::new("train", inputs.clone(), labels.clone());
+        let test = Dataset::new("test", inputs, labels);
+        (train, test)
+    }
+
+    #[test]
+    fn splits_into_expected_task_count() {
+        let (train, test) = datasets(10, 4);
+        let mut rng = seeded(170);
+        let seq = split_by_classes("b", &train, &test, 2, false, &mut rng);
+        assert_eq!(seq.len(), 5);
+        for t in &seq.tasks {
+            assert_eq!(t.classes.len(), 2);
+            assert_eq!(t.train.len(), 8);
+        }
+    }
+
+    #[test]
+    fn tasks_partition_all_samples() {
+        let (train, test) = datasets(6, 3);
+        let mut rng = seeded(171);
+        let seq = split_by_classes("b", &train, &test, 3, true, &mut rng);
+        let total: usize = seq.tasks.iter().map(|t| t.train.len()).sum();
+        assert_eq!(total, train.len());
+        // Classes across tasks are disjoint and cover everything.
+        let mut all: Vec<usize> = seq.tasks.iter().flat_map(|t| t.classes.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn shuffle_changes_order_deterministically() {
+        let (train, test) = datasets(8, 2);
+        let mut r1 = seeded(172);
+        let mut r2 = seeded(172);
+        let a = split_by_classes("b", &train, &test, 2, true, &mut r1);
+        let b = split_by_classes("b", &train, &test, 2, true, &mut r2);
+        let ca: Vec<_> = a.tasks.iter().map(|t| t.classes.clone()).collect();
+        let cb: Vec<_> = b.tasks.iter().map(|t| t.classes.clone()).collect();
+        assert_eq!(ca, cb, "same seed must give same split");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_split_panics() {
+        let (train, test) = datasets(5, 2);
+        let mut rng = seeded(173);
+        let _ = split_by_classes("b", &train, &test, 2, false, &mut rng);
+    }
+
+    #[test]
+    fn task_labels_match_declared_classes() {
+        let (train, test) = datasets(4, 5);
+        let mut rng = seeded(174);
+        let seq = split_by_classes("b", &train, &test, 2, true, &mut rng);
+        for t in &seq.tasks {
+            for &l in &t.train.labels {
+                assert!(t.classes.contains(&l));
+            }
+            for &l in &t.test.labels {
+                assert!(t.classes.contains(&l));
+            }
+        }
+    }
+}

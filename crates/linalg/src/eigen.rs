@@ -1,0 +1,193 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (and therefore the paper's entropy-based selection) needs the
+//! spectrum of small covariance matrices (`d x d`, with `d` ≤ a few
+//! hundred). Jacobi rotation is simple, numerically robust for symmetric
+//! input, and fast enough at these sizes.
+
+use edsr_tensor::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted in descending order; `vectors` stores the
+/// corresponding eigenvectors as **columns**.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f32>,
+    /// Eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Decomposes a symmetric matrix with cyclic Jacobi sweeps.
+///
+/// `a` is symmetrized defensively (`(A + Aᵀ)/2`) before iterating, so tiny
+/// asymmetries from accumulated float error are tolerated.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn sym_eigen(a: &Matrix) -> SymEigen {
+    assert_eq!(a.rows(), a.cols(), "sym_eigen: matrix must be square");
+    let n = a.rows();
+    if n == 0 {
+        return SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) };
+    }
+
+    // Work on a symmetrized copy.
+    let mut m = a.zip_map(&a.transpose(), |x, y| 0.5 * (x + y));
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 100;
+    let tol = 1e-10_f32 * m.frobenius_norm().max(1.0);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0_f32;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q).powi(2);
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-20 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation J(p, q, θ) on both sides of m: m = Jᵀ m J.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors: v = v J.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut pairs: Vec<(f32, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f32> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_tensor::rng::seeded;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        let a = Matrix::randn(n, n, 1.0, &mut rng);
+        a.zip_map(&a.transpose(), |x, y| 0.5 * (x + y))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 5.0);
+        a.set(2, 2, -1.0);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 5.0).abs() < 1e-5);
+        assert!((e.values[1] - 2.0).abs() < 1e-5);
+        assert!((e.values[2] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = (e.vectors.get(0, 0), e.vectors.get(1, 0));
+        assert!((v0.0.abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v0.0 - v0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = random_symmetric(6, 50);
+        let e = sym_eigen(&a);
+        // Rebuild V diag(λ) Vᵀ.
+        let mut lam = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            lam.set(i, i, e.values[i]);
+        }
+        let recon = e.vectors.matmul(&lam).matmul_transpose(&e.vectors);
+        assert!(recon.max_abs_diff(&a) < 1e-4, "max diff {}", recon.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = random_symmetric(8, 51);
+        let e = sym_eigen(&a);
+        let vtv = e.vectors.transpose_matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(8)) < 1e-4);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_symmetric(10, 52);
+        let e = sym_eigen(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(7, 53);
+        let e = sym_eigen(&a);
+        let sum: f32 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_spectrum() {
+        let mut rng = seeded(54);
+        let x = Matrix::randn(20, 5, 1.0, &mut rng);
+        let g = x.transpose_matmul(&x);
+        let e = sym_eigen(&g);
+        assert!(e.values.iter().all(|&v| v > -1e-3), "{:?}", e.values);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = sym_eigen(&Matrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+    }
+}

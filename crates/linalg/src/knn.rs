@@ -1,0 +1,150 @@
+//! Exact k-nearest-neighbour search.
+//!
+//! Two users in the reproduction:
+//! - the **kNN classifier** over representations (the paper's evaluation
+//!   protocol, after Wu et al. \[78\]) — see `edsr-cl::eval`;
+//! - the **noise magnitude** `r(x^m)` (paper §III-B), the std of the
+//!   representations of `x^m`'s k nearest neighbours in its source set.
+
+use edsr_tensor::Matrix;
+
+use crate::stats::{cosine_similarity, sq_euclidean};
+
+/// Distance/similarity metric for neighbour search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Squared Euclidean distance (smaller = closer).
+    Euclidean,
+    /// Cosine similarity (larger = closer).
+    Cosine,
+}
+
+/// One retrieved neighbour.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbor {
+    /// Row index into the reference matrix.
+    pub index: usize,
+    /// Cosine similarity or squared Euclidean distance, per the metric.
+    pub score: f32,
+}
+
+/// Finds the `k` nearest rows of `reference` to `query` (a single row
+/// slice), ordered from closest to farthest. `exclude` optionally skips one
+/// reference row (used when the query itself is a member of the set).
+///
+/// `k` is clamped to the number of eligible reference rows.
+///
+/// ```
+/// use edsr_linalg::{knn_search, Metric};
+/// use edsr_tensor::Matrix;
+/// let reference = Matrix::from_rows(&[&[0.0], &[1.0], &[5.0]]);
+/// let got = knn_search(&reference, &[0.9], 2, Metric::Euclidean, None);
+/// assert_eq!(got[0].index, 1);
+/// assert_eq!(got[1].index, 0);
+/// ```
+pub fn knn_search(
+    reference: &Matrix,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+    exclude: Option<usize>,
+) -> Vec<Neighbor> {
+    assert_eq!(reference.cols(), query.len(), "knn_search: dimension mismatch");
+    let mut scored: Vec<Neighbor> = (0..reference.rows())
+        .filter(|&i| Some(i) != exclude)
+        .map(|i| {
+            let score = match metric {
+                Metric::Euclidean => sq_euclidean(reference.row(i), query),
+                Metric::Cosine => cosine_similarity(reference.row(i), query),
+            };
+            Neighbor { index: i, score }
+        })
+        .collect();
+    match metric {
+        Metric::Euclidean => {
+            scored.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+        }
+        Metric::Cosine => {
+            scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
+        }
+    }
+    scored.truncate(k);
+    scored
+}
+
+/// Batched [`knn_search`] over every row of `queries`.
+pub fn knn_search_batch(
+    reference: &Matrix,
+    queries: &Matrix,
+    k: usize,
+    metric: Metric,
+) -> Vec<Vec<Neighbor>> {
+    (0..queries.rows())
+        .map(|q| knn_search(reference, queries.row(q), k, metric, None))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_tensor::rng::seeded;
+
+    fn line_points() -> Matrix {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        Matrix::from_vec(10, 2, (0..10).flat_map(|i| [i as f32, 0.0]).collect())
+    }
+
+    #[test]
+    fn euclidean_orders_by_distance() {
+        let reference = line_points();
+        let got = knn_search(&reference, &[3.2, 0.0], 3, Metric::Euclidean, None);
+        assert_eq!(got.iter().map(|n| n.index).collect::<Vec<_>>(), vec![3, 4, 2]);
+        assert!(got[0].score < got[1].score);
+    }
+
+    #[test]
+    fn exclude_skips_self() {
+        let reference = line_points();
+        let got = knn_search(&reference, reference.row(5), 2, Metric::Euclidean, Some(5));
+        assert!(got.iter().all(|n| n.index != 5));
+        assert_eq!(got[0].index.min(got[1].index), 4);
+        assert_eq!(got[0].index.max(got[1].index), 6);
+    }
+
+    #[test]
+    fn cosine_prefers_aligned() {
+        let reference =
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0], &[0.7, 0.7]]);
+        let got = knn_search(&reference, &[1.0, 0.1], 2, Metric::Cosine, None);
+        assert_eq!(got[0].index, 0);
+        assert!(got[0].score > 0.99);
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let reference = line_points();
+        let got = knn_search(&reference, &[0.0, 0.0], 100, Metric::Euclidean, None);
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let mut rng = seeded(90);
+        let reference = Matrix::randn(20, 4, 1.0, &mut rng);
+        let queries = Matrix::randn(5, 4, 1.0, &mut rng);
+        let batch = knn_search_batch(&reference, &queries, 3, Metric::Cosine);
+        for (q, row) in batch.iter().enumerate() {
+            let single = knn_search(&reference, queries.row(q), 3, Metric::Cosine, None);
+            assert_eq!(
+                row.iter().map(|n| n.index).collect::<Vec<_>>(),
+                single.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let reference = line_points();
+        assert!(knn_search(&reference, &[0.0, 0.0], 0, Metric::Euclidean, None).is_empty());
+    }
+}

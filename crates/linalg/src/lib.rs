@@ -1,0 +1,96 @@
+//! # edsr-linalg
+//!
+//! Classical linear algebra and clustering substrate for the EDSR
+//! reproduction: symmetric eigendecomposition (Jacobi), PCA and the
+//! lossy-coding-length entropy estimate driving the paper's data selection
+//! (§III-A), k-means / k-means++ (baseline selectors of Table V), exact
+//! kNN search (evaluation protocol and the replay-noise magnitude of
+//! §III-B), and sample statistics.
+
+pub mod eigen;
+pub mod kmeans;
+pub mod knn;
+pub mod pca;
+pub mod stats;
+
+pub use eigen::{sym_eigen, SymEigen};
+pub use kmeans::{kmeans, kmeanspp_indices, nearest_to_centers, KMeansResult};
+pub use knn::{knn_search, knn_search_batch, Metric, Neighbor};
+pub use pca::{coding_length_entropy, coding_length_entropy_reference, trace_surrogate, Pca};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use edsr_tensor::Matrix;
+    use proptest::prelude::*;
+
+    fn sample_matrix() -> impl Strategy<Value = Matrix> {
+        (2usize..12, 2usize..6).prop_flat_map(|(n, d)| {
+            proptest::collection::vec(-5.0f32..5.0, n * d)
+                .prop_map(move |data| Matrix::from_vec(n, d, data))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pca_spectrum_descending(x in sample_matrix()) {
+            let pca = Pca::fit(&x, x.cols());
+            for w in pca.explained_variance.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-4);
+            }
+            prop_assert!(pca.explained_variance.iter().all(|&v| v >= 0.0));
+        }
+
+        #[test]
+        fn pca_components_orthonormal(x in sample_matrix()) {
+            let pca = Pca::fit(&x, x.cols());
+            let k = pca.n_components();
+            let gram = pca.components.transpose_matmul(&pca.components);
+            prop_assert!(gram.max_abs_diff(&Matrix::identity(k)) < 1e-2);
+        }
+
+        #[test]
+        fn entropy_monotone_under_row_removal(x in sample_matrix()) {
+            prop_assume!(x.rows() >= 3);
+            let sub = x.select_rows(&(0..x.rows() - 1).collect::<Vec<_>>());
+            let h_full = coding_length_entropy(&x, 0.5);
+            let h_sub = coding_length_entropy(&sub, 0.5);
+            prop_assert!(h_full >= h_sub - 1e-2, "H shrank: {} vs {}", h_full, h_sub);
+        }
+
+        #[test]
+        fn trace_surrogate_additive(x in sample_matrix()) {
+            let total = trace_surrogate(&x);
+            let split: f32 = (0..x.rows())
+                .map(|r| trace_surrogate(&x.select_rows(&[r])))
+                .sum();
+            let denom = 1.0f32.max(total.abs());
+            prop_assert!(((total - split).abs() / denom) < 1e-3);
+        }
+
+        #[test]
+        fn kmeans_centers_within_data_bounds(x in sample_matrix()) {
+            let mut rng = edsr_tensor::rng::seeded(7);
+            let k = 2.min(x.rows());
+            let res = kmeans(&x, k, 20, &mut rng);
+            // Means of subsets cannot escape the per-coordinate data range.
+            for c in 0..res.centers.rows() {
+                for j in 0..x.cols() {
+                    let lo = (0..x.rows()).map(|r| x.get(r, j)).fold(f32::INFINITY, f32::min);
+                    let hi = (0..x.rows()).map(|r| x.get(r, j)).fold(f32::NEG_INFINITY, f32::max);
+                    let v = res.centers.get(c, j);
+                    prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+                }
+            }
+        }
+
+        #[test]
+        fn knn_first_neighbor_is_self_when_included(x in sample_matrix()) {
+            let row0: Vec<f32> = x.row(0).to_vec();
+            let got = knn_search(&x, &row0, 1, Metric::Euclidean, None);
+            prop_assert!(got[0].score <= 1e-6);
+        }
+    }
+}

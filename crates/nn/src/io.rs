@@ -1,0 +1,206 @@
+//! Parameter persistence: save/load a [`ParamSet`]'s weights to a simple
+//! self-describing binary file.
+//!
+//! Format (all little-endian):
+//! ```text
+//! magic  "EDSRW001"          8 bytes
+//! count  u32                 number of parameters
+//! per parameter:
+//!   name_len u32, name bytes (UTF-8)
+//!   rows u32, cols u32
+//!   rows*cols f32 values
+//! ```
+//!
+//! Loading validates names and shapes against the receiving set, so a
+//! checkpoint can only be restored into a structurally identical model.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use edsr_tensor::Matrix;
+
+use crate::params::ParamSet;
+
+const MAGIC: &[u8; 8] = b"EDSRW001";
+
+/// Errors produced by checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying file error.
+    Io(io::Error),
+    /// The file is not an EDSR checkpoint (bad magic).
+    BadMagic,
+    /// Parameter count, name, or shape disagrees with the receiving set.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not an EDSR checkpoint (bad magic)"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes all parameter values of `params` to `path`.
+pub fn save_params(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for id in params.ids() {
+        let name = params.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let value = params.value(id);
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Loads a checkpoint written by [`save_params`] into `params`.
+///
+/// Every parameter's name and shape must match the receiving set (same
+/// architecture, same registration order).
+pub fn load_params(params: &mut ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != params.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "file has {count} parameters, model has {}",
+            params.len()
+        )));
+    }
+    for id in params.ids().collect::<Vec<_>>() {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8_lossy(&name).into_owned();
+        if name != params.name(id) {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter name {name:?} does not match model's {:?}",
+                params.name(id)
+            )));
+        }
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        let expected = params.value(id).shape();
+        if (rows, cols) != expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {name:?} has shape {rows}x{cols}, model expects {}x{}",
+                expected.0, expected.1
+            )));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        for v in &mut data {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        *params.value_mut(id) = Matrix::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Init, Mlp};
+    use edsr_tensor::rng::seeded;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("edsr-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn fresh_model(seed: u64) -> (Mlp, ParamSet) {
+        let mut rng = seeded(seed);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[4, 8, 3], Activation::Relu, Init::He, &mut rng);
+        (mlp, ps)
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights_exactly() {
+        let (_mlp, ps) = fresh_model(500);
+        let path = tmp("roundtrip");
+        save_params(&ps, &path).expect("save");
+        let (_mlp2, mut ps2) = fresh_model(501); // different init
+        let before = ps2.value(ps2.ids().next().unwrap()).clone();
+        load_params(&mut ps2, &path).expect("load");
+        for (a, b) in ps.ids().zip(ps2.ids()) {
+            assert_eq!(ps.value(a), ps2.value(b), "weights differ after roundtrip");
+        }
+        assert_ne!(&before, ps2.value(ps2.ids().next().unwrap()));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let (_mlp, ps) = fresh_model(502);
+        let path = tmp("arch");
+        save_params(&ps, &path).expect("save");
+        let mut rng = seeded(503);
+        let mut other = ParamSet::new();
+        let _ = Mlp::new(&mut other, "m", &[4, 16, 3], Activation::Relu, Init::He, &mut rng);
+        let err = load_params(&mut other, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_wrong_parameter_count() {
+        let (_mlp, ps) = fresh_model(504);
+        let path = tmp("count");
+        save_params(&ps, &path).expect("save");
+        let mut rng = seeded(505);
+        let mut other = ParamSet::new();
+        let _ = Mlp::new(&mut other, "m", &[4, 8, 8, 3], Activation::Relu, Init::He, &mut rng);
+        assert!(load_params(&mut other, &path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_garbage_file() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let (_mlp, mut ps) = fresh_model(506);
+        let err = load_params(&mut ps, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let (_mlp, mut ps) = fresh_model(507);
+        let err = load_params(&mut ps, "/nonexistent/edsr.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+}

@@ -1,0 +1,346 @@
+//! Layers: linear, activations, and the multi-layer perceptron used for
+//! every network in the reproduction (backbone, projector, SimSiam
+//! predictor `h`, distillation projector `p_dis`).
+//!
+//! The paper's image encoder is ResNet-18 + 2-layer MLP; per the
+//! substitution policy (DESIGN.md §2) the backbone here is an MLP, which
+//! preserves the full training/distillation/selection structure at
+//! simulation scale. The tabular encoder in the paper is already an MLP.
+
+use edsr_tensor::rng::gaussian;
+use edsr_tensor::{Matrix, Tape, Var};
+use rand::rngs::StdRng;
+
+use crate::params::{Binder, ParamId, ParamSet};
+
+/// Elementwise nonlinearity between MLP layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit (the paper's choice).
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Weight initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He/Kaiming: `N(0, 2/fan_in)` — suited to ReLU nets.
+    He,
+    /// Xavier/Glorot: `N(0, 2/(fan_in + fan_out))`.
+    Xavier,
+}
+
+impl Init {
+    /// Standard deviation for the given fan-in/out.
+    pub fn std(self, fan_in: usize, fan_out: usize) -> f32 {
+        match self {
+            Init::He => (2.0 / fan_in as f32).sqrt(),
+            Init::Xavier => (2.0 / (fan_in + fan_out) as f32).sqrt(),
+        }
+    }
+}
+
+/// A fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer, registering its parameters in `params`.
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        init: Init,
+        rng: &mut StdRng,
+    ) -> Self {
+        let std = init.std(in_dim, out_dim);
+        let mut w = Matrix::zeros(in_dim, out_dim);
+        for v in w.data_mut() {
+            *v = gaussian(rng) * std;
+        }
+        let w = params.register(format!("{name}.w"), w);
+        let b = params.register(format!("{name}.b"), Matrix::zeros(1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Parameter handles `(weight, bias)`.
+    pub fn param_ids(&self) -> (ParamId, ParamId) {
+        (self.w, self.b)
+    }
+
+    /// Records `x W + b` on the tape.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: Var,
+    ) -> Var {
+        let w = binder.bind(tape, params, self.w);
+        let b = binder.bind(tape, params, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_row(xw, b)
+    }
+}
+
+/// A multi-layer perceptron with a shared hidden activation and no
+/// activation after the final layer.
+///
+/// With [`with_batch_norm`](Self::with_batch_norm) enabled, hidden
+/// pre-activations are standardized per feature over the batch (BN in
+/// train mode, no affine) — the normalization SimSiam relies on to avoid
+/// representation collapse. Batches with fewer than 2 rows skip the
+/// normalization (statistics are undefined).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    batch_norm: bool,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[64, 128, 32]`
+    /// creates two linear layers `64→128→32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are supplied.
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        init: Init,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new: need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(params, &format!("{name}.l{i}"), w[0], w[1], init, rng))
+            .collect();
+        Self { layers, activation, batch_norm: false }
+    }
+
+    /// Enables/disables hidden-layer batch standardization.
+    pub fn with_batch_norm(mut self, on: bool) -> Self {
+        self.batch_norm = on;
+        self
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Number of linear layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// All parameter handles, layer by layer.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers
+            .iter()
+            .flat_map(|l| {
+                let (w, b) = l.param_ids();
+                [w, b]
+            })
+            .collect()
+    }
+
+    /// Records the forward pass on the tape.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: Var,
+    ) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, binder, params, h);
+            if i != last {
+                if self.batch_norm && tape.value(h).rows() >= 2 {
+                    h = tape.col_standardize(h, 1e-5);
+                }
+                h = self.activation.apply(tape, h);
+            }
+        }
+        h
+    }
+
+    /// Convenience inference: runs the MLP on raw data without autograd
+    /// bookkeeping for the caller (still uses a scratch tape internally).
+    pub fn infer(&self, params: &ParamSet, x: &Matrix) -> Matrix {
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let input = tape.leaf(x.clone());
+        let out = self.forward(&mut tape, &mut binder, params, input);
+        tape.value(out).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_tensor::rng::seeded;
+
+    #[test]
+    fn linear_known_values() {
+        let mut rng = seeded(110);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 2, 2, Init::He, &mut rng);
+        let (w, b) = layer.param_ids();
+        *ps.value_mut(w) = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        *ps.value_mut(b) = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let x = tape.leaf(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let y = layer.forward(&mut tape, &mut binder, &ps, x);
+        assert_eq!(tape.value(y).data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = seeded(111);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[8, 16, 4], Activation::Relu, Init::He, &mut rng);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 4);
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(ps.len(), 4);
+        let out = mlp.infer(&ps, &Matrix::zeros(5, 8));
+        assert_eq!(out.shape(), (5, 4));
+    }
+
+    #[test]
+    fn identity_activation_is_linear_composition() {
+        let mut rng = seeded(112);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[3, 3, 3], Activation::Identity, Init::Xavier, &mut rng);
+        // f(a x) == a f(x) - f(0) scaled appropriately only without bias;
+        // here check additivity of the *linear part*: f(x+y) - f(0) == (f(x)-f(0)) + (f(y)-f(0)).
+        let x = Matrix::from_vec(1, 3, vec![1.0, 0.0, 2.0]);
+        let y = Matrix::from_vec(1, 3, vec![-1.0, 3.0, 0.5]);
+        let f0 = mlp.infer(&ps, &Matrix::zeros(1, 3));
+        let fx = mlp.infer(&ps, &x).sub(&f0);
+        let fy = mlp.infer(&ps, &y).sub(&f0);
+        let fxy = mlp.infer(&ps, &x.add(&y)).sub(&f0);
+        assert!(fxy.max_abs_diff(&fx.add(&fy)) < 1e-4);
+    }
+
+    #[test]
+    fn relu_activation_nonnegative_hidden() {
+        let mut rng = seeded(113);
+        let mut ps = ParamSet::new();
+        // Single hidden layer straight to output of width equal to hidden:
+        // verify ReLU path produces different output from identity path.
+        let relu = Mlp::new(&mut ps, "r", &[4, 8, 2], Activation::Relu, Init::He, &mut rng);
+        let mut ps2 = ParamSet::new();
+        let mut rng2 = seeded(113);
+        let ident = Mlp::new(&mut ps2, "r", &[4, 8, 2], Activation::Identity, Init::He, &mut rng2);
+        let x = Matrix::from_vec(1, 4, vec![1.0, -2.0, 0.5, -0.1]);
+        let a = relu.infer(&ps, &x);
+        let b = ident.infer(&ps2, &x);
+        assert!(a.max_abs_diff(&b) > 1e-4, "ReLU had no effect");
+    }
+
+    #[test]
+    fn gradients_flow_through_mlp() {
+        let mut rng = seeded(114);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[3, 5, 2], Activation::Tanh, Init::Xavier, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let x = tape.leaf(Matrix::randn(4, 3, 1.0, &mut rng));
+        let out = mlp.forward(&mut tape, &mut binder, &ps, x);
+        let sq = tape.square(out);
+        let loss = tape.sum(sq);
+        let grads = tape.backward(loss);
+        binder.accumulate_into(&grads, &mut ps);
+        let total: f32 = mlp.param_ids().iter().map(|&id| ps.grad(id).frobenius_norm()).sum();
+        assert!(total > 1e-4, "no gradient reached parameters");
+    }
+
+    #[test]
+    fn init_statistics_he() {
+        let mut rng = seeded(115);
+        let mut ps = ParamSet::new();
+        let l = Linear::new(&mut ps, "l", 1000, 10, Init::He, &mut rng);
+        let (w, _) = l.param_ids();
+        let std_emp =
+            (ps.value(w).map(|v| v * v).mean() - ps.value(w).mean().powi(2)).sqrt();
+        let expected = (2.0f32 / 1000.0).sqrt();
+        assert!((std_emp - expected).abs() / expected < 0.1, "std {std_emp} vs {expected}");
+    }
+
+    #[test]
+    fn batch_norm_skipped_for_single_row() {
+        // Batch statistics are undefined for one sample: the BN path must
+        // fall through instead of zeroing the activations.
+        let mut rng = seeded(117);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[3, 4, 2], Activation::Relu, Init::He, &mut rng)
+            .with_batch_norm(true);
+        let single = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let out = mlp.infer(&ps, &single);
+        assert!(out.all_finite());
+        assert!(out.frobenius_norm() > 0.0, "single-row BN zeroed the output");
+    }
+
+    #[test]
+    fn batch_norm_changes_multi_row_output() {
+        let mut rng = seeded(118);
+        let mut ps = ParamSet::new();
+        let plain = Mlp::new(&mut ps, "m", &[3, 4, 2], Activation::Relu, Init::He, &mut rng);
+        let bn = plain.clone().with_batch_norm(true);
+        let mut rng2 = seeded(119);
+        let x = Matrix::randn(6, 3, 1.0, &mut rng2);
+        let a = plain.infer(&ps, &x);
+        let b = bn.infer(&ps, &x);
+        assert!(a.max_abs_diff(&b) > 1e-5, "BN had no effect on a batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_single_dim_panics() {
+        let mut rng = seeded(116);
+        let mut ps = ParamSet::new();
+        let _ = Mlp::new(&mut ps, "m", &[4], Activation::Relu, Init::He, &mut rng);
+    }
+}

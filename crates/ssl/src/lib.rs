@@ -1,0 +1,15 @@
+//! # edsr-ssl
+//!
+//! Contrastive self-supervised learning components of the EDSR
+//! reproduction: the encoder `f(·)` (per-task adapter + backbone +
+//! projector), the `L_css` objectives (SimSiam, Eq. 3; BarlowTwins,
+//! Eq. 4), and the distillation head `p_dis` with `L_dis` (Eq. 9) and the
+//! noise-enhanced replay form `L_rpl` (Eq. 16).
+
+pub mod distill;
+pub mod encoder;
+pub mod losses;
+
+pub use distill::DistillHead;
+pub use encoder::{Encoder, EncoderConfig, StemConfig};
+pub use losses::{SslHead, SslVariant};

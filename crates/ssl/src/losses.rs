@@ -1,0 +1,345 @@
+//! The contrastive self-supervised objectives `L_css` (paper §II-A2) and
+//! their distillation forms (Eq. 9).
+//!
+//! Two variants are implemented, matching the paper's experiments:
+//! - **SimSiam** (Eq. 3): negative cosine with a predictor `h(·)` and
+//!   stop-gradient — the paper's default.
+//! - **BarlowTwins** (Eq. 4): cross-correlation identity loss — used in
+//!   Table VI to show how the choice interacts with distillation.
+
+use edsr_nn::{Activation, Binder, Init, Mlp, ParamSet};
+use edsr_tensor::{Matrix, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Which `L_css` to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SslVariant {
+    /// SimSiam's predictor + stop-gradient negative cosine (Eq. 3).
+    SimSiam,
+    /// BarlowTwins' cross-correlation loss with off-diagonal weight λ
+    /// (Eq. 4; the paper's λ default 5e-3 scaled for small `d`).
+    BarlowTwins {
+        /// Off-diagonal penalty weight λ.
+        lambda: f32,
+    },
+}
+
+/// Loss head: owns the SimSiam predictor when needed.
+#[derive(Debug, Clone)]
+pub struct SslHead {
+    variant: SslVariant,
+    predictor: Option<Mlp>,
+    repr_dim: usize,
+}
+
+impl SslHead {
+    /// Creates the head, registering predictor parameters when the
+    /// variant requires them.
+    pub fn new(
+        params: &mut ParamSet,
+        variant: SslVariant,
+        repr_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::with_predictor_activation(params, variant, repr_dim, Activation::Relu, rng)
+    }
+
+    /// As [`new`](Self::new) but with an explicit predictor activation.
+    /// (Finite-difference tests use `Tanh` to avoid ReLU kinks.)
+    pub fn with_predictor_activation(
+        params: &mut ParamSet,
+        variant: SslVariant,
+        repr_dim: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        let predictor = match variant {
+            SslVariant::SimSiam => Some(
+                Mlp::new(
+                    params,
+                    "ssl.predictor",
+                    // Bottleneck predictor with hidden BN, as in SimSiam.
+                    &[repr_dim, (repr_dim / 2).max(1), repr_dim],
+                    activation,
+                    Init::He,
+                    rng,
+                )
+                .with_batch_norm(true),
+            ),
+            SslVariant::BarlowTwins { .. } => None,
+        };
+        Self { variant, predictor, repr_dim }
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> SslVariant {
+        self.variant
+    }
+
+    /// Representation dimensionality this head expects.
+    pub fn repr_dim(&self) -> usize {
+        self.repr_dim
+    }
+
+    /// `L_css(x_1, x_2)` on two representation batches (`B x d`).
+    pub fn loss(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        z1: Var,
+        z2: Var,
+    ) -> Var {
+        match self.variant {
+            SslVariant::SimSiam => {
+                let h = self.predictor.as_ref().expect("SimSiam has predictor");
+                let p1 = h.forward(tape, binder, params, z1);
+                let p2 = h.forward(tape, binder, params, z2);
+                let sg2 = tape.detach(z2);
+                let sg1 = tape.detach(z1);
+                let c1 = tape.cosine_rows_mean(p1, sg2);
+                let c2 = tape.cosine_rows_mean(p2, sg1);
+                let s = tape.add(c1, c2);
+                tape.scale(s, -0.5)
+            }
+            SslVariant::BarlowTwins { lambda } => barlow_loss(tape, z1, z2, lambda),
+        }
+    }
+
+    /// Distillation alignment `L_dis`-style term (Eq. 9): aligns the
+    /// *projected current* representation with a frozen target. For
+    /// SimSiam this is the negative cosine (the distill projector plays
+    /// the predictor's role, as in CaSSLe); for BarlowTwins it is the
+    /// cross-correlation loss between projected output and target.
+    ///
+    /// `target` should be a constant (leaf of frozen-model outputs, plus
+    /// any replay noise); no gradient flows into it regardless.
+    pub fn align(&self, tape: &mut Tape, projected: Var, target: Var) -> Var {
+        let frozen = tape.detach(target);
+        match self.variant {
+            SslVariant::SimSiam => {
+                let c = tape.cosine_rows_mean(projected, frozen);
+                tape.scale(c, -1.0)
+            }
+            SslVariant::BarlowTwins { lambda } => barlow_loss(tape, projected, frozen, lambda),
+        }
+    }
+}
+
+/// BarlowTwins loss (Eq. 4) between two `B x d` representation batches.
+fn barlow_loss(tape: &mut Tape, z1: Var, z2: Var, lambda: f32) -> Var {
+    let batch = tape.value(z1).rows().max(1);
+    let d = tape.value(z1).cols();
+    let s1 = tape.col_standardize(z1, 1e-4);
+    let s2 = tape.col_standardize(z2, 1e-4);
+    let s1t = tape.transpose(s1);
+    let cc = tape.matmul(s1t, s2);
+    let c = tape.scale(cc, 1.0 / batch as f32);
+    // (C - I)², weighted 1 on the diagonal and λ off it.
+    let identity = tape.leaf(Matrix::identity(d));
+    let diff = tape.sub(c, identity);
+    let sq = tape.square(diff);
+    let mut weights = Matrix::filled(d, d, lambda);
+    for i in 0..d {
+        weights.set(i, i, 1.0);
+    }
+    let w = tape.leaf(weights);
+    let weighted = tape.mul_elem(sq, w);
+    tape.sum(weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_tensor::gradcheck::check_gradients;
+    use edsr_tensor::rng::seeded;
+
+    fn head(variant: SslVariant, repr: usize, seed: u64) -> (SslHead, ParamSet) {
+        let mut rng = seeded(seed);
+        let mut ps = ParamSet::new();
+        let h = SslHead::new(&mut ps, variant, repr, &mut rng);
+        (h, ps)
+    }
+
+    fn eval_loss(head: &SslHead, ps: &ParamSet, z1: &Matrix, z2: &Matrix) -> f32 {
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let v1 = tape.leaf(z1.clone());
+        let v2 = tape.leaf(z2.clone());
+        let l = head.loss(&mut tape, &mut binder, ps, v1, v2);
+        tape.value(l).get(0, 0)
+    }
+
+    #[test]
+    fn simsiam_loss_bounded() {
+        let (h, ps) = head(SslVariant::SimSiam, 8, 210);
+        let mut rng = seeded(211);
+        let z1 = Matrix::randn(16, 8, 1.0, &mut rng);
+        let z2 = Matrix::randn(16, 8, 1.0, &mut rng);
+        let l = eval_loss(&h, &ps, &z1, &z2);
+        assert!((-1.0..=1.0).contains(&l), "SimSiam loss out of range: {l}");
+    }
+
+    #[test]
+    fn simsiam_aligned_views_lower_loss() {
+        let (h, ps) = head(SslVariant::SimSiam, 8, 212);
+        let mut rng = seeded(213);
+        let z = Matrix::randn(16, 8, 1.0, &mut rng);
+        let near = z.add(&Matrix::randn(16, 8, 0.01, &mut rng));
+        let far = Matrix::randn(16, 8, 1.0, &mut rng);
+        let l_near = eval_loss(&h, &ps, &z, &near);
+        let l_far = eval_loss(&h, &ps, &z, &far);
+        assert!(l_near < l_far, "aligned {l_near} vs far {l_far}");
+    }
+
+    #[test]
+    fn simsiam_stopgrad_blocks_target_branch() {
+        // Gradient w.r.t. z2 should come only from the p2→sg(z1) term's
+        // predictor path, i.e. z2 gets gradient only through p2. We verify
+        // the asymmetry: z2's gradient differs from what it would be
+        // without stop-grad (a plain symmetric cosine).
+        let (h, ps) = head(SslVariant::SimSiam, 6, 214);
+        let mut rng = seeded(215);
+        let z1m = Matrix::randn(4, 6, 1.0, &mut rng);
+        let z2m = Matrix::randn(4, 6, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let z1 = tape.leaf(z1m);
+        let z2 = tape.leaf(z2m);
+        let l = h.loss(&mut tape, &mut binder, &ps, z1, z2);
+        let grads = tape.backward(l);
+        // Both inputs must still receive gradient (through the predictor).
+        assert!(grads.get(z1).is_some());
+        assert!(grads.get(z2).is_some());
+    }
+
+    #[test]
+    fn simsiam_gradcheck_with_frozen_targets() {
+        // Finite differences cannot validate a stop-gradient loss directly
+        // (sg() deliberately makes the analytic gradient differ from the
+        // true derivative). Instead, rebuild the SimSiam graph with the
+        // detach targets frozen at their unperturbed values; the analytic
+        // gradient of `SslHead::loss` is exactly the gradient of this
+        // frozen-target function. Tanh predictor avoids ReLU kinks.
+        let mut hrng = seeded(216);
+        let mut ps = ParamSet::new();
+        // Matches the head's predictor construction (incl. hidden BN).
+        let pred = edsr_nn::Mlp::new(
+            &mut ps,
+            "p",
+            &[4, 2, 4],
+            Activation::Tanh,
+            Init::He,
+            &mut hrng,
+        )
+        .with_batch_norm(true);
+        let mut rng = seeded(217);
+        let z1 = Matrix::randn(3, 4, 1.0, &mut rng);
+        let z2 = Matrix::randn(3, 4, 1.0, &mut rng);
+        let (z1c, z2c) = (z1.clone(), z2.clone());
+        check_gradients(&[z1, z2], 1e-3, 5e-2, |t, vars| {
+            let mut binder = Binder::new();
+            let p1 = pred.forward(t, &mut binder, &ps, vars[0]);
+            let p2 = pred.forward(t, &mut binder, &ps, vars[1]);
+            let t2 = t.leaf(z2c.clone()); // frozen sg(z2)
+            let t1 = t.leaf(z1c.clone()); // frozen sg(z1)
+            let c1 = t.cosine_rows_mean(p1, t2);
+            let c2 = t.cosine_rows_mean(p2, t1);
+            let s = t.add(c1, c2);
+            t.scale(s, -0.5)
+        });
+
+        // And confirm the real head produces the same analytic gradient as
+        // the frozen-target graph at this point.
+        let mut hps = ParamSet::new();
+        let mut hrng2 = seeded(216);
+        let head = SslHead::with_predictor_activation(
+            &mut hps,
+            SslVariant::SimSiam,
+            4,
+            Activation::Tanh,
+            &mut hrng2,
+        );
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let v1 = tape.leaf(z1c.clone());
+        let v2 = tape.leaf(z2c.clone());
+        let l = head.loss(&mut tape, &mut binder, &hps, v1, v2);
+        let g_head = tape.backward(l);
+
+        let mut tape2 = Tape::new();
+        let mut binder2 = Binder::new();
+        let w1 = tape2.leaf(z1c.clone());
+        let w2 = tape2.leaf(z2c.clone());
+        let p1 = pred.forward(&mut tape2, &mut binder2, &ps, w1);
+        let p2 = pred.forward(&mut tape2, &mut binder2, &ps, w2);
+        let t2 = tape2.leaf(z2c);
+        let t1 = tape2.leaf(z1c);
+        let c1 = tape2.cosine_rows_mean(p1, t2);
+        let c2 = tape2.cosine_rows_mean(p2, t1);
+        let s = tape2.add(c1, c2);
+        let l2 = tape2.scale(s, -0.5);
+        let g_manual = tape2.backward(l2);
+
+        let a = g_head.get(v1).expect("head z1 grad");
+        let b = g_manual.get(w1).expect("manual z1 grad");
+        assert!(a.max_abs_diff(b) < 1e-5, "head/manual gradient mismatch");
+    }
+
+    #[test]
+    fn barlow_identical_decorrelated_views_near_zero() {
+        // If z1 == z2 with perfectly decorrelated unit columns, C = I and
+        // the loss vanishes. Construct an orthogonal-ish design.
+        let (h, ps) = head(SslVariant::BarlowTwins { lambda: 5e-3 }, 4, 218);
+        let mut rng = seeded(219);
+        let z = Matrix::randn(256, 4, 1.0, &mut rng);
+        let l = eval_loss(&h, &ps, &z, &z);
+        assert!(l < 0.05, "BT loss on identical views: {l}");
+    }
+
+    #[test]
+    fn barlow_penalizes_uncorrelated_views() {
+        let (h, ps) = head(SslVariant::BarlowTwins { lambda: 5e-3 }, 4, 220);
+        let mut rng = seeded(221);
+        let z1 = Matrix::randn(64, 4, 1.0, &mut rng);
+        let z2 = Matrix::randn(64, 4, 1.0, &mut rng);
+        let l_indep = eval_loss(&h, &ps, &z1, &z2);
+        let l_same = eval_loss(&h, &ps, &z1, &z1);
+        assert!(l_indep > l_same + 0.5, "independent {l_indep} vs same {l_same}");
+    }
+
+    #[test]
+    fn barlow_gradcheck() {
+        let (h, ps) = head(SslVariant::BarlowTwins { lambda: 0.01 }, 3, 222);
+        let mut rng = seeded(223);
+        let z1 = Matrix::randn(6, 3, 1.0, &mut rng);
+        let z2 = Matrix::randn(6, 3, 1.0, &mut rng);
+        check_gradients(&[z1, z2], 1e-3, 5e-2, |t, vars| {
+            let mut binder = Binder::new();
+            h.loss(t, &mut binder, &ps, vars[0], vars[1])
+        });
+    }
+
+    #[test]
+    fn align_simsiam_is_negative_cosine() {
+        let (h, _ps) = head(SslVariant::SimSiam, 4, 224);
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]));
+        let b = tape.leaf(Matrix::from_vec(1, 4, vec![2.0, 0.0, 0.0, 0.0]));
+        let l = h.align(&mut tape, a, b);
+        assert!((tape.value(l).get(0, 0) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn align_blocks_gradient_into_target() {
+        let (h, _ps) = head(SslVariant::SimSiam, 4, 225);
+        let mut rng = seeded(226);
+        let mut tape = Tape::new();
+        let proj = tape.leaf(Matrix::randn(3, 4, 1.0, &mut rng));
+        let target = tape.leaf(Matrix::randn(3, 4, 1.0, &mut rng));
+        let l = h.align(&mut tape, proj, target);
+        let grads = tape.backward(l);
+        assert!(grads.get(proj).is_some());
+        assert!(grads.get(target).is_none(), "gradient leaked into frozen target");
+    }
+}

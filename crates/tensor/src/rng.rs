@@ -1,0 +1,212 @@
+//! Randomness helpers.
+//!
+//! The workspace uses only the `rand` crate; the Gaussian sampler is a
+//! Box–Muller transform implemented here so no distribution crate is needed.
+//! All experiment code threads an explicit [`StdRng`] for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Creates a deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn gaussian(rng: &mut StdRng) -> f32 {
+    // Draw u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random::<f32>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    r * theta.cos()
+}
+
+/// Draws a sample from `U[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, lo: f32, hi: f32) -> f32 {
+    debug_assert!(lo <= hi, "uniform: lo must not exceed hi");
+    lo + (hi - lo) * rng.random::<f32>()
+}
+
+/// Draws a uniform index in `0..n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn index(rng: &mut StdRng, n: usize) -> usize {
+    assert!(n > 0, "index: empty range");
+    rng.random_range(0..n)
+}
+
+/// Fisher–Yates shuffles `items` in place.
+pub fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "sample_indices: k={k} exceeds n={n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Samples one index from a non-negative weight vector, proportionally.
+///
+/// Falls back to uniform sampling when all weights are zero or non-finite.
+///
+/// # Panics
+/// Panics if `weights` is empty.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f32]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index: empty weights");
+    let total: f32 = weights.iter().filter(|w| w.is_finite()).map(|w| w.max(0.0)).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return index(rng, weights.len());
+    }
+    let mut t = uniform(rng, 0.0, total);
+    for (i, w) in weights.iter().enumerate() {
+        let w = if w.is_finite() { w.max(0.0) } else { 0.0 };
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded(11);
+        let n = 40_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_is_finite() {
+        let mut rng = seeded(12);
+        assert!((0..10_000).all(|_| gaussian(&mut rng).is_finite()));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded(13);
+        for _ in 0..1000 {
+            let v = uniform(&mut rng, -1.5, 2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(14);
+        let mut v: Vec<usize> = (0..50).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = seeded(15);
+        let s = sample_indices(&mut rng, 100, 30);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "duplicates in sample");
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let mut rng = seeded(16);
+        let mut s = sample_indices(&mut rng, 5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_indices")]
+    fn sample_indices_overdraw_panics() {
+        let mut rng = seeded(17);
+        let _ = sample_indices(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy() {
+        let mut rng = seeded(18);
+        let weights = [0.0, 0.0, 10.0, 0.1];
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[3] * 10, "counts {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_all_zero_falls_back_uniform() {
+        let mut rng = seeded(19);
+        let weights = [0.0, 0.0, 0.0];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[weighted_index(&mut rng, &weights)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_inputs() {
+        let mut rng = seeded(20);
+        let mut empty: [usize; 0] = [];
+        shuffle(&mut rng, &mut empty);
+        let mut one = [7usize];
+        shuffle(&mut rng, &mut one);
+        assert_eq!(one, [7]);
+    }
+
+    #[test]
+    fn weighted_index_single_element() {
+        let mut rng = seeded(21);
+        assert_eq!(weighted_index(&mut rng, &[5.0]), 0);
+    }
+
+    #[test]
+    fn weighted_index_ignores_nonfinite() {
+        let mut rng = seeded(22);
+        let weights = [f32::NAN, 1.0, f32::INFINITY];
+        for _ in 0..100 {
+            let i = weighted_index(&mut rng, &weights);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..100 {
+            assert_eq!(gaussian(&mut a).to_bits(), gaussian(&mut b).to_bits());
+        }
+    }
+}

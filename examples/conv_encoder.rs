@@ -1,0 +1,47 @@
+//! Convolutional encoder: run EDSR with the CNN-style stem (the paper's
+//! backbone family) instead of the default MLP stem, and compare.
+//!
+//! ```bash
+//! cargo run --release --example conv_encoder
+//! ```
+
+use edsr::cl::{run_sequence, ContinualModel, ModelConfig, TrainConfig};
+use edsr::core::Edsr;
+use edsr::data::test_sim;
+use edsr::nn::ConvShape;
+use edsr::tensor::rng::seeded;
+
+fn main() {
+    let preset = test_sim();
+    let shape = ConvShape {
+        channels: preset.grid.channels,
+        height: preset.grid.height,
+        width: preset.grid.width,
+    };
+    let mut cfg = TrainConfig::image();
+    cfg.epochs_per_task = 15;
+
+    for (label, model_cfg) in [
+        ("MLP stem", ModelConfig::image(preset.grid.dim())),
+        ("Conv stem (3x3, 6 filters)", ModelConfig::conv_image(shape, 6)),
+    ] {
+        let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(91));
+        let mut model = ContinualModel::new(&model_cfg, &mut seeded(92));
+        let mut edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
+        let result = run_sequence(
+            &mut edsr,
+            &mut model,
+            &sequence,
+            &augmenters,
+            &cfg,
+            &mut seeded(93),
+        );
+        println!(
+            "{label:<28} | params {:>6} | Acc {:5.1}%  Fgt {:4.1}%  ({:.1}s)",
+            model.params.num_scalars(),
+            result.final_acc_pct(),
+            result.final_fgt_pct(),
+            result.total_seconds()
+        );
+    }
+}

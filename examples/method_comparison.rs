@@ -1,0 +1,66 @@
+//! Method comparison: the paper's Table-III scenario in miniature — run
+//! Finetune, SI, DER, LUMP, CaSSLe and EDSR on the same CIFAR-10-style
+//! stream and compare accuracy, forgetting, and wall-clock cost.
+//!
+//! ```bash
+//! cargo run --release --example method_comparison
+//! ```
+
+use edsr::cl::{
+    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, Lump, Method,
+    ModelConfig, Si, TrainConfig,
+};
+use edsr::core::Edsr;
+use edsr::data::cifar10_sim;
+use edsr::tensor::rng::seeded;
+
+fn main() {
+    let preset = cifar10_sim();
+    let cfg = TrainConfig::image();
+    let budget = preset.per_task_budget();
+    let seed = 42u64;
+
+    println!(
+        "{} | {} increments x {} classes | memory {} | {} epochs/task\n",
+        preset.name,
+        preset.num_tasks(),
+        preset.classes_per_task,
+        preset.memory_total,
+        cfg.epochs_per_task
+    );
+    println!("{:<10} | {:>7} | {:>7} | {:>8}", "method", "Acc %", "Fgt %", "time (s)");
+
+    let methods: Vec<Box<dyn Method>> = vec![
+        Box::new(Finetune::new()),
+        Box::new(Si::new(1.0)),
+        Box::new(Der::new(budget, cfg.replay_batch, 0.5)),
+        Box::new(Lump::new(budget)),
+        Box::new(Cassle::new()),
+        Box::new(Edsr::paper_default(budget, cfg.replay_batch, preset.noise_neighbors)),
+    ];
+
+    for mut method in methods {
+        // Same data, same init, same batch order for every method.
+        let mut data_rng = seeded(seed);
+        let (sequence, augmenters) = preset.build_with_augmenters(&mut data_rng);
+        let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1));
+        let mut run_rng = seeded(seed + 2);
+        let result =
+            run_sequence(method.as_mut(), &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+        println!(
+            "{:<10} | {:>7.2} | {:>7.2} | {:>8.1}",
+            result.method,
+            result.final_acc_pct(),
+            result.final_fgt_pct(),
+            result.total_seconds()
+        );
+    }
+
+    // The joint-training upper bound.
+    let mut data_rng = seeded(seed);
+    let (sequence, augmenters) = preset.build_with_augmenters(&mut data_rng);
+    let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1));
+    let mut run_rng = seeded(seed + 2);
+    let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+    println!("{:<10} | {:>7.2} | {:>7} | {:>8.1}", "Multitask", mt.acc_pct(), "-", mt.seconds);
+}

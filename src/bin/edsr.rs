@@ -1,0 +1,190 @@
+//! `edsr` — command-line front end for the reproduction.
+//!
+//! ```text
+//! edsr presets                       list the built-in benchmarks
+//! edsr run <preset> <method> [opts]  run one continual-learning job
+//! edsr tabular <method> [opts]       run the tabular stream (§IV-E)
+//!
+//! methods: finetune | si | der | lump | cassle | edsr | multitask
+//! options: --seed N     data/model/run seed base   (default 11)
+//!          --epochs N   epochs per increment       (preset default)
+//!          --memory N   total memory budget        (preset default)
+//!          --save PATH  write the final model checkpoint
+//! ```
+
+use edsr::cl::{
+    run_multitask, run_sequence, tabular_augmenters, Cassle, ContinualModel, Der, Finetune,
+    Lump, Method, ModelConfig, Si, TrainConfig,
+};
+use edsr::core::Edsr;
+use edsr::data::{
+    cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim, tiny_imagenet_sim,
+    Preset, TabularConfig, TABULAR_SPECS,
+};
+use edsr::tensor::rng::seeded;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n  edsr tabular <method> [--seed N] [--epochs N]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn preset_by_name(name: &str) -> Option<Preset> {
+    match name {
+        "cifar10" => Some(cifar10_sim()),
+        "cifar100" => Some(cifar100_sim()),
+        "tiny-imagenet" | "tiny" => Some(tiny_imagenet_sim()),
+        "domainnet" => Some(domainnet_sim()),
+        "test" => Some(test_sim()),
+        _ => None,
+    }
+}
+
+fn method_by_name(
+    name: &str,
+    budget: usize,
+    replay_batch: usize,
+    noise_k: usize,
+) -> Option<Box<dyn Method>> {
+    Some(match name {
+        "finetune" => Box::new(Finetune::new()),
+        "si" => Box::new(Si::new(0.1)),
+        "der" => Box::new(Der::new(budget, replay_batch, 0.5)),
+        "lump" => Box::new(Lump::new(budget)),
+        "cassle" => Box::new(Cassle::new()),
+        "edsr" => Box::new(Edsr::paper_default(budget, replay_batch, noise_k)),
+        _ => return None,
+    })
+}
+
+fn cmd_presets() {
+    println!(
+        "{:<15} {:>6} {:>8} {:>11} {:>8} {:>7}",
+        "preset", "tasks", "classes", "train/task", "memory", "dim"
+    );
+    for (name, p) in [
+        ("cifar10", cifar10_sim()),
+        ("cifar100", cifar100_sim()),
+        ("tiny-imagenet", tiny_imagenet_sim()),
+        ("domainnet", domainnet_sim()),
+        ("test", test_sim()),
+    ] {
+        println!(
+            "{:<15} {:>6} {:>8} {:>11} {:>8} {:>7}",
+            name,
+            p.num_tasks(),
+            p.classes_per_task,
+            p.classes_per_task * p.train_per_class,
+            p.memory_total,
+            p.grid.dim()
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let (Some(preset_name), Some(method_name)) = (args.first(), args.get(1)) else { usage() };
+    let Some(mut preset) = preset_by_name(preset_name) else {
+        eprintln!("unknown preset {preset_name:?}");
+        usage()
+    };
+    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse().expect("--seed")).unwrap_or(11);
+    if let Some(m) = parse_flag(args, "--memory") {
+        preset = preset.with_memory_total(m.parse().expect("--memory"));
+    }
+    let mut cfg = TrainConfig::image();
+    if let Some(e) = parse_flag(args, "--epochs") {
+        cfg.epochs_per_task = e.parse().expect("--epochs");
+    }
+
+    let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
+    let mut model =
+        ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1000));
+    let mut run_rng = seeded(seed + 2000);
+
+    if method_name == "multitask" {
+        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+        println!("Multitask on {}: Acc {:.2}% ({:.1}s)", preset.name, mt.acc_pct(), mt.seconds);
+    } else {
+        let Some(mut method) = method_by_name(
+            method_name,
+            preset.per_task_budget(),
+            cfg.replay_batch,
+            preset.noise_neighbors,
+        ) else {
+            eprintln!("unknown method {method_name:?}");
+            usage()
+        };
+        let result =
+            run_sequence(method.as_mut(), &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+        println!(
+            "{} on {}: Acc {:.2}%  Fgt {:.2}%  ({:.1}s)",
+            result.method,
+            preset.name,
+            result.final_acc_pct(),
+            result.final_fgt_pct(),
+            result.total_seconds()
+        );
+        for i in 0..result.matrix.num_increments() {
+            println!(
+                "  after task {i:>2}: Acc_i {:5.1}%  Fgt_i {:4.1}%  (new-task {:5.1}%)",
+                result.matrix.acc_at(i) * 100.0,
+                result.matrix.fgt_at(i) * 100.0,
+                result.matrix.get(i, i) * 100.0
+            );
+        }
+    }
+    if let Some(path) = parse_flag(args, "--save") {
+        model.save(&path).expect("save checkpoint");
+        println!("checkpoint written to {path}");
+    }
+}
+
+fn cmd_tabular(args: &[String]) {
+    let Some(method_name) = args.first() else { usage() };
+    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse().expect("--seed")).unwrap_or(1);
+    let mut cfg = TrainConfig::tabular();
+    if let Some(e) = parse_flag(args, "--epochs") {
+        cfg.epochs_per_task = e.parse().expect("--epochs");
+    }
+    let sequence = tabular_sequence(&TabularConfig::default(), &mut seeded(seed));
+    let augmenters = tabular_augmenters(&sequence, 0.4);
+    let input_dims: Vec<usize> = TABULAR_SPECS.iter().map(|s| s.input_dim).collect();
+    let mut model =
+        ContinualModel::new(&ModelConfig::tabular(input_dims), &mut seeded(seed + 1000));
+    let mut run_rng = seeded(seed + 2000);
+
+    if method_name == "multitask" {
+        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+        println!("Multitask on tabular-sim: Acc {:.2}% ({:.1}s)", mt.acc_pct(), mt.seconds);
+        return;
+    }
+    let budget = (sequence.tasks.iter().map(|t| t.train.len()).max().unwrap() / 100).max(2);
+    let Some(mut method) = method_by_name(method_name, budget, cfg.replay_batch, 10) else {
+        eprintln!("unknown method {method_name:?}");
+        usage()
+    };
+    let result =
+        run_sequence(method.as_mut(), &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+    println!(
+        "{} on tabular-sim: Acc {:.2}%  Fgt {:.2}%  ({:.1}s)",
+        result.method,
+        result.final_acc_pct(),
+        result.final_fgt_pct(),
+        result.total_seconds()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("presets") => cmd_presets(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("tabular") => cmd_tabular(&args[1..]),
+        _ => usage(),
+    }
+}
