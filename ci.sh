@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, formatting, lints. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -27,21 +27,17 @@ fn bench_selection(c: &mut Criterion) {
             SelectionStrategy::HighEntropy,
             SelectionStrategy::TraceGreedy,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &reps,
-                |b, reps| {
-                    b.iter(|| {
-                        let ctx = SelectionContext {
-                            reps,
-                            aug_view_std: None,
-                            cluster_hint: 5,
-                        };
-                        let mut sel_rng = seeded(2);
-                        black_box(strategy.select(&ctx, 16, &mut sel_rng))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &reps, |b, reps| {
+                b.iter(|| {
+                    let ctx = SelectionContext {
+                        reps,
+                        aug_view_std: None,
+                        cluster_hint: 5,
+                    };
+                    let mut sel_rng = seeded(2);
+                    black_box(strategy.select(&ctx, 16, &mut sel_rng))
+                })
+            });
         }
     }
     group.finish();
@@ -54,8 +50,7 @@ fn bench_ssl_losses(c: &mut Criterion) {
         ("simsiam", SslVariant::SimSiam),
     ] {
         let mut rng = seeded(3);
-        let model =
-            ContinualModel::new(&ModelConfig::image(192).with_variant(variant), &mut rng);
+        let model = ContinualModel::new(&ModelConfig::image(192).with_variant(variant), &mut rng);
         let batch = Matrix::randn(64, 192, 1.0, &mut rng);
         let grid = GridSpec::new(8, 8, 3);
         let aug = Augmenter::standard_image(grid);
@@ -64,14 +59,8 @@ fn bench_ssl_losses(c: &mut Criterion) {
             b.iter(|| {
                 let mut tape = Tape::new();
                 let mut binder = Binder::new();
-                let (_, _, loss) = model.css_on_batch(
-                    &mut tape,
-                    &mut binder,
-                    &aug,
-                    &batch,
-                    0,
-                    &mut step_rng,
-                );
+                let (_, _, loss) =
+                    model.css_on_batch(&mut tape, &mut binder, &aug, &batch, 0, &mut step_rng);
                 let grads = tape.backward(loss);
                 black_box(grads.get(loss).is_some())
             })
@@ -100,7 +89,9 @@ fn bench_linalg(c: &mut Criterion) {
     let x = Matrix::randn(200, 48, 1.0, &mut rng);
     group.bench_function("pca_fit_48d", |b| b.iter(|| black_box(Pca::fit(&x, 16))));
     let sym = x.transpose_matmul(&x);
-    group.bench_function("jacobi_eigen_48d", |b| b.iter(|| black_box(sym_eigen(&sym))));
+    group.bench_function("jacobi_eigen_48d", |b| {
+        b.iter(|| black_box(sym_eigen(&sym)))
+    });
     group.bench_function("kmeans_k16", |b| {
         b.iter(|| {
             let mut krng = seeded(7);

@@ -9,7 +9,7 @@
 //!    distance preservation) — the related-work memory-based UCL approach
 //!    whose Min-Var selector appears in Table V.
 
-use edsr_bench::{aggregate, run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
+use edsr_bench::{run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{LinReplay, Method, TrainConfig};
 use edsr_core::{Edsr, EdsrConfig, ReplaySampling, SelectionStrategy};
 use edsr_data::cifar100_sim;
@@ -24,7 +24,10 @@ fn main() {
     report.line("Extension ablations on cifar100-sim (Acc / Fgt)");
     type ConfigFactory<'a> = (&'a str, Box<dyn Fn() -> EdsrConfig>);
     let variants: Vec<ConfigFactory> = vec![
-        ("EDSR (paper default)", Box::new(|| EdsrConfig::paper_default(4, 16, 5))),
+        (
+            "EDSR (paper default)",
+            Box::new(|| EdsrConfig::paper_default(4, 16, 5)),
+        ),
         (
             "TraceGreedy selection",
             Box::new(|| {
@@ -53,10 +56,11 @@ fn main() {
     // The full Lin et al. method (its Min-Var storage rule appears in
     // Table V; the distance-preservation replay is exercised here).
     {
-        let runs = run_method_over_seeds(&preset, &cfg, &seeds, || {
+        let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || {
             Box::new(LinReplay::new(budget, cfg.replay_batch, 1.0)) as Box<dyn Method>
         });
-        let agg = aggregate(&runs);
+        sweep.report_failures(&mut report, "Lin et al. [61]");
+        let agg = sweep.aggregate();
         report.line(format!(
             "{:<28} | Acc {} | Fgt {}",
             "Lin et al. [61]",
@@ -66,14 +70,15 @@ fn main() {
     }
 
     for (name, make_cfg) in &variants {
-        let runs = run_method_over_seeds(&preset, &cfg, &seeds, || {
+        let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || {
             let mut c = make_cfg();
             c.per_task_budget = budget;
             c.replay_batch = cfg.replay_batch;
             c.noise_neighbors = preset.noise_neighbors;
             Box::new(Edsr::new(c)) as Box<dyn Method>
         });
-        let agg = aggregate(&runs);
+        sweep.report_failures(&mut report, name);
+        let agg = sweep.aggregate();
         report.line(format!(
             "{:<28} | Acc {} | Fgt {}",
             name,

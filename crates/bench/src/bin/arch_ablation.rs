@@ -4,7 +4,7 @@
 //! both stems on the CIFAR-100 simulation so the substitution's effect is
 //! measurable rather than assumed.
 
-use edsr_bench::{aggregate, run_method_over_seeds_with_model, seeds_for, Report, IMAGE_SEEDS};
+use edsr_bench::{run_method_over_seeds_with_model, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{Cassle, Finetune, ModelConfig, TrainConfig};
 use edsr_core::Edsr;
 use edsr_data::cifar100_sim;
@@ -39,11 +39,10 @@ fn main() {
             ),
         ];
         for (name, make) in &methods {
-            let runs =
-                run_method_over_seeds_with_model(&preset, &cfg, &seeds, &model_cfg, &mut || {
-                    make()
-                });
-            let agg = aggregate(&runs);
+            let sweep =
+                run_method_over_seeds_with_model(&preset, &cfg, &seeds, &model_cfg, &mut || make());
+            sweep.report_failures(&mut report, name);
+            let agg = sweep.aggregate();
             report.line(format!(
                 "{:<10} | Acc {} | Fgt {} | {:.0}s/run",
                 name,

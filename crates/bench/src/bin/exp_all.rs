@@ -1,27 +1,68 @@
 //! Runs every table/figure binary in sequence (same process), writing
 //! each report under `results/`. Mirrors DESIGN.md §4's experiment index.
 //!
+//! A failing or unlaunchable experiment no longer aborts the suite: it
+//! is recorded, the remaining experiments run, and the process exits
+//! non-zero with a summary of what failed.
+//!
 //! Usage: `cargo run --release -p edsr-bench --bin exp_all`
 //! Set `EDSR_QUICK=1` for a single-seed smoke pass.
 
 use std::process::Command;
 
 fn main() {
-    let exe_dir = std::env::current_exe()
-        .ok()
-        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
-        .expect("current_exe dir");
-    let experiments =
-        ["table3", "table4", "table5", "table6", "table7", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "arch_ablation"];
-    for exp in experiments {
-        println!("\n########## {exp} ##########");
-        let status = Command::new(exe_dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
-        if !status.success() {
-            eprintln!("{exp} exited with {status}");
+    let exe_dir = match std::env::current_exe() {
+        Ok(p) => match p.parent() {
+            Some(dir) => dir.to_path_buf(),
+            None => {
+                eprintln!("error: current executable has no parent directory");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot locate current executable: {e}");
             std::process::exit(1);
         }
+    };
+    let experiments = [
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "ablation",
+        "arch_ablation",
+    ];
+    let mut failed: Vec<String> = Vec::new();
+    for exp in experiments {
+        println!("\n########## {exp} ##########");
+        match Command::new(exe_dir.join(exp)).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{exp} exited with {status}");
+                failed.push(format!("{exp} ({status})"));
+            }
+            Err(e) => {
+                eprintln!("failed to launch {exp}: {e}");
+                failed.push(format!("{exp} (launch: {e})"));
+            }
+        }
     }
-    println!("\nAll experiments complete; reports in results/.");
+    if failed.is_empty() {
+        println!("\nAll experiments complete; reports in results/.");
+    } else {
+        eprintln!(
+            "\n{} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

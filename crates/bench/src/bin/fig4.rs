@@ -26,7 +26,10 @@ fn main() {
         let methods: Vec<edsr_bench::MethodFactory> = vec![
             ("Finetune", Box::new(|| Box::new(Finetune::new()))),
             ("SI", Box::new(|| Box::new(Si::new(0.1)))),
-            ("DER", Box::new(move || Box::new(Der::new(budget, replay_batch, 0.5)))),
+            (
+                "DER",
+                Box::new(move || Box::new(Der::new(budget, replay_batch, 0.5))),
+            ),
             ("LUMP", Box::new(move || Box::new(Lump::new(budget)))),
             ("CaSSLe", Box::new(|| Box::new(Cassle::new()))),
             (
@@ -35,14 +38,29 @@ fn main() {
             ),
         ];
         for (name, make) in &methods {
-            let runs = run_method_over_seeds(&preset, &cfg, &seeds, || make());
-            let f = runs[0].matrix.forgetting_matrix();
-            let mean_f: f32 = {
-                let vals: Vec<f32> =
-                    f.iter().enumerate().flat_map(|(i, row)| row[..i].to_vec()).collect();
-                if vals.is_empty() { 0.0 } else { vals.iter().sum::<f32>() / vals.len() as f32 }
+            let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || make());
+            sweep.report_failures(&mut report, name);
+            let Some(first) = sweep.runs.first() else {
+                report.line(format!("-- {name}: all seeds failed --"));
+                continue;
             };
-            report.line(format!("-- {name} (mean off-diagonal F {:.2}%) --", mean_f * 100.0));
+            let f = first.matrix.forgetting_matrix();
+            let mean_f: f32 = {
+                let vals: Vec<f32> = f
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, row)| row[..i].to_vec())
+                    .collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f32>() / vals.len() as f32
+                }
+            };
+            report.line(format!(
+                "-- {name} (mean off-diagonal F {:.2}%) --",
+                mean_f * 100.0
+            ));
             for (i, row) in f.iter().enumerate() {
                 let cells: Vec<String> = row
                     .iter()

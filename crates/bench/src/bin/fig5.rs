@@ -33,8 +33,14 @@ fn main() {
             ),
         ];
         for (name, make) in &methods {
-            let runs = run_method_over_seeds(&preset, &cfg, &seeds, || make());
-            let num_tasks = runs[0].matrix.num_increments();
+            let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || make());
+            sweep.report_failures(&mut report, name);
+            let runs = &sweep.runs;
+            let Some(first) = runs.first() else {
+                report.line(format!("{name:<9}: all seeds failed"));
+                continue;
+            };
+            let num_tasks = first.matrix.num_increments();
             let series: Vec<String> = (0..num_tasks)
                 .map(|i| {
                     let vals: Vec<f32> = runs
@@ -57,7 +63,10 @@ fn main() {
                 })
                 .collect();
             let (ms, _) = mean_std(&stds);
-            report.line(format!("{:<9}  mean new-task std over increments: {ms:.2}", ""));
+            report.line(format!(
+                "{:<9}  mean new-task std over increments: {ms:.2}",
+                ""
+            ));
         }
     }
     report.finish();

@@ -6,7 +6,7 @@
 //! useful knowledge; remote ones mislead); a suitable-k run also shows a
 //! smaller std than `L_dis`. CaSSLe's flat line is printed for reference.
 
-use edsr_bench::{aggregate, run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
+use edsr_bench::{run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{Cassle, Method, TrainConfig};
 use edsr_core::{Edsr, EdsrConfig};
 use edsr_data::{cifar100_sim, cifar10_sim, tiny_imagenet_sim};
@@ -21,19 +21,25 @@ fn main() {
         let budget = preset.per_task_budget();
         report.line(format!("\n== {} ==", preset.name));
 
-        let runs = run_method_over_seeds(&preset, &cfg, &seeds, || {
+        let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || {
             Box::new(Cassle::new()) as Box<dyn Method>
         });
-        let cassle = aggregate(&runs);
+        sweep.report_failures(&mut report, "CaSSLe");
+        let cassle = sweep.aggregate();
         report.line(format!("{:<12} | Acc {}", "CaSSLe", cassle.acc_cell()));
 
         for k in [0usize, 2, 5, 10, 20, 40, 80] {
-            let runs = run_method_over_seeds(&preset, &cfg, &seeds, || {
+            let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || {
                 let c = EdsrConfig::paper_default(budget, cfg.replay_batch, k);
                 Box::new(Edsr::new(c)) as Box<dyn Method>
             });
-            let agg = aggregate(&runs);
-            let label = if k == 0 { "k=0 (L_dis)".to_string() } else { format!("k={k}") };
+            let label = if k == 0 {
+                "k=0 (L_dis)".to_string()
+            } else {
+                format!("k={k}")
+            };
+            sweep.report_failures(&mut report, &label);
+            let agg = sweep.aggregate();
             report.line(format!("{label:<12} | Acc {}", agg.acc_cell()));
         }
     }

@@ -19,15 +19,23 @@ fn acc_series(preset: &Preset, cfg: &TrainConfig, seeds: &[u64], report: &mut Re
         ("Finetune", Box::new(|| Box::new(Finetune::new()))),
         ("LUMP", Box::new(move || Box::new(Lump::new(budget)))),
         ("CaSSLe", Box::new(|| Box::new(Cassle::new()))),
-        ("EDSR", Box::new(move || Box::new(Edsr::paper_default(budget, replay_batch, noise_k)))),
+        (
+            "EDSR",
+            Box::new(move || Box::new(Edsr::paper_default(budget, replay_batch, noise_k))),
+        ),
     ];
     for (name, make) in &methods {
-        let runs = run_method_over_seeds(preset, cfg, seeds, || make());
-        let n = runs[0].matrix.num_increments();
+        let sweep = run_method_over_seeds(preset, cfg, seeds, || make());
+        sweep.report_failures(report, name);
+        let runs = &sweep.runs;
+        let Some(first) = runs.first() else {
+            report.line(format!("{name:<9}: all seeds failed"));
+            continue;
+        };
+        let n = first.matrix.num_increments();
         let series: Vec<String> = (0..n)
             .map(|i| {
-                let vals: Vec<f32> =
-                    runs.iter().map(|r| r.matrix.acc_at(i) * 100.0).collect();
+                let vals: Vec<f32> = runs.iter().map(|r| r.matrix.acc_at(i) * 100.0).collect();
                 let (m, _) = mean_std(&vals);
                 format!("{m:5.1}")
             })
@@ -57,7 +65,9 @@ fn main() {
         // budget held constant (paper: "32 samples are stored for each
         // data subset, thus 640 original / 320 new").
         let per_subset = base.per_task_budget();
-        let resplit = base.with_classes_per_task(10).with_memory_total(per_subset * 10);
+        let resplit = base
+            .with_classes_per_task(10)
+            .with_memory_total(per_subset * 10);
         report.line(format!(
             "\n== {} resplit ({}x{} classes, memory {}) ==",
             resplit.name,

@@ -7,7 +7,7 @@
 //! either way; huge memories make random selection representative too);
 //! high-entropy runs have smaller stds.
 
-use edsr_bench::{aggregate, run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
+use edsr_bench::{run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{Method, TrainConfig};
 use edsr_core::{Edsr, EdsrConfig, ReplayLoss, SelectionStrategy};
 use edsr_data::{cifar100_sim, tiny_imagenet_sim};
@@ -32,14 +32,14 @@ fn main() {
             let budget = preset.per_task_budget();
             let mut cells = Vec::new();
             for strategy in [SelectionStrategy::Random, SelectionStrategy::HighEntropy] {
-                let runs = run_method_over_seeds(&preset, &cfg, &seeds, || {
-                    let mut c =
-                        EdsrConfig::paper_default(budget, cfg.replay_batch, 0);
+                let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || {
+                    let mut c = EdsrConfig::paper_default(budget, cfg.replay_batch, 0);
                     c.selection = strategy;
                     c.replay_loss = ReplayLoss::Dis; // noise omitted, per the figure
                     Box::new(Edsr::new(c)) as Box<dyn Method>
                 });
-                cells.push(aggregate(&runs));
+                sweep.report_failures(&mut report, &format!("mem {total} {strategy:?}"));
+                cells.push(sweep.aggregate());
             }
             report.line(format!(
                 "{:<8} | {:>16} | {:>16} | {:>6.2}",

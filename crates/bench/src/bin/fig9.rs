@@ -6,7 +6,7 @@
 //! more accuracy than the SCL baselines; within UCL, memory users (LUMP,
 //! EDSR) are the slowest; EDSR's extra time buys the largest Acc gain.
 
-use edsr_bench::{aggregate, run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
+use edsr_bench::{run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{Cassle, Der, Finetune, Lump, Si, TrainConfig};
 use edsr_core::Edsr;
 use edsr_data::{cifar100_sim, tiny_imagenet_sim};
@@ -22,11 +22,17 @@ fn main() {
         let replay_batch = cfg.replay_batch;
         let noise_k = preset.noise_neighbors;
         report.line(format!("\n== {} ==", preset.name));
-        report.line(format!("{:<10} | {:>10} | {:>16}", "Method", "time (s)", "Acc"));
+        report.line(format!(
+            "{:<10} | {:>10} | {:>16}",
+            "Method", "time (s)", "Acc"
+        ));
         let methods: Vec<edsr_bench::MethodFactory> = vec![
             ("Finetune", Box::new(|| Box::new(Finetune::new()))),
             ("SI", Box::new(|| Box::new(Si::new(0.1)))),
-            ("DER", Box::new(move || Box::new(Der::new(budget, replay_batch, 0.5)))),
+            (
+                "DER",
+                Box::new(move || Box::new(Der::new(budget, replay_batch, 0.5))),
+            ),
             ("LUMP", Box::new(move || Box::new(Lump::new(budget)))),
             ("CaSSLe", Box::new(|| Box::new(Cassle::new()))),
             (
@@ -35,8 +41,9 @@ fn main() {
             ),
         ];
         for (name, make) in &methods {
-            let runs = run_method_over_seeds(&preset, &cfg, &seeds, || make());
-            let agg = aggregate(&runs);
+            let sweep = run_method_over_seeds(&preset, &cfg, &seeds, || make());
+            sweep.report_failures(&mut report, name);
+            let agg = sweep.aggregate();
             report.line(format!(
                 "{:<10} | {:>10.1} | {:>16}",
                 name,

@@ -6,7 +6,7 @@
 //! samples — worse than no replay); `L_dis` and `L_rpl` both help; the
 //! noise advantage of `L_rpl` grows with benchmark difficulty.
 
-use edsr_bench::{aggregate, run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
+use edsr_bench::{run_method_over_seeds, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{Method, TrainConfig};
 use edsr_core::{Edsr, EdsrConfig, ReplayLoss};
 use edsr_data::{cifar100_sim, cifar10_sim, tiny_imagenet_sim, Preset};
@@ -23,7 +23,12 @@ fn main() {
     let seeds = seeds_for(&IMAGE_SEEDS);
     let cfg = TrainConfig::image();
     let presets: Vec<Preset> = vec![cifar10_sim(), cifar100_sim(), tiny_imagenet_sim()];
-    let losses = [ReplayLoss::None, ReplayLoss::Css, ReplayLoss::Dis, ReplayLoss::Rpl];
+    let losses = [
+        ReplayLoss::None,
+        ReplayLoss::Css,
+        ReplayLoss::Dis,
+        ReplayLoss::Rpl,
+    ];
 
     report.line("Table IV — replaying methods (high-entropy memory), average accuracy Acc");
     report.line(format!(
@@ -35,16 +40,14 @@ fn main() {
         let budget = preset.per_task_budget();
         let mut cells = Vec::new();
         for (col, &loss) in losses.iter().enumerate() {
-            let runs = run_method_over_seeds(preset, &cfg, &seeds, || {
-                let mut c = EdsrConfig::paper_default(
-                    budget,
-                    cfg.replay_batch,
-                    preset.noise_neighbors,
-                );
+            let sweep = run_method_over_seeds(preset, &cfg, &seeds, || {
+                let mut c =
+                    EdsrConfig::paper_default(budget, cfg.replay_batch, preset.noise_neighbors);
                 c.replay_loss = loss;
                 Box::new(Edsr::new(c)) as Box<dyn Method>
             });
-            let agg = aggregate(&runs);
+            sweep.report_failures(&mut report, &format!("{} {}", preset.name, loss.name()));
+            let agg = sweep.aggregate();
             cells.push(format!("{} ({:.2})", agg.acc_cell(), PAPER[row][col]));
         }
         report.line(format!(

@@ -10,9 +10,7 @@
 //! *SimSiam* column is the degraded variant — the comparison direction
 //! inverts while the within-column method ordering is what we check.
 
-use edsr_bench::{
-    aggregate, run_method_over_seeds_with_model, seeds_for, Report, IMAGE_SEEDS,
-};
+use edsr_bench::{run_method_over_seeds_with_model, seeds_for, Report, IMAGE_SEEDS};
 use edsr_cl::{run_multitask, Cassle, ContinualModel, Finetune, Lump, TrainConfig};
 use edsr_core::prelude::seeded;
 use edsr_core::Edsr;
@@ -24,8 +22,10 @@ fn main() {
     let seeds = seeds_for(&IMAGE_SEEDS);
     let cfg = TrainConfig::image();
     let presets: Vec<Preset> = vec![cifar100_sim(), tiny_imagenet_sim()];
-    let variants =
-        [("BarlowTwins", SslVariant::BarlowTwins { lambda: 0.02 }), ("SimSiam", SslVariant::SimSiam)];
+    let variants = [
+        ("BarlowTwins", SslVariant::BarlowTwins { lambda: 0.02 }),
+        ("SimSiam", SslVariant::SimSiam),
+    ];
 
     report.line("Table VI — different CSSL losses (Acc)");
     for preset in &presets {
@@ -34,17 +34,19 @@ fn main() {
             report.line(format!("\n== {} / {} ==", preset.name, vname));
             let model_cfg = edsr_bench::image_model_config(preset).with_variant(variant);
 
-            // Multitask under this variant.
-            let mt: Vec<f32> = seeds
-                .iter()
-                .map(|&seed| {
-                    let mut data_rng = seeded(seed);
-                    let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-                    let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
-                    let mut run_rng = seeded(seed + 2000);
-                    run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng).acc_pct()
-                })
-                .collect();
+            // Multitask under this variant; failed seeds are reported
+            // and excluded from the mean.
+            let mut mt = Vec::new();
+            for &seed in &seeds {
+                let mut data_rng = seeded(seed);
+                let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+                let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
+                let mut run_rng = seeded(seed + 2000);
+                match run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng) {
+                    Ok(r) => mt.push(r.acc_pct()),
+                    Err(e) => report.line(format!("  !! Multitask seed {seed}: {e}")),
+                }
+            }
             let (m, s) = edsr_cl::mean_std(&mt);
             report.line(format!("{:<10} | Acc {:5.2} ± {:.2}", "Multitask", m, s));
 
@@ -56,20 +58,16 @@ fn main() {
                 ("CaSSLe", Box::new(|| Box::new(Cassle::new()))),
                 (
                     "EDSR",
-                    Box::new(move || {
-                        Box::new(Edsr::paper_default(budget, replay_batch, noise_k))
-                    }),
+                    Box::new(move || Box::new(Edsr::paper_default(budget, replay_batch, noise_k))),
                 ),
             ];
             for (name, make) in &methods {
-                let runs = run_method_over_seeds_with_model(
-                    preset,
-                    &cfg,
-                    &seeds,
-                    &model_cfg,
-                    &mut || make(),
-                );
-                let agg = aggregate(&runs);
+                let sweep =
+                    run_method_over_seeds_with_model(preset, &cfg, &seeds, &model_cfg, &mut || {
+                        make()
+                    });
+                sweep.report_failures(&mut report, name);
+                let agg = sweep.aggregate();
                 report.line(format!(
                     "{:<10} | Acc {} | Fgt {}",
                     name,

@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use edsr_cl::metrics::mean_std;
 use edsr_cl::{
-    run_multitask, run_sequence, ContinualModel, Method, ModelConfig, MultitaskResult,
-    RunResult, TrainConfig,
+    run_multitask, run_sequence, ContinualModel, Method, ModelConfig, MultitaskResult, RunResult,
+    TrainConfig, TrainError,
 };
 use edsr_core::prelude::seeded;
 use edsr_data::Preset;
@@ -46,25 +46,85 @@ pub struct AccFgt {
 }
 
 impl AccFgt {
-    /// Formats as the paper's `acc ± std` cell.
+    /// Formats as the paper's `acc ± std` cell (`n/a` when every seed
+    /// of the sweep failed).
     pub fn acc_cell(&self) -> String {
+        if self.acc.is_nan() {
+            return "     n/a    ".into();
+        }
         format!("{:5.2} ± {:.2}", self.acc, self.acc_std)
     }
 
-    /// Formats as the paper's `fgt ± std` cell.
+    /// Formats as the paper's `fgt ± std` cell (`n/a` when every seed
+    /// of the sweep failed).
     pub fn fgt_cell(&self) -> String {
+        if self.fgt.is_nan() {
+            return "     n/a    ".into();
+        }
         format!("{:5.2} ± {:.2}", self.fgt, self.fgt_std)
     }
 }
 
-/// Aggregates per-seed run results.
+/// Aggregates per-seed run results. An empty slice (every seed failed)
+/// yields NaN statistics, which the cell formatters render as `n/a`.
 pub fn aggregate(runs: &[RunResult]) -> AccFgt {
+    if runs.is_empty() {
+        return AccFgt {
+            acc: f32::NAN,
+            acc_std: f32::NAN,
+            fgt: f32::NAN,
+            fgt_std: f32::NAN,
+            seconds: f64::NAN,
+        };
+    }
     let accs: Vec<f32> = runs.iter().map(RunResult::final_acc_pct).collect();
     let fgts: Vec<f32> = runs.iter().map(RunResult::final_fgt_pct).collect();
     let (acc, acc_std) = mean_std(&accs);
     let (fgt, fgt_std) = mean_std(&fgts);
     let seconds = runs.iter().map(RunResult::total_seconds).sum::<f64>() / runs.len() as f64;
-    AccFgt { acc, acc_std, fgt, fgt_std, seconds }
+    AccFgt {
+        acc,
+        acc_std,
+        fgt,
+        fgt_std,
+        seconds,
+    }
+}
+
+/// One seed's structured failure inside a sweep.
+#[derive(Debug)]
+pub struct SeedFailure {
+    /// The seed that failed.
+    pub seed: u64,
+    /// Why (Diverged carries the failing increment).
+    pub error: TrainError,
+}
+
+/// Per-seed outcomes of one method x preset sweep: the successful runs
+/// plus every failed seed's structured error. A failing seed no longer
+/// aborts the sweep — it is recorded and the remaining seeds run.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    /// Successful runs, in seed order.
+    pub runs: Vec<RunResult>,
+    /// Failed seeds with their errors, in seed order.
+    pub failures: Vec<SeedFailure>,
+}
+
+impl Sweep {
+    /// Aggregated Acc/Fgt of the successful seeds (NaN cells when none).
+    pub fn aggregate(&self) -> AccFgt {
+        aggregate(&self.runs)
+    }
+
+    /// Writes one `!!` line per failed seed into the report, naming the
+    /// method/seed/increment, and returns how many failed.
+    pub fn report_failures(&self, report: &mut Report, label: &str) -> usize {
+        for f in &self.failures {
+            report.line(format!("  !! {label} seed {}: {}", f.seed, f.error));
+        }
+        self.failures.len()
+    }
 }
 
 /// Builds the standard image model config for a preset.
@@ -80,7 +140,7 @@ pub fn run_method_over_seeds(
     cfg: &TrainConfig,
     seeds: &[u64],
     mut make_method: impl FnMut() -> Box<dyn Method>,
-) -> Vec<RunResult> {
+) -> Sweep {
     run_method_over_seeds_with_model(
         preset,
         cfg,
@@ -98,62 +158,99 @@ pub fn run_method_over_seeds_with_model(
     seeds: &[u64],
     model_cfg: &ModelConfig,
     make_method: &mut dyn FnMut() -> Box<dyn Method>,
-) -> Vec<RunResult> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            let mut data_rng = seeded(seed);
-            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-            let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
-            let mut run_rng = seeded(seed + 2000);
-            let mut method = make_method();
-            run_sequence(method.as_mut(), &mut model, &seq, &augs, cfg, &mut run_rng)
-        })
-        .collect()
+) -> Sweep {
+    let mut sweep = Sweep::default();
+    for &seed in seeds {
+        let mut data_rng = seeded(seed);
+        let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+        let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
+        let mut run_rng = seeded(seed + 2000);
+        let mut method = make_method();
+        match run_sequence(method.as_mut(), &mut model, &seq, &augs, cfg, &mut run_rng) {
+            Ok(run) => sweep.runs.push(run),
+            Err(error) => sweep.failures.push(SeedFailure { seed, error }),
+        }
+    }
+    sweep
 }
 
-/// Runs the Multitask upper bound over seeds, returning mean/std percent.
+/// Runs the Multitask upper bound over seeds, returning mean/std percent
+/// plus the per-seed results and any per-seed failures (NaN mean when
+/// every seed failed).
 pub fn run_multitask_over_seeds(
     preset: &Preset,
     cfg: &TrainConfig,
     seeds: &[u64],
-) -> (f32, f32, Vec<MultitaskResult>) {
-    let results: Vec<MultitaskResult> = seeds
-        .iter()
-        .map(|&seed| {
-            let mut data_rng = seeded(seed);
-            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-            let model_cfg = image_model_config(preset);
-            let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
-            let mut run_rng = seeded(seed + 2000);
-            run_multitask(&mut model, &seq, &augs, cfg, &mut run_rng)
-        })
-        .collect();
+) -> (f32, f32, Vec<MultitaskResult>, Vec<SeedFailure>) {
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for &seed in seeds {
+        let mut data_rng = seeded(seed);
+        let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+        let model_cfg = image_model_config(preset);
+        let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
+        let mut run_rng = seeded(seed + 2000);
+        match run_multitask(&mut model, &seq, &augs, cfg, &mut run_rng) {
+            Ok(r) => results.push(r),
+            Err(error) => failures.push(SeedFailure { seed, error }),
+        }
+    }
+    if results.is_empty() {
+        return (f32::NAN, f32::NAN, results, failures);
+    }
     let accs: Vec<f32> = results.iter().map(MultitaskResult::acc_pct).collect();
     let (m, s) = mean_std(&accs);
-    (m, s, results)
+    (m, s, results, failures)
 }
 
 /// A writer that tees output to stdout and `results/<name>.txt`.
+///
+/// File problems never abort a sweep (stdout still carries the rows),
+/// but they are surfaced on stderr exactly once instead of being
+/// silently swallowed.
 pub struct Report {
     file: Option<std::fs::File>,
     start: Instant,
 }
 
 impl Report {
-    /// Opens `results/<name>.txt` (best-effort) and starts the clock.
+    /// Creates `results/` on demand, opens `results/<name>.txt`, and
+    /// starts the clock. Directory/file errors are reported to stderr
+    /// and the report continues stdout-only.
     pub fn new(name: &str) -> Self {
-        let _ = std::fs::create_dir_all("results");
-        let file = std::fs::File::create(format!("results/{name}.txt")).ok();
-        Self { file, start: Instant::now() }
+        let file = match std::fs::create_dir_all("results") {
+            Ok(()) => {
+                let path = format!("results/{name}.txt");
+                match std::fs::File::create(&path) {
+                    Ok(f) => Some(f),
+                    Err(e) => {
+                        eprintln!("warning: cannot create {path}: {e}; writing to stdout only");
+                        None
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("warning: cannot create results/: {e}; writing to stdout only");
+                None
+            }
+        };
+        Self {
+            file,
+            start: Instant::now(),
+        }
     }
 
-    /// Writes one line to stdout and the report file.
+    /// Writes one line to stdout and the report file. A failed file
+    /// write is reported once and the file is dropped (stdout keeps
+    /// going).
     pub fn line(&mut self, text: impl AsRef<str>) {
         let text = text.as_ref();
         println!("{text}");
         if let Some(f) = &mut self.file {
-            let _ = writeln!(f, "{text}");
+            if let Err(e) = writeln!(f, "{text}") {
+                eprintln!("warning: report write failed: {e}; continuing on stdout only");
+                self.file = None;
+            }
         }
     }
 
@@ -196,6 +293,7 @@ mod tests {
             matrix,
             task_seconds: vec![1.0; accs.len()],
             task_losses: vec![0.0; accs.len()],
+            recoveries: 0,
         }
     }
 

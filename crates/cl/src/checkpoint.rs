@@ -1,0 +1,327 @@
+//! Run-level checkpoints: everything needed to resume a continual run at
+//! an increment boundary.
+//!
+//! One snapshot file is written after each completed increment, wrapped
+//! in the same length+CRC32 envelope as weight checkpoints (magic
+//! `EDSRRS01`), so a write interrupted mid-increment is *detected* at
+//! load time and resume falls back to the previous valid snapshot.
+//!
+//! A snapshot records: model weights, optimizer moments, the exact RNG
+//! position, the method's internal state (episodic memory, …), the
+//! completed-increment index, the partial accuracy matrix, and the
+//! divergence guard's LR scale — enough for a resumed run to be
+//! bit-identical to an uninterrupted one.
+
+use std::path::{Path, PathBuf};
+
+use edsr_nn::io::{
+    put_bytes, put_f32, put_f64, put_u64, read_envelope, write_envelope, ByteReader,
+};
+use edsr_nn::CheckpointError;
+
+/// Magic of a run-state snapshot file.
+pub const RUN_STATE_MAGIC: &[u8; 8] = b"EDSRRS01";
+
+/// Where and how often to snapshot a run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory that receives snapshot files (created on demand).
+    pub dir: PathBuf,
+    /// Filename stem — one run per stem; resume scans this stem only.
+    pub run_id: String,
+    /// Completed snapshots to retain (older ones are pruned); 0 = all.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Snapshots under `dir` with filenames starting `run_id`, keeping
+    /// the last two (so one corrupt tail still leaves a fallback).
+    pub fn new(dir: impl Into<PathBuf>, run_id: impl Into<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            run_id: run_id.into(),
+            keep: 2,
+        }
+    }
+
+    /// Path of the snapshot taken after `completed` increments.
+    pub fn snapshot_path(&self, completed: usize) -> PathBuf {
+        self.dir
+            .join(format!("{}.task{completed:04}.runstate", self.run_id))
+    }
+}
+
+/// A resumable picture of a run at an increment boundary.
+#[derive(Debug, Clone)]
+pub struct RunState {
+    /// Increments fully trained and evaluated.
+    pub completed_tasks: usize,
+    /// Method display name (sanity-checked on resume by callers).
+    pub method: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Accuracy-matrix rows evaluated so far.
+    pub matrix_rows: Vec<Vec<f32>>,
+    /// Wall-clock seconds per completed increment.
+    pub task_seconds: Vec<f64>,
+    /// Mean loss per completed increment.
+    pub task_losses: Vec<f32>,
+    /// Model weights (payload of `params_to_bytes`).
+    pub params_payload: Vec<u8>,
+    /// Optimizer moments (payload of `optim_state_to_bytes`).
+    pub optim_payload: Vec<u8>,
+    /// Exact RNG position at the boundary.
+    pub rng_state: [u64; 4],
+    /// Method-internal state (payload of `Method::save_state`).
+    pub method_state: Vec<u8>,
+    /// Divergence-guard LR scale in effect at the boundary.
+    pub lr_scale: f32,
+}
+
+/// Serializes a run state into an (un-enveloped) payload.
+pub fn encode_run_state(s: &RunState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, s.completed_tasks as u64);
+    put_bytes(&mut buf, s.method.as_bytes());
+    put_bytes(&mut buf, s.benchmark.as_bytes());
+    put_u64(&mut buf, s.matrix_rows.len() as u64);
+    for row in &s.matrix_rows {
+        put_u64(&mut buf, row.len() as u64);
+        for &v in row {
+            put_f32(&mut buf, v);
+        }
+    }
+    put_u64(&mut buf, s.task_seconds.len() as u64);
+    for &v in &s.task_seconds {
+        put_f64(&mut buf, v);
+    }
+    put_u64(&mut buf, s.task_losses.len() as u64);
+    for &v in &s.task_losses {
+        put_f32(&mut buf, v);
+    }
+    put_bytes(&mut buf, &s.params_payload);
+    put_bytes(&mut buf, &s.optim_payload);
+    for &w in &s.rng_state {
+        put_u64(&mut buf, w);
+    }
+    put_bytes(&mut buf, &s.method_state);
+    put_f32(&mut buf, s.lr_scale);
+    buf
+}
+
+fn utf8(bytes: &[u8]) -> Result<String, CheckpointError> {
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| CheckpointError::Mismatch("run-state string is not UTF-8".into()))
+}
+
+/// Parses a payload produced by [`encode_run_state`].
+pub fn decode_run_state(payload: &[u8]) -> Result<RunState, CheckpointError> {
+    let mut r = ByteReader::new(payload);
+    let completed_tasks = r.u64()? as usize;
+    let method = utf8(r.bytes()?)?;
+    let benchmark = utf8(r.bytes()?)?;
+    let n_rows = r.u64()? as usize;
+    let mut matrix_rows = Vec::with_capacity(n_rows.min(1024));
+    for _ in 0..n_rows {
+        let len = r.u64()? as usize;
+        let mut row = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            row.push(r.f32()?);
+        }
+        matrix_rows.push(row);
+    }
+    let n_secs = r.u64()? as usize;
+    let mut task_seconds = Vec::with_capacity(n_secs.min(4096));
+    for _ in 0..n_secs {
+        task_seconds.push(r.f64()?);
+    }
+    let n_losses = r.u64()? as usize;
+    let mut task_losses = Vec::with_capacity(n_losses.min(4096));
+    for _ in 0..n_losses {
+        task_losses.push(r.f32()?);
+    }
+    let params_payload = r.bytes()?.to_vec();
+    let optim_payload = r.bytes()?.to_vec();
+    let mut rng_state = [0u64; 4];
+    for w in &mut rng_state {
+        *w = r.u64()?;
+    }
+    let method_state = r.bytes()?.to_vec();
+    let lr_scale = r.f32()?;
+    if !r.is_exhausted() {
+        return Err(CheckpointError::Mismatch(
+            "run-state payload has trailing bytes".into(),
+        ));
+    }
+    Ok(RunState {
+        completed_tasks,
+        method,
+        benchmark,
+        matrix_rows,
+        task_seconds,
+        task_losses,
+        params_payload,
+        optim_payload,
+        rng_state,
+        method_state,
+        lr_scale,
+    })
+}
+
+/// Writes the snapshot for `state.completed_tasks` increments and prunes
+/// snapshots older than `cfg.keep`. Returns the snapshot's path.
+pub fn save_run_state(
+    cfg: &CheckpointConfig,
+    state: &RunState,
+) -> Result<PathBuf, CheckpointError> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let path = cfg.snapshot_path(state.completed_tasks);
+    write_envelope(&path, RUN_STATE_MAGIC, &encode_run_state(state))?;
+    if cfg.keep > 0 {
+        for (_, old) in list_snapshots(cfg).iter().rev().skip(cfg.keep) {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+    Ok(path)
+}
+
+/// Loads and validates one snapshot file.
+pub fn load_run_state(path: impl AsRef<Path>) -> Result<RunState, CheckpointError> {
+    decode_run_state(&read_envelope(path, RUN_STATE_MAGIC)?)
+}
+
+/// All snapshot files of this run, sorted by completed-increment count
+/// (ascending). Existence only — validity is checked at load time.
+pub fn list_snapshots(cfg: &CheckpointConfig) -> Vec<(usize, PathBuf)> {
+    let prefix = format!("{}.task", cfg.run_id);
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&cfg.dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some(digits) = rest.strip_suffix(".runstate") else {
+            continue;
+        };
+        if let Ok(completed) = digits.parse::<usize>() {
+            found.push((completed, entry.path()));
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Finds the newest snapshot that loads cleanly, skipping truncated or
+/// corrupt files (e.g. a write cut short by a crash). Returns `None`
+/// when no valid snapshot exists.
+pub fn latest_valid_run_state(cfg: &CheckpointConfig) -> Option<(PathBuf, RunState)> {
+    for (_, path) in list_snapshots(cfg).into_iter().rev() {
+        if let Ok(state) = load_run_state(&path) {
+            return Some((path, state));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state(completed: usize) -> RunState {
+        RunState {
+            completed_tasks: completed,
+            method: "Finetune".into(),
+            benchmark: "bench".into(),
+            matrix_rows: vec![vec![0.5], vec![0.25, 0.75]],
+            task_seconds: vec![1.5, 2.5],
+            task_losses: vec![0.9, 0.8],
+            params_payload: vec![1, 2, 3, 4],
+            optim_payload: vec![5, 6],
+            rng_state: [10, 20, 30, 40],
+            method_state: vec![7, 8, 9],
+            lr_scale: 0.5,
+        }
+    }
+
+    fn temp_cfg(tag: &str) -> CheckpointConfig {
+        let dir = std::env::temp_dir().join(format!("edsr-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointConfig::new(dir, "run")
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let state = sample_state(2);
+        let decoded = decode_run_state(&encode_run_state(&state)).expect("decode");
+        assert_eq!(decoded.completed_tasks, 2);
+        assert_eq!(decoded.method, "Finetune");
+        assert_eq!(decoded.matrix_rows, state.matrix_rows);
+        assert_eq!(decoded.task_seconds, state.task_seconds);
+        assert_eq!(decoded.rng_state, state.rng_state);
+        assert_eq!(decoded.method_state, state.method_state);
+        assert_eq!(decoded.lr_scale, 0.5);
+    }
+
+    #[test]
+    fn save_load_and_scan() {
+        let cfg = temp_cfg("scan");
+        save_run_state(&cfg, &sample_state(1)).expect("save 1");
+        save_run_state(&cfg, &sample_state(2)).expect("save 2");
+        let (path, state) = latest_valid_run_state(&cfg).expect("latest");
+        assert_eq!(state.completed_tasks, 2);
+        assert!(path.to_string_lossy().contains("task0002"));
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn truncated_latest_falls_back_to_previous() {
+        let cfg = temp_cfg("fallback");
+        save_run_state(&cfg, &sample_state(1)).expect("save 1");
+        let p2 = save_run_state(&cfg, &sample_state(2)).expect("save 2");
+        // Chop the tail off the newest snapshot, as a crash mid-write would.
+        let bytes = std::fs::read(&p2).expect("read");
+        std::fs::write(&p2, &bytes[..bytes.len() - 7]).expect("truncate");
+        assert!(matches!(
+            load_run_state(&p2),
+            Err(CheckpointError::Truncated { .. } | CheckpointError::Corrupt { .. })
+        ));
+        let (_, state) = latest_valid_run_state(&cfg).expect("fallback");
+        assert_eq!(
+            state.completed_tasks, 1,
+            "did not fall back to the valid snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest() {
+        let mut cfg = temp_cfg("prune");
+        cfg.keep = 2;
+        for completed in 1..=5 {
+            save_run_state(&cfg, &sample_state(completed)).expect("save");
+        }
+        let left = list_snapshots(&cfg);
+        let counts: Vec<usize> = left.iter().map(|(c, _)| *c).collect();
+        assert_eq!(counts, vec![4, 5]);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let cfg = temp_cfg("magic");
+        let path = save_run_state(&cfg, &sample_state(1)).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[..8].copy_from_slice(b"NOTAMAGI");
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            load_run_state(&path),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(latest_valid_run_state(&cfg).is_none());
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+}

@@ -1,0 +1,108 @@
+//! Structured training errors.
+//!
+//! Everything that can go wrong inside the continual-learning runtime is
+//! funnelled into [`TrainError`] so sweep drivers can report *which*
+//! method/increment failed and keep going, instead of unwinding the whole
+//! process.
+
+use std::fmt;
+
+use edsr_nn::CheckpointError;
+
+/// A failure raised by the training runtime.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The divergence guard exhausted its retry budget on one increment.
+    Diverged {
+        /// Method display name.
+        method: String,
+        /// Increment index (0-based) that diverged.
+        task: usize,
+        /// Epoch within the increment at the final failed attempt.
+        epoch: usize,
+        /// Recovery attempts consumed before giving up.
+        retries: usize,
+        /// The loss value that triggered the final detection.
+        last_loss: f32,
+        /// Learning rate at the time of the final detection.
+        lr: f32,
+    },
+    /// The run was mis-configured (augmenter/task count mismatch, …).
+    InvalidConfig(String),
+    /// Run-state checkpoint I/O failed.
+    Checkpoint(CheckpointError),
+    /// A method could not persist or restore its internal state.
+    MethodState {
+        /// Method display name.
+        method: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged {
+                method,
+                task,
+                epoch,
+                retries,
+                last_loss,
+                lr,
+            } => write!(
+                f,
+                "{method} diverged at increment {task}, epoch {epoch} \
+                 (loss {last_loss}, lr {lr:e}) after {retries} recovery attempts"
+            ),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid run configuration: {msg}"),
+            TrainError::Checkpoint(e) => write!(f, "run-state checkpoint: {e}"),
+            TrainError::MethodState { method, reason } => {
+                write!(f, "{method} state persistence: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_increment() {
+        let e = TrainError::Diverged {
+            method: "DER".into(),
+            task: 3,
+            epoch: 7,
+            retries: 4,
+            last_loss: f32::NAN,
+            lr: 1e-4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("DER"), "{msg}");
+        assert!(msg.contains("increment 3"), "{msg}");
+        assert!(msg.contains("epoch 7"), "{msg}");
+    }
+
+    #[test]
+    fn checkpoint_errors_convert_and_chain() {
+        let e: TrainError = CheckpointError::BadMagic.into();
+        assert!(matches!(e, TrainError::Checkpoint(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

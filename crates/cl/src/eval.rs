@@ -51,7 +51,11 @@ pub fn knn_classify(
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
     assert_eq!(predictions.len(), labels.len(), "accuracy: length mismatch");
     assert!(!predictions.is_empty(), "accuracy: empty input");
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f32 / predictions.len() as f32
 }
 
@@ -67,7 +71,11 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..2 * n_per {
             let class = i / n_per;
-            let center = if class == 0 { [3.0, 0.0, 0.0, 0.0] } else { [0.0, 3.0, 0.0, 0.0] };
+            let center = if class == 0 {
+                [3.0, 0.0, 0.0, 0.0]
+            } else {
+                [0.0, 3.0, 0.0, 0.0]
+            };
             for (c, &base) in center.iter().enumerate() {
                 reps.set(i, c, base + 0.3 * gaussian(&mut rng));
             }

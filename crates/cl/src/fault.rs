@@ -1,0 +1,251 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A [`FaultPlan`] pins faults to exact `(increment, step)` coordinates —
+//! either hand-placed or drawn from a seed — and [`FaultInjector`] wraps
+//! any [`Method`] to fire them: poisoning the loss/parameters with NaN or
+//! corrupting the input batch. Checkpoint-file faults (truncation, bit
+//! flips) are applied directly to files via [`truncate_file`] /
+//! [`flip_byte`]. Everything is deterministic so a failing test replays
+//! exactly.
+
+use std::path::Path;
+
+use edsr_data::{Augmenter, Dataset};
+use edsr_nn::Optimizer;
+use edsr_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::model::ContinualModel;
+use crate::trainer::Method;
+
+/// One planned fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Poison the model (one parameter entry → NaN) and report a NaN
+    /// loss at step `step` of increment `task` — the shape of a genuine
+    /// numeric blow-up: recovery must roll the weights back.
+    NanLoss {
+        /// Increment index.
+        task: usize,
+        /// Step index within the increment (counted across epochs).
+        step: usize,
+    },
+    /// Replace the input batch with NaNs at step `step` of increment
+    /// `task` — a bad data read: the forward pass yields a non-finite
+    /// loss, `apply_step` must refuse to apply the gradients.
+    CorruptBatch {
+        /// Increment index.
+        task: usize,
+        /// Step index within the increment (counted across epochs).
+        step: usize,
+    },
+}
+
+impl Fault {
+    fn coordinates(&self) -> (usize, usize) {
+        match *self {
+            Fault::NanLoss { task, step } | Fault::CorruptBatch { task, step } => (task, step),
+        }
+    }
+}
+
+/// A deterministic set of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The planned faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single NaN-loss fault.
+    pub fn nan_loss_at(task: usize, step: usize) -> Self {
+        Self {
+            faults: vec![Fault::NanLoss { task, step }],
+        }
+    }
+
+    /// A single corrupt-batch fault.
+    pub fn corrupt_batch_at(task: usize, step: usize) -> Self {
+        Self {
+            faults: vec![Fault::CorruptBatch { task, step }],
+        }
+    }
+
+    /// Draws `count` faults uniformly over `tasks × steps_per_task`
+    /// coordinates, alternating fault kinds — same seed, same plan.
+    pub fn seeded(seed: u64, tasks: usize, steps_per_task: usize, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = (0..count)
+            .map(|i| {
+                let task = rng.random_range(0..tasks.max(1));
+                let step = rng.random_range(0..steps_per_task.max(1));
+                if i % 2 == 0 {
+                    Fault::NanLoss { task, step }
+                } else {
+                    Fault::CorruptBatch { task, step }
+                }
+            })
+            .collect();
+        Self { faults }
+    }
+
+    fn find(&self, task: usize, step: usize) -> Option<Fault> {
+        self.faults
+            .iter()
+            .copied()
+            .find(|f| f.coordinates() == (task, step))
+    }
+}
+
+/// Truncates `path` to its first `keep` bytes (simulates a write cut
+/// short by a crash).
+pub fn truncate_file(path: impl AsRef<Path>, keep: usize) -> std::io::Result<()> {
+    let bytes = std::fs::read(&path)?;
+    let keep = keep.min(bytes.len());
+    std::fs::write(&path, &bytes[..keep])
+}
+
+/// XORs one byte of `path` with `mask` (simulates bit rot).
+pub fn flip_byte(path: impl AsRef<Path>, offset: usize, mask: u8) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(&path)?;
+    if let Some(b) = bytes.get_mut(offset) {
+        *b ^= mask;
+    }
+    std::fs::write(&path, &bytes)
+}
+
+/// Wraps a method and fires the plan's faults at their coordinates.
+pub struct FaultInjector<M> {
+    inner: M,
+    plan: FaultPlan,
+    current_task: usize,
+    step_in_task: usize,
+    injected: usize,
+}
+
+impl<M: Method> FaultInjector<M> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: M, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            current_task: 0,
+            step_in_task: 0,
+            injected: 0,
+        }
+    }
+
+    /// Faults actually fired so far (tests assert the plan executed).
+    pub fn injected(&self) -> usize {
+        self.injected
+    }
+
+    /// The wrapped method.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Method> Method for FaultInjector<M> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn begin_task(
+        &mut self,
+        model: &mut ContinualModel,
+        task_idx: usize,
+        train: &Dataset,
+        rng: &mut StdRng,
+    ) {
+        self.current_task = task_idx;
+        self.step_in_task = 0;
+        self.inner.begin_task(model, task_idx, train, rng);
+    }
+
+    fn train_step(
+        &mut self,
+        model: &mut ContinualModel,
+        opt: &mut dyn Optimizer,
+        augs: &[Augmenter],
+        batch: &Matrix,
+        task_idx: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let step = self.step_in_task;
+        self.step_in_task += 1;
+        match self.plan.find(task_idx, step) {
+            Some(Fault::NanLoss { .. }) => {
+                self.injected += 1;
+                // Poison a real weight so recovery has something to undo.
+                if let Some(id) = model.params.ids().next() {
+                    model.params.value_mut(id).set(0, 0, f32::NAN);
+                }
+                f32::NAN
+            }
+            Some(Fault::CorruptBatch { .. }) => {
+                self.injected += 1;
+                let poisoned = Matrix::filled(batch.rows(), batch.cols(), f32::NAN);
+                self.inner
+                    .train_step(model, opt, augs, &poisoned, task_idx, rng)
+            }
+            None => self
+                .inner
+                .train_step(model, opt, augs, batch, task_idx, rng),
+        }
+    }
+
+    fn end_task(
+        &mut self,
+        model: &mut ContinualModel,
+        task_idx: usize,
+        train: &Dataset,
+        aug: &Augmenter,
+        rng: &mut StdRng,
+    ) {
+        self.inner.end_task(model, task_idx, train, aug, rng);
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.inner.load_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(5, 4, 100, 6);
+        let b = FaultPlan::seeded(5, 4, 100, 6);
+        assert_eq!(a.faults, b.faults);
+        let c = FaultPlan::seeded(6, 4, 100, 6);
+        assert_ne!(a.faults, c.faults, "different seeds should differ");
+        assert!(a.faults.iter().all(|f| {
+            let (t, s) = f.coordinates();
+            t < 4 && s < 100
+        }));
+    }
+
+    #[test]
+    fn file_faults_modify_bytes() {
+        let path = std::env::temp_dir().join(format!("edsr-fault-{}", std::process::id()));
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).expect("write");
+        truncate_file(&path, 3).expect("truncate");
+        assert_eq!(std::fs::read(&path).expect("read"), vec![1, 2, 3]);
+        flip_byte(&path, 1, 0xFF).expect("flip");
+        assert_eq!(std::fs::read(&path).expect("read"), vec![1, 0xFD, 3]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

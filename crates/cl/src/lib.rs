@@ -6,22 +6,34 @@
 //! (paper Eq. 17–18), the sequence [`trainer`], and all baseline methods
 //! of Table III (Finetune, SI, DER, LUMP, CaSSLe, Multitask).
 
+pub mod checkpoint;
+pub mod error;
 pub mod eval;
+pub mod fault;
+pub mod guard;
 pub mod memory;
 pub mod methods;
 pub mod metrics;
 pub mod model;
 pub mod trainer;
 
+pub use checkpoint::{
+    latest_valid_run_state, load_run_state, save_run_state, CheckpointConfig, RunState,
+};
+pub use error::TrainError;
 pub use eval::{accuracy, knn_classify};
+pub use fault::{Fault, FaultInjector, FaultPlan};
+pub use guard::{GuardConfig, StepGuard};
 pub use memory::{MemoryBatch, MemoryBuffer, MemoryItem};
 pub use methods::{Cassle, Der, Finetune, LinReplay, Lump, Si};
 pub use metrics::{mean_std, AccuracyMatrix};
 pub use model::{ContinualModel, FrozenModel, ModelConfig};
 pub use trainer::{
-    apply_step, evaluate_row, image_augmenters, run_multitask, run_sequence,
-    tabular_augmenters, Method, MultitaskResult, OptimizerKind, RunResult, TrainConfig,
+    apply_step, evaluate_row, image_augmenters, run_multitask, run_sequence, run_sequence_with,
+    tabular_augmenters, Method, MultitaskResult, OptimizerKind, RunOptions, RunResult, TrainConfig,
 };
 
+#[cfg(test)]
+mod fault_tests;
 #[cfg(test)]
 mod trainer_tests;

@@ -92,12 +92,17 @@ impl MemoryBuffer {
         weights: &[f32],
         rng: &mut StdRng,
     ) -> Vec<MemoryBatch> {
-        assert_eq!(weights.len(), self.items.len(), "sample_weighted: weight count mismatch");
+        assert_eq!(
+            weights.len(),
+            self.items.len(),
+            "sample_weighted: weight count mismatch"
+        );
         if self.items.is_empty() || k == 0 {
             return Vec::new();
         }
-        let chosen: Vec<usize> =
-            (0..k).map(|_| edsr_tensor::rng::weighted_index(rng, weights)).collect();
+        let chosen: Vec<usize> = (0..k)
+            .map(|_| edsr_tensor::rng::weighted_index(rng, weights))
+            .collect();
         self.group(&chosen)
     }
 
@@ -159,8 +164,9 @@ impl MemoryBuffer {
         if self.items.is_empty() || k == 0 {
             return None;
         }
-        let chosen: Vec<usize> =
-            (0..k).map(|_| edsr_tensor::rng::weighted_index(rng, weights)).collect();
+        let chosen: Vec<usize> = (0..k)
+            .map(|_| edsr_tensor::rng::weighted_index(rng, weights))
+            .collect();
         let dim = self.items[chosen[0]].input.len();
         let mut inputs = Matrix::zeros(chosen.len(), dim);
         let mut noise_scales = Vec::with_capacity(chosen.len());
@@ -179,6 +185,80 @@ impl MemoryBuffer {
             noise_scales,
             stored_features: None,
         })
+    }
+
+    /// Serializes the buffer for a run-state snapshot (see
+    /// `Method::save_state`). Format: item count, then per item the
+    /// source task, noise scale, raw input, and optional stored features.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use edsr_nn::io::{put_f32, put_u32, put_u64};
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.items.len() as u64);
+        for item in &self.items {
+            put_u64(&mut buf, item.task as u64);
+            put_f32(&mut buf, item.noise_scale);
+            put_u64(&mut buf, item.input.len() as u64);
+            for &v in &item.input {
+                put_f32(&mut buf, v);
+            }
+            match &item.stored_features {
+                Some(f) => {
+                    put_u32(&mut buf, 1);
+                    put_u64(&mut buf, f.len() as u64);
+                    for &v in f {
+                        put_f32(&mut buf, v);
+                    }
+                }
+                None => put_u32(&mut buf, 0),
+            }
+        }
+        buf
+    }
+
+    /// Rebuilds a buffer serialized by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, edsr_nn::CheckpointError> {
+        use edsr_nn::io::ByteReader;
+        use edsr_nn::CheckpointError;
+        let mut r = ByteReader::new(bytes);
+        let count = r.u64()? as usize;
+        let mut items = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let task = r.u64()? as usize;
+            let noise_scale = r.f32()?;
+            let dim = r.u64()? as usize;
+            let mut input = Vec::with_capacity(dim.min(1 << 20));
+            for _ in 0..dim {
+                input.push(r.f32()?);
+            }
+            let stored_features = match r.u32()? {
+                0 => None,
+                1 => {
+                    let flen = r.u64()? as usize;
+                    let mut f = Vec::with_capacity(flen.min(1 << 20));
+                    for _ in 0..flen {
+                        f.push(r.f32()?);
+                    }
+                    Some(f)
+                }
+                tag => {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "memory item: unknown feature tag {tag}"
+                    )))
+                }
+            };
+            items.push(MemoryItem {
+                input,
+                task,
+                noise_scale,
+                stored_features,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Mismatch(
+                "memory payload has trailing bytes".into(),
+            ));
+        }
+        Ok(Self { items })
     }
 
     /// Groups item indices by task into dense batches.
@@ -217,7 +297,12 @@ impl MemoryBuffer {
                 } else {
                     None
                 };
-                MemoryBatch { task, inputs, noise_scales, stored_features }
+                MemoryBatch {
+                    task,
+                    inputs,
+                    noise_scales,
+                    stored_features,
+                }
             })
             .collect()
     }
@@ -229,7 +314,12 @@ mod tests {
     use edsr_tensor::rng::seeded;
 
     fn item(task: usize, v: f32) -> MemoryItem {
-        MemoryItem { input: vec![v; 3], task, noise_scale: 0.1 * v, stored_features: None }
+        MemoryItem {
+            input: vec![v; 3],
+            task,
+            noise_scale: 0.1 * v,
+            stored_features: None,
+        }
     }
 
     #[test]
@@ -312,7 +402,10 @@ mod tests {
         ]);
         let mut rng = seeded(314);
         let groups = m.sample_grouped(2, &mut rng);
-        let f = groups[0].stored_features.as_ref().expect("features present");
+        let f = groups[0]
+            .stored_features
+            .as_ref()
+            .expect("features present");
         assert_eq!(f.shape(), (2, 2));
     }
 
@@ -320,8 +413,18 @@ mod tests {
     fn heterogeneous_dims_stay_separate() {
         let mut m = MemoryBuffer::new();
         m.extend([
-            MemoryItem { input: vec![1.0; 4], task: 0, noise_scale: 0.0, stored_features: None },
-            MemoryItem { input: vec![1.0; 7], task: 1, noise_scale: 0.0, stored_features: None },
+            MemoryItem {
+                input: vec![1.0; 4],
+                task: 0,
+                noise_scale: 0.0,
+                stored_features: None,
+            },
+            MemoryItem {
+                input: vec![1.0; 7],
+                task: 1,
+                noise_scale: 0.0,
+                stored_features: None,
+            },
         ]);
         let mut rng = seeded(315);
         let groups = m.sample_grouped(2, &mut rng);
@@ -360,8 +463,18 @@ mod tests {
     fn sample_merged_rejects_mixed_dims() {
         let mut m = MemoryBuffer::new();
         m.extend([
-            MemoryItem { input: vec![1.0; 4], task: 0, noise_scale: 0.0, stored_features: None },
-            MemoryItem { input: vec![1.0; 7], task: 1, noise_scale: 0.0, stored_features: None },
+            MemoryItem {
+                input: vec![1.0; 4],
+                task: 0,
+                noise_scale: 0.0,
+                stored_features: None,
+            },
+            MemoryItem {
+                input: vec![1.0; 7],
+                task: 1,
+                noise_scale: 0.0,
+                stored_features: None,
+            },
         ]);
         let mut rng = seeded(319);
         // Draw everything so both dims are guaranteed to collide.
@@ -373,11 +486,49 @@ mod tests {
         let mut m = MemoryBuffer::new();
         m.extend([item(0, 1.0), item(1, 2.0)]);
         let mut rng = seeded(320);
-        let batch = m.sample_weighted_merged(40, &[0.0, 1.0], &mut rng).expect("batch");
+        let batch = m
+            .sample_weighted_merged(40, &[0.0, 1.0], &mut rng)
+            .expect("batch");
         assert_eq!(batch.inputs.rows(), 40);
         for r in 0..40 {
             assert_eq!(batch.inputs.get(r, 0), 2.0, "zero-weight item drawn");
         }
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_items() {
+        let mut m = MemoryBuffer::new();
+        m.extend([
+            MemoryItem {
+                input: vec![1.0, -2.5, 3.0],
+                task: 2,
+                noise_scale: 0.125,
+                stored_features: Some(vec![9.0, 8.0]),
+            },
+            MemoryItem {
+                input: vec![4.0; 7],
+                task: 0,
+                noise_scale: 0.0,
+                stored_features: None,
+            },
+        ]);
+        let restored = MemoryBuffer::from_bytes(&m.to_bytes()).expect("decode");
+        assert_eq!(restored.len(), 2);
+        for (a, b) in m.items().iter().zip(restored.items()) {
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.noise_scale, b.noise_scale);
+            assert_eq!(a.stored_features, b.stored_features);
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let mut m = MemoryBuffer::new();
+        m.extend([item(0, 1.0)]);
+        let bytes = m.to_bytes();
+        assert!(MemoryBuffer::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(MemoryBuffer::from_bytes(&[]).is_err());
     }
 
     #[test]

@@ -88,6 +88,17 @@ impl Method for Cassle {
         }
         apply_step(model, opt, &tape, &binder, loss)
     }
+
+    // No state beyond the frozen model, which `begin_task` refreshes
+    // from the (restored) live weights at every increment boundary —
+    // exactly where resume re-enters the loop.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn load_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -135,8 +146,22 @@ mod tests {
         let mut rng_b = seeded(372);
         cassle.begin_task(&mut model, 0, &train, &mut rng_a);
         for _ in 0..40 {
-            cassle.train_step(&mut model, &mut opt_a, std::slice::from_ref(&aug), &old_batch, 0, &mut rng_a);
-            ft.train_step(&mut ft_model, &mut opt_b, std::slice::from_ref(&aug), &old_batch, 0, &mut rng_b);
+            cassle.train_step(
+                &mut model,
+                &mut opt_a,
+                std::slice::from_ref(&aug),
+                &old_batch,
+                0,
+                &mut rng_a,
+            );
+            ft.train_step(
+                &mut ft_model,
+                &mut opt_b,
+                std::slice::from_ref(&aug),
+                &old_batch,
+                0,
+                &mut rng_b,
+            );
         }
         let anchor = model.represent(&old_batch, 0);
 
@@ -151,17 +176,26 @@ mod tests {
         let new_batch = Matrix::randn(16, 16, 1.0, &mut rng).scale(1.5);
         let mut losses = Vec::new();
         for _ in 0..80 {
-            losses.push(cassle.train_step(&mut model, &mut opt_a, std::slice::from_ref(&aug), &new_batch, 1, &mut rng_a));
+            losses.push(cassle.train_step(
+                &mut model,
+                &mut opt_a,
+                std::slice::from_ref(&aug),
+                &new_batch,
+                1,
+                &mut rng_a,
+            ));
         }
         // Total loss = L_css (≥ −1) + L_dis (≥ −1): alignment success shows
         // as a clear drop toward the −2 floor.
         let early: f32 = losses[..10].iter().sum::<f32>() / 10.0;
         let late: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
-        assert!(late < early - 0.2, "distillation never aligned: {early} -> {late}");
+        assert!(
+            late < early - 0.2,
+            "distillation never aligned: {early} -> {late}"
+        );
 
         // The frozen model must not move while the live model trains.
-        let frozen_reps_after =
-            cassle.frozen.as_ref().unwrap().represent(&old_batch, 0);
+        let frozen_reps_after = cassle.frozen.as_ref().unwrap().represent(&old_batch, 0);
         assert_eq!(frozen_reps_before.max_abs_diff(&frozen_reps_after), 0.0);
     }
 }

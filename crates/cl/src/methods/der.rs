@@ -29,7 +29,12 @@ impl Der {
     /// Creates DER with the given per-increment storage budget and replay
     /// batch size.
     pub fn new(per_task_budget: usize, replay_batch: usize, alpha: f32) -> Self {
-        Self { memory: MemoryBuffer::new(), per_task_budget, replay_batch, alpha }
+        Self {
+            memory: MemoryBuffer::new(),
+            per_task_budget,
+            replay_batch,
+            alpha,
+        }
     }
 
     /// Stored sample count (for tests/diagnostics).
@@ -59,13 +64,17 @@ impl Method for Der {
             model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
 
         for group in self.memory.sample_grouped(self.replay_batch, rng) {
-            let stored = group
-                .stored_features
-                .as_ref()
-                .expect("DER memory always stores features");
+            // end_task always stores features; a group without them (e.g.
+            // a hand-built buffer) is skipped rather than panicking
+            // mid-step.
+            let Some(stored) = group.stored_features.as_ref() else {
+                continue;
+            };
             let x = tape.leaf(group.inputs.clone());
             let (features, _) =
-                model.encoder.forward(&mut tape, &mut binder, &model.params, x, group.task);
+                model
+                    .encoder
+                    .forward(&mut tape, &mut binder, &model.params, x, group.task);
             let target = tape.leaf(stored.clone());
             let frozen = tape.detach(target);
             let match_loss = tape.mse(features, frozen);
@@ -97,6 +106,16 @@ impl Method for Der {
             stored_features: Some(features.row(r).to_vec()),
         }));
     }
+
+    // The episodic memory (inputs + stored features) is the only state.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.memory.to_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -111,8 +130,7 @@ mod tests {
         let mut rng = seeded(350);
         let mut model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
         let mut der = Der::new(5, 4, 0.5);
-        let train =
-            Dataset::new("d", Matrix::randn(20, 16, 1.0, &mut rng), vec![0; 20]);
+        let train = Dataset::new("d", Matrix::randn(20, 16, 1.0, &mut rng), vec![0; 20]);
         der.end_task(&mut model, 0, &train, &Augmenter::Identity, &mut rng);
         assert_eq!(der.memory_len(), 5);
         der.end_task(&mut model, 1, &train, &Augmenter::Identity, &mut rng);
@@ -140,8 +158,22 @@ mod tests {
         let mut rng_a = seeded(352);
         let mut rng_b = seeded(352);
         for _ in 0..30 {
-            der.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &new_batch, 1, &mut rng_a);
-            ft.train_step(&mut ft_model, &mut ft_opt, std::slice::from_ref(&aug), &new_batch, 1, &mut rng_b);
+            der.train_step(
+                &mut model,
+                &mut opt,
+                std::slice::from_ref(&aug),
+                &new_batch,
+                1,
+                &mut rng_a,
+            );
+            ft.train_step(
+                &mut ft_model,
+                &mut ft_opt,
+                std::slice::from_ref(&aug),
+                &new_batch,
+                1,
+                &mut rng_b,
+            );
         }
         let drift_der = model.features(&old_batch, 0).max_abs_diff(&stored);
         let drift_ft = ft_model.features(&old_batch, 0).max_abs_diff(&stored);

@@ -40,6 +40,15 @@ impl Method for Finetune {
         let (_, _, loss) = model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
         apply_step(model, opt, &tape, &binder, loss)
     }
+
+    // Stateless: resumable with an empty payload.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn load_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -57,10 +66,24 @@ mod tests {
         let aug = Augmenter::standard_image(GridSpec::new(4, 4, 1));
         let batch = Matrix::randn(24, 16, 1.0, &mut rng);
         let mut m = Finetune::new();
-        let first = m.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 0, &mut rng);
+        let first = m.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            0,
+            &mut rng,
+        );
         let mut last = first;
         for _ in 0..60 {
-            last = m.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 0, &mut rng);
+            last = m.train_step(
+                &mut model,
+                &mut opt,
+                std::slice::from_ref(&aug),
+                &batch,
+                0,
+                &mut rng,
+            );
         }
         assert!(
             last < first - 0.05,

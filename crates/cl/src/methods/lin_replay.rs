@@ -109,8 +109,7 @@ impl Method for LinReplay {
                 // Distances under the frozen model are the anchor.
                 let frozen_mem = frozen.represent(&group.inputs, group.task);
                 let frozen_new = frozen.represent(&x1, task_idx);
-                let anchor =
-                    edsr_linalg::stats::pairwise_sq_euclidean(&frozen_mem, &frozen_new);
+                let anchor = edsr_linalg::stats::pairwise_sq_euclidean(&frozen_mem, &frozen_new);
                 // Distances under the current model.
                 let zm = model.repr_var(&mut tape, &mut binder, &group.inputs, group.task);
                 let dists = pairwise_sq_dists(&mut tape, zm, z1);
@@ -118,8 +117,7 @@ impl Method for LinReplay {
                 let frozen_target = tape.detach(target);
                 let keep = tape.mse(dists, frozen_target);
                 // Normalize by the anchor scale so λ is dimensionless.
-                let scale = self.lambda
-                    / tape.value(frozen_target).map(|v| v * v).mean().max(1e-6);
+                let scale = self.lambda / tape.value(frozen_target).map(|v| v * v).mean().max(1e-6);
                 let keep = tape.scale(keep, scale);
                 loss = tape.add(loss, keep);
             }
@@ -157,6 +155,18 @@ impl Method for LinReplay {
             noise_scale: 0.0,
             stored_features: None,
         }));
+    }
+
+    // The episodic memory is the only persistent state: the frozen model
+    // is refreshed from the live weights in `begin_task`, which resume
+    // re-runs at the increment boundary.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.memory.to_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
+        Ok(())
     }
 }
 

@@ -25,7 +25,10 @@ pub struct Lump {
 impl Lump {
     /// Creates LUMP with the per-increment storage budget.
     pub fn new(per_task_budget: usize) -> Self {
-        Self { memory: MemoryBuffer::new(), per_task_budget }
+        Self {
+            memory: MemoryBuffer::new(),
+            per_task_budget,
+        }
     }
 
     /// Stored sample count.
@@ -98,6 +101,16 @@ impl Method for Lump {
             stored_features: None,
         }));
     }
+
+    // The episodic memory is the only state.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.memory.to_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +141,10 @@ mod tests {
         let batch = Matrix::zeros(8, 4);
         let mixed = lump.mix_batch(&batch, &mut rng);
         assert!(mixed.data().iter().all(|&v| (0.0..=10.0).contains(&v)));
-        assert!(mixed.data().iter().any(|&v| v > 0.5), "no interpolation happened");
+        assert!(
+            mixed.data().iter().any(|&v| v > 0.5),
+            "no interpolation happened"
+        );
     }
 
     #[test]
@@ -142,7 +158,14 @@ mod tests {
         lump.end_task(&mut model, 0, &train, &Augmenter::Identity, &mut rng);
         assert_eq!(lump.memory_len(), 4);
         let batch = Matrix::randn(8, 16, 1.0, &mut rng);
-        let loss = lump.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 1, &mut rng);
+        let loss = lump.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            1,
+            &mut rng,
+        );
         assert!(loss.is_finite());
     }
 }

@@ -109,13 +109,28 @@ impl Method for Si {
         let mut binder = Binder::new();
         let (_, _, loss) = model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
         let value = tape.value(loss).get(0, 0);
+        if !value.is_finite() {
+            // Divergent step: leave weights, moments, and the path
+            // integral untouched; the guard in `run_sequence` recovers.
+            return value;
+        }
         let grads = tape.backward(loss);
         model.params.zero_grads();
         binder.accumulate_into(&grads, &mut model.params);
+        let all_finite = model
+            .params
+            .ids()
+            .all(|id| model.params.grad(id).data().iter().all(|g| g.is_finite()));
+        if !all_finite {
+            return f32::NAN;
+        }
 
         // Capture the unregularized gradient for the path integral.
-        let g_css: Vec<Matrix> =
-            model.params.ids().map(|id| model.params.grad(id).clone()).collect();
+        let g_css: Vec<Matrix> = model
+            .params
+            .ids()
+            .map(|id| model.params.grad(id).clone())
+            .collect();
 
         // Add the SI penalty gradient 2λ Ω (θ − θ*).
         if task_idx > 0 {
@@ -156,13 +171,54 @@ impl Method for Si {
         for i in 0..self.omega.len() {
             let drift = theta_end[i].sub(&self.theta_task_start[i]);
             let denom = drift.mul_elem(&drift).map(|v| v + self.xi);
-            let update = self
-                .omega_acc[i]
-                .zip_map(&denom, |acc, d| (acc / d).max(0.0));
+            let update = self.omega_acc[i].zip_map(&denom, |acc, d| (acc / d).max(0.0));
             self.omega[i].add_assign(&update);
             self.omega_acc[i].fill_zero();
         }
         self.theta_star = theta_end;
+    }
+
+    // SI's state is the importance accumulators and reference weights.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        use edsr_nn::io::{put_matrix, put_u32, put_u64};
+        let mut buf = Vec::new();
+        put_u32(&mut buf, self.initialized as u32);
+        for group in [
+            &self.omega,
+            &self.omega_acc,
+            &self.theta_star,
+            &self.theta_task_start,
+        ] {
+            put_u64(&mut buf, group.len() as u64);
+            for m in group {
+                put_matrix(&mut buf, m);
+            }
+        }
+        Some(buf)
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        use edsr_nn::io::ByteReader;
+        let mut r = ByteReader::new(state);
+        let initialized = r.u32().map_err(|e| e.to_string())? != 0;
+        let mut groups: Vec<Vec<Matrix>> = Vec::with_capacity(4);
+        for _ in 0..4 {
+            let count = r.u64().map_err(|e| e.to_string())? as usize;
+            let mut group = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                group.push(r.matrix().map_err(|e| e.to_string())?);
+            }
+            groups.push(group);
+        }
+        if !r.is_exhausted() {
+            return Err("SI state has trailing bytes".into());
+        }
+        self.theta_task_start = groups.pop().unwrap_or_default();
+        self.theta_star = groups.pop().unwrap_or_default();
+        self.omega_acc = groups.pop().unwrap_or_default();
+        self.omega = groups.pop().unwrap_or_default();
+        self.initialized = initialized;
+        Ok(())
     }
 }
 
@@ -190,7 +246,14 @@ mod tests {
         let train = Dataset::new("d", batch.clone(), vec![0; batch.rows()]);
         si.begin_task(&mut model, 0, &train, &mut rng);
         for _ in 0..20 {
-            si.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 0, &mut rng);
+            si.train_step(
+                &mut model,
+                &mut opt,
+                std::slice::from_ref(&aug),
+                &batch,
+                0,
+                &mut rng,
+            );
         }
         si.end_task(&mut model, 0, &train, &Augmenter::Identity, &mut rng);
         let total: f32 = si.omega().iter().map(|o| o.sum()).sum();

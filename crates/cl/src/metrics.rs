@@ -48,6 +48,12 @@ impl AccuracyMatrix {
         self.rows.len()
     }
 
+    /// All evaluation rows, oldest first (run-state snapshots persist
+    /// these verbatim).
+    pub fn rows(&self) -> &[Vec<f32>] {
+        &self.rows
+    }
+
     /// `A_{i,j}`: accuracy on task `j` after learning task `i`.
     pub fn get(&self, i: usize, j: usize) -> f32 {
         assert!(j <= i, "A_(i,j) undefined for j > i");
@@ -70,7 +76,9 @@ impl AccuracyMatrix {
     pub fn forgetting(&self, i: usize, j: usize) -> f32 {
         assert!(j <= i, "F_(i,j) undefined for j > i");
         let current = self.rows[i][j];
-        let peak = (j..=i).map(|ip| self.rows[ip][j]).fold(f32::NEG_INFINITY, f32::max);
+        let peak = (j..=i)
+            .map(|ip| self.rows[ip][j])
+            .fold(f32::NEG_INFINITY, f32::max);
         peak - current
     }
 

@@ -2,8 +2,8 @@
 //! [`ParamSet`], with snapshotting for the frozen old model `f̃`.
 
 use edsr_data::Augmenter;
-use edsr_nn::{Binder, ParamSet};
 use edsr_nn::ConvShape;
+use edsr_nn::{Binder, ParamSet};
 use edsr_ssl::{DistillHead, Encoder, EncoderConfig, SslHead, SslVariant, StemConfig};
 use edsr_tensor::{Matrix, Tape, Var};
 use rand::rngs::StdRng;
@@ -108,7 +108,11 @@ impl ContinualModel {
     pub fn new(cfg: &ModelConfig, rng: &mut StdRng) -> Self {
         let mut params = ParamSet::new();
         let stem = match cfg.conv_stem {
-            Some((shape, kernel, filters)) => StemConfig::Conv { shape, kernel, filters },
+            Some((shape, kernel, filters)) => StemConfig::Conv {
+                shape,
+                kernel,
+                filters,
+            },
             None => StemConfig::PerTaskLinear,
         };
         let enc_cfg = EncoderConfig {
@@ -121,7 +125,12 @@ impl ContinualModel {
         let encoder = Encoder::new(&mut params, &enc_cfg, rng);
         let ssl = SslHead::new(&mut params, cfg.variant, cfg.repr_dim, rng);
         let distill = DistillHead::new(&mut params, cfg.repr_dim, rng);
-        Self { params, encoder, ssl, distill }
+        Self {
+            params,
+            encoder,
+            ssl,
+            distill,
+        }
     }
 
     /// Representation dimensionality.
@@ -141,7 +150,10 @@ impl ContinualModel {
 
     /// Deep-copies the current weights into a frozen `f̃`.
     pub fn freeze(&self) -> FrozenModel {
-        FrozenModel { encoder: self.encoder.clone(), params: self.params.clone() }
+        FrozenModel {
+            encoder: self.encoder.clone(),
+            params: self.params.clone(),
+        }
     }
 
     /// Saves the model's weights to a checkpoint file.
@@ -192,13 +204,7 @@ impl ContinualModel {
 
     /// Records the current model's representation of a raw (already
     /// augmented) view — used by distillation paths.
-    pub fn repr_var(
-        &self,
-        tape: &mut Tape,
-        binder: &mut Binder,
-        x: &Matrix,
-        task: usize,
-    ) -> Var {
+    pub fn repr_var(&self, tape: &mut Tape, binder: &mut Binder, x: &Matrix, task: usize) -> Var {
         let v = tape.leaf(x.clone());
         let (_, z) = self.encoder.forward(tape, binder, &self.params, v, task);
         z
@@ -237,8 +243,15 @@ mod tests {
             m.params.value_mut(id).scale_inplace(1.7);
         }
         let after_frozen = frozen.represent(&x, 0);
-        assert_eq!(before.max_abs_diff(&after_frozen), 0.0, "frozen model drifted");
-        assert!(m.represent(&x, 0).max_abs_diff(&before) > 1e-4, "live model did not change");
+        assert_eq!(
+            before.max_abs_diff(&after_frozen),
+            0.0,
+            "frozen model drifted"
+        );
+        assert!(
+            m.represent(&x, 0).max_abs_diff(&before) > 1e-4,
+            "live model did not change"
+        );
     }
 
     #[test]
@@ -281,7 +294,11 @@ mod tests {
     #[test]
     fn conv_model_trains_and_represents() {
         let mut rng = seeded(309);
-        let shape = edsr_nn::ConvShape { channels: 1, height: 4, width: 4 };
+        let shape = edsr_nn::ConvShape {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let m = ContinualModel::new(&ModelConfig::conv_image(shape, 3), &mut rng);
         let x = Matrix::randn(4, 16, 1.0, &mut rng);
         assert_eq!(m.represent(&x, 0).shape(), (4, 48));

@@ -1,14 +1,28 @@
 //! The continual-learning driver: method trait, training configuration,
-//! sequence runner, and the Multitask (joint) upper bound.
+//! fault-tolerant sequence runner, and the Multitask (joint) upper bound.
+//!
+//! Fault tolerance (DESIGN.md §7): every step's loss passes through a
+//! [`StepGuard`]; divergence rolls the model back to the last good epoch
+//! boundary and backs the LR off before retrying. With a
+//! [`CheckpointConfig`], the runner snapshots the full run state after
+//! each increment and [`RunOptions::resume`] continues from the newest
+//! valid snapshot — bit-identically, because the snapshot carries the
+//! exact RNG position, optimizer moments, and method state.
 
 use std::time::Instant;
 
 use edsr_data::{Augmenter, BatchIter, Dataset, TaskSequence};
+use edsr_nn::io::{
+    optim_state_from_bytes, optim_state_to_bytes, params_from_bytes, params_to_bytes,
+};
 use edsr_nn::{Adam, Binder, CosineSchedule, Optimizer, Sgd};
 use edsr_tensor::{Matrix, Tape, Var};
 use rand::rngs::StdRng;
 
+use crate::checkpoint::{latest_valid_run_state, save_run_state, CheckpointConfig, RunState};
+use crate::error::TrainError;
 use crate::eval::{accuracy, knn_classify};
+use crate::guard::{GuardConfig, StepGuard};
 use crate::metrics::AccuracyMatrix;
 use crate::model::ContinualModel;
 
@@ -143,10 +157,34 @@ pub trait Method {
     ) {
         let _ = (model, task_idx, train, aug, rng);
     }
+
+    /// Serializes the method's internal state for a run-state snapshot.
+    ///
+    /// `None` (the default) means "not resumable" — the runner refuses
+    /// to checkpoint such a method rather than silently dropping its
+    /// state. Stateless-but-resumable methods return `Some(vec![])`.
+    /// Anything restored from frozen-model refreshes in `begin_task`
+    /// needs no persisting: resume re-runs `begin_task`.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`save_state`](Self::save_state).
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "{} does not support state restoration",
+            self.name()
+        ))
+    }
 }
 
 /// Shared step finisher: evaluates the loss node, backpropagates, routes
-/// gradients, and applies the optimizer.
+/// gradients, and applies the optimizer — but only when both the loss
+/// and every routed gradient are finite. A non-finite loss skips the
+/// backward pass entirely; non-finite gradients are dropped before the
+/// optimizer step so moment buffers can never be poisoned. Either way
+/// the caller sees a non-finite return value and can trigger recovery.
 pub fn apply_step(
     model: &mut ContinualModel,
     opt: &mut dyn Optimizer,
@@ -155,9 +193,19 @@ pub fn apply_step(
     loss: Var,
 ) -> f32 {
     let value = tape.value(loss).get(0, 0);
+    if !value.is_finite() {
+        return value;
+    }
     let grads = tape.backward(loss);
     model.params.zero_grads();
     binder.accumulate_into(&grads, &mut model.params);
+    let all_finite = model
+        .params
+        .ids()
+        .all(|id| model.params.grad(id).data().iter().all(|g| g.is_finite()));
+    if !all_finite {
+        return f32::NAN;
+    }
     opt.step(&mut model.params);
     value
 }
@@ -175,6 +223,8 @@ pub struct RunResult {
     pub task_seconds: Vec<f64>,
     /// Mean training loss per increment (diagnostics).
     pub task_losses: Vec<f32>,
+    /// Divergence recoveries summed over increments (0 on clean runs).
+    pub recoveries: usize,
 }
 
 impl RunResult {
@@ -214,14 +264,55 @@ pub fn evaluate_row(
         .collect()
 }
 
+/// Robustness knobs of [`run_sequence_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Snapshot the run state after every increment. Requires a method
+    /// whose [`Method::save_state`] returns `Some`.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Scan `checkpoint` for the newest valid snapshot and continue from
+    /// it (no-op when none exists or checkpointing is off).
+    pub resume: bool,
+    /// Divergence-guard tunables.
+    pub guard: GuardConfig,
+    /// Return early (with a partial result) after this many increments —
+    /// an interruption hook for resume tests and budgeted sweeps.
+    pub stop_after: Option<usize>,
+}
+
+impl RunOptions {
+    /// Default options (no checkpointing, default guard).
+    pub fn new() -> Self {
+        Self {
+            checkpoint: None,
+            resume: false,
+            guard: GuardConfig::default(),
+            stop_after: None,
+        }
+    }
+
+    /// Enables per-increment snapshots under `cfg`.
+    pub fn with_checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Enables resume-from-latest-valid-snapshot.
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+}
+
 /// Runs a method over a task sequence, evaluating after every increment.
 ///
 /// `augmenters` supplies the per-increment view generator (images share
 /// one; the tabular stream needs one per increment, referencing that
 /// increment's train split).
 ///
-/// # Panics
-/// Panics if `augmenters.len() != seq.len()`.
+/// Fails with [`TrainError::InvalidConfig`] when `augmenters.len() !=
+/// seq.len()` and [`TrainError::Diverged`] when an increment exhausts
+/// the divergence guard's retry budget.
 pub fn run_sequence(
     method: &mut dyn Method,
     model: &mut ContinualModel,
@@ -229,48 +320,191 @@ pub fn run_sequence(
     augmenters: &[Augmenter],
     cfg: &TrainConfig,
     rng: &mut StdRng,
-) -> RunResult {
-    assert_eq!(augmenters.len(), seq.len(), "run_sequence: one augmenter per task required");
+) -> Result<RunResult, TrainError> {
+    run_sequence_with(method, model, seq, augmenters, cfg, rng, &RunOptions::new())
+}
+
+/// As [`run_sequence`], with explicit [`RunOptions`] (checkpointing,
+/// resume, guard tuning, early stop).
+#[allow(clippy::too_many_arguments)] // mirrors run_sequence + options
+pub fn run_sequence_with(
+    method: &mut dyn Method,
+    model: &mut ContinualModel,
+    seq: &TaskSequence,
+    augmenters: &[Augmenter],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+    opts: &RunOptions,
+) -> Result<RunResult, TrainError> {
+    if augmenters.len() != seq.len() {
+        return Err(TrainError::InvalidConfig(format!(
+            "run_sequence: {} augmenters for {} tasks (one per task required)",
+            augmenters.len(),
+            seq.len()
+        )));
+    }
+    if opts.checkpoint.is_some() && method.save_state().is_none() {
+        return Err(TrainError::InvalidConfig(format!(
+            "{} does not implement save_state/load_state; run-state checkpoints \
+             would silently drop its internal state",
+            method.name()
+        )));
+    }
+
     let mut opt = cfg.build_optimizer();
     let mut matrix = AccuracyMatrix::new();
     let mut task_seconds = Vec::with_capacity(seq.len());
     let mut task_losses = Vec::with_capacity(seq.len());
+    let mut recoveries = 0usize;
+    let mut start_task = 0usize;
+    let mut resumed_lr_scale = 1.0f32;
+
+    if opts.resume {
+        if let Some(ckpt) = &opts.checkpoint {
+            if let Some((_, state)) = latest_valid_run_state(ckpt) {
+                restore_from_state(method, model, opt.as_mut(), rng, seq, &state)?;
+                for row in &state.matrix_rows {
+                    matrix.push_row(row.clone());
+                }
+                task_seconds = state.task_seconds;
+                task_losses = state.task_losses;
+                start_task = state.completed_tasks;
+                resumed_lr_scale = state.lr_scale;
+            }
+        }
+    }
 
     let schedule = (cfg.cosine_floor < 1.0).then(|| {
-        CosineSchedule::new(cfg.lr, cfg.lr * cfg.cosine_floor, 0, cfg.epochs_per_task.max(1))
+        CosineSchedule::new(
+            cfg.lr,
+            cfg.lr * cfg.cosine_floor,
+            0,
+            cfg.epochs_per_task.max(1),
+        )
     });
+    let mut guard = StepGuard::new(opts.guard.clone(), &model.params);
+    guard.set_lr_scale(resumed_lr_scale);
+    let until = opts.stop_after.map_or(seq.len(), |n| n.min(seq.len()));
 
-    for (task_idx, task) in seq.tasks.iter().enumerate() {
+    for task_idx in start_task..until {
+        let task = &seq.tasks[task_idx];
         let start = Instant::now();
         method.begin_task(model, task_idx, &task.train, rng);
+        guard.begin_task(&model.params);
         let mut loss_sum = 0.0f32;
         let mut loss_count = 0usize;
-        for epoch in 0..cfg.epochs_per_task {
-            if let Some(s) = &schedule {
-                opt.set_lr(s.lr_at(epoch));
-            }
+        let mut epoch = 0usize;
+        while epoch < cfg.epochs_per_task {
+            let base_lr = schedule.as_ref().map_or(cfg.lr, |s| s.lr_at(epoch));
+            opt.set_lr(base_lr * guard.lr_scale());
+            // Accumulate this epoch's losses separately: a diverged epoch
+            // is retried, and its partial sums must not pollute the task
+            // mean (acceptance: task_losses stay finite through faults).
+            let mut epoch_sum = 0.0f32;
+            let mut epoch_count = 0usize;
+            let mut diverged_loss = None;
             for batch_idx in BatchIter::new(task.train.len(), cfg.batch_size, rng) {
                 let batch = task.train.inputs.select_rows(&batch_idx);
                 let loss =
                     method.train_step(model, opt.as_mut(), augmenters, &batch, task_idx, rng);
-                loss_sum += loss;
-                loss_count += 1;
+                if guard.is_divergent(loss) {
+                    diverged_loss = Some(loss);
+                    break;
+                }
+                guard.observe(loss);
+                epoch_sum += loss;
+                epoch_count += 1;
             }
+            if let Some(bad) = diverged_loss {
+                guard.recover(
+                    &mut model.params,
+                    opt.as_mut(),
+                    &method.name(),
+                    task_idx,
+                    epoch,
+                    bad,
+                )?;
+                recoveries += 1;
+                continue; // retry this epoch from the rolled-back weights
+            }
+            loss_sum += epoch_sum;
+            loss_count += epoch_count;
+            guard.commit(&model.params);
+            epoch += 1;
         }
         method.end_task(model, task_idx, &task.train, &augmenters[task_idx], rng);
         task_seconds.push(start.elapsed().as_secs_f64());
-        task_losses.push(if loss_count > 0 { loss_sum / loss_count as f32 } else { 0.0 });
+        task_losses.push(if loss_count > 0 {
+            loss_sum / loss_count as f32
+        } else {
+            0.0
+        });
 
         matrix.push_row(evaluate_row(model, seq, task_idx, cfg.eval_k));
+
+        if let Some(ckpt) = &opts.checkpoint {
+            let method_state = method.save_state().ok_or_else(|| TrainError::MethodState {
+                method: method.name(),
+                reason: "save_state returned None mid-run".into(),
+            })?;
+            let state = RunState {
+                completed_tasks: task_idx + 1,
+                method: method.name(),
+                benchmark: seq.name.clone(),
+                matrix_rows: matrix.rows().to_vec(),
+                task_seconds: task_seconds.clone(),
+                task_losses: task_losses.clone(),
+                params_payload: params_to_bytes(&model.params),
+                optim_payload: optim_state_to_bytes(&opt.export_state()),
+                rng_state: rng.state(),
+                method_state,
+                lr_scale: guard.lr_scale(),
+            };
+            save_run_state(ckpt, &state)?;
+        }
     }
 
-    RunResult {
+    Ok(RunResult {
         method: method.name(),
         benchmark: seq.name.clone(),
         matrix,
         task_seconds,
         task_losses,
+        recoveries,
+    })
+}
+
+/// Applies a loaded run state to the live objects, validating that it
+/// belongs to this method/benchmark pair.
+fn restore_from_state(
+    method: &mut dyn Method,
+    model: &mut ContinualModel,
+    opt: &mut dyn Optimizer,
+    rng: &mut StdRng,
+    seq: &TaskSequence,
+    state: &RunState,
+) -> Result<(), TrainError> {
+    if state.method != method.name() || state.benchmark != seq.name {
+        return Err(TrainError::InvalidConfig(format!(
+            "snapshot belongs to {}/{} but the run is {}/{}",
+            state.method,
+            state.benchmark,
+            method.name(),
+            seq.name
+        )));
     }
+    params_from_bytes(&mut model.params, &state.params_payload)?;
+    let optim_state = optim_state_from_bytes(&state.optim_payload)?;
+    opt.import_state(optim_state)
+        .map_err(TrainError::InvalidConfig)?;
+    method
+        .load_state(&state.method_state)
+        .map_err(|reason| TrainError::MethodState {
+            method: method.name(),
+            reason,
+        })?;
+    *rng = StdRng::from_state(state.rng_state);
+    Ok(())
 }
 
 /// Result of the Multitask (joint-training) upper bound.
@@ -293,22 +527,34 @@ impl MultitaskResult {
 
 /// Joint training over all increments at once (paper's Multitask row).
 /// Batches are drawn per task (so heterogeneous input widths work) and
-/// interleaved within each epoch.
+/// interleaved within each epoch. Runs under the same divergence guard
+/// as [`run_sequence`] (epoch-granular rollback, bounded LR backoff).
 pub fn run_multitask(
     model: &mut ContinualModel,
     seq: &TaskSequence,
     augmenters: &[Augmenter],
     cfg: &TrainConfig,
     rng: &mut StdRng,
-) -> MultitaskResult {
-    assert_eq!(augmenters.len(), seq.len(), "run_multitask: one augmenter per task required");
+) -> Result<MultitaskResult, TrainError> {
+    if augmenters.len() != seq.len() {
+        return Err(TrainError::InvalidConfig(format!(
+            "run_multitask: {} augmenters for {} tasks (one per task required)",
+            augmenters.len(),
+            seq.len()
+        )));
+    }
     let mut opt = cfg.build_optimizer();
+    let mut guard = StepGuard::new(GuardConfig::default(), &model.params);
+    guard.begin_task(&model.params);
     let start = Instant::now();
     // The paper trains Multitask for the same epoch count as each
     // continual increment (200 epochs on CIFAR both ways). At simulation
     // scale the joint mixture needs extra passes to converge, hence the
     // multiplier (upper-bound semantics = trained to convergence).
-    for _epoch in 0..cfg.epochs_per_task * cfg.multitask_epoch_multiplier.max(1) {
+    let total_epochs = cfg.epochs_per_task * cfg.multitask_epoch_multiplier.max(1);
+    let mut epoch = 0usize;
+    while epoch < total_epochs {
+        opt.set_lr(cfg.lr * guard.lr_scale());
         // Interleave per-task batches.
         let mut iters: Vec<(usize, BatchIter)> = seq
             .tasks
@@ -316,8 +562,9 @@ pub fn run_multitask(
             .enumerate()
             .map(|(i, t)| (i, BatchIter::new(t.train.len(), cfg.batch_size, rng)))
             .collect();
+        let mut diverged_loss = None;
         let mut any = true;
-        while any {
+        'steps: while any {
             any = false;
             for (task_idx, iter) in &mut iters {
                 if let Some(batch_idx) = iter.next() {
@@ -333,20 +580,37 @@ pub fn run_multitask(
                         *task_idx,
                         rng,
                     );
-                    apply_step(model, opt.as_mut(), &tape, &binder, loss);
+                    let value = apply_step(model, opt.as_mut(), &tape, &binder, loss);
+                    if guard.is_divergent(value) {
+                        diverged_loss = Some(value);
+                        break 'steps;
+                    }
+                    guard.observe(value);
                 }
             }
         }
+        if let Some(bad) = diverged_loss {
+            guard.recover(&mut model.params, opt.as_mut(), "Multitask", 0, epoch, bad)?;
+            continue;
+        }
+        guard.commit(&model.params);
+        epoch += 1;
     }
     let per_task_acc = evaluate_row(model, seq, seq.len() - 1, cfg.eval_k);
     let acc = per_task_acc.iter().sum::<f32>() / per_task_acc.len() as f32;
-    MultitaskResult { per_task_acc, acc, seconds: start.elapsed().as_secs_f64() }
+    Ok(MultitaskResult {
+        per_task_acc,
+        acc,
+        seconds: start.elapsed().as_secs_f64(),
+    })
 }
 
 /// Builds the per-task augmenters for an image benchmark (shared op
 /// pipeline over the preset's grid).
 pub fn image_augmenters(seq: &TaskSequence, grid: edsr_data::GridSpec) -> Vec<Augmenter> {
-    (0..seq.len()).map(|_| Augmenter::standard_image(grid)).collect()
+    (0..seq.len())
+        .map(|_| Augmenter::standard_image(grid))
+        .collect()
 }
 
 /// Builds the per-task augmenters for the tabular stream (SCARF

@@ -28,9 +28,16 @@ fn toy_sequence(seed: u64) -> TaskSequence {
             inputs.add_at(r, class, offset + 2.0);
         }
         let data = Dataset::new("toy", inputs, labels);
-        Task { train: data.clone(), test: data.subset(&(0..8).collect::<Vec<_>>()), classes: vec![0, 1] }
+        Task {
+            train: data.clone(),
+            test: data.subset(&(0..8).collect::<Vec<_>>()),
+            classes: vec![0, 1],
+        }
     };
-    TaskSequence { name: "toy".into(), tasks: vec![make_task(0.0), make_task(1.0)] }
+    TaskSequence {
+        name: "toy".into(),
+        tasks: vec![make_task(0.0), make_task(1.0)],
+    }
 }
 
 fn toy_augmenters(n: usize) -> Vec<Augmenter> {
@@ -62,7 +69,7 @@ fn cosine_floor_schedules_lr_without_breaking_training() {
     cfg.epochs_per_task = 4;
     cfg.cosine_floor = 0.05;
     let mut rng = seeded(22);
-    let result = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng);
+    let result = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).expect("run");
     assert_eq!(result.matrix.num_increments(), 2);
     assert!(result.task_losses.iter().all(|l| l.is_finite()));
 }
@@ -95,7 +102,7 @@ fn run_sequence_fills_matrix_times_and_losses() {
     let mut method = Finetune::new();
     let cfg = tiny_cfg();
     let mut rng = seeded(5);
-    let result = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng);
+    let result = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).expect("run");
     assert_eq!(result.matrix.num_increments(), 2);
     assert_eq!(result.task_seconds.len(), 2);
     assert_eq!(result.task_losses.len(), 2);
@@ -104,7 +111,6 @@ fn run_sequence_fills_matrix_times_and_losses() {
 }
 
 #[test]
-#[should_panic(expected = "one augmenter per task")]
 fn run_sequence_rejects_wrong_augmenter_count() {
     let seq = toy_sequence(6);
     let augs = toy_augmenters(1);
@@ -112,7 +118,12 @@ fn run_sequence_rejects_wrong_augmenter_count() {
     let mut method = Finetune::new();
     let cfg = tiny_cfg();
     let mut rng = seeded(8);
-    let _ = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng);
+    let err = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).unwrap_err();
+    assert!(
+        matches!(err, crate::error::TrainError::InvalidConfig(_)),
+        "{err}"
+    );
+    assert!(err.to_string().contains("one per task"), "{err}");
 }
 
 #[test]
@@ -122,7 +133,7 @@ fn run_multitask_reports_all_tasks() {
     let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(10));
     let cfg = tiny_cfg();
     let mut rng = seeded(11);
-    let mt = run_multitask(&mut model, &seq, &augs, &cfg, &mut rng);
+    let mt = run_multitask(&mut model, &seq, &augs, &cfg, &mut rng).expect("multitask");
     assert_eq!(mt.per_task_acc.len(), 2);
     let mean = mt.per_task_acc.iter().sum::<f32>() / 2.0;
     assert!((mt.acc - mean).abs() < 1e-6);
@@ -135,7 +146,10 @@ fn tabular_augmenters_reference_each_increment() {
     assert_eq!(augs.len(), seq.len());
     for (aug, task) in augs.iter().zip(&seq.tasks) {
         match aug {
-            Augmenter::TabularCrop { reference, corruption_prob } => {
+            Augmenter::TabularCrop {
+                reference,
+                corruption_prob,
+            } => {
                 assert_eq!(reference.rows(), task.train.len());
                 assert_eq!(*corruption_prob, 0.5);
             }
@@ -155,13 +169,7 @@ fn method_lifecycle_hooks_fire_in_order() {
         fn name(&self) -> String {
             "Spy".into()
         }
-        fn begin_task(
-            &mut self,
-            _m: &mut ContinualModel,
-            t: usize,
-            _d: &Dataset,
-            _r: &mut StdRng,
-        ) {
+        fn begin_task(&mut self, _m: &mut ContinualModel, t: usize, _d: &Dataset, _r: &mut StdRng) {
             self.events.push(format!("begin{t}"));
         }
         fn train_step(
@@ -196,11 +204,19 @@ fn method_lifecycle_hooks_fire_in_order() {
     let mut cfg = tiny_cfg();
     cfg.epochs_per_task = 1;
     let mut rng = seeded(15);
-    let _ = run_sequence(&mut spy, &mut model, &seq, &augs, &cfg, &mut rng);
+    run_sequence(&mut spy, &mut model, &seq, &augs, &cfg, &mut rng).expect("run");
 
     assert_eq!(spy.events.first().map(String::as_str), Some("begin0"));
-    let end0 = spy.events.iter().position(|e| e == "end0").expect("end0 fired");
-    let begin1 = spy.events.iter().position(|e| e == "begin1").expect("begin1 fired");
+    let end0 = spy
+        .events
+        .iter()
+        .position(|e| e == "end0")
+        .expect("end0 fired");
+    let begin1 = spy
+        .events
+        .iter()
+        .position(|e| e == "begin1")
+        .expect("begin1 fired");
     assert!(end0 < begin1, "task 1 began before task 0 ended");
     assert_eq!(spy.events.last().map(String::as_str), Some("end1"));
     assert!(spy.events.iter().filter(|e| e.starts_with("step0")).count() >= 1);

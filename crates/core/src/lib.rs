@@ -13,22 +13,25 @@
 //! This crate also re-exports the substrate crates as a facade, so
 //! `edsr_core::prelude::*` is enough to run experiments.
 
+pub mod error;
 pub mod method;
 pub mod noise;
 pub mod select;
 
+pub use error::Error;
 pub use method::{Edsr, EdsrConfig, ReplayLoss, ReplaySampling};
 pub use noise::noise_magnitudes;
 pub use select::{table5_strategies, SelectionContext, SelectionStrategy};
 
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
-    pub use crate::{Edsr, EdsrConfig, ReplayLoss, ReplaySampling, SelectionStrategy};
+    pub use crate::{Edsr, EdsrConfig, Error, ReplayLoss, ReplaySampling, SelectionStrategy};
     pub use edsr_cl::{
-        run_multitask, run_sequence, image_augmenters, tabular_augmenters, Cassle,
-        ContinualModel, Der, Finetune, Lump, Method, ModelConfig, RunResult, Si, TrainConfig,
+        image_augmenters, run_multitask, run_sequence, run_sequence_with, tabular_augmenters,
+        Cassle, CheckpointConfig, ContinualModel, Der, Finetune, Lump, Method, ModelConfig,
+        RunOptions, RunResult, Si, TrainConfig, TrainError,
     };
-    pub use edsr_data::{cifar10_sim, cifar100_sim, domainnet_sim, test_sim, tiny_imagenet_sim};
+    pub use edsr_data::{cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim};
     pub use edsr_ssl::SslVariant;
     pub use edsr_tensor::rng::seeded;
 }

@@ -87,7 +87,11 @@ pub struct EdsrConfig {
 impl EdsrConfig {
     /// The paper's default EDSR: high-entropy selection, noise-enhanced
     /// replay, uniform sampling, distillation on new data.
-    pub fn paper_default(per_task_budget: usize, replay_batch: usize, noise_neighbors: usize) -> Self {
+    pub fn paper_default(
+        per_task_budget: usize,
+        replay_batch: usize,
+        noise_neighbors: usize,
+    ) -> Self {
         Self {
             per_task_budget,
             replay_batch,
@@ -111,12 +115,24 @@ pub struct Edsr {
 impl Edsr {
     /// Creates EDSR from a configuration.
     pub fn new(cfg: EdsrConfig) -> Self {
-        Self { cfg, memory: MemoryBuffer::new(), frozen: None }
+        Self {
+            cfg,
+            memory: MemoryBuffer::new(),
+            frozen: None,
+        }
     }
 
     /// Convenience: the paper's default configuration.
-    pub fn paper_default(per_task_budget: usize, replay_batch: usize, noise_neighbors: usize) -> Self {
-        Self::new(EdsrConfig::paper_default(per_task_budget, replay_batch, noise_neighbors))
+    pub fn paper_default(
+        per_task_budget: usize,
+        replay_batch: usize,
+        noise_neighbors: usize,
+    ) -> Self {
+        Self::new(EdsrConfig::paper_default(
+            per_task_budget,
+            replay_batch,
+            noise_neighbors,
+        ))
     }
 
     /// Stored sample count.
@@ -174,7 +190,8 @@ impl Edsr {
                         .into_iter()
                         .collect()
                 } else {
-                    self.memory.sample_weighted_grouped(self.cfg.replay_batch, &weights, rng)
+                    self.memory
+                        .sample_weighted_grouped(self.cfg.replay_batch, &weights, rng)
                 }
             }
         }
@@ -222,10 +239,20 @@ impl Method for Edsr {
                 let t1 = frozen.represent(&x1, task_idx);
                 let t2 = frozen.represent(&x2, task_idx);
                 let d1 = model.distill.distill_loss(
-                    &mut tape, &mut binder, &model.params, &model.ssl, z1, &t1,
+                    &mut tape,
+                    &mut binder,
+                    &model.params,
+                    &model.ssl,
+                    z1,
+                    &t1,
                 );
                 let d2 = model.distill.distill_loss(
-                    &mut tape, &mut binder, &model.params, &model.ssl, z2, &t2,
+                    &mut tape,
+                    &mut binder,
+                    &model.params,
+                    &model.ssl,
+                    z2,
+                    &t2,
                 );
                 let d = tape.add(d1, d2);
                 let d = tape.scale(d, 0.5);
@@ -319,14 +346,28 @@ impl Method for Edsr {
         let selected = self.cfg.selection.select(&ctx, budget, rng);
         let scales = noise_magnitudes(&reps, &selected, self.cfg.noise_neighbors);
 
-        self.memory.extend(selected.iter().zip(&scales).map(|(&i, &scale)| MemoryItem {
-            input: train.inputs.row(i).to_vec(),
-            task: task_idx,
-            noise_scale: scale,
-            // Cache the selection-time representation for similarity-
-            // weighted replay.
-            stored_features: Some(reps.row(i).to_vec()),
-        }));
+        self.memory
+            .extend(selected.iter().zip(&scales).map(|(&i, &scale)| MemoryItem {
+                input: train.inputs.row(i).to_vec(),
+                task: task_idx,
+                noise_scale: scale,
+                // Cache the selection-time representation for similarity-
+                // weighted replay.
+                stored_features: Some(reps.row(i).to_vec()),
+            }));
+    }
+
+    // The episodic memory (inputs, noise magnitudes, cached selection-time
+    // representations) is the only persistent state: the frozen model is
+    // refreshed from the live weights in `begin_task`, which resume
+    // re-runs at the increment boundary.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.memory.to_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
+        Ok(())
     }
 }
 
@@ -361,7 +402,11 @@ mod tests {
             edsr.memory().items().iter().any(|i| i.noise_scale > 0.0),
             "no noise scales computed"
         );
-        assert!(edsr.memory().items().iter().all(|i| i.stored_features.is_some()));
+        assert!(edsr
+            .memory()
+            .items()
+            .iter()
+            .all(|i| i.stored_features.is_some()));
     }
 
     #[test]
@@ -375,7 +420,12 @@ mod tests {
 
     #[test]
     fn full_two_task_cycle_runs_all_loss_paths() {
-        for replay in [ReplayLoss::None, ReplayLoss::Css, ReplayLoss::Dis, ReplayLoss::Rpl] {
+        for replay in [
+            ReplayLoss::None,
+            ReplayLoss::Css,
+            ReplayLoss::Dis,
+            ReplayLoss::Rpl,
+        ] {
             let (mut model, mut opt, aug, train) = setup(434);
             let mut rng = seeded(435);
             let mut cfg = EdsrConfig::paper_default(6, 4, 3);
@@ -384,12 +434,26 @@ mod tests {
 
             edsr.begin_task(&mut model, 0, &train, &mut rng);
             let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
-            let l0 = edsr.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 0, &mut rng);
+            let l0 = edsr.train_step(
+                &mut model,
+                &mut opt,
+                std::slice::from_ref(&aug),
+                &batch,
+                0,
+                &mut rng,
+            );
             assert!(l0.is_finite(), "{:?} task0 loss", replay);
             edsr.end_task(&mut model, 0, &train, &aug, &mut rng);
 
             edsr.begin_task(&mut model, 1, &train, &mut rng);
-            let l1 = edsr.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 1, &mut rng);
+            let l1 = edsr.train_step(
+                &mut model,
+                &mut opt,
+                std::slice::from_ref(&aug),
+                &batch,
+                1,
+                &mut rng,
+            );
             assert!(l1.is_finite(), "{:?} task1 loss", replay);
         }
     }
@@ -426,7 +490,14 @@ mod tests {
         edsr.end_task(&mut model, 0, &train, &aug, &mut rng);
         edsr.begin_task(&mut model, 1, &train, &mut rng);
         let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
-        let l = edsr.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 1, &mut rng);
+        let l = edsr.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            1,
+            &mut rng,
+        );
         assert!(l.is_finite());
     }
 
@@ -439,7 +510,14 @@ mod tests {
         let mut edsr = Edsr::paper_default(6, 4, 3);
         edsr.begin_task(&mut model, 0, &train, &mut rng);
         let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
-        let l = edsr.train_step(&mut model, &mut opt, std::slice::from_ref(&aug), &batch, 0, &mut rng);
+        let l = edsr.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            0,
+            &mut rng,
+        );
         assert!(l >= -1.0 - 1e-4, "first-task loss had extra terms: {l}");
     }
 }

@@ -60,7 +60,12 @@ mod tests {
             }
         }
         let mags = noise_magnitudes(&reps, &[0, 10], 5);
-        assert!(mags[1] > mags[0] * 10.0, "loose {} vs tight {}", mags[1], mags[0]);
+        assert!(
+            mags[1] > mags[0] * 10.0,
+            "loose {} vs tight {}",
+            mags[1],
+            mags[0]
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ fn high_entropy_dominates_random_on_structured_data() {
             reps.set(r, c, edsr_tensor::rng::gaussian(&mut rng) * 0.3);
         }
     }
-    let ctx = SelectionContext { reps: &reps, aug_view_std: None, cluster_hint: 3 };
+    let ctx = SelectionContext {
+        reps: &reps,
+        aug_view_std: None,
+        cluster_hint: 3,
+    };
     let he = SelectionStrategy::HighEntropy.select(&ctx, 10, &mut seeded(1));
     let h_he = coding_length_entropy(&reps.select_rows(&he), 0.5);
     let mut h_rand = 0.0;
@@ -123,5 +127,8 @@ fn high_entropy_dominates_random_on_structured_data() {
         h_rand += coding_length_entropy(&reps.select_rows(&r), 0.5);
     }
     h_rand /= 20.0;
-    assert!(h_he > h_rand, "H(high-entropy)={h_he} vs mean H(random)={h_rand}");
+    assert!(
+        h_he > h_rand,
+        "H(high-entropy)={h_he} vs mean H(random)={h_rand}"
+    );
 }

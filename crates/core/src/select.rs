@@ -74,7 +74,12 @@ impl SelectionStrategy {
     /// Selects up to `budget` distinct row indices of `ctx.reps`.
     ///
     /// Returns fewer than `budget` only when the population is smaller.
-    pub fn select(&self, ctx: &SelectionContext<'_>, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    pub fn select(
+        &self,
+        ctx: &SelectionContext<'_>,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = ctx.reps.rows();
         let budget = budget.min(n);
         if budget == 0 {
@@ -135,7 +140,9 @@ fn select_min_var(ctx: &SelectionContext<'_>, budget: usize, rng: &mut StdRng) -
     }
     for members in &mut per_cluster {
         members.sort_by(|&a, &b| {
-            score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
 
@@ -212,9 +219,14 @@ fn select_high_entropy(reps: &Matrix, budget: usize, rng: &mut StdRng) -> Vec<us
 /// representation norms.
 fn select_trace_greedy(reps: &Matrix, budget: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..reps.rows()).collect();
-    let norms: Vec<f32> =
-        (0..reps.rows()).map(|r| reps.row(r).iter().map(|v| v * v).sum::<f32>()).collect();
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let norms: Vec<f32> = (0..reps.rows())
+        .map(|r| reps.row(r).iter().map(|v| v * v).sum::<f32>())
+        .collect();
+    order.sort_by(|&a, &b| {
+        norms[b]
+            .partial_cmp(&norms[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     order.truncate(budget);
     order
 }
@@ -250,7 +262,11 @@ mod tests {
     }
 
     fn ctx(reps: &Matrix) -> SelectionContext<'_> {
-        SelectionContext { reps, aug_view_std: None, cluster_hint: 2 }
+        SelectionContext {
+            reps,
+            aug_view_std: None,
+            cluster_hint: 2,
+        }
     }
 
     #[test]
@@ -287,7 +303,9 @@ mod tests {
     fn zero_budget_selects_nothing() {
         let reps = aniso(5, 404);
         let mut rng = seeded(405);
-        assert!(SelectionStrategy::Random.select(&ctx(&reps), 0, &mut rng).is_empty());
+        assert!(SelectionStrategy::Random
+            .select(&ctx(&reps), 0, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -305,7 +323,10 @@ mod tests {
         }
         h_rand /= 10.0;
         let h_he = coding_length_entropy(&reps.select_rows(&he), 0.5);
-        assert!(h_he > h_rand, "entropy selection H={h_he} vs random mean H={h_rand}");
+        assert!(
+            h_he > h_rand,
+            "entropy selection H={h_he} vs random mean H={h_rand}"
+        );
     }
 
     #[test]
@@ -314,8 +335,14 @@ mod tests {
         let mut rng = seeded(409);
         let sel = SelectionStrategy::HighEntropy.select(&ctx(&reps), 6, &mut rng);
         let picked: Vec<f32> = sel.iter().map(|&i| reps.get(i, 0)).collect();
-        assert!(picked.iter().any(|&v| v > 2.0), "no high-end sample: {picked:?}");
-        assert!(picked.iter().any(|&v| v < -2.0), "no low-end sample: {picked:?}");
+        assert!(
+            picked.iter().any(|&v| v > 2.0),
+            "no high-end sample: {picked:?}"
+        );
+        assert!(
+            picked.iter().any(|&v| v < -2.0),
+            "no low-end sample: {picked:?}"
+        );
     }
 
     #[test]
@@ -333,9 +360,12 @@ mod tests {
     fn min_var_prefers_stable_samples() {
         let reps = aniso(20, 410);
         // Mark half the samples as augmentation-unstable.
-        let stds: Vec<f32> =
-            (0..20).map(|i| if i < 10 { 0.01 } else { 10.0 }).collect();
-        let c = SelectionContext { reps: &reps, aug_view_std: Some(&stds), cluster_hint: 1 };
+        let stds: Vec<f32> = (0..20).map(|i| if i < 10 { 0.01 } else { 10.0 }).collect();
+        let c = SelectionContext {
+            reps: &reps,
+            aug_view_std: Some(&stds),
+            cluster_hint: 1,
+        };
         let mut rng = seeded(411);
         let sel = SelectionStrategy::MinVar.select(&c, 8, &mut rng);
         let stable = sel.iter().filter(|&&i| i < 10).count();
@@ -363,7 +393,11 @@ mod tests {
         // Constant representations: PCA has zero variance everywhere; every
         // strategy must still return `budget` distinct indices.
         let reps = Matrix::filled(12, 4, 1.0);
-        let c = SelectionContext { reps: &reps, aug_view_std: None, cluster_hint: 2 };
+        let c = SelectionContext {
+            reps: &reps,
+            aug_view_std: None,
+            cluster_hint: 2,
+        };
         for strat in [
             SelectionStrategy::Random,
             SelectionStrategy::Distant,
@@ -384,14 +418,24 @@ mod tests {
     #[test]
     fn single_sample_population() {
         let reps = Matrix::filled(1, 3, 2.0);
-        let c = SelectionContext { reps: &reps, aug_view_std: None, cluster_hint: 1 };
+        let c = SelectionContext {
+            reps: &reps,
+            aug_view_std: None,
+            cluster_hint: 1,
+        };
         let mut rng = seeded(414);
-        assert_eq!(SelectionStrategy::HighEntropy.select(&c, 3, &mut rng), vec![0]);
+        assert_eq!(
+            SelectionStrategy::HighEntropy.select(&c, 3, &mut rng),
+            vec![0]
+        );
     }
 
     #[test]
     fn table5_order_matches_paper() {
         let names: Vec<&str> = table5_strategies().iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["Random", "K-means", "Min-Var", "Distant", "High Entropy"]);
+        assert_eq!(
+            names,
+            vec!["Random", "K-means", "Min-Var", "Distant", "High Entropy"]
+        );
     }
 }

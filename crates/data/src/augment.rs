@@ -76,7 +76,10 @@ impl AugOp {
                     box_blur(sample, grid);
                 }
             }
-            AugOp::PatternJitter { ref patterns, scale } => {
+            AugOp::PatternJitter {
+                ref patterns,
+                scale,
+            } => {
                 for p in patterns.iter() {
                     let c = edsr_tensor::rng::gaussian(rng) * scale;
                     for (v, &pi) in sample.iter_mut().zip(p) {
@@ -92,17 +95,23 @@ fn crop_resize(sample: &mut [f32], grid: GridSpec, min_scale: f32, rng: &mut Std
     let scale = uniform(rng, min_scale.clamp(0.05, 1.0), 1.0);
     let ch = ((grid.height as f32 * scale).round() as usize).clamp(1, grid.height);
     let cw = ((grid.width as f32 * scale).round() as usize).clamp(1, grid.width);
-    let top = if grid.height > ch { index(rng, grid.height - ch + 1) } else { 0 };
-    let left = if grid.width > cw { index(rng, grid.width - cw + 1) } else { 0 };
+    let top = if grid.height > ch {
+        index(rng, grid.height - ch + 1)
+    } else {
+        0
+    };
+    let left = if grid.width > cw {
+        index(rng, grid.width - cw + 1)
+    } else {
+        0
+    };
 
     let src = sample.to_vec();
     for c in 0..grid.channels {
         for r in 0..grid.height {
             for col in 0..grid.width {
-                let y =
-                    top as f32 + r as f32 / (grid.height - 1).max(1) as f32 * (ch - 1) as f32;
-                let x =
-                    left as f32 + col as f32 / (grid.width - 1).max(1) as f32 * (cw - 1) as f32;
+                let y = top as f32 + r as f32 / (grid.height - 1).max(1) as f32 * (ch - 1) as f32;
+                let x = left as f32 + col as f32 / (grid.width - 1).max(1) as f32 * (cw - 1) as f32;
                 sample[grid.index(c, r, col)] = grid.bilinear(&src, c, y, x);
             }
         }
@@ -138,8 +147,10 @@ fn gray_scale(sample: &mut [f32], grid: GridSpec) {
     }
     let plane = grid.height * grid.width;
     for p in 0..plane {
-        let mean: f32 =
-            (0..grid.channels).map(|c| sample[c * plane + p]).sum::<f32>() / grid.channels as f32;
+        let mean: f32 = (0..grid.channels)
+            .map(|c| sample[c * plane + p])
+            .sum::<f32>()
+            / grid.channels as f32;
         for c in 0..grid.channels {
             sample[c * plane + p] = mean;
         }
@@ -236,7 +247,10 @@ impl Augmenter {
 
     /// SCARF corruption with the reference corpus.
     pub fn tabular(reference: Matrix, corruption_prob: f32) -> Self {
-        Augmenter::TabularCrop { reference, corruption_prob }
+        Augmenter::TabularCrop {
+            reference,
+            corruption_prob,
+        }
     }
 
     /// Augments one sample (row slice) into a new view.
@@ -250,7 +264,10 @@ impl Augmenter {
                 }
                 out
             }
-            Augmenter::TabularCrop { reference, corruption_prob } => {
+            Augmenter::TabularCrop {
+                reference,
+                corruption_prob,
+            } => {
                 let mut out = sample.to_vec();
                 for (f, v) in out.iter_mut().enumerate() {
                     if rng.random::<f32>() < *corruption_prob {
@@ -397,21 +414,30 @@ mod tests {
         let p1 = vec![1.0f32, 0.0, 0.0, 0.0];
         let p2 = vec![0.0f32, 1.0, 0.0, 0.0];
         let patterns = std::sync::Arc::new(vec![p1, p2]);
-        let op = AugOp::PatternJitter { patterns, scale: 2.0 };
+        let op = AugOp::PatternJitter {
+            patterns,
+            scale: 2.0,
+        };
         let g = GridSpec::new(2, 2, 1);
         let base = vec![5.0f32, 6.0, 7.0, 8.0];
         let mut v = base.clone();
         op.apply(&mut v, g, &mut rng);
         assert_eq!(v[2], 7.0, "outside-span coordinate changed");
         assert_eq!(v[3], 8.0, "outside-span coordinate changed");
-        assert!((v[0] - 5.0).abs() > 1e-4 || (v[1] - 6.0).abs() > 1e-4, "no jitter applied");
+        assert!(
+            (v[0] - 5.0).abs() > 1e-4 || (v[1] - 6.0).abs() > 1e-4,
+            "no jitter applied"
+        );
     }
 
     #[test]
     fn pattern_jitter_zero_scale_is_identity() {
         let mut rng = seeded(157);
         let patterns = std::sync::Arc::new(vec![vec![1.0f32; 4]]);
-        let op = AugOp::PatternJitter { patterns, scale: 0.0 };
+        let op = AugOp::PatternJitter {
+            patterns,
+            scale: 0.0,
+        };
         let g = GridSpec::new(2, 2, 1);
         let mut v = vec![1.0f32, 2.0, 3.0, 4.0];
         op.apply(&mut v, g, &mut rng);

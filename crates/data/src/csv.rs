@@ -33,7 +33,9 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Parse { line, message } => write!(f, "csv parse error, line {line}: {message}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "csv parse error, line {line}: {message}")
+            }
             CsvError::Empty => write!(f, "csv file contains no samples"),
         }
     }
@@ -88,8 +90,7 @@ pub fn read_csv(name: &str, path: impl AsRef<Path>) -> Result<Dataset, CsvError>
                 })
             }
         };
-        let features: Result<Vec<f32>, _> =
-            fields.map(|f| f.trim().parse::<f32>()).collect();
+        let features: Result<Vec<f32>, _> = fields.map(|f| f.trim().parse::<f32>()).collect();
         let features = features.map_err(|e| CsvError::Parse {
             line: line_no,
             message: format!("feature parse failed: {e}"),
@@ -108,9 +109,14 @@ pub fn read_csv(name: &str, path: impl AsRef<Path>) -> Result<Dataset, CsvError>
         rows.push(features);
     }
 
-    let Some(width) = width else { return Err(CsvError::Empty) };
+    let Some(width) = width else {
+        return Err(CsvError::Empty);
+    };
     if width == 0 {
-        return Err(CsvError::Parse { line: 1, message: "no feature columns".into() });
+        return Err(CsvError::Parse {
+            line: 1,
+            message: "no feature columns".into(),
+        });
     }
     let mut inputs = Matrix::zeros(rows.len(), width);
     for (r, row) in rows.iter().enumerate() {
@@ -176,7 +182,10 @@ mod tests {
     fn bad_label_mid_file_errors() {
         let path = tmp("badlabel");
         std::fs::write(&path, "0,1.0\nx,2.0\n").unwrap();
-        assert!(matches!(read_csv("b", &path), Err(CsvError::Parse { line: 2, .. })));
+        assert!(matches!(
+            read_csv("b", &path),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
         let _ = std::fs::remove_file(path);
     }
 

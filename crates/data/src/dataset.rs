@@ -23,8 +23,16 @@ impl Dataset {
     /// # Panics
     /// Panics if `labels.len() != inputs.rows()`.
     pub fn new(name: impl Into<String>, inputs: Matrix, labels: Vec<usize>) -> Self {
-        assert_eq!(inputs.rows(), labels.len(), "Dataset: label/row count mismatch");
-        Self { inputs, labels, name: name.into() }
+        assert_eq!(
+            inputs.rows(),
+            labels.len(),
+            "Dataset: label/row count mismatch"
+        );
+        Self {
+            inputs,
+            labels,
+            name: name.into(),
+        }
     }
 
     /// Number of samples.
@@ -74,8 +82,15 @@ impl Dataset {
     pub fn concat(name: impl Into<String>, parts: &[&Dataset]) -> Dataset {
         assert!(!parts.is_empty(), "Dataset::concat: no parts");
         let inputs = Matrix::vstack(&parts.iter().map(|d| &d.inputs).collect::<Vec<_>>());
-        let labels = parts.iter().flat_map(|d| d.labels.iter().copied()).collect();
-        Dataset { inputs, labels, name: name.into() }
+        let labels = parts
+            .iter()
+            .flat_map(|d| d.labels.iter().copied())
+            .collect();
+        Dataset {
+            inputs,
+            labels,
+            name: name.into(),
+        }
     }
 }
 
@@ -193,9 +208,20 @@ mod tests {
     #[test]
     fn joint_train_unions_tasks() {
         let d = toy();
-        let t1 = Task { train: d.filter_classes(&[0]), test: d.filter_classes(&[0]), classes: vec![0] };
-        let t2 = Task { train: d.filter_classes(&[1]), test: d.filter_classes(&[1]), classes: vec![1] };
-        let seq = TaskSequence { name: "toy".into(), tasks: vec![t1, t2] };
+        let t1 = Task {
+            train: d.filter_classes(&[0]),
+            test: d.filter_classes(&[0]),
+            classes: vec![0],
+        };
+        let t2 = Task {
+            train: d.filter_classes(&[1]),
+            test: d.filter_classes(&[1]),
+            classes: vec![1],
+        };
+        let seq = TaskSequence {
+            name: "toy".into(),
+            tasks: vec![t1, t2],
+        };
         assert_eq!(seq.joint_train().len(), 4);
     }
 }

@@ -22,8 +22,15 @@ impl GridSpec {
     /// # Panics
     /// Panics on any zero dimension.
     pub fn new(height: usize, width: usize, channels: usize) -> Self {
-        assert!(height > 0 && width > 0 && channels > 0, "GridSpec: zero dimension");
-        Self { height, width, channels }
+        assert!(
+            height > 0 && width > 0 && channels > 0,
+            "GridSpec: zero dimension"
+        );
+        Self {
+            height,
+            width,
+            channels,
+        }
     }
 
     /// Flattened dimensionality.
@@ -64,7 +71,11 @@ impl GridSpec {
 /// intensity mapped to ` .:-=+*#%@`) — handy for eyeballing synthetic
 /// samples and augmentation effects in examples and debugging sessions.
 pub fn render_ascii(sample: &[f32], grid: GridSpec) -> String {
-    assert_eq!(sample.len(), grid.dim(), "render_ascii: sample/grid mismatch");
+    assert_eq!(
+        sample.len(),
+        grid.dim(),
+        "render_ascii: sample/grid mismatch"
+    );
     const RAMP: &[u8] = b" .:-=+*#%@";
     let lo = sample.iter().copied().fold(f32::INFINITY, f32::min);
     let hi = sample.iter().copied().fold(f32::NEG_INFINITY, f32::max);

@@ -25,7 +25,7 @@ pub use csv::{read_csv, write_csv, CsvError};
 pub use dataset::{Dataset, Task, TaskSequence};
 pub use grid::{render_ascii, GridSpec};
 pub use presets::{
-    all_image_presets, cifar10_sim, cifar100_sim, domainnet_sim, test_sim, tiny_imagenet_sim,
+    all_image_presets, cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim,
     Preset,
 };
 pub use synth::{make_class_datasets, ClassModel, SynthConfig};

@@ -127,7 +127,13 @@ pub fn cifar10_sim() -> Preset {
             manifold_scale: 0.18,
             noise_scale: 0.10,
             coarse_factor: 2,
-            nuisance: NuisanceConfig { n_patterns: 4, pattern_scale: 0.8, gain: 0.15, flip: true, shift: 1 },
+            nuisance: NuisanceConfig {
+                n_patterns: 4,
+                pattern_scale: 0.8,
+                gain: 0.15,
+                flip: true,
+                shift: 1,
+            },
         },
         num_classes: 10,
         classes_per_task: 2,
@@ -150,7 +156,13 @@ pub fn cifar100_sim() -> Preset {
             manifold_scale: 0.20,
             noise_scale: 0.12,
             coarse_factor: 2,
-            nuisance: NuisanceConfig { n_patterns: 4, pattern_scale: 0.8, gain: 0.15, flip: true, shift: 1 },
+            nuisance: NuisanceConfig {
+                n_patterns: 4,
+                pattern_scale: 0.8,
+                gain: 0.15,
+                flip: true,
+                shift: 1,
+            },
         },
         num_classes: 100,
         classes_per_task: 5,
@@ -173,7 +185,13 @@ pub fn tiny_imagenet_sim() -> Preset {
             manifold_scale: 0.22,
             noise_scale: 0.14,
             coarse_factor: 2,
-            nuisance: NuisanceConfig { n_patterns: 4, pattern_scale: 0.8, gain: 0.15, flip: true, shift: 1 },
+            nuisance: NuisanceConfig {
+                n_patterns: 4,
+                pattern_scale: 0.8,
+                gain: 0.15,
+                flip: true,
+                shift: 1,
+            },
         },
         num_classes: 100,
         classes_per_task: 5,
@@ -197,7 +215,13 @@ pub fn domainnet_sim() -> Preset {
             manifold_scale: 0.22,
             noise_scale: 0.12,
             coarse_factor: 3,
-            nuisance: NuisanceConfig { n_patterns: 4, pattern_scale: 0.8, gain: 0.15, flip: true, shift: 1 },
+            nuisance: NuisanceConfig {
+                n_patterns: 4,
+                pattern_scale: 0.8,
+                gain: 0.15,
+                flip: true,
+                shift: 1,
+            },
         },
         num_classes: 120,
         classes_per_task: 8,
@@ -228,7 +252,12 @@ pub fn test_sim() -> Preset {
 
 /// All four paper-benchmark presets in Table III order.
 pub fn all_image_presets() -> Vec<Preset> {
-    vec![cifar10_sim(), cifar100_sim(), tiny_imagenet_sim(), domainnet_sim()]
+    vec![
+        cifar10_sim(),
+        cifar100_sim(),
+        tiny_imagenet_sim(),
+        domainnet_sim(),
+    ]
 }
 
 #[cfg(test)]

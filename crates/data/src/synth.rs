@@ -13,9 +13,9 @@
 //! learning — and EDSR's representation-noise argument \[71\] — relies on.
 
 use edsr_tensor::rng::gaussian;
-use rand::RngExt;
 use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
+use rand::RngExt;
 
 use crate::dataset::Dataset;
 use crate::grid::GridSpec;
@@ -67,7 +67,13 @@ pub struct NuisanceConfig {
 
 impl Default for NuisanceConfig {
     fn default() -> Self {
-        Self { n_patterns: 6, pattern_scale: 1.0, gain: 0.2, flip: true, shift: 1 }
+        Self {
+            n_patterns: 6,
+            pattern_scale: 1.0,
+            gain: 0.2,
+            flip: true,
+            shift: 1,
+        }
     }
 }
 
@@ -292,7 +298,11 @@ fn apply_nuisance(
 /// therefore the paper's comparisons — observable) without distorting the
 /// nuisance pattern subspace.
 pub fn apply_style(data: &mut crate::dataset::Dataset, pattern: &[f32], strength: f32) {
-    assert_eq!(pattern.len(), data.dim(), "apply_style: pattern dimension mismatch");
+    assert_eq!(
+        pattern.len(),
+        data.dim(),
+        "apply_style: pattern dimension mismatch"
+    );
     for r in 0..data.inputs.rows() {
         for (c, v) in data.inputs.row_mut(r).iter_mut().enumerate() {
             *v += strength * pattern[c];
@@ -316,8 +326,9 @@ pub fn make_class_datasets(
 ) -> (Dataset, Dataset, NuisanceWorld) {
     let d = grid.dim();
     let world = NuisanceWorld::generate(grid, &cfg.nuisance, rng);
-    let models: Vec<ClassModel> =
-        (0..num_classes).map(|_| ClassModel::generate(grid, cfg, rng)).collect();
+    let models: Vec<ClassModel> = (0..num_classes)
+        .map(|_| ClassModel::generate(grid, cfg, rng))
+        .collect();
 
     let build = |per_class: usize, split: &str, rng: &mut StdRng| {
         let n = per_class * num_classes;
@@ -389,7 +400,13 @@ mod tests {
     /// Clean config: nuisance disabled, so raw geometry exposes classes.
     fn clean_cfg() -> SynthConfig {
         SynthConfig {
-            nuisance: NuisanceConfig { n_patterns: 0, pattern_scale: 0.0, gain: 0.0, flip: false, shift: 0 },
+            nuisance: NuisanceConfig {
+                n_patterns: 0,
+                pattern_scale: 0.0,
+                gain: 0.0,
+                flip: false,
+                shift: 0,
+            },
             ..SynthConfig::default()
         }
     }
@@ -397,8 +414,7 @@ mod tests {
     #[test]
     fn classes_are_separated_without_nuisance() {
         let mut rng = seeded(142);
-        let (train, _, _) =
-            make_class_datasets("t", 3, 30, 5, grid(), &clean_cfg(), &mut rng);
+        let (train, _, _) = make_class_datasets("t", 3, 30, 5, grid(), &clean_cfg(), &mut rng);
         // Within-class distances should be smaller than between-class ones
         // on average.
         let mut within = 0.0;
@@ -464,7 +480,10 @@ mod tests {
             noisy < clean * 0.7,
             "nuisance did not reduce raw separability: clean ratio {clean}, noisy {noisy}"
         );
-        assert!(noisy < 1.6, "raw data still trivially separable: ratio {noisy}");
+        assert!(
+            noisy < 1.6,
+            "raw data still trivially separable: ratio {noisy}"
+        );
     }
 
     #[test]
@@ -473,14 +492,12 @@ mod tests {
         // than to other classes' (nearest-centroid sanity check) — on
         // clean (nuisance-free) data.
         let mut rng = seeded(144);
-        let (train, test, _) =
-            make_class_datasets("t", 3, 40, 10, grid(), &clean_cfg(), &mut rng);
+        let (train, test, _) = make_class_datasets("t", 3, 40, 10, grid(), &clean_cfg(), &mut rng);
         let mut correct = 0;
         for i in 0..test.len() {
             let mut best = (f32::INFINITY, 0usize);
             for k in 0..3 {
-                let idx: Vec<usize> =
-                    (0..train.len()).filter(|&j| train.labels[j] == k).collect();
+                let idx: Vec<usize> = (0..train.len()).filter(|&j| train.labels[j] == k).collect();
                 let mean_d: f32 = idx
                     .iter()
                     .map(|&j| sq_euclidean(test.inputs.row(i), train.inputs.row(j)))
@@ -516,7 +533,13 @@ mod tests {
     #[test]
     fn nuisance_world_pattern_count_and_rms() {
         let mut rng = seeded(148);
-        let cfg = NuisanceConfig { n_patterns: 4, pattern_scale: 1.0, gain: 0.0, flip: false, shift: 0 };
+        let cfg = NuisanceConfig {
+            n_patterns: 4,
+            pattern_scale: 1.0,
+            gain: 0.0,
+            flip: false,
+            shift: 0,
+        };
         let world = NuisanceWorld::generate(grid(), &cfg, &mut rng);
         // channels + n_patterns patterns, all unit-RMS.
         assert_eq!(world.patterns.len(), grid().channels + 4);
@@ -530,7 +553,13 @@ mod tests {
     fn nuisance_patterns_are_flip_symmetric() {
         let mut rng = seeded(149);
         let g = GridSpec::new(6, 6, 2);
-        let cfg = NuisanceConfig { n_patterns: 3, pattern_scale: 1.0, gain: 0.0, flip: true, shift: 0 };
+        let cfg = NuisanceConfig {
+            n_patterns: 3,
+            pattern_scale: 1.0,
+            gain: 0.0,
+            flip: true,
+            shift: 0,
+        };
         let world = NuisanceWorld::generate(g, &cfg, &mut rng);
         for p in &world.patterns {
             for c in 0..g.channels {

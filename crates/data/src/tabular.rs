@@ -33,11 +33,36 @@ pub struct TabularSpec {
 
 /// The five Table-II datasets.
 pub const TABULAR_SPECS: [TabularSpec; 5] = [
-    TabularSpec { name: "bank", paper_size: 45_211, input_dim: 16, positive_ratio: 0.1170 },
-    TabularSpec { name: "shoppers", paper_size: 12_330, input_dim: 17, positive_ratio: 0.1547 },
-    TabularSpec { name: "income", paper_size: 32_561, input_dim: 14, positive_ratio: 0.2408 },
-    TabularSpec { name: "blastchar", paper_size: 7_043, input_dim: 20, positive_ratio: 0.2654 },
-    TabularSpec { name: "shrutime", paper_size: 10_000, input_dim: 10, positive_ratio: 0.2037 },
+    TabularSpec {
+        name: "bank",
+        paper_size: 45_211,
+        input_dim: 16,
+        positive_ratio: 0.1170,
+    },
+    TabularSpec {
+        name: "shoppers",
+        paper_size: 12_330,
+        input_dim: 17,
+        positive_ratio: 0.1547,
+    },
+    TabularSpec {
+        name: "income",
+        paper_size: 32_561,
+        input_dim: 14,
+        positive_ratio: 0.2408,
+    },
+    TabularSpec {
+        name: "blastchar",
+        paper_size: 7_043,
+        input_dim: 20,
+        positive_ratio: 0.2654,
+    },
+    TabularSpec {
+        name: "shrutime",
+        paper_size: 10_000,
+        input_dim: 10,
+        positive_ratio: 0.2037,
+    },
 ];
 
 /// Controls generation difficulty.
@@ -66,17 +91,18 @@ impl Default for TabularConfig {
 
 /// Generates one dataset from a spec; labels are 0 (negative) / 1
 /// (positive) with the spec's imbalance.
-pub fn generate_tabular(
-    spec: &TabularSpec,
-    cfg: &TabularConfig,
-    rng: &mut StdRng,
-) -> Dataset {
+pub fn generate_tabular(spec: &TabularSpec, cfg: &TabularConfig, rng: &mut StdRng) -> Dataset {
     let n = (spec.paper_size / cfg.size_divisor).max(40);
     let d = spec.input_dim;
 
     // Class direction and a per-dataset random linear mixing.
     let mut direction: Vec<f32> = (0..d).map(|_| gaussian(rng)).collect();
-    let norm = direction.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-9);
+    let norm = direction
+        .iter()
+        .map(|v| v * v)
+        .sum::<f32>()
+        .sqrt()
+        .max(1e-9);
     direction.iter_mut().for_each(|v| *v /= norm);
     let n_categorical = ((d as f32 * cfg.categorical_fraction) as usize).min(d);
 
@@ -86,8 +112,8 @@ pub fn generate_tabular(
         let positive = rng.random::<f32>() < spec.positive_ratio;
         let sign = if positive { 0.5 } else { -0.5 };
         for c in 0..d {
-            let mut v = gaussian(rng) * cfg.noise_scale
-                + sign * cfg.class_separation * direction[c];
+            let mut v =
+                gaussian(rng) * cfg.noise_scale + sign * cfg.class_separation * direction[c];
             if c < n_categorical {
                 // Quantize to 4 levels, mimicking one-hot/ordinal columns.
                 v = (v * 1.5).round().clamp(-2.0, 2.0) / 1.5;
@@ -100,7 +126,11 @@ pub fn generate_tabular(
 }
 
 /// Splits one dataset into train/test with the paper's 80/20 rule.
-pub fn train_test_split(data: &Dataset, test_fraction: f32, rng: &mut StdRng) -> (Dataset, Dataset) {
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f32,
+    rng: &mut StdRng,
+) -> (Dataset, Dataset) {
     let n = data.len();
     let mut idx: Vec<usize> = (0..n).collect();
     edsr_tensor::rng::shuffle(rng, &mut idx);
@@ -120,10 +150,17 @@ pub fn tabular_sequence(cfg: &TabularConfig, rng: &mut StdRng) -> TaskSequence {
         .map(|spec| {
             let data = generate_tabular(spec, cfg, rng);
             let (train, test) = train_test_split(&data, 0.2, rng);
-            Task { classes: vec![0, 1], train, test }
+            Task {
+                classes: vec![0, 1],
+                train,
+                test,
+            }
         })
         .collect();
-    TaskSequence { name: "tabular-sim".into(), tasks }
+    TaskSequence {
+        name: "tabular-sim".into(),
+        tasks,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +181,10 @@ mod tests {
     #[test]
     fn generated_shape_and_imbalance() {
         let mut rng = seeded(160);
-        let cfg = TabularConfig { size_divisor: 10, ..Default::default() };
+        let cfg = TabularConfig {
+            size_divisor: 10,
+            ..Default::default()
+        };
         let d = generate_tabular(&TABULAR_SPECS[0], &cfg, &mut rng);
         assert_eq!(d.dim(), 16);
         assert_eq!(d.len(), 4521);
@@ -155,7 +195,10 @@ mod tests {
     #[test]
     fn classes_linearly_separated_in_expectation() {
         let mut rng = seeded(161);
-        let cfg = TabularConfig { size_divisor: 20, ..Default::default() };
+        let cfg = TabularConfig {
+            size_divisor: 20,
+            ..Default::default()
+        };
         let d = generate_tabular(&TABULAR_SPECS[2], &cfg, &mut rng);
         // Mean difference between classes should be sizable in norm.
         let mut pos_mean = vec![0.0f32; d.dim()];
@@ -200,7 +243,10 @@ mod tests {
         assert_eq!(seq.len(), 5);
         let dims: Vec<usize> = seq.tasks.iter().map(|t| t.train.dim()).collect();
         assert_eq!(dims, vec![16, 17, 14, 20, 10]);
-        assert!(seq.tasks.iter().all(|t| !t.train.is_empty() && !t.test.is_empty()));
+        assert!(seq
+            .tasks
+            .iter()
+            .all(|t| !t.train.is_empty() && !t.test.is_empty()));
     }
 
     #[test]

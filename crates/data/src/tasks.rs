@@ -24,7 +24,10 @@ pub fn split_by_classes(
     shuffle_classes: bool,
     rng: &mut StdRng,
 ) -> TaskSequence {
-    assert!(classes_per_task > 0, "split_by_classes: classes_per_task must be positive");
+    assert!(
+        classes_per_task > 0,
+        "split_by_classes: classes_per_task must be positive"
+    );
     let mut classes = train.classes();
     assert_eq!(
         classes,
@@ -49,7 +52,10 @@ pub fn split_by_classes(
             classes: group.to_vec(),
         })
         .collect();
-    TaskSequence { name: name.into(), tasks }
+    TaskSequence {
+        name: name.into(),
+        tasks,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ pub fn sym_eigen(a: &Matrix) -> SymEigen {
     assert_eq!(a.rows(), a.cols(), "sym_eigen: matrix must be square");
     let n = a.rows();
     if n == 0 {
-        return SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) };
+        return SymEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        };
     }
 
     // Work on a symmetrized copy.
@@ -148,7 +151,11 @@ mod tests {
             lam.set(i, i, e.values[i]);
         }
         let recon = e.vectors.matmul(&lam).matmul_transpose(&e.vectors);
-        assert!(recon.max_abs_diff(&a) < 1e-4, "max diff {}", recon.max_abs_diff(&a));
+        assert!(
+            recon.max_abs_diff(&a) < 1e-4,
+            "max diff {}",
+            recon.max_abs_diff(&a)
+        );
     }
 
     #[test]

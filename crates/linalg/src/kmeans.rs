@@ -37,7 +37,9 @@ pub fn kmeanspp_indices(x: &Matrix, k: usize, rng: &mut StdRng) -> Vec<usize> {
     assert!(k > 0 && k <= n, "kmeanspp: k={k} out of range for n={n}");
     let mut chosen = Vec::with_capacity(k);
     chosen.push(index(rng, n));
-    let mut d2: Vec<f32> = (0..n).map(|i| sq_euclidean(x.row(i), x.row(chosen[0]))).collect();
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| sq_euclidean(x.row(i), x.row(chosen[0])))
+        .collect();
     while chosen.len() < k {
         let next = weighted_index(rng, &d2);
         chosen.push(next);
@@ -119,9 +121,15 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, rng: &mut StdRng) -> KMean
         }
     }
 
-    let inertia =
-        (0..n).map(|i| sq_euclidean(x.row(i), centers.row(assignments[i]))).sum::<f32>();
-    KMeansResult { centers, assignments, inertia, iterations }
+    let inertia = (0..n)
+        .map(|i| sq_euclidean(x.row(i), centers.row(assignments[i])))
+        .sum::<f32>();
+    KMeansResult {
+        centers,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 /// For each cluster center, the index of the nearest input row
@@ -179,7 +187,9 @@ mod tests {
         for b in 0..3 {
             let first = res.assignments[b * 20];
             assert!(
-                res.assignments[b * 20..(b + 1) * 20].iter().all(|&a| a == first),
+                res.assignments[b * 20..(b + 1) * 20]
+                    .iter()
+                    .all(|&a| a == first),
                 "blob {b} split across clusters"
             );
         }

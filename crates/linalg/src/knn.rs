@@ -49,7 +49,11 @@ pub fn knn_search(
     metric: Metric,
     exclude: Option<usize>,
 ) -> Vec<Neighbor> {
-    assert_eq!(reference.cols(), query.len(), "knn_search: dimension mismatch");
+    assert_eq!(
+        reference.cols(),
+        query.len(),
+        "knn_search: dimension mismatch"
+    );
     let mut scored: Vec<Neighbor> = (0..reference.rows())
         .filter(|&i| Some(i) != exclude)
         .map(|i| {
@@ -61,12 +65,16 @@ pub fn knn_search(
         })
         .collect();
     match metric {
-        Metric::Euclidean => {
-            scored.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
-        }
-        Metric::Cosine => {
-            scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
-        }
+        Metric::Euclidean => scored.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        Metric::Cosine => scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
     }
     scored.truncate(k);
     scored
@@ -98,7 +106,10 @@ mod tests {
     fn euclidean_orders_by_distance() {
         let reference = line_points();
         let got = knn_search(&reference, &[3.2, 0.0], 3, Metric::Euclidean, None);
-        assert_eq!(got.iter().map(|n| n.index).collect::<Vec<_>>(), vec![3, 4, 2]);
+        assert_eq!(
+            got.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![3, 4, 2]
+        );
         assert!(got[0].score < got[1].score);
     }
 
@@ -113,8 +124,7 @@ mod tests {
 
     #[test]
     fn cosine_prefers_aligned() {
-        let reference =
-            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0], &[0.7, 0.7]]);
+        let reference = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0], &[0.7, 0.7]]);
         let got = knn_search(&reference, &[1.0, 0.1], 2, Metric::Cosine, None);
         assert_eq!(got[0].index, 0);
         assert!(got[0].score > 0.99);

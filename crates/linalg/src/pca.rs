@@ -45,7 +45,11 @@ impl Pca {
             }
             explained.push(eig.values[j].max(0.0));
         }
-        Pca { mean, components, explained_variance: explained }
+        Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        }
     }
 
     /// Number of retained components.
@@ -153,7 +157,11 @@ mod tests {
     fn first_component_finds_dominant_direction() {
         let x = anisotropic_data(500, 60);
         let pca = Pca::fit(&x, 2);
-        let c0 = (pca.components.get(0, 0), pca.components.get(1, 0), pca.components.get(2, 0));
+        let c0 = (
+            pca.components.get(0, 0),
+            pca.components.get(1, 0),
+            pca.components.get(2, 0),
+        );
         let expected = std::f32::consts::FRAC_1_SQRT_2;
         assert!((c0.0.abs() - expected).abs() < 0.05, "{c0:?}");
         assert!((c0.1.abs() - expected).abs() < 0.05, "{c0:?}");
@@ -212,7 +220,11 @@ mod tests {
         let diverse = Matrix::randn(20, 5, 1.0, &mut rng);
         let mut clumped = Matrix::zeros(20, 5);
         for r in 0..20 {
-            clumped.set(r, 0, diverse.row(r).iter().map(|v| v * v).sum::<f32>().sqrt());
+            clumped.set(
+                r,
+                0,
+                diverse.row(r).iter().map(|v| v * v).sum::<f32>().sqrt(),
+            );
         }
         let h_div = coding_length_entropy(&diverse, 0.5);
         let h_clu = coding_length_entropy(&clumped, 0.5);
@@ -244,7 +256,9 @@ mod tests {
     fn trace_surrogate_equals_sum_row_norms_sq() {
         let mut rng = seeded(67);
         let x = Matrix::randn(10, 4, 1.0, &mut rng);
-        let expected: f32 = (0..10).map(|r| x.row(r).iter().map(|v| v * v).sum::<f32>()).sum();
+        let expected: f32 = (0..10)
+            .map(|r| x.row(r).iter().map(|v| v * v).sum::<f32>())
+            .sum();
         assert!((trace_surrogate(&x) - expected).abs() < 1e-4);
     }
 }

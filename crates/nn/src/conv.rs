@@ -77,7 +77,13 @@ impl Conv2d {
         }
         let w = params.register(format!("{name}.w"), w);
         let b = params.register(format!("{name}.b"), Matrix::zeros(1, filters));
-        Self { w, b, shape, kernel, filters }
+        Self {
+            w,
+            b,
+            shape,
+            kernel,
+            filters,
+        }
     }
 
     /// Output spatial height (valid padding, stride 1).
@@ -147,15 +153,14 @@ impl Conv2d {
     ///
     /// # Panics
     /// Panics if the input width is not `shape.dim()`.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        binder: &mut Binder,
-        params: &ParamSet,
-        x: Var,
-    ) -> Var {
+    pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, params: &ParamSet, x: Var) -> Var {
         let (b, d) = tape.value(x).shape();
-        assert_eq!(d, self.shape.dim(), "Conv2d: input width {d} != {}", self.shape.dim());
+        assert_eq!(
+            d,
+            self.shape.dim(),
+            "Conv2d: input width {d} != {}",
+            self.shape.dim()
+        );
         let (oh, ow) = (self.out_height(), self.out_width());
         let patch = self.shape.channels * self.kernel * self.kernel;
 
@@ -183,7 +188,11 @@ mod tests {
 
     #[test]
     fn output_shape() {
-        let shape = ConvShape { channels: 3, height: 8, width: 8 };
+        let shape = ConvShape {
+            channels: 3,
+            height: 8,
+            width: 8,
+        };
         let (conv, ps) = layer(600, shape, 3, 5);
         assert_eq!(conv.out_height(), 6);
         assert_eq!(conv.out_width(), 6);
@@ -200,7 +209,11 @@ mod tests {
     #[test]
     fn identity_kernel_reproduces_input_channel() {
         // 1x1 kernel, single filter, weight selecting channel 0 with gain 1.
-        let shape = ConvShape { channels: 2, height: 3, width: 3 };
+        let shape = ConvShape {
+            channels: 2,
+            height: 3,
+            width: 3,
+        };
         let (conv, mut ps) = layer(602, shape, 1, 1);
         let (w, b) = (conv.w, conv.b);
         *ps.value_mut(w) = Matrix::from_vec(2, 1, vec![1.0, 0.0]);
@@ -217,7 +230,11 @@ mod tests {
     fn known_3x3_box_filter() {
         // Single channel 4x4 ramp, 3x3 all-ones kernel: each output is the
         // sum of its 3x3 window.
-        let shape = ConvShape { channels: 1, height: 4, width: 4 };
+        let shape = ConvShape {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let (conv, mut ps) = layer(603, shape, 3, 1);
         *ps.value_mut(conv.w) = Matrix::filled(9, 1, 1.0);
         *ps.value_mut(conv.b) = Matrix::zeros(1, 1);
@@ -234,7 +251,11 @@ mod tests {
 
     #[test]
     fn gradcheck_conv_parameters_and_input() {
-        let shape = ConvShape { channels: 2, height: 3, width: 3 };
+        let shape = ConvShape {
+            channels: 2,
+            height: 3,
+            width: 3,
+        };
         let mut rng = seeded(604);
         let x = Matrix::randn(2, shape.dim(), 1.0, &mut rng);
         let w0 = Matrix::randn(2 * 4, 3, 0.5, &mut rng); // 2x2 kernel, 3 filters
@@ -265,7 +286,11 @@ mod tests {
 
     #[test]
     fn gradients_reach_filters_through_layer_api() {
-        let shape = ConvShape { channels: 1, height: 4, width: 4 };
+        let shape = ConvShape {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let (conv, mut ps) = layer(606, shape, 3, 2);
         let mut rng = seeded(607);
         let x = Matrix::randn(3, shape.dim(), 1.0, &mut rng);
@@ -285,7 +310,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "kernel")]
     fn oversized_kernel_panics() {
-        let shape = ConvShape { channels: 1, height: 2, width: 2 };
+        let shape = ConvShape {
+            channels: 1,
+            height: 2,
+            width: 2,
+        };
         let _ = layer(608, shape, 3, 1);
     }
 }

@@ -79,7 +79,12 @@ impl Linear {
         }
         let w = params.register(format!("{name}.w"), w);
         let b = params.register(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -98,13 +103,7 @@ impl Linear {
     }
 
     /// Records `x W + b` on the tape.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        binder: &mut Binder,
-        params: &ParamSet,
-        x: Var,
-    ) -> Var {
+    pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, params: &ParamSet, x: Var) -> Var {
         let w = binder.bind(tape, params, self.w);
         let b = binder.bind(tape, params, self.b);
         let xw = tape.matmul(x, w);
@@ -141,13 +140,20 @@ impl Mlp {
         init: Init,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp::new: need at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| Linear::new(params, &format!("{name}.l{i}"), w[0], w[1], init, rng))
             .collect();
-        Self { layers, activation, batch_norm: false }
+        Self {
+            layers,
+            activation,
+            batch_norm: false,
+        }
     }
 
     /// Enables/disables hidden-layer batch standardization.
@@ -183,13 +189,7 @@ impl Mlp {
     }
 
     /// Records the forward pass on the tape.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        binder: &mut Binder,
-        params: &ParamSet,
-        x: Var,
-    ) -> Var {
+    pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, params: &ParamSet, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -239,7 +239,14 @@ mod tests {
     fn mlp_shapes() {
         let mut rng = seeded(111);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[8, 16, 4], Activation::Relu, Init::He, &mut rng);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[8, 16, 4],
+            Activation::Relu,
+            Init::He,
+            &mut rng,
+        );
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 4);
         assert_eq!(mlp.depth(), 2);
@@ -252,7 +259,14 @@ mod tests {
     fn identity_activation_is_linear_composition() {
         let mut rng = seeded(112);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[3, 3, 3], Activation::Identity, Init::Xavier, &mut rng);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[3, 3, 3],
+            Activation::Identity,
+            Init::Xavier,
+            &mut rng,
+        );
         // f(a x) == a f(x) - f(0) scaled appropriately only without bias;
         // here check additivity of the *linear part*: f(x+y) - f(0) == (f(x)-f(0)) + (f(y)-f(0)).
         let x = Matrix::from_vec(1, 3, vec![1.0, 0.0, 2.0]);
@@ -270,10 +284,24 @@ mod tests {
         let mut ps = ParamSet::new();
         // Single hidden layer straight to output of width equal to hidden:
         // verify ReLU path produces different output from identity path.
-        let relu = Mlp::new(&mut ps, "r", &[4, 8, 2], Activation::Relu, Init::He, &mut rng);
+        let relu = Mlp::new(
+            &mut ps,
+            "r",
+            &[4, 8, 2],
+            Activation::Relu,
+            Init::He,
+            &mut rng,
+        );
         let mut ps2 = ParamSet::new();
         let mut rng2 = seeded(113);
-        let ident = Mlp::new(&mut ps2, "r", &[4, 8, 2], Activation::Identity, Init::He, &mut rng2);
+        let ident = Mlp::new(
+            &mut ps2,
+            "r",
+            &[4, 8, 2],
+            Activation::Identity,
+            Init::He,
+            &mut rng2,
+        );
         let x = Matrix::from_vec(1, 4, vec![1.0, -2.0, 0.5, -0.1]);
         let a = relu.infer(&ps, &x);
         let b = ident.infer(&ps2, &x);
@@ -284,7 +312,14 @@ mod tests {
     fn gradients_flow_through_mlp() {
         let mut rng = seeded(114);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[3, 5, 2], Activation::Tanh, Init::Xavier, &mut rng);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[3, 5, 2],
+            Activation::Tanh,
+            Init::Xavier,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.leaf(Matrix::randn(4, 3, 1.0, &mut rng));
@@ -293,7 +328,11 @@ mod tests {
         let loss = tape.sum(sq);
         let grads = tape.backward(loss);
         binder.accumulate_into(&grads, &mut ps);
-        let total: f32 = mlp.param_ids().iter().map(|&id| ps.grad(id).frobenius_norm()).sum();
+        let total: f32 = mlp
+            .param_ids()
+            .iter()
+            .map(|&id| ps.grad(id).frobenius_norm())
+            .sum();
         assert!(total > 1e-4, "no gradient reached parameters");
     }
 
@@ -303,10 +342,12 @@ mod tests {
         let mut ps = ParamSet::new();
         let l = Linear::new(&mut ps, "l", 1000, 10, Init::He, &mut rng);
         let (w, _) = l.param_ids();
-        let std_emp =
-            (ps.value(w).map(|v| v * v).mean() - ps.value(w).mean().powi(2)).sqrt();
+        let std_emp = (ps.value(w).map(|v| v * v).mean() - ps.value(w).mean().powi(2)).sqrt();
         let expected = (2.0f32 / 1000.0).sqrt();
-        assert!((std_emp - expected).abs() / expected < 0.1, "std {std_emp} vs {expected}");
+        assert!(
+            (std_emp - expected).abs() / expected < 0.1,
+            "std {std_emp} vs {expected}"
+        );
     }
 
     #[test]
@@ -315,19 +356,36 @@ mod tests {
         // fall through instead of zeroing the activations.
         let mut rng = seeded(117);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[3, 4, 2], Activation::Relu, Init::He, &mut rng)
-            .with_batch_norm(true);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[3, 4, 2],
+            Activation::Relu,
+            Init::He,
+            &mut rng,
+        )
+        .with_batch_norm(true);
         let single = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
         let out = mlp.infer(&ps, &single);
         assert!(out.all_finite());
-        assert!(out.frobenius_norm() > 0.0, "single-row BN zeroed the output");
+        assert!(
+            out.frobenius_norm() > 0.0,
+            "single-row BN zeroed the output"
+        );
     }
 
     #[test]
     fn batch_norm_changes_multi_row_output() {
         let mut rng = seeded(118);
         let mut ps = ParamSet::new();
-        let plain = Mlp::new(&mut ps, "m", &[3, 4, 2], Activation::Relu, Init::He, &mut rng);
+        let plain = Mlp::new(
+            &mut ps,
+            "m",
+            &[3, 4, 2],
+            Activation::Relu,
+            Init::He,
+            &mut rng,
+        );
         let bn = plain.clone().with_batch_norm(true);
         let mut rng2 = seeded(119);
         let x = Matrix::randn(6, 3, 1.0, &mut rng2);

@@ -14,7 +14,7 @@ pub mod params;
 pub use conv::{Conv2d, ConvShape};
 pub use io::{load_params, save_params, CheckpointError};
 pub use layers::{Activation, Init, Linear, Mlp};
-pub use optim::{Adam, CosineSchedule, Optimizer, Sgd};
+pub use optim::{Adam, CosineSchedule, OptimState, Optimizer, Sgd};
 pub use params::{Binder, ParamId, ParamSet};
 
 #[cfg(test)]
@@ -55,7 +55,14 @@ mod gradcheck_tests {
         use edsr_tensor::Tape;
         let mut rng = seeded(131);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[2, 4, 2], Activation::Tanh, Init::Xavier, &mut rng);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[2, 4, 2],
+            Activation::Tanh,
+            Init::Xavier,
+            &mut rng,
+        );
         let x = Matrix::randn(3, 2, 1.0, &mut rng);
         let y = Matrix::randn(3, 2, 1.0, &mut rng);
 

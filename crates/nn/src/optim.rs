@@ -5,6 +5,30 @@ use edsr_tensor::Matrix;
 
 use crate::params::ParamSet;
 
+/// Exported optimizer moments, persisted inside run-state checkpoints so
+/// a resumed sweep continues with identical update dynamics.
+#[derive(Debug, Clone)]
+pub enum OptimState {
+    /// SGD momentum buffers.
+    Sgd {
+        /// Learning rate at export time (schedules mutate it).
+        lr: f32,
+        /// Velocity per parameter (empty until the first step).
+        velocity: Vec<Matrix>,
+    },
+    /// Adam first/second moments and step counter.
+    Adam {
+        /// Learning rate at export time.
+        lr: f32,
+        /// Bias-correction step counter.
+        t: u64,
+        /// First moments per parameter.
+        m: Vec<Matrix>,
+        /// Second moments per parameter.
+        v: Vec<Matrix>,
+    },
+}
+
 /// Gradient-descent optimizer interface over a [`ParamSet`].
 pub trait Optimizer {
     /// Applies one update from the accumulated gradients, then leaves the
@@ -17,6 +41,14 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (used by schedules).
     fn set_lr(&mut self, lr: f32);
+
+    /// Exports the full mutable state (moments + step counters) for
+    /// run-state checkpoints.
+    fn export_state(&self) -> OptimState;
+
+    /// Restores state exported by [`export_state`](Self::export_state).
+    /// Fails when the state kind or buffer count doesn't match.
+    fn import_state(&mut self, state: OptimState) -> Result<(), String>;
 }
 
 /// Stochastic gradient descent with classical momentum and decoupled L2
@@ -31,7 +63,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, params: &ParamSet) {
@@ -67,6 +104,24 @@ impl Optimizer for Sgd {
 
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState::Sgd {
+            lr: self.lr,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimState) -> Result<(), String> {
+        match state {
+            OptimState::Sgd { lr, velocity } => {
+                self.lr = lr;
+                self.velocity = velocity;
+                Ok(())
+            }
+            OptimState::Adam { .. } => Err("cannot import Adam state into an SGD optimizer".into()),
+        }
     }
 }
 
@@ -147,6 +202,35 @@ impl Optimizer for Adam {
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn export_state(&self) -> OptimState {
+        OptimState::Adam {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimState) -> Result<(), String> {
+        match state {
+            OptimState::Adam { lr, t, m, v } => {
+                if m.len() != v.len() {
+                    return Err(format!(
+                        "Adam state has {} first moments but {} second moments",
+                        m.len(),
+                        v.len()
+                    ));
+                }
+                self.lr = lr;
+                self.t = t;
+                self.m = m;
+                self.v = v;
+                Ok(())
+            }
+            OptimState::Sgd { .. } => Err("cannot import SGD state into an Adam optimizer".into()),
+        }
+    }
 }
 
 /// Cosine learning-rate decay from `base_lr` to `min_lr` over
@@ -165,8 +249,16 @@ impl CosineSchedule {
     /// # Panics
     /// Panics if `total_steps == 0`.
     pub fn new(base_lr: f32, min_lr: f32, warmup_steps: usize, total_steps: usize) -> Self {
-        assert!(total_steps > 0, "CosineSchedule: total_steps must be positive");
-        Self { base_lr, min_lr, warmup_steps, total_steps }
+        assert!(
+            total_steps > 0,
+            "CosineSchedule: total_steps must be positive"
+        );
+        Self {
+            base_lr,
+            min_lr,
+            warmup_steps,
+            total_steps,
+        }
     }
 
     /// Learning rate at a given step (clamped past `total_steps`).
@@ -233,7 +325,14 @@ mod tests {
     fn sgd_reduces_loss() {
         let mut rng = seeded(120);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[4, 16, 2], Activation::Tanh, Init::Xavier, &mut rng);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[4, 16, 2],
+            Activation::Tanh,
+            Init::Xavier,
+            &mut rng,
+        );
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
         let (x, y) = toy_problem(121);
         let first = regression_step(&mlp, &mut ps, &mut opt, &x, &y);
@@ -248,7 +347,14 @@ mod tests {
     fn adam_reduces_loss() {
         let mut rng = seeded(122);
         let mut ps = ParamSet::new();
-        let mlp = Mlp::new(&mut ps, "m", &[4, 16, 2], Activation::Tanh, Init::Xavier, &mut rng);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[4, 16, 2],
+            Activation::Tanh,
+            Init::Xavier,
+            &mut rng,
+        );
         let mut opt = Adam::new(0.01, 0.0);
         let (x, y) = toy_problem(123);
         let first = regression_step(&mlp, &mut ps, &mut opt, &x, &y);
@@ -256,7 +362,10 @@ mod tests {
         for _ in 0..200 {
             last = regression_step(&mlp, &mut ps, &mut opt, &x, &y);
         }
-        assert!(last < first * 0.2, "Adam failed to learn: {first} -> {last}");
+        assert!(
+            last < first * 0.2,
+            "Adam failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -109,7 +109,11 @@ impl ParamSet {
     /// # Panics
     /// Panics if the snapshot does not match this set's shapes.
     pub fn restore(&mut self, snapshot: &[Matrix]) {
-        assert_eq!(snapshot.len(), self.values.len(), "restore: parameter count mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.values.len(),
+            "restore: parameter count mismatch"
+        );
         for (dst, src) in self.values.iter_mut().zip(snapshot) {
             assert_eq!(dst.shape(), src.shape(), "restore: shape mismatch");
             *dst = src.clone();

@@ -1,0 +1,421 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate vendors the
+//! subset of proptest the workspace's property tests use:
+//!
+//! - [`Strategy`] with `prop_map` / `prop_flat_map`
+//! - ranges (`-5.0f32..5.0`, `1usize..8`, `1..=6`) and tuples as strategies
+//! - [`collection::vec`] with exact or ranged lengths
+//! - the [`proptest!`] block macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`]
+//!
+//! Semantics differ from upstream in one deliberate way: failing inputs
+//! are **not shrunk** — the failing case is reported verbatim with its
+//! case number. Sampling is deterministic per test (seeded by a hash of
+//! the test name), so failures reproduce exactly across runs.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+/// Result type the generated per-case closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the simulator's matrix-heavy
+        // property tests fast while still exercising a broad input space.
+        Self { cases: 64 }
+    }
+}
+
+/// FNV-1a hash of the test name → per-test deterministic seed.
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of values: the sampling core of the shim.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples
+    /// the produced strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies (only `vec` is needed).
+pub mod collection {
+    use super::*;
+
+    /// Lengths acceptable to [`vec`]: exact or ranged.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` samples with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts inside a property test; on failure the case (not the whole
+/// process) is reported with its inputs' case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r)
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "{}: {:?} != {:?}", format!($($fmt)*), l, r)
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Declares a block of property tests. Grammar matched (the subset the
+/// workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property_test(
+                    stringify!($name),
+                    &$config,
+                    |__proptest_rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                        let __desc = format!(
+                            concat!($(concat!(stringify!($arg), " = {:?}; ")),+),
+                            $(&$arg),+
+                        );
+                        let __case = move || -> $crate::TestCaseResult {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                        (__case(), __desc)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Drives one property test: samples `cases` inputs and executes the body
+/// on each. Not part of the public proptest API — called by the macro.
+pub fn run_property_test(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> (TestCaseResult, String),
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for_test(name));
+    let mut rejected = 0u32;
+    for case_idx in 0..config.cases {
+        let (outcome, describe) = case(&mut rng);
+        match outcome {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {case_idx} [{describe}]: {msg}");
+            }
+        }
+    }
+    // Upstream errors out when too many cases are rejected; mirror that so
+    // a dead assume doesn't silently skip the whole test.
+    assert!(
+        rejected < config.cases,
+        "property `{name}`: every generated case was rejected by prop_assume!"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let strat = collection::vec(-2.0f32..2.0, 3usize..7);
+        for _ in 0..100 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (-2.0..2.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_inputs(x in 0usize..10, v in collection::vec(0.0f32..1.0, 2..5)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.len() >= 2, true);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_works(pair in (1usize..4, 1usize..4)) {
+            prop_assert!(pair.0 * pair.1 < 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        crate::run_property_test("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            (Err(TestCaseError::Fail("nope".into())), "x = 0".to_string())
+        });
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the `rand` 0.10 API it actually
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] extension methods `random::<T>()` / `random_range(..)`.
+//!
+//! The generator is **xoshiro256\*\*** seeded through SplitMix64 — a
+//! different stream than upstream `StdRng` (ChaCha12), which is fine:
+//! nothing in this workspace depends on the upstream stream, only on
+//! seed-determinism within the workspace.
+//!
+//! Beyond the upstream-compatible surface, [`rngs::StdRng`] exposes
+//! [`state`](rngs::StdRng::state) / [`from_state`](rngs::StdRng::from_state)
+//! so the fault-tolerant training runtime can persist the exact generator
+//! position inside run checkpoints and resume a sweep bit-identically.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Advances the generator and returns 64 uniform bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Returns the full internal state (for run-state checkpoints).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact saved position.
+        ///
+        /// An all-zero state is invalid for xoshiro and is remapped to the
+        /// seed-0 state so restoration can never produce a stuck generator.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            if state == [0; 4] {
+                return <Self as crate::SeedableRng>::seed_from_u64(0);
+            }
+            Self { s: state }
+        }
+    }
+}
+
+/// Seed-construction trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to key xoshiro.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // SplitMix64 never yields four zeros for any input, but keep the
+        // xoshiro invariant explicit.
+        if s == [0; 4] {
+            return Self { s: [1, 2, 3, 4] };
+        }
+        rngs::StdRng { s }
+    }
+}
+
+/// Types samplable uniformly by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one uniform sample.
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard(rng: &mut rngs::StdRng) -> f32 {
+        // 24 high bits → uniform in [0, 1).
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut rngs::StdRng) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range types usable with [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_range(self, rng: &mut rngs::StdRng) -> Self::Output;
+}
+
+/// Uniform u64 in `[0, bound)` by rejection (no modulo bias).
+#[inline]
+fn bounded_u64(rng: &mut rngs::StdRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_range(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_range(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "random_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                start + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_range(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_range(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "random_range: empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                let span = span.wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32, i64);
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample_range(self, rng: &mut rngs::StdRng) -> f32 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + (self.end - self.start) * f32::sample_standard(rng)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_range(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + (self.end - self.start) * f64::sample_standard(rng)
+    }
+}
+
+/// Sampling extension methods (subset of `rand::RngExt` / `rand::Rng`).
+pub trait RngExt {
+    /// Uniform sample of `T` (floats in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T;
+    /// Uniform sample from a range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    #[inline]
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_range(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f32_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f32 = rng.random();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn f32_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let mean: f32 = (0..n).map(|_| rng.random::<f32>()).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_exclusive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut hit_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.random_range(0usize..=3);
+            assert!(v <= 3);
+            hit_hi |= v == 3;
+        }
+        assert!(hit_hi, "inclusive upper bound never drawn");
+    }
+
+    #[test]
+    fn every_bucket_reachable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..5 {
+            rng.next_u64();
+        }
+        let saved = rng.state();
+        let expect: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(saved);
+        let got: Vec<u64> = (0..16).map(|_| resumed.next_u64()).collect();
+        assert_eq!(expect, got, "resumed stream diverged");
+    }
+
+    #[test]
+    fn zero_state_is_remapped() {
+        let mut rng = StdRng::from_state([0; 4]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-2.5f32..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+}

@@ -37,13 +37,7 @@ impl DistillHead {
     }
 
     /// Records `p_dis(z)` on the tape.
-    pub fn project(
-        &self,
-        tape: &mut Tape,
-        binder: &mut Binder,
-        params: &ParamSet,
-        z: Var,
-    ) -> Var {
+    pub fn project(&self, tape: &mut Tape, binder: &mut Binder, params: &ParamSet, z: Var) -> Var {
         self.projector.forward(tape, binder, params, z)
     }
 
@@ -213,7 +207,10 @@ mod tests {
         let l = dis.distill_loss(&mut tape, &mut binder, &ps, &ssl, z, &frozen);
         assert!(tape.value(l).get(0, 0).is_finite());
         let grads = tape.backward(l);
-        assert!(grads.get(z).is_some(), "no gradient through BT distillation");
+        assert!(
+            grads.get(z).is_some(),
+            "no gradient through BT distillation"
+        );
     }
 
     #[test]
@@ -247,7 +244,10 @@ mod tests {
         };
         let clean = spread(0.0);
         let noisy = spread(3.0);
-        assert!((noisy - clean).abs() > 1e-3, "noise magnitude had no average effect");
+        assert!(
+            (noisy - clean).abs() > 1e-3,
+            "noise magnitude had no average effect"
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ impl EncoderConfig {
             hidden_dim,
             backbone_layers: 1,
             repr_dim,
-            stem: StemConfig::Conv { shape, kernel, filters },
+            stem: StemConfig::Conv {
+                shape,
+                kernel,
+                filters,
+            },
         }
     }
 
@@ -91,10 +95,7 @@ impl EncoderConfig {
 #[derive(Debug, Clone)]
 enum Stem {
     Linear(Vec<Linear>),
-    Conv {
-        conv: Conv2d,
-        proj: Linear,
-    },
+    Conv { conv: Conv2d, proj: Linear },
 }
 
 /// The model `f(·)` (architecture only — weights live in a [`ParamSet`],
@@ -117,7 +118,10 @@ impl Encoder {
     /// # Panics
     /// Panics if `input_dims` is empty.
     pub fn new(params: &mut ParamSet, cfg: &EncoderConfig, rng: &mut StdRng) -> Self {
-        assert!(!cfg.input_dims.is_empty(), "Encoder: need at least one input dim");
+        assert!(
+            !cfg.input_dims.is_empty(),
+            "Encoder: need at least one input dim"
+        );
         let stem = match &cfg.stem {
             StemConfig::PerTaskLinear => Stem::Linear(
                 cfg.input_dims
@@ -135,13 +139,21 @@ impl Encoder {
                     })
                     .collect(),
             ),
-            StemConfig::Conv { shape, kernel, filters } => {
+            StemConfig::Conv {
+                shape,
+                kernel,
+                filters,
+            } => {
                 assert_eq!(
                     cfg.input_dims.len(),
                     1,
                     "Encoder: conv stem requires a single input shape"
                 );
-                assert_eq!(cfg.input_dims[0], shape.dim(), "Encoder: conv shape mismatch");
+                assert_eq!(
+                    cfg.input_dims[0],
+                    shape.dim(),
+                    "Encoder: conv shape mismatch"
+                );
                 let conv = Conv2d::new(params, "enc.conv", *shape, *kernel, *filters, rng);
                 let proj = Linear::new(
                     params,
@@ -174,7 +186,12 @@ impl Encoder {
             rng,
         )
         .with_batch_norm(true);
-        Self { stem, backbone, projector, repr_dim: cfg.repr_dim }
+        Self {
+            stem,
+            backbone,
+            projector,
+            repr_dim: cfg.repr_dim,
+        }
     }
 
     /// Representation dimensionality `d`.
@@ -277,15 +294,22 @@ mod tests {
         let x = Matrix::randn(2, 8, 1.0, &mut rng);
         let a = enc.represent(&ps, &x, 0);
         let b = enc.represent(&ps, &x, 7);
-        assert_eq!(a.max_abs_diff(&b), 0.0, "shared adapter must ignore task id");
+        assert_eq!(
+            a.max_abs_diff(&b),
+            0.0,
+            "shared adapter must ignore task id"
+        );
     }
 
     #[test]
     fn tabular_adapters_unify_dimensions() {
         let mut rng = seeded(202);
         let mut ps = ParamSet::new();
-        let enc =
-            Encoder::new(&mut ps, &EncoderConfig::tabular(vec![16, 17, 14], 24, 12), &mut rng);
+        let enc = Encoder::new(
+            &mut ps,
+            &EncoderConfig::tabular(vec![16, 17, 14], 24, 12),
+            &mut rng,
+        );
         assert_eq!(enc.num_adapters(), 3);
         for (task, d) in [16usize, 17, 14].iter().enumerate() {
             let x = Matrix::randn(3, *d, 1.0, &mut rng);
@@ -330,7 +354,11 @@ mod tests {
     fn conv_stem_shapes_and_gradients() {
         let mut rng = seeded(206);
         let mut ps = ParamSet::new();
-        let shape = ConvShape { channels: 3, height: 6, width: 6 };
+        let shape = ConvShape {
+            channels: 3,
+            height: 6,
+            width: 6,
+        };
         let cfg = EncoderConfig::conv_image(shape, 3, 4, 24, 12);
         let enc = Encoder::new(&mut ps, &cfg, &mut rng);
         assert_eq!(enc.num_adapters(), 1);
@@ -360,7 +388,11 @@ mod tests {
     fn conv_stem_dim_mismatch_panics() {
         let mut rng = seeded(207);
         let mut ps = ParamSet::new();
-        let shape = ConvShape { channels: 1, height: 4, width: 4 };
+        let shape = ConvShape {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let mut cfg = EncoderConfig::conv_image(shape, 3, 2, 8, 4);
         cfg.input_dims = vec![99];
         let _ = Encoder::new(&mut ps, &cfg, &mut rng);
@@ -380,7 +412,10 @@ mod tests {
         let grads = tape.backward(loss);
         ps.zero_grads();
         binder.accumulate_into(&grads, &mut ps);
-        let nonzero = ps.ids().filter(|&id| ps.grad(id).frobenius_norm() > 0.0).count();
+        let nonzero = ps
+            .ids()
+            .filter(|&id| ps.grad(id).frobenius_norm() > 0.0)
+            .count();
         // Adapter (w,b) + backbone (w,b) + projector 2×(w,b) = 8 params.
         assert!(nonzero >= 6, "only {nonzero} params received gradient");
     }

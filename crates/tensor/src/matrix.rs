@@ -57,12 +57,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -100,7 +108,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a `1 x n` row vector from a slice.

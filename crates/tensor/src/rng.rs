@@ -65,22 +65,53 @@ pub fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
 /// Falls back to uniform sampling when all weights are zero or non-finite.
 ///
 /// # Panics
-/// Panics if `weights` is empty.
+/// Panics if `weights` is empty. Use [`weighted_choice`] for a
+/// panic-free variant.
 pub fn weighted_index(rng: &mut StdRng, weights: &[f32]) -> usize {
     assert!(!weights.is_empty(), "weighted_index: empty weights");
-    let total: f32 = weights.iter().filter(|w| w.is_finite()).map(|w| w.max(0.0)).sum();
+    // Unreachable default: weighted_choice is None only for empty input.
+    weighted_choice(rng, weights).unwrap_or_default()
+}
+
+/// Panic-free proportional sampling from a weight vector.
+///
+/// Degenerate inputs take a documented fallback instead of panicking or
+/// biasing silently:
+///
+/// - **Empty** weights → `None` (there is nothing to choose).
+/// - **Negative or non-finite** entries (NaN, ±inf) are treated as zero
+///   weight — they can never be selected while any positive finite
+///   weight exists.
+/// - **All entries zero/negative/non-finite** (so the usable total is
+///   zero) → uniform choice over *all* indices. Selection code uses this
+///   so a degenerate score vector (e.g. collapsed similarity scores)
+///   degrades to random sampling rather than always picking index 0.
+pub fn weighted_choice(rng: &mut StdRng, weights: &[f32]) -> Option<usize> {
+    if weights.is_empty() {
+        return None;
+    }
+    let total: f32 = weights
+        .iter()
+        .filter(|w| w.is_finite())
+        .map(|w| w.max(0.0))
+        .sum();
     if total <= 0.0 || !total.is_finite() {
-        return index(rng, weights.len());
+        return Some(index(rng, weights.len()));
     }
     let mut t = uniform(rng, 0.0, total);
     for (i, w) in weights.iter().enumerate() {
         let w = if w.is_finite() { w.max(0.0) } else { 0.0 };
         if t < w {
-            return i;
+            return Some(i);
         }
         t -= w;
     }
-    weights.len() - 1
+    // Floating-point accumulation can overshoot the last positive weight;
+    // return the last index with usable weight.
+    weights
+        .iter()
+        .rposition(|w| w.is_finite() && *w > 0.0)
+        .or(Some(weights.len() - 1))
 }
 
 #[cfg(test)]
@@ -121,7 +152,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]
@@ -198,6 +233,59 @@ mod tests {
         for _ in 0..100 {
             let i = weighted_index(&mut rng, &weights);
             assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_empty_is_none() {
+        let mut rng = seeded(23);
+        assert_eq!(weighted_choice(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn weighted_choice_all_nonfinite_falls_back_uniform() {
+        let mut rng = seeded(24);
+        let weights = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[weighted_choice(&mut rng, &weights).expect("non-empty")] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform fallback missed an index: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_choice_all_negative_falls_back_uniform() {
+        let mut rng = seeded(25);
+        let weights = [-1.0, -2.0, -0.5];
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[weighted_choice(&mut rng, &weights).expect("non-empty")] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_choice_never_picks_zero_weight_when_positive_exists() {
+        let mut rng = seeded(26);
+        let weights = [0.0, f32::NAN, 3.0, -1.0];
+        for _ in 0..500 {
+            assert_eq!(weighted_choice(&mut rng, &weights), Some(2));
+        }
+    }
+
+    #[test]
+    fn weighted_choice_matches_weighted_index() {
+        let mut a = seeded(27);
+        let mut b = seeded(27);
+        let weights = [0.5, 2.0, 0.0, 1.25];
+        for _ in 0..200 {
+            assert_eq!(
+                weighted_choice(&mut a, &weights),
+                Some(weighted_index(&mut b, &weights))
+            );
         }
     }
 

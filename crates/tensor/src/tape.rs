@@ -207,7 +207,13 @@ impl Tape {
         let x = self.value(a);
         let mut out = x.clone();
         for r in 0..out.rows() {
-            let norm = x.row(r).iter().map(|v| v * v).sum::<f32>().sqrt().max(NORM_EPS);
+            let norm = x
+                .row(r)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt()
+                .max(NORM_EPS);
             for v in out.row_mut(r) {
                 *v /= norm;
             }
@@ -270,7 +276,11 @@ impl Tape {
         out_rows: usize,
         out_cols: usize,
     ) -> Var {
-        assert_eq!(map.len(), out_rows * out_cols, "gather: map length mismatch");
+        assert_eq!(
+            map.len(),
+            out_rows * out_cols,
+            "gather: map length mismatch"
+        );
         let src = self.value(a);
         let src_data = src.data();
         let mut out = Matrix::zeros(out_rows, out_cols);
@@ -380,10 +390,19 @@ impl Tape {
                     let y = &node.value;
                     let mut ga = Matrix::zeros(x.rows(), x.cols());
                     for r in 0..x.rows() {
-                        let norm =
-                            x.row(r).iter().map(|v| v * v).sum::<f32>().sqrt().max(NORM_EPS);
-                        let dot: f32 =
-                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                        let norm = x
+                            .row(r)
+                            .iter()
+                            .map(|v| v * v)
+                            .sum::<f32>()
+                            .sqrt()
+                            .max(NORM_EPS);
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&gv, &yv)| gv * yv)
+                            .sum();
                         for (c, out) in ga.row_mut(r).iter_mut().enumerate() {
                             *out = (g.get(r, c) - y.get(r, c) * dot) / norm;
                         }
@@ -658,7 +677,9 @@ mod tests {
         let mut rng = seeded(30);
         let a = Matrix::randn(4, 6, 1.0, &mut rng);
         let b = Matrix::randn(4, 6, 1.0, &mut rng);
-        check_gradients(&[a, b], 1e-3, 3e-2, |t, vars| t.cosine_rows_mean(vars[0], vars[1]));
+        check_gradients(&[a, b], 1e-3, 3e-2, |t, vars| {
+            t.cosine_rows_mean(vars[0], vars[1])
+        });
     }
 
     #[test]
@@ -692,7 +713,10 @@ mod tests {
         let s = t.col_standardize(v, 1e-5);
         let out = t.value(s);
         let means = out.col_means();
-        assert!(means.data().iter().all(|m| m.abs() < 1e-4), "nonzero means {means:?}");
+        assert!(
+            means.data().iter().all(|m| m.abs() < 1e-4),
+            "nonzero means {means:?}"
+        );
         for c in 0..out.cols() {
             let var: f32 =
                 (0..out.rows()).map(|r| out.get(r, c).powi(2)).sum::<f32>() / out.rows() as f32;

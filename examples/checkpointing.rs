@@ -1,17 +1,25 @@
-//! Checkpointing: train EDSR over part of a stream, save the model, keep
-//! training, then restore the checkpoint and confirm the representations
-//! (and therefore the kNN evaluation) roll back exactly.
+//! Checkpointing at both granularities:
+//!
+//! 1. **Model checkpoints** — save the weights after a run, damage them,
+//!    restore, and confirm the representations roll back exactly.
+//! 2. **Run-state snapshots** — train with per-increment snapshots, then
+//!    resume from disk with fresh objects and confirm the resumed run
+//!    reproduces the uninterrupted accuracy matrix bit-for-bit (weights,
+//!    optimizer moments, memory buffer, and RNG position all round-trip).
 //!
 //! ```bash
 //! cargo run --release --example checkpointing
 //! ```
 
-use edsr::cl::{run_sequence, ContinualModel, ModelConfig, TrainConfig};
-use edsr::core::Edsr;
+use edsr::cl::{
+    run_sequence, run_sequence_with, CheckpointConfig, ContinualModel, ModelConfig, RunOptions,
+    TrainConfig,
+};
+use edsr::core::{Edsr, Error};
 use edsr::data::test_sim;
 use edsr::tensor::rng::seeded;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let preset = test_sim();
     let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(31));
     let mut cfg = TrainConfig::image();
@@ -22,13 +30,23 @@ fn main() {
     let mut edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
 
     // Train over the whole stream once.
-    let result =
-        run_sequence(&mut edsr, &mut model, &sequence, &augmenters, &cfg, &mut seeded(33));
-    println!("trained: Acc {:.1}%  Fgt {:.1}%", result.final_acc_pct(), result.final_fgt_pct());
+    let result = run_sequence(
+        &mut edsr,
+        &mut model,
+        &sequence,
+        &augmenters,
+        &cfg,
+        &mut seeded(33),
+    )?;
+    println!(
+        "trained: Acc {:.1}%  Fgt {:.1}%",
+        result.final_acc_pct(),
+        result.final_fgt_pct()
+    );
 
     // Save, perturb, restore.
     let path = std::env::temp_dir().join("edsr-demo.ckpt");
-    model.save(&path).expect("save checkpoint");
+    model.save(&path)?;
     let probe = sequence.tasks[0].test.inputs.clone();
     let reference = model.represent(&probe, 0);
 
@@ -41,7 +59,7 @@ fn main() {
         damaged.sub(&reference).frobenius_norm()
     );
 
-    model.load(&path).expect("restore checkpoint");
+    model.load(&path)?;
     let restored = model.represent(&probe, 0);
     println!(
         "after restore, representation drift = {:.4} (exact rollback)",
@@ -50,4 +68,62 @@ fn main() {
     assert_eq!(restored.max_abs_diff(&reference), 0.0);
     let _ = std::fs::remove_file(path);
     println!("checkpoint file roundtrip verified");
+
+    // ---- Run-state snapshots: interrupt after increment 1, resume. ----
+    let dir = std::env::temp_dir().join("edsr-demo-runstate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt = CheckpointConfig::new(&dir, "demo");
+
+    // Interrupted run: stop after the first increment, snapshot on disk.
+    let mut partial_model =
+        ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(32));
+    let mut partial_edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
+    let opts = RunOptions {
+        checkpoint: Some(ckpt.clone()),
+        stop_after: Some(1),
+        ..RunOptions::new()
+    };
+    let partial = run_sequence_with(
+        &mut partial_edsr,
+        &mut partial_model,
+        &sequence,
+        &augmenters,
+        &cfg,
+        &mut seeded(33),
+        &opts,
+    )?;
+    println!(
+        "\ninterrupted after increment {} (snapshot in {})",
+        partial.matrix.num_increments(),
+        dir.display()
+    );
+
+    // Resume with completely fresh objects; the snapshot restores the
+    // weights, optimizer moments, memory buffer, and RNG position.
+    let mut resumed_model =
+        ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(32));
+    let mut resumed_edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
+    let opts = RunOptions::new().with_checkpoint(ckpt).with_resume();
+    let resumed = run_sequence_with(
+        &mut resumed_edsr,
+        &mut resumed_model,
+        &sequence,
+        &augmenters,
+        &cfg,
+        &mut seeded(999), // ignored: the snapshot carries the RNG state
+        &opts,
+    )?;
+    println!(
+        "resumed: Acc {:.1}%  Fgt {:.1}%",
+        resumed.final_acc_pct(),
+        resumed.final_fgt_pct()
+    );
+    assert_eq!(
+        resumed.matrix.rows(),
+        result.matrix.rows(),
+        "resumed run must match the uninterrupted one exactly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("resume reproduced the uninterrupted accuracy matrix bit-for-bit");
+    Ok(())
 }

@@ -6,12 +6,12 @@
 //! ```
 
 use edsr::cl::{run_sequence, ContinualModel, ModelConfig, TrainConfig};
-use edsr::core::Edsr;
+use edsr::core::{Edsr, Error};
 use edsr::data::test_sim;
 use edsr::nn::ConvShape;
 use edsr::tensor::rng::seeded;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let preset = test_sim();
     let shape = ConvShape {
         channels: preset.grid.channels,
@@ -23,7 +23,10 @@ fn main() {
 
     for (label, model_cfg) in [
         ("MLP stem", ModelConfig::image(preset.grid.dim())),
-        ("Conv stem (3x3, 6 filters)", ModelConfig::conv_image(shape, 6)),
+        (
+            "Conv stem (3x3, 6 filters)",
+            ModelConfig::conv_image(shape, 6),
+        ),
     ] {
         let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(91));
         let mut model = ContinualModel::new(&model_cfg, &mut seeded(92));
@@ -35,7 +38,7 @@ fn main() {
             &augmenters,
             &cfg,
             &mut seeded(93),
-        );
+        )?;
         println!(
             "{label:<28} | params {:>6} | Acc {:5.1}%  Fgt {:4.1}%  ({:.1}s)",
             model.params.num_scalars(),
@@ -44,4 +47,5 @@ fn main() {
             result.total_seconds()
         );
     }
+    Ok(())
 }

@@ -16,7 +16,7 @@ use edsr::cl::{
     apply_step, run_sequence, ContinualModel, MemoryBatch, MemoryBuffer, MemoryItem, Method,
     ModelConfig, TrainConfig,
 };
-use edsr::core::Edsr;
+use edsr::core::{Edsr, Error};
 use edsr::data::{test_sim, Augmenter, Dataset};
 use edsr::nn::{Binder, Optimizer};
 use edsr::tensor::rng::{sample_indices, seeded};
@@ -34,7 +34,12 @@ struct FeatureAnchor {
 
 impl FeatureAnchor {
     fn new(per_task_budget: usize, replay_batch: usize, weight: f32) -> Self {
-        Self { memory: MemoryBuffer::new(), per_task_budget, replay_batch, weight }
+        Self {
+            memory: MemoryBuffer::new(),
+            per_task_budget,
+            replay_batch,
+            weight,
+        }
     }
 }
 
@@ -56,12 +61,20 @@ impl Method for FeatureAnchor {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         // The usual contrastive term on the new data.
-        let (_, _, mut loss) = model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
+        let (_, _, mut loss) =
+            model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
 
         // Anchor stored samples to their storage-time representations.
         for group in self.memory.sample_grouped(self.replay_batch, rng) {
-            let MemoryBatch { task, inputs, stored_features, .. } = group;
-            let anchor = stored_features.expect("FeatureAnchor always stores representations");
+            let MemoryBatch {
+                task,
+                inputs,
+                stored_features,
+                ..
+            } = group;
+            let Some(anchor) = stored_features else {
+                continue;
+            };
             let z = model.repr_var(&mut tape, &mut binder, &inputs, task);
             let target = tape.leaf(anchor);
             let frozen = tape.detach(target);
@@ -93,7 +106,7 @@ impl Method for FeatureAnchor {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     let preset = test_sim();
     let mut cfg = TrainConfig::image();
     cfg.epochs_per_task = 20;
@@ -116,7 +129,7 @@ fn main() {
             &augmenters,
             &cfg,
             &mut seeded(63),
-        );
+        )?;
         println!(
             "{:<14} | {:>7.2} | {:>7.2}",
             result.method,
@@ -124,4 +137,5 @@ fn main() {
             result.final_fgt_pct()
         );
     }
+    Ok(())
 }

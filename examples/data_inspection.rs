@@ -6,16 +6,20 @@
 //! cargo run --release --example data_inspection
 //! ```
 
+use edsr::core::Error;
 use edsr::data::{cifar10_sim, read_csv, render_ascii, tabular_sequence, write_csv, TabularConfig};
 use edsr::tensor::rng::seeded;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. One sample from the CIFAR-10 analogue, original vs two views.
     let preset = cifar10_sim();
     let mut rng = seeded(77);
     let (sequence, augmenters) = preset.build_with_augmenters(&mut rng);
     let sample = sequence.tasks[0].train.inputs.row(0);
-    println!("original sample (class {}):", sequence.tasks[0].train.labels[0]);
+    println!(
+        "original sample (class {}):",
+        sequence.tasks[0].train.labels[0]
+    );
     // Show channel 0 only to keep the output compact.
     let art = render_ascii(sample, preset.grid);
     for line in art.lines().take(1 + preset.grid.height) {
@@ -35,8 +39,8 @@ fn main() {
     let seq = tabular_sequence(&TabularConfig::default(), &mut seeded(78));
     let bank = &seq.tasks[0].train;
     let path = std::env::temp_dir().join("edsr-bank.csv");
-    write_csv(bank, &path).expect("write csv");
-    let reloaded = read_csv("bank-reloaded", &path).expect("read csv");
+    write_csv(bank, &path)?;
+    let reloaded = read_csv("bank-reloaded", &path)?;
     println!(
         "\nCSV round-trip: wrote {} rows x {} features, reloaded {} rows x {} features",
         bank.len(),
@@ -48,4 +52,5 @@ fn main() {
     assert_eq!(reloaded.labels, bank.labels);
     println!("contents identical — bring-your-own-data works.");
     let _ = std::fs::remove_file(path);
+    Ok(())
 }

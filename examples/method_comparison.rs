@@ -7,14 +7,14 @@
 //! ```
 
 use edsr::cl::{
-    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, Lump, Method,
-    ModelConfig, Si, TrainConfig,
+    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, Lump, Method, ModelConfig,
+    Si, TrainConfig,
 };
-use edsr::core::Edsr;
+use edsr::core::{Edsr, Error};
 use edsr::data::cifar10_sim;
 use edsr::tensor::rng::seeded;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let preset = cifar10_sim();
     let cfg = TrainConfig::image();
     let budget = preset.per_task_budget();
@@ -28,7 +28,10 @@ fn main() {
         preset.memory_total,
         cfg.epochs_per_task
     );
-    println!("{:<10} | {:>7} | {:>7} | {:>8}", "method", "Acc %", "Fgt %", "time (s)");
+    println!(
+        "{:<10} | {:>7} | {:>7} | {:>8}",
+        "method", "Acc %", "Fgt %", "time (s)"
+    );
 
     let methods: Vec<Box<dyn Method>> = vec![
         Box::new(Finetune::new()),
@@ -36,31 +39,57 @@ fn main() {
         Box::new(Der::new(budget, cfg.replay_batch, 0.5)),
         Box::new(Lump::new(budget)),
         Box::new(Cassle::new()),
-        Box::new(Edsr::paper_default(budget, cfg.replay_batch, preset.noise_neighbors)),
+        Box::new(Edsr::paper_default(
+            budget,
+            cfg.replay_batch,
+            preset.noise_neighbors,
+        )),
     ];
 
     for mut method in methods {
         // Same data, same init, same batch order for every method.
         let mut data_rng = seeded(seed);
         let (sequence, augmenters) = preset.build_with_augmenters(&mut data_rng);
-        let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1));
-        let mut run_rng = seeded(seed + 2);
-        let result =
-            run_sequence(method.as_mut(), &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
-        println!(
-            "{:<10} | {:>7.2} | {:>7.2} | {:>8.1}",
-            result.method,
-            result.final_acc_pct(),
-            result.final_fgt_pct(),
-            result.total_seconds()
+        let mut model = ContinualModel::new(
+            &ModelConfig::image(preset.grid.dim()),
+            &mut seeded(seed + 1),
         );
+        let mut run_rng = seeded(seed + 2);
+        // A diverged method is reported on its row; the others still run.
+        match run_sequence(
+            method.as_mut(),
+            &mut model,
+            &sequence,
+            &augmenters,
+            &cfg,
+            &mut run_rng,
+        ) {
+            Ok(result) => println!(
+                "{:<10} | {:>7.2} | {:>7.2} | {:>8.1}",
+                result.method,
+                result.final_acc_pct(),
+                result.final_fgt_pct(),
+                result.total_seconds()
+            ),
+            Err(e) => println!("{:<10} | failed: {e}", "-"),
+        }
     }
 
     // The joint-training upper bound.
     let mut data_rng = seeded(seed);
     let (sequence, augmenters) = preset.build_with_augmenters(&mut data_rng);
-    let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1));
+    let mut model = ContinualModel::new(
+        &ModelConfig::image(preset.grid.dim()),
+        &mut seeded(seed + 1),
+    );
     let mut run_rng = seeded(seed + 2);
-    let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng);
-    println!("{:<10} | {:>7.2} | {:>7} | {:>8.1}", "Multitask", mt.acc_pct(), "-", mt.seconds);
+    let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng)?;
+    println!(
+        "{:<10} | {:>7.2} | {:>7} | {:>8.1}",
+        "Multitask",
+        mt.acc_pct(),
+        "-",
+        mt.seconds
+    );
+    Ok(())
 }

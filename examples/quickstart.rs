@@ -7,10 +7,11 @@
 
 use edsr::cl::{run_sequence, ContinualModel, ModelConfig, TrainConfig};
 use edsr::core::Edsr;
+use edsr::core::Error;
 use edsr::data::test_sim;
 use edsr::tensor::rng::seeded;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. Build a benchmark: a 3-increment class-incremental stream of
     //    synthetic image-like data, plus its augmentation pipelines.
     let preset = test_sim();
@@ -40,7 +41,14 @@ fn main() {
     let mut cfg = TrainConfig::image();
     cfg.epochs_per_task = 20; // quick demo
     let mut run_rng = seeded(9);
-    let result = run_sequence(&mut edsr, &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+    let result = run_sequence(
+        &mut edsr,
+        &mut model,
+        &sequence,
+        &augmenters,
+        &cfg,
+        &mut run_rng,
+    )?;
 
     // 5. Inspect the results.
     for i in 0..result.matrix.num_increments() {
@@ -57,4 +65,5 @@ fn main() {
         edsr.memory_len(),
         result.total_seconds(),
     );
+    Ok(())
 }

@@ -7,11 +7,11 @@
 //! cargo run --release --example selection_playground
 //! ```
 
+use edsr::cl::{ContinualModel, ModelConfig};
 use edsr::core::{SelectionContext, SelectionStrategy};
 use edsr::data::test_sim;
 use edsr::linalg::{coding_length_entropy, trace_surrogate};
 use edsr::tensor::rng::seeded;
-use edsr::cl::{ContinualModel, ModelConfig};
 
 fn main() {
     // Generate one increment and extract representations with an

@@ -8,18 +8,18 @@
 //! ```
 
 use edsr::cl::{run_sequence, tabular_augmenters, ContinualModel, ModelConfig, TrainConfig};
-use edsr::core::Edsr;
+use edsr::core::{Edsr, Error};
 use edsr::data::{tabular_sequence, TabularConfig, TABULAR_SPECS};
 use edsr::tensor::rng::seeded;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Five increments mirroring Table II's shapes (sizes scaled down).
     let data_cfg = TabularConfig::default();
     let mut data_rng = seeded(11);
     let sequence = tabular_sequence(&data_cfg, &mut data_rng);
     for (spec, task) in TABULAR_SPECS.iter().zip(&sequence.tasks) {
-        let pos = task.train.labels.iter().filter(|&&l| l == 1).count() as f32
-            / task.train.len() as f32;
+        let pos =
+            task.train.labels.iter().filter(|&&l| l == 1).count() as f32 / task.train.len() as f32;
         println!(
             "{:<10} {:>5} train rows, {:>2} features, {:>4.1}% positive (paper {:>4.1}%)",
             spec.name,
@@ -39,19 +39,36 @@ fn main() {
     let mut model = ContinualModel::new(&ModelConfig::tabular(input_dims), &mut seeded(12));
 
     // EDSR with 1%-of-increment memory.
-    let budget = (sequence.tasks.iter().map(|t| t.train.len()).max().unwrap() / 100).max(2);
+    let budget = (sequence
+        .tasks
+        .iter()
+        .map(|t| t.train.len())
+        .max()
+        .unwrap_or(100)
+        / 100)
+        .max(2);
     let mut edsr = Edsr::paper_default(budget, 8, 10);
 
     let mut cfg = TrainConfig::tabular();
     cfg.epochs_per_task = 20; // quick demo
     let mut run_rng = seeded(13);
-    let result =
-        run_sequence(&mut edsr, &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+    let result = run_sequence(
+        &mut edsr,
+        &mut model,
+        &sequence,
+        &augmenters,
+        &cfg,
+        &mut run_rng,
+    )?;
 
     println!("\nper-increment kNN accuracy after the full stream:");
     let last = result.matrix.num_increments() - 1;
     for (j, spec) in TABULAR_SPECS.iter().enumerate() {
-        println!("  {:<10} {:5.1}%", spec.name, result.matrix.get(last, j) * 100.0);
+        println!(
+            "  {:<10} {:5.1}%",
+            spec.name,
+            result.matrix.get(last, j) * 100.0
+        );
     }
     println!(
         "\nfinal: Acc = {:.1}%  Fgt = {:.1}%  (memory holds {} rows)",
@@ -59,4 +76,5 @@ fn main() {
         result.final_fgt_pct(),
         edsr.memory_len()
     );
+    Ok(())
 }

@@ -6,17 +6,23 @@
 //! edsr tabular <method> [opts]       run the tabular stream (§IV-E)
 //!
 //! methods: finetune | si | der | lump | cassle | edsr | multitask
-//! options: --seed N     data/model/run seed base   (default 11)
-//!          --epochs N   epochs per increment       (preset default)
-//!          --memory N   total memory budget        (preset default)
-//!          --save PATH  write the final model checkpoint
+//! options: --seed N         data/model/run seed base   (default 11)
+//!          --epochs N       epochs per increment       (preset default)
+//!          --memory N       total memory budget        (preset default)
+//!          --save PATH      write the final model checkpoint
+//!          --checkpoint DIR snapshot run state after each increment
+//!          --resume         continue from the latest valid snapshot
 //! ```
+//!
+//! Every failure (bad flag, divergence after retries, checkpoint
+//! corruption) surfaces as a structured error with a non-zero exit, not
+//! a panic.
 
 use edsr::cl::{
-    run_multitask, run_sequence, tabular_augmenters, Cassle, ContinualModel, Der, Finetune,
-    Lump, Method, ModelConfig, Si, TrainConfig,
+    run_multitask, run_sequence_with, tabular_augmenters, Cassle, CheckpointConfig, ContinualModel,
+    Der, Finetune, Lump, Method, ModelConfig, RunOptions, Si, TrainConfig,
 };
-use edsr::core::Edsr;
+use edsr::core::{Edsr, Error};
 use edsr::data::{
     cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim, tiny_imagenet_sim,
     Preset, TabularConfig, TABULAR_SPECS,
@@ -25,13 +31,27 @@ use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n  edsr tabular <method> [--seed N] [--epochs N]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask"
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH] [--checkpoint DIR] [--resume]\n  edsr tabular <method> [--seed N] [--epochs N]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask"
     );
     std::process::exit(2);
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses a numeric flag value, turning bad input into a structured
+/// error naming the flag instead of a panic.
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, Error> {
+    value
+        .parse()
+        .map_err(|_| Error::Data(format!("{flag} expects a number, got {value:?}")))
 }
 
 fn preset_by_name(name: &str) -> Option<Preset> {
@@ -86,29 +106,52 @@ fn cmd_presets() {
     }
 }
 
-fn cmd_run(args: &[String]) {
-    let (Some(preset_name), Some(method_name)) = (args.first(), args.get(1)) else { usage() };
+fn cmd_run(args: &[String]) -> Result<(), Error> {
+    let (Some(preset_name), Some(method_name)) = (args.first(), args.get(1)) else {
+        usage()
+    };
     let Some(mut preset) = preset_by_name(preset_name) else {
         eprintln!("unknown preset {preset_name:?}");
         usage()
     };
-    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse().expect("--seed")).unwrap_or(11);
+    let seed: u64 = match parse_flag(args, "--seed") {
+        Some(v) => parse_num(&v, "--seed")?,
+        None => 11,
+    };
     if let Some(m) = parse_flag(args, "--memory") {
-        preset = preset.with_memory_total(m.parse().expect("--memory"));
+        preset = preset.with_memory_total(parse_num(&m, "--memory")?);
     }
     let mut cfg = TrainConfig::image();
     if let Some(e) = parse_flag(args, "--epochs") {
-        cfg.epochs_per_task = e.parse().expect("--epochs");
+        cfg.epochs_per_task = parse_num(&e, "--epochs")?;
+    }
+    let mut opts = RunOptions::new();
+    if let Some(dir) = parse_flag(args, "--checkpoint") {
+        let run_id = format!("{}-{}-s{}", preset.name, method_name, seed);
+        opts = opts.with_checkpoint(CheckpointConfig::new(dir, run_id));
+    }
+    if has_flag(args, "--resume") {
+        if opts.checkpoint.is_none() {
+            return Err(Error::Data("--resume requires --checkpoint DIR".into()));
+        }
+        opts = opts.with_resume();
     }
 
     let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
-    let mut model =
-        ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1000));
+    let mut model = ContinualModel::new(
+        &ModelConfig::image(preset.grid.dim()),
+        &mut seeded(seed + 1000),
+    );
     let mut run_rng = seeded(seed + 2000);
 
     if method_name == "multitask" {
-        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng);
-        println!("Multitask on {}: Acc {:.2}% ({:.1}s)", preset.name, mt.acc_pct(), mt.seconds);
+        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng)?;
+        println!(
+            "Multitask on {}: Acc {:.2}% ({:.1}s)",
+            preset.name,
+            mt.acc_pct(),
+            mt.seconds
+        );
     } else {
         let Some(mut method) = method_by_name(
             method_name,
@@ -119,15 +162,23 @@ fn cmd_run(args: &[String]) {
             eprintln!("unknown method {method_name:?}");
             usage()
         };
-        let result =
-            run_sequence(method.as_mut(), &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+        let result = run_sequence_with(
+            method.as_mut(),
+            &mut model,
+            &sequence,
+            &augmenters,
+            &cfg,
+            &mut run_rng,
+            &opts,
+        )?;
         println!(
-            "{} on {}: Acc {:.2}%  Fgt {:.2}%  ({:.1}s)",
+            "{} on {}: Acc {:.2}%  Fgt {:.2}%  ({:.1}s, {} divergence recoveries)",
             result.method,
             preset.name,
             result.final_acc_pct(),
             result.final_fgt_pct(),
-            result.total_seconds()
+            result.total_seconds(),
+            result.recoveries
         );
         for i in 0..result.matrix.num_increments() {
             println!(
@@ -139,17 +190,23 @@ fn cmd_run(args: &[String]) {
         }
     }
     if let Some(path) = parse_flag(args, "--save") {
-        model.save(&path).expect("save checkpoint");
+        model.save(&path)?;
         println!("checkpoint written to {path}");
     }
+    Ok(())
 }
 
-fn cmd_tabular(args: &[String]) {
-    let Some(method_name) = args.first() else { usage() };
-    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse().expect("--seed")).unwrap_or(1);
+fn cmd_tabular(args: &[String]) -> Result<(), Error> {
+    let Some(method_name) = args.first() else {
+        usage()
+    };
+    let seed: u64 = match parse_flag(args, "--seed") {
+        Some(v) => parse_num(&v, "--seed")?,
+        None => 1,
+    };
     let mut cfg = TrainConfig::tabular();
     if let Some(e) = parse_flag(args, "--epochs") {
-        cfg.epochs_per_task = e.parse().expect("--epochs");
+        cfg.epochs_per_task = parse_num(&e, "--epochs")?;
     }
     let sequence = tabular_sequence(&TabularConfig::default(), &mut seeded(seed));
     let augmenters = tabular_augmenters(&sequence, 0.4);
@@ -159,17 +216,35 @@ fn cmd_tabular(args: &[String]) {
     let mut run_rng = seeded(seed + 2000);
 
     if method_name == "multitask" {
-        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng);
-        println!("Multitask on tabular-sim: Acc {:.2}% ({:.1}s)", mt.acc_pct(), mt.seconds);
-        return;
+        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng)?;
+        println!(
+            "Multitask on tabular-sim: Acc {:.2}% ({:.1}s)",
+            mt.acc_pct(),
+            mt.seconds
+        );
+        return Ok(());
     }
-    let budget = (sequence.tasks.iter().map(|t| t.train.len()).max().unwrap() / 100).max(2);
+    let budget = (sequence
+        .tasks
+        .iter()
+        .map(|t| t.train.len())
+        .max()
+        .unwrap_or(100)
+        / 100)
+        .max(2);
     let Some(mut method) = method_by_name(method_name, budget, cfg.replay_batch, 10) else {
         eprintln!("unknown method {method_name:?}");
         usage()
     };
-    let result =
-        run_sequence(method.as_mut(), &mut model, &sequence, &augmenters, &cfg, &mut run_rng);
+    let result = run_sequence_with(
+        method.as_mut(),
+        &mut model,
+        &sequence,
+        &augmenters,
+        &cfg,
+        &mut run_rng,
+        &RunOptions::new(),
+    )?;
     println!(
         "{} on tabular-sim: Acc {:.2}%  Fgt {:.2}%  ({:.1}s)",
         result.method,
@@ -177,14 +252,22 @@ fn cmd_tabular(args: &[String]) {
         result.final_fgt_pct(),
         result.total_seconds()
     );
+    Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("presets") => cmd_presets(),
+    let result = match args.first().map(String::as_str) {
+        Some("presets") => {
+            cmd_presets();
+            Ok(())
+        }
         Some("run") => cmd_run(&args[1..]),
         Some("tabular") => cmd_tabular(&args[1..]),
         _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-35a5745b16002697.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-35a5745b16002697: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4b8428db9f121b98.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4b8428db9f121b98: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_ablation-71d573a6b240af51.d: crates/bench/src/bin/arch_ablation.rs
+
+/root/repo/target/debug/deps/arch_ablation-71d573a6b240af51: crates/bench/src/bin/arch_ablation.rs
+
+crates/bench/src/bin/arch_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arch_ablation-e4d1522078f555e0.d: crates/bench/src/bin/arch_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarch_ablation-e4d1522078f555e0.rmeta: crates/bench/src/bin/arch_ablation.rs Cargo.toml
+
+crates/bench/src/bin/arch_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

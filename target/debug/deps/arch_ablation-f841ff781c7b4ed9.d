@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_ablation-f841ff781c7b4ed9.d: crates/bench/src/bin/arch_ablation.rs
+
+/root/repo/target/debug/deps/arch_ablation-f841ff781c7b4ed9: crates/bench/src/bin/arch_ablation.rs
+
+crates/bench/src/bin/arch_ablation.rs:

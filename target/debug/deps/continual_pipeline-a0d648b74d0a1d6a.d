@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/continual_pipeline-a0d648b74d0a1d6a.d: tests/continual_pipeline.rs
+
+/root/repo/target/debug/deps/continual_pipeline-a0d648b74d0a1d6a: tests/continual_pipeline.rs
+
+tests/continual_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/continual_pipeline-c8448211dc1be360.d: tests/continual_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontinual_pipeline-c8448211dc1be360.rmeta: tests/continual_pipeline.rs Cargo.toml
+
+tests/continual_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr-0379c52829454c2f.d: src/lib.rs
+
+/root/repo/target/debug/deps/edsr-0379c52829454c2f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr-5d038625ceec37b1.d: src/bin/edsr.rs
+
+/root/repo/target/debug/deps/edsr-5d038625ceec37b1: src/bin/edsr.rs
+
+src/bin/edsr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edsr-5e3eeb2e8e265c4e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedsr-5e3eeb2e8e265c4e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedsr-5e3eeb2e8e265c4e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr-7661278af2eb7348.d: src/bin/edsr.rs
+
+/root/repo/target/debug/deps/edsr-7661278af2eb7348: src/bin/edsr.rs
+
+src/bin/edsr.rs:

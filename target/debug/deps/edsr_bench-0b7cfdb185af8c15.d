@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edsr_bench-0b7cfdb185af8c15.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedsr_bench-0b7cfdb185af8c15.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedsr_bench-0b7cfdb185af8c15.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

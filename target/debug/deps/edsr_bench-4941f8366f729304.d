@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edsr_bench-4941f8366f729304.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_bench-4941f8366f729304.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

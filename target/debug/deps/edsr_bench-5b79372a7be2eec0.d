@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr_bench-5b79372a7be2eec0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/edsr_bench-5b79372a7be2eec0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/edsr_core-370166187be067bc.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/debug/deps/libedsr_core-370166187be067bc.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/debug/deps/libedsr_core-370166187be067bc.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_core-3a079bb298c38274.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs crates/core/src/proptests.rs
+
+/root/repo/target/debug/deps/edsr_core-3a079bb298c38274: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs crates/core/src/proptests.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:
+crates/core/src/proptests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edsr_linalg-d13a91ff414f8e6f.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libedsr_linalg-d13a91ff414f8e6f.rlib: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libedsr_linalg-d13a91ff414f8e6f.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/kmeans.rs:
+crates/linalg/src/knn.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:

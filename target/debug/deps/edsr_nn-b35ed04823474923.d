@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_nn-b35ed04823474923.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/edsr_nn-b35ed04823474923: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edsr_ssl-4bbd4e7fa06607eb.d: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/debug/deps/edsr_ssl-4bbd4e7fa06607eb: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+crates/ssl/src/lib.rs:
+crates/ssl/src/distill.rs:
+crates/ssl/src/encoder.rs:
+crates/ssl/src/losses.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_ssl-4fb583f8d53b96f8.d: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/debug/deps/libedsr_ssl-4fb583f8d53b96f8.rlib: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/debug/deps/libedsr_ssl-4fb583f8d53b96f8.rmeta: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+crates/ssl/src/lib.rs:
+crates/ssl/src/distill.rs:
+crates/ssl/src/encoder.rs:
+crates/ssl/src/losses.rs:

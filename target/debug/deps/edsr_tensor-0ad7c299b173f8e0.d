@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/edsr_tensor-0ad7c299b173f8e0.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/libedsr_tensor-0ad7c299b173f8e0.rlib: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/libedsr_tensor-0ad7c299b173f8e0.rmeta: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

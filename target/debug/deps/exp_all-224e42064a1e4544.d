@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-224e42064a1e4544.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-224e42064a1e4544: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-67f481457fbae192.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-67f481457fbae192: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-2195cecae57a1fa5.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-2195cecae57a1fa5: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

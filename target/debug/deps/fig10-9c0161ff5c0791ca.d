@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-9c0161ff5c0791ca.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-9c0161ff5c0791ca: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-855f0e0a22cf03f6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-855f0e0a22cf03f6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-dcf3f247c45e471c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-dcf3f247c45e471c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b6046e3d70579406.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b6046e3d70579406: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f2b0190ff0096ff4.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f2b0190ff0096ff4: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

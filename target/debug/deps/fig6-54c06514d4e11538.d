@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-54c06514d4e11538.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-54c06514d4e11538: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

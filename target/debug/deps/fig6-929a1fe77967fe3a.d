@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-929a1fe77967fe3a.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-929a1fe77967fe3a: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

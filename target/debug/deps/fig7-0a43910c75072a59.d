@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0a43910c75072a59.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0a43910c75072a59: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-8094b4fb253aac56.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-8094b4fb253aac56: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

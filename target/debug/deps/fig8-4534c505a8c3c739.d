@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-4534c505a8c3c739.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-4534c505a8c3c739: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-6cc66c3a908b9e35.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-6cc66c3a908b9e35: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-5cded165e00cefac.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-5cded165e00cefac: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b1cb562861324d70.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b1cb562861324d70: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4bce3c60de1671d3.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4bce3c60de1671d3: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

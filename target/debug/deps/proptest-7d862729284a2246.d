@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7d862729284a2246.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7d862729284a2246.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7d862729284a2246.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-06ad5d47dea1a27b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-06ad5d47dea1a27b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

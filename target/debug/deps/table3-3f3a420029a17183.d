@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3f3a420029a17183.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3f3a420029a17183: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

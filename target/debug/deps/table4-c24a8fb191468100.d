@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c24a8fb191468100.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c24a8fb191468100: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c54ddd8460812ec3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c54ddd8460812ec3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

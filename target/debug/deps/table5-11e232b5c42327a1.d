@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-11e232b5c42327a1.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-11e232b5c42327a1: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-43dc00c8bd7c6366.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-43dc00c8bd7c6366: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

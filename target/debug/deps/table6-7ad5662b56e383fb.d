@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-7ad5662b56e383fb.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-7ad5662b56e383fb: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-db3536b2e6b9a7fd.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-db3536b2e6b9a7fd: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

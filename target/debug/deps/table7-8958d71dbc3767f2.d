@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-8958d71dbc3767f2.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-8958d71dbc3767f2: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

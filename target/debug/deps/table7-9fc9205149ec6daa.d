@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-9fc9205149ec6daa.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-9fc9205149ec6daa: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpointing-4864b9eda668cb0d.d: examples/checkpointing.rs
+
+/root/repo/target/debug/examples/checkpointing-4864b9eda668cb0d: examples/checkpointing.rs
+
+examples/checkpointing.rs:

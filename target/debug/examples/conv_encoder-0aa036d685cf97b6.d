@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conv_encoder-0aa036d685cf97b6.d: examples/conv_encoder.rs
+
+/root/repo/target/debug/examples/conv_encoder-0aa036d685cf97b6: examples/conv_encoder.rs
+
+examples/conv_encoder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conv_encoder-6cd170de3c174510.d: examples/conv_encoder.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconv_encoder-6cd170de3c174510.rmeta: examples/conv_encoder.rs Cargo.toml
+
+examples/conv_encoder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_method-bc7b98a30118d6d7.d: examples/custom_method.rs
+
+/root/repo/target/debug/examples/custom_method-bc7b98a30118d6d7: examples/custom_method.rs
+
+examples/custom_method.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_inspection-3de7d66a14ead64c.d: examples/data_inspection.rs
+
+/root/repo/target/debug/examples/data_inspection-3de7d66a14ead64c: examples/data_inspection.rs
+
+examples/data_inspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_comparison-bf1f77aa4ba028db.d: examples/method_comparison.rs
+
+/root/repo/target/debug/examples/method_comparison-bf1f77aa4ba028db: examples/method_comparison.rs
+
+examples/method_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-84bb1ff9152197b9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-84bb1ff9152197b9: examples/quickstart.rs
+
+examples/quickstart.rs:

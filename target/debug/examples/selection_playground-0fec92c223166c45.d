@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selection_playground-0fec92c223166c45.d: examples/selection_playground.rs
+
+/root/repo/target/debug/examples/selection_playground-0fec92c223166c45: examples/selection_playground.rs
+
+examples/selection_playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selection_playground-1873a44ae535ca8d.d: examples/selection_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselection_playground-1873a44ae535ca8d.rmeta: examples/selection_playground.rs Cargo.toml
+
+examples/selection_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

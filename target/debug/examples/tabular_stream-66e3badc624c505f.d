@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tabular_stream-66e3badc624c505f.d: examples/tabular_stream.rs
+
+/root/repo/target/debug/examples/tabular_stream-66e3badc624c505f: examples/tabular_stream.rs
+
+examples/tabular_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-3cfead3c08b1270d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-3cfead3c08b1270d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arch_ablation-9802624ce9081e0f.d: crates/bench/src/bin/arch_ablation.rs
+
+/root/repo/target/release/deps/arch_ablation-9802624ce9081e0f: crates/bench/src/bin/arch_ablation.rs
+
+crates/bench/src/bin/arch_ablation.rs:

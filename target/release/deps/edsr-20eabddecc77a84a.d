@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edsr-20eabddecc77a84a.d: src/bin/edsr.rs
+
+/root/repo/target/release/deps/edsr-20eabddecc77a84a: src/bin/edsr.rs
+
+src/bin/edsr.rs:

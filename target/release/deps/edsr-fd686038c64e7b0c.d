@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edsr-fd686038c64e7b0c.d: src/lib.rs
+
+/root/repo/target/release/deps/libedsr-fd686038c64e7b0c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedsr-fd686038c64e7b0c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edsr_bench-2dbb600a51aa1a70.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libedsr_bench-2dbb600a51aa1a70.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libedsr_bench-2dbb600a51aa1a70.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/edsr_core-102620eacb348012.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/release/deps/libedsr_core-102620eacb348012.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/release/deps/libedsr_core-102620eacb348012.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:

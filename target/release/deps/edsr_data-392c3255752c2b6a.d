@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/edsr_data-392c3255752c2b6a.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+/root/repo/target/release/deps/libedsr_data-392c3255752c2b6a.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+/root/repo/target/release/deps/libedsr_data-392c3255752c2b6a.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batch.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/grid.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:
+crates/data/src/tabular.rs:
+crates/data/src/tasks.rs:

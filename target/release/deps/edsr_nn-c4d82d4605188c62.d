@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/edsr_nn-c4d82d4605188c62.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/libedsr_nn-c4d82d4605188c62.rlib: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/libedsr_nn-c4d82d4605188c62.rmeta: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

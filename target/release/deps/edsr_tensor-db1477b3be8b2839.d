@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/edsr_tensor-db1477b3be8b2839.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libedsr_tensor-db1477b3be8b2839.rlib: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libedsr_tensor-db1477b3be8b2839.rmeta: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-be24af0166d7692f.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-be24af0166d7692f: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

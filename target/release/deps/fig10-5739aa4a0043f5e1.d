@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-5739aa4a0043f5e1.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-5739aa4a0043f5e1: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-ddf7a73d74f6c9ee.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-ddf7a73d74f6c9ee: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-95ea6958e04ed9b4.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-95ea6958e04ed9b4: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

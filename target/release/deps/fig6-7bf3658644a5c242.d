@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-7bf3658644a5c242.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-7bf3658644a5c242: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

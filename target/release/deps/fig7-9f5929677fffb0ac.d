@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-9f5929677fffb0ac.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-9f5929677fffb0ac: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

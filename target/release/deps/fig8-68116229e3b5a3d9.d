@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-68116229e3b5a3d9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-68116229e3b5a3d9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-754fd98408e1ad9a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-754fd98408e1ad9a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

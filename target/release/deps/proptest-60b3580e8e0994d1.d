@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-60b3580e8e0994d1.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-60b3580e8e0994d1.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-60b3580e8e0994d1.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7e989ef2c0982081.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7e989ef2c0982081.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7e989ef2c0982081.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-70bda517b45852ce.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-70bda517b45852ce: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

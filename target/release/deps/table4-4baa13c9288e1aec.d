@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-4baa13c9288e1aec.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-4baa13c9288e1aec: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-a54372bc13969b19.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-a54372bc13969b19: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-53bb38f59da5c035.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-53bb38f59da5c035: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

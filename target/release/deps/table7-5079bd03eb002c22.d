@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-5079bd03eb002c22.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-5079bd03eb002c22: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

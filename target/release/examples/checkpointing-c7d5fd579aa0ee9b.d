@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpointing-c7d5fd579aa0ee9b.d: examples/checkpointing.rs
+
+/root/repo/target/release/examples/checkpointing-c7d5fd579aa0ee9b: examples/checkpointing.rs
+
+examples/checkpointing.rs:

@@ -3,8 +3,8 @@
 //! uses, on a tiny preset so they stay fast in debug builds.
 
 use edsr::cl::{
-    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, LinReplay, Lump,
-    Method, ModelConfig, Si, TrainConfig,
+    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, LinReplay, Lump, Method,
+    ModelConfig, Si, TrainConfig,
 };
 use edsr::core::{Edsr, EdsrConfig, ReplayLoss, SelectionStrategy};
 use edsr::data::{tabular_sequence, test_sim, TabularConfig, TABULAR_SPECS};
@@ -23,10 +23,12 @@ fn run_method(method: &mut dyn Method, seed: u64, cfg: &TrainConfig) -> edsr::cl
     let preset = test_sim();
     let mut data_rng = seeded(seed);
     let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-    let mut model =
-        ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(seed + 1));
+    let mut model = ContinualModel::new(
+        &ModelConfig::image(preset.grid.dim()),
+        &mut seeded(seed + 1),
+    );
     let mut run_rng = seeded(seed + 2);
-    run_sequence(method, &mut model, &seq, &augs, cfg, &mut run_rng)
+    run_sequence(method, &mut model, &seq, &augs, cfg, &mut run_rng).expect("run_sequence")
 }
 
 #[test]
@@ -41,7 +43,10 @@ fn edsr_full_run_produces_sane_metrics() {
     assert!(result.matrix.final_acc() <= 1.0);
     assert!(result.matrix.final_fgt() >= 0.0);
     // Memory filled: per-task budget × number of increments.
-    assert_eq!(edsr.memory_len(), preset.per_task_budget() * preset.num_tasks());
+    assert_eq!(
+        edsr.memory_len(),
+        preset.per_task_budget() * preset.num_tasks()
+    );
     // Every stored item carries its representation cache and a finite
     // noise magnitude.
     assert!(edsr
@@ -101,9 +106,11 @@ fn different_seeds_differ() {
     let mut b = Finetune::new();
     let ra = run_method(&mut a, 400, &cfg);
     let rb = run_method(&mut b, 500, &cfg);
-    let same = (0..ra.matrix.num_increments())
-        .all(|i| ra.matrix.get(i, i) == rb.matrix.get(i, i));
-    assert!(!same, "two different seeds produced identical accuracy diagonals");
+    let same = (0..ra.matrix.num_increments()).all(|i| ra.matrix.get(i, i) == rb.matrix.get(i, i));
+    assert!(
+        !same,
+        "two different seeds produced identical accuracy diagonals"
+    );
 }
 
 #[test]
@@ -111,7 +118,12 @@ fn replay_loss_variants_all_train() {
     let preset = test_sim();
     let mut cfg = quick_cfg();
     cfg.epochs_per_task = 3;
-    for loss in [ReplayLoss::None, ReplayLoss::Css, ReplayLoss::Dis, ReplayLoss::Rpl] {
+    for loss in [
+        ReplayLoss::None,
+        ReplayLoss::Css,
+        ReplayLoss::Dis,
+        ReplayLoss::Rpl,
+    ] {
         let mut c = EdsrConfig::paper_default(preset.per_task_budget(), 6, 3);
         c.replay_loss = loss;
         let mut m = Edsr::new(c);
@@ -155,17 +167,19 @@ fn multitask_runs_and_reports_per_task_accuracy() {
     let cfg = quick_cfg();
     let mut data_rng = seeded(800);
     let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-    let mut model =
-        ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(801));
+    let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(801));
     let mut run_rng = seeded(802);
-    let mt = run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng);
+    let mt = run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng).expect("run_multitask");
     assert_eq!(mt.per_task_acc.len(), preset.num_tasks());
     assert!(mt.acc > 0.3 && mt.acc <= 1.0);
 }
 
 #[test]
 fn tabular_stream_with_heterogeneous_adapters() {
-    let data_cfg = TabularConfig { size_divisor: 200, ..Default::default() };
+    let data_cfg = TabularConfig {
+        size_divisor: 200,
+        ..Default::default()
+    };
     let mut data_rng = seeded(900);
     let seq = tabular_sequence(&data_cfg, &mut data_rng);
     let augs = edsr::cl::tabular_augmenters(&seq, 0.4);
@@ -175,15 +189,27 @@ fn tabular_stream_with_heterogeneous_adapters() {
     cfg.epochs_per_task = 4;
     let mut edsr = Edsr::paper_default(2, 4, 3);
     let mut run_rng = seeded(902);
-    let result = run_sequence(&mut edsr, &mut model, &seq, &augs, &cfg, &mut run_rng);
+    let result =
+        run_sequence(&mut edsr, &mut model, &seq, &augs, &cfg, &mut run_rng).expect("tabular run");
     assert_eq!(result.matrix.num_increments(), 5);
     // Binary classification: even a weak model beats 35% on imbalanced
     // test splits.
-    assert!(result.matrix.final_acc() > 0.35, "acc {:.3}", result.matrix.final_acc());
+    assert!(
+        result.matrix.final_acc() > 0.35,
+        "acc {:.3}",
+        result.matrix.final_acc()
+    );
     // Memory holds items from several different-dimensional increments.
-    let dims: std::collections::BTreeSet<usize> =
-        edsr.memory().items().iter().map(|i| i.input.len()).collect();
-    assert!(dims.len() >= 3, "expected heterogeneous memory, got dims {dims:?}");
+    let dims: std::collections::BTreeSet<usize> = edsr
+        .memory()
+        .items()
+        .iter()
+        .map(|i| i.input.len())
+        .collect();
+    assert!(
+        dims.len() >= 3,
+        "expected heterogeneous memory, got dims {dims:?}"
+    );
 }
 
 #[test]
@@ -193,8 +219,10 @@ fn forgetting_metrics_are_consistent_with_matrix() {
     let result = run_method(&mut m, 1000, &cfg);
     let n = result.matrix.num_increments();
     // Fgt is the mean of per-task forgetting at the final row.
-    let manual: f32 =
-        (0..n - 1).map(|j| result.matrix.forgetting(n - 1, j)).sum::<f32>() / (n - 1) as f32;
+    let manual: f32 = (0..n - 1)
+        .map(|j| result.matrix.forgetting(n - 1, j))
+        .sum::<f32>()
+        / (n - 1) as f32;
     assert!((result.matrix.final_fgt() - manual).abs() < 1e-6);
     // New-task accuracies are the diagonal.
     let diag = result.matrix.new_task_accuracies();
