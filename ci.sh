@@ -12,6 +12,13 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== cargo test -q --workspace (EDSR_THREADS=2) =="
+EDSR_THREADS=2 cargo test -q --workspace
+
+echo "== bench bin smoke (BENCH_par.json) =="
+EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin bench
+test -s BENCH_par.json
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

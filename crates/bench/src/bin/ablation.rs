@@ -22,7 +22,7 @@ fn main() {
     let budget = preset.per_task_budget();
 
     report.line("Extension ablations on cifar100-sim (Acc / Fgt)");
-    type ConfigFactory<'a> = (&'a str, Box<dyn Fn() -> EdsrConfig>);
+    type ConfigFactory<'a> = (&'a str, Box<dyn Fn() -> EdsrConfig + Sync>);
     let variants: Vec<ConfigFactory> = vec![
         (
             "EDSR (paper default)",

@@ -40,7 +40,7 @@ fn main() {
         ];
         for (name, make) in &methods {
             let sweep =
-                run_method_over_seeds_with_model(&preset, &cfg, &seeds, &model_cfg, &mut || make());
+                run_method_over_seeds_with_model(&preset, &cfg, &seeds, &model_cfg, &|| make());
             sweep.report_failures(&mut report, name);
             let agg = sweep.aggregate();
             report.line(format!(

@@ -1,0 +1,174 @@
+//! Parallel-runtime micro-benchmark: times the four `edsr-par`-wired
+//! kernels (matmul, conv forward, batched kNN, PCA fit) at 1 thread and at
+//! the configured maximum, and writes `BENCH_par.json` (repo root) with
+//! one record per (op, thread count) plus the max-thread speedup.
+//!
+//! `EDSR_BENCH_QUICK=1` shrinks sizes and iteration counts to a smoke run
+//! (used by `ci.sh`). The JSON format is documented in DESIGN.md §9.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use edsr_cl::ModelConfig;
+use edsr_core::prelude::seeded;
+use edsr_linalg::{knn_search_batch, Metric, Pca};
+use edsr_tensor::Matrix;
+
+/// One timed configuration of one op.
+struct Record {
+    op: &'static str,
+    size: String,
+    threads: usize,
+    ns_per_iter: f64,
+    /// `time(1 thread) / time(this)`; 1.0 for the 1-thread row.
+    speedup: f64,
+}
+
+/// Median-of-iters wall time for one closure, in ns/iter.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup pass (also forces lazy pool spawn out of the timing).
+    f();
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// Times `f` at 1 thread and at `max_threads`, appending both records.
+fn bench_op(
+    records: &mut Vec<Record>,
+    op: &'static str,
+    size: String,
+    iters: usize,
+    max_threads: usize,
+    f: &mut dyn FnMut(),
+) {
+    let t1 = edsr_par::with_threads(1, || time_ns(iters, &mut *f));
+    records.push(Record {
+        op,
+        size: size.clone(),
+        threads: 1,
+        ns_per_iter: t1,
+        speedup: 1.0,
+    });
+    let tm = edsr_par::with_threads(max_threads, || time_ns(iters, &mut *f));
+    records.push(Record {
+        op,
+        size,
+        threads: max_threads,
+        ns_per_iter: tm,
+        speedup: if tm > 0.0 { t1 / tm } else { f64::NAN },
+    });
+}
+
+fn main() -> Result<(), edsr_core::Error> {
+    let quick = std::env::var("EDSR_BENCH_QUICK").is_ok();
+    let max_threads = edsr_par::configured_threads();
+    let iters = if quick { 3 } else { 15 };
+    let mut records = Vec::new();
+    let mut rng = seeded(9000);
+
+    // Matmul: square product, comfortably above the parallel threshold.
+    let n = if quick { 48 } else { 192 };
+    let a = Matrix::randn(n, n, 1.0, &mut rng);
+    let b = Matrix::randn(n, n, 1.0, &mut rng);
+    bench_op(
+        &mut records,
+        "matmul",
+        format!("{n}x{n}*{n}x{n}"),
+        iters,
+        max_threads,
+        &mut || {
+            std::hint::black_box(a.matmul(&b));
+        },
+    );
+
+    // Conv encoder forward (im2col maps + gather + matmul through the tape).
+    let batch = if quick { 8 } else { 32 };
+    let shape = edsr_nn::ConvShape {
+        channels: 3,
+        height: 8,
+        width: 8,
+    };
+    let model_cfg = ModelConfig::conv_image(shape, 8);
+    let model = edsr_cl::ContinualModel::new(&model_cfg, &mut seeded(9001));
+    let x = Matrix::randn(batch, shape.dim(), 0.5, &mut rng);
+    bench_op(
+        &mut records,
+        "conv_forward",
+        format!("{batch}x{}", shape.dim()),
+        iters,
+        max_threads,
+        &mut || {
+            std::hint::black_box(model.represent(&x, 0));
+        },
+    );
+
+    // Batched kNN over representations.
+    let (refs, queries) = if quick { (256, 64) } else { (1024, 256) };
+    let reference = Matrix::randn(refs, 32, 1.0, &mut rng);
+    let qs = Matrix::randn(queries, 32, 1.0, &mut rng);
+    bench_op(
+        &mut records,
+        "knn_search_batch",
+        format!("{queries}q/{refs}ref/d32"),
+        iters,
+        max_threads,
+        &mut || {
+            std::hint::black_box(knn_search_batch(&reference, &qs, 10, Metric::Euclidean));
+        },
+    );
+
+    // PCA fit (chunked covariance reduction + Jacobi eigen).
+    let rows = if quick { 256 } else { 2048 };
+    let pca_x = Matrix::randn(rows, 24, 1.0, &mut rng);
+    bench_op(
+        &mut records,
+        "pca_fit",
+        format!("{rows}x24"),
+        iters,
+        max_threads,
+        &mut || {
+            std::hint::black_box(Pca::fit(&pca_x, 8));
+        },
+    );
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"size\": \"{}\", \"threads\": {}, \
+             \"ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.op,
+            r.size,
+            r.threads,
+            r.ns_per_iter,
+            r.speedup,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let mut file = std::fs::File::create("BENCH_par.json")?;
+    file.write_all(json.as_bytes())?;
+
+    println!(
+        "{:<18} {:>22} {:>8} {:>14} {:>8}",
+        "op", "size", "threads", "ns/iter", "speedup"
+    );
+    for r in &records {
+        println!(
+            "{:<18} {:>22} {:>8} {:>14.0} {:>8.3}",
+            r.op, r.size, r.threads, r.ns_per_iter, r.speedup
+        );
+    }
+    println!(
+        "\nwrote BENCH_par.json ({} records, max_threads={max_threads})",
+        records.len()
+    );
+    Ok(())
+}

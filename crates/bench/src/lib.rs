@@ -21,8 +21,10 @@ use edsr_cl::{
 use edsr_core::prelude::seeded;
 use edsr_data::Preset;
 
-/// A named factory producing fresh method instances per seed.
-pub type MethodFactory<'a> = (&'a str, Box<dyn Fn() -> Box<dyn Method>>);
+/// A named factory producing fresh method instances per seed. `Sync`
+/// because sweeps fan seeds out over the `edsr-par` pool and every worker
+/// constructs its own method instance from the shared factory.
+pub type MethodFactory<'a> = (&'a str, Box<dyn Fn() -> Box<dyn Method> + Sync>);
 
 /// Seeds used for image experiments (paper: 4 runs).
 pub const IMAGE_SEEDS: [u64; 4] = [11, 22, 33, 44];
@@ -135,18 +137,24 @@ pub fn image_model_config(preset: &Preset) -> ModelConfig {
 /// Runs one method over one preset for the given seeds, building fresh
 /// data/model per seed (data seed = seed, model seed = seed + 1000,
 /// training stream seed = seed + 2000, matching all experiments).
+///
+/// Seeds fan out over the `edsr-par` pool. Every seed is fully
+/// self-contained (own data, model, RNG streams, method instance), so the
+/// per-seed results are identical to the serial loop at any thread count;
+/// they are collected back in seed order. A panicking seed is recorded as
+/// [`TrainError::Worker`] and the remaining seeds still run.
 pub fn run_method_over_seeds(
     preset: &Preset,
     cfg: &TrainConfig,
     seeds: &[u64],
-    mut make_method: impl FnMut() -> Box<dyn Method>,
+    make_method: impl Fn() -> Box<dyn Method> + Sync,
 ) -> Sweep {
     run_method_over_seeds_with_model(
         preset,
         cfg,
         seeds,
         &image_model_config(preset),
-        &mut make_method,
+        &make_method,
     )
 }
 
@@ -157,16 +165,23 @@ pub fn run_method_over_seeds_with_model(
     cfg: &TrainConfig,
     seeds: &[u64],
     model_cfg: &ModelConfig,
-    make_method: &mut dyn FnMut() -> Box<dyn Method>,
+    make_method: &(dyn Fn() -> Box<dyn Method> + Sync),
 ) -> Sweep {
+    let outcomes = edsr_par::par_map_collect(seeds.len(), |si| {
+        let seed = seeds[si];
+        edsr_par::catch_panic(|| {
+            let mut data_rng = seeded(seed);
+            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+            let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
+            let mut run_rng = seeded(seed + 2000);
+            let mut method = make_method();
+            run_sequence(method.as_mut(), &mut model, &seq, &augs, cfg, &mut run_rng)
+        })
+        .unwrap_or_else(|msg| Err(TrainError::Worker(msg)))
+    });
     let mut sweep = Sweep::default();
-    for &seed in seeds {
-        let mut data_rng = seeded(seed);
-        let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-        let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
-        let mut run_rng = seeded(seed + 2000);
-        let mut method = make_method();
-        match run_sequence(method.as_mut(), &mut model, &seq, &augs, cfg, &mut run_rng) {
+    for (&seed, outcome) in seeds.iter().zip(outcomes) {
+        match outcome {
             Ok(run) => sweep.runs.push(run),
             Err(error) => sweep.failures.push(SeedFailure { seed, error }),
         }
@@ -176,21 +191,29 @@ pub fn run_method_over_seeds_with_model(
 
 /// Runs the Multitask upper bound over seeds, returning mean/std percent
 /// plus the per-seed results and any per-seed failures (NaN mean when
-/// every seed failed).
+/// every seed failed). Seeds fan out over the `edsr-par` pool exactly as
+/// in [`run_method_over_seeds`].
 pub fn run_multitask_over_seeds(
     preset: &Preset,
     cfg: &TrainConfig,
     seeds: &[u64],
 ) -> (f32, f32, Vec<MultitaskResult>, Vec<SeedFailure>) {
+    let outcomes = edsr_par::par_map_collect(seeds.len(), |si| {
+        let seed = seeds[si];
+        edsr_par::catch_panic(|| {
+            let mut data_rng = seeded(seed);
+            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+            let model_cfg = image_model_config(preset);
+            let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
+            let mut run_rng = seeded(seed + 2000);
+            run_multitask(&mut model, &seq, &augs, cfg, &mut run_rng)
+        })
+        .unwrap_or_else(|msg| Err(TrainError::Worker(msg)))
+    });
     let mut results = Vec::new();
     let mut failures = Vec::new();
-    for &seed in seeds {
-        let mut data_rng = seeded(seed);
-        let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
-        let model_cfg = image_model_config(preset);
-        let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
-        let mut run_rng = seeded(seed + 2000);
-        match run_multitask(&mut model, &seq, &augs, cfg, &mut run_rng) {
+    for (&seed, outcome) in seeds.iter().zip(outcomes) {
+        match outcome {
             Ok(r) => results.push(r),
             Err(error) => failures.push(SeedFailure { seed, error }),
         }

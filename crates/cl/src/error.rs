@@ -38,6 +38,9 @@ pub enum TrainError {
         /// What went wrong.
         reason: String,
     },
+    /// A parallel worker panicked (payload text from
+    /// `edsr_par::catch_panic`); the sweep records the seed and moves on.
+    Worker(String),
 }
 
 impl fmt::Display for TrainError {
@@ -60,6 +63,7 @@ impl fmt::Display for TrainError {
             TrainError::MethodState { method, reason } => {
                 write!(f, "{method} state persistence: {reason}")
             }
+            TrainError::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
         }
     }
 }

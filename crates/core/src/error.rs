@@ -21,6 +21,9 @@ pub enum Error {
     Data(String),
     /// Plain I/O (result files, directories).
     Io(std::io::Error),
+    /// A parallel worker panicked (payload text from
+    /// `edsr_par::catch_panic`).
+    Worker(String),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +33,7 @@ impl fmt::Display for Error {
             Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             Error::Data(msg) => write!(f, "data: {msg}"),
             Error::Io(e) => write!(f, "io: {e}"),
+            Error::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
         }
     }
 }
@@ -40,7 +44,7 @@ impl std::error::Error for Error {
             Error::Train(e) => Some(e),
             Error::Checkpoint(e) => Some(e),
             Error::Io(e) => Some(e),
-            Error::Data(_) => None,
+            Error::Data(_) | Error::Worker(_) => None,
         }
     }
 }

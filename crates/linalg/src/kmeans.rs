@@ -14,6 +14,12 @@ use rand::rngs::StdRng;
 
 use crate::stats::sq_euclidean;
 
+/// Minimum distance-evaluation count (`n x k x d`) before the assignment
+/// step is dispatched to the `edsr-par` pool. Performance knob only: each
+/// row's nearest center is computed independently, so chunking cannot
+/// affect results.
+const MIN_PAR_ASSIGN_WORK: usize = 16 * 1024;
+
 /// Result of running k-means.
 #[derive(Debug, Clone)]
 pub struct KMeansResult {
@@ -67,24 +73,38 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, rng: &mut StdRng) -> KMean
     let seeds = kmeanspp_indices(x, k, rng);
     let mut centers = x.select_rows(&seeds);
     let mut assignments = vec![0usize; n];
+    let mut new_assignments = vec![0usize; n];
     let mut iterations = 0;
 
     for iter in 0..max_iters {
         iterations = iter + 1;
-        // Assign.
+        // Assign: each row's nearest center, data-parallel over rows.
+        {
+            let centers = &centers;
+            let kernel = |range: std::ops::Range<usize>, chunk: &mut [usize]| {
+                for (local, i) in range.enumerate() {
+                    let mut best = 0;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..k {
+                        let dist = sq_euclidean(x.row(i), centers.row(c));
+                        if dist < best_d {
+                            best_d = dist;
+                            best = c;
+                        }
+                    }
+                    chunk[local] = best;
+                }
+            };
+            if n * k * d >= MIN_PAR_ASSIGN_WORK && n > 1 {
+                edsr_par::par_for_rows(&mut new_assignments, n, kernel);
+            } else {
+                kernel(0..n, &mut new_assignments);
+            }
+        }
         let mut changed = false;
         for i in 0..n {
-            let mut best = 0;
-            let mut best_d = f32::INFINITY;
-            for c in 0..k {
-                let dist = sq_euclidean(x.row(i), centers.row(c));
-                if dist < best_d {
-                    best_d = dist;
-                    best = c;
-                }
-            }
-            if assignments[i] != best {
-                assignments[i] = best;
+            if assignments[i] != new_assignments[i] {
+                assignments[i] = new_assignments[i];
                 changed = true;
             }
         }

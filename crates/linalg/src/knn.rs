@@ -49,47 +49,84 @@ pub fn knn_search(
     metric: Metric,
     exclude: Option<usize>,
 ) -> Vec<Neighbor> {
+    let mut scratch = Vec::new();
+    knn_search_with_scratch(reference, query, k, metric, exclude, &mut scratch)
+}
+
+/// [`knn_search`] scoring into a caller-provided scratch buffer, so batched
+/// callers pay for the `O(reference rows)` candidate vector once per worker
+/// instead of once per query. The scratch contents on entry are ignored.
+pub fn knn_search_with_scratch(
+    reference: &Matrix,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+    exclude: Option<usize>,
+    scratch: &mut Vec<Neighbor>,
+) -> Vec<Neighbor> {
     assert_eq!(
         reference.cols(),
         query.len(),
         "knn_search: dimension mismatch"
     );
-    let mut scored: Vec<Neighbor> = (0..reference.rows())
-        .filter(|&i| Some(i) != exclude)
-        .map(|i| {
-            let score = match metric {
-                Metric::Euclidean => sq_euclidean(reference.row(i), query),
-                Metric::Cosine => cosine_similarity(reference.row(i), query),
-            };
-            Neighbor { index: i, score }
-        })
-        .collect();
+    scratch.clear();
+    scratch.extend(
+        (0..reference.rows())
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| {
+                let score = match metric {
+                    Metric::Euclidean => sq_euclidean(reference.row(i), query),
+                    Metric::Cosine => cosine_similarity(reference.row(i), query),
+                };
+                Neighbor { index: i, score }
+            }),
+    );
     match metric {
-        Metric::Euclidean => scored.sort_by(|a, b| {
+        Metric::Euclidean => scratch.sort_by(|a, b| {
             a.score
                 .partial_cmp(&b.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
         }),
-        Metric::Cosine => scored.sort_by(|a, b| {
+        Metric::Cosine => scratch.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
         }),
     }
-    scored.truncate(k);
-    scored
+    scratch[..k.min(scratch.len())].to_vec()
 }
 
+/// Minimum score count (`queries x reference rows`) before the batch is
+/// dispatched to the `edsr-par` pool. Performance knob only: each query is
+/// scored independently, so chunking cannot affect results.
+const MIN_PAR_SCORES: usize = 16 * 1024;
+
 /// Batched [`knn_search`] over every row of `queries`.
+///
+/// Queries are data-parallel over the `edsr-par` pool; each worker chunk
+/// reuses one scratch buffer across its queries. Results are identical to
+/// the serial loop at every thread count.
 pub fn knn_search_batch(
     reference: &Matrix,
     queries: &Matrix,
     k: usize,
     metric: Metric,
 ) -> Vec<Vec<Neighbor>> {
-    (0..queries.rows())
-        .map(|q| knn_search(reference, queries.row(q), k, metric, None))
-        .collect()
+    let n = queries.rows();
+    let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+    let kernel = |range: std::ops::Range<usize>, chunk: &mut [Vec<Neighbor>]| {
+        let mut scratch = Vec::with_capacity(reference.rows());
+        for (local, q) in range.enumerate() {
+            chunk[local] =
+                knn_search_with_scratch(reference, queries.row(q), k, metric, None, &mut scratch);
+        }
+    };
+    if n * reference.rows() >= MIN_PAR_SCORES && n > 1 {
+        edsr_par::par_for_rows(&mut out, n, kernel);
+    } else {
+        kernel(0..n, &mut out);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ pub mod stats;
 
 pub use eigen::{sym_eigen, SymEigen};
 pub use kmeans::{kmeans, kmeanspp_indices, nearest_to_centers, KMeansResult};
-pub use knn::{knn_search, knn_search_batch, Metric, Neighbor};
+pub use knn::{knn_search, knn_search_batch, knn_search_with_scratch, Metric, Neighbor};
 pub use pca::{coding_length_entropy, coding_length_entropy_reference, trace_surrogate, Pca};
 
 #[cfg(test)]
@@ -91,6 +91,49 @@ mod proptests {
             let row0: Vec<f32> = x.row(0).to_vec();
             let got = knn_search(&x, &row0, 1, Metric::Euclidean, None);
             prop_assert!(got[0].score <= 1e-6);
+        }
+
+        /// Determinism contract (DESIGN.md §9): `knn_search_batch` returns
+        /// identical neighbours (indices and score bits) at every thread
+        /// count.
+        #[test]
+        fn knn_batch_bit_identical_across_thread_counts(x in sample_matrix()) {
+            let serial = edsr_par::with_threads(1, || {
+                knn_search_batch(&x, &x, 3, Metric::Euclidean)
+            });
+            for threads in [2usize, 7] {
+                let par = edsr_par::with_threads(threads, || {
+                    knn_search_batch(&x, &x, 3, Metric::Euclidean)
+                });
+                prop_assert_eq!(serial.len(), par.len());
+                for (s_row, p_row) in serial.iter().zip(&par) {
+                    prop_assert_eq!(s_row.len(), p_row.len());
+                    for (s, p) in s_row.iter().zip(p_row) {
+                        prop_assert_eq!(s.index, p.index);
+                        prop_assert_eq!(s.score.to_bits(), p.score.to_bits());
+                    }
+                }
+            }
+        }
+
+        /// Determinism contract (DESIGN.md §9): the chunked covariance
+        /// reduction in `Pca::fit` is bit-identical at every thread count.
+        #[test]
+        fn pca_fit_bit_identical_across_thread_counts(x in sample_matrix()) {
+            let serial = edsr_par::with_threads(1, || Pca::fit(&x, x.cols()));
+            for threads in [2usize, 7] {
+                let par = edsr_par::with_threads(threads, || Pca::fit(&x, x.cols()));
+                let same = serial
+                    .components
+                    .data()
+                    .iter()
+                    .zip(par.components.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                prop_assert!(same, "components differ at {} threads", threads);
+                for (a, b) in serial.explained_variance.iter().zip(&par.explained_variance) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
         }
     }
 }

@@ -12,6 +12,14 @@ use edsr_tensor::Matrix;
 use crate::eigen::sym_eigen;
 use crate::stats::center_columns;
 
+/// Fixed sample-chunk height of the parallel covariance reduction in
+/// [`Pca::fit`]. Chunk boundaries depend only on the sample count and this
+/// constant — never on the thread count — and the per-chunk partial
+/// covariances are folded in ascending chunk order, so the float summation
+/// tree (and therefore every bit of the result) is the same at any
+/// `EDSR_THREADS` (DESIGN.md §9).
+const COV_CHUNK_ROWS: usize = 64;
+
 /// A fitted PCA model.
 #[derive(Debug, Clone)]
 pub struct Pca {
@@ -31,10 +39,38 @@ impl Pca {
     pub fn fit(x: &Matrix, k: usize) -> Pca {
         let d = x.cols();
         let k = k.min(d);
+        let n = x.rows();
         let (centered, mean) = center_columns(x);
-        let mut cov = centered.transpose_matmul(&centered);
-        if x.rows() > 1 {
-            cov.scale_inplace(1.0 / (x.rows() as f32 - 1.0));
+        // Scatter matrix Σ xᵢᵀxᵢ as a chunked parallel reduction: partial
+        // sums over fixed `COV_CHUNK_ROWS`-sample chunks, folded serially
+        // in chunk order (see `COV_CHUNK_ROWS` for the determinism
+        // argument).
+        let mut cov = Matrix::zeros(d, d);
+        if n > 0 && d > 0 {
+            let partials = edsr_par::par_chunk_partials(
+                n,
+                COV_CHUNK_ROWS,
+                || vec![0.0f32; d * d],
+                |rows, acc: &mut Vec<f32>| {
+                    for i in rows {
+                        let xi = centered.row(i);
+                        for (p, &a) in xi.iter().enumerate() {
+                            let acc_row = &mut acc[p * d..(p + 1) * d];
+                            for (o, &b) in acc_row.iter_mut().zip(xi) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                },
+            );
+            for partial in &partials {
+                for (o, &v) in cov.data_mut().iter_mut().zip(partial) {
+                    *o += v;
+                }
+            }
+        }
+        if n > 1 {
+            cov.scale_inplace(1.0 / (n as f32 - 1.0));
         }
         let eig = sym_eigen(&cov);
         let mut components = Matrix::zeros(d, k);

@@ -21,6 +21,12 @@ use rand::rngs::StdRng;
 use crate::layers::Init;
 use crate::params::{Binder, ParamId, ParamSet};
 
+/// Minimum gather-map length before map construction is dispatched to the
+/// `edsr-par` pool. Each batch element owns a fixed-size disjoint region of
+/// the map, so chunking over batch elements cannot affect the indices
+/// produced (DESIGN.md §9). Performance knob only.
+const MIN_PAR_MAP_ELEMS: usize = 16 * 1024;
+
 /// Spatial geometry of the convolution input (channel-major flattening,
 /// matching `edsr-data`'s `GridSpec`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,21 +117,31 @@ impl Conv2d {
         let (c, h, w) = (self.shape.channels, self.shape.height, self.shape.width);
         let (oh, ow, k) = (self.out_height(), self.out_width(), self.kernel);
         let sample_stride = c * h * w;
-        let mut map = Vec::with_capacity(b * oh * ow * c * k * k);
-        for batch in 0..b {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    for ch in 0..c {
-                        for ky in 0..k {
-                            for kx in 0..k {
-                                let y = oy + ky;
-                                let x = ox + kx;
-                                map.push(batch * sample_stride + ch * h * w + y * w + x);
+        let per_sample = oh * ow * c * k * k;
+        let mut map = vec![0usize; b * per_sample];
+        let fill = |range: std::ops::Range<usize>, chunk: &mut [usize]| {
+            let mut pos = 0;
+            for batch in range {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        for ch in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let y = oy + ky;
+                                    let x = ox + kx;
+                                    chunk[pos] = batch * sample_stride + ch * h * w + y * w + x;
+                                    pos += 1;
+                                }
                             }
                         }
                     }
                 }
             }
+        };
+        if b * per_sample >= MIN_PAR_MAP_ELEMS && b > 1 {
+            edsr_par::par_for_rows(&mut map, b, fill);
+        } else {
+            fill(0..b, &mut map);
         }
         map
     }
@@ -134,16 +150,26 @@ impl Conv2d {
     /// responses to channel-major `B x (K·OH·OW)` rows.
     fn regroup_map(&self, b: usize) -> Vec<usize> {
         let (oh, ow, k) = (self.out_height(), self.out_width(), self.filters);
-        let mut map = Vec::with_capacity(b * k * oh * ow);
-        for batch in 0..b {
-            for filter in 0..k {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let response_row = batch * oh * ow + oy * ow + ox;
-                        map.push(response_row * k + filter);
+        let per_sample = k * oh * ow;
+        let mut map = vec![0usize; b * per_sample];
+        let fill = |range: std::ops::Range<usize>, chunk: &mut [usize]| {
+            let mut pos = 0;
+            for batch in range {
+                for filter in 0..k {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let response_row = batch * oh * ow + oy * ow + ox;
+                            chunk[pos] = response_row * k + filter;
+                            pos += 1;
+                        }
                     }
                 }
             }
+        };
+        if b * per_sample >= MIN_PAR_MAP_ELEMS && b > 1 {
+            edsr_par::par_for_rows(&mut map, b, fill);
+        } else {
+            fill(0..b, &mut map);
         }
         map
     }

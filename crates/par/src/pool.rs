@@ -1,0 +1,211 @@
+//! The worker pool behind [`run_chunks`](crate::run_chunks): a global,
+//! lazily spawned set of threads executing type-erased chunk jobs.
+//!
+//! Scheduling model: one `run_chunks` call turns into `n_chunks` jobs
+//! sharing a completion latch. The caller executes chunk 0 itself, then
+//! *helps drain the queue* until its latch completes — so progress is
+//! guaranteed even with zero pool workers (`EDSR_THREADS=1` hosts), and a
+//! blocked caller never idles while work is pending. Workers never block
+//! on latches, only callers do, so concurrent `run_chunks` calls from
+//! different threads cannot deadlock.
+//!
+//! Panics inside a chunk are caught per job, recorded on the latch, and
+//! re-raised on the calling thread *after* every job of the call has
+//! finished — jobs borrow the caller's stack, so the caller must never
+//! unwind while they are in flight.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::enter_pool_context;
+
+/// A borrowed chunk task, shared by every job of one `run_chunks` call.
+/// The `usize` argument is the chunk index.
+pub(crate) type Task = dyn Fn(usize) + Sync;
+
+/// Type-erased pointer to a caller-owned [`Task`].
+///
+/// Soundness: the caller of [`Pool::run`] blocks until the latch counts
+/// every job as finished (even when a chunk panics), so the pointee
+/// strictly outlives every dereference on the workers.
+struct TaskPtr(*const Task);
+
+// SAFETY: the pointee is `Sync` (shared-access safe) and outlives the job
+// (see above), so shipping the pointer to a worker thread is sound.
+unsafe impl Send for TaskPtr {}
+
+/// One schedulable chunk of a `run_chunks` call.
+struct Job {
+    task: TaskPtr,
+    chunk: usize,
+    latch: Arc<Latch>,
+}
+
+impl Job {
+    /// Runs the chunk, catching panics into the latch.
+    fn execute(self) {
+        // SAFETY: see `TaskPtr` — the caller keeps the task alive until
+        // the latch completes, which happens strictly after this call.
+        let task = unsafe { &*self.task.0 };
+        let outcome =
+            enter_pool_context(|| std::panic::catch_unwind(AssertUnwindSafe(|| task(self.chunk))));
+        self.latch.complete(outcome.err());
+    }
+}
+
+/// Completion latch for one `run_chunks` call.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(LatchState {
+                remaining: jobs,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Marks one job finished; the first panic payload wins.
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch state lock");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch state lock").remaining == 0
+    }
+
+    /// Blocks until every job has completed.
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("latch state lock");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("latch wait");
+        }
+    }
+
+    /// Re-raises the first recorded chunk panic, if any.
+    fn resume_panic(&self) {
+        let payload = self.state.lock().expect("latch state lock").panic.take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Queue shared between callers and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// The process-wide pool. Workers are detached and live for the process;
+/// they spend idle time blocked on the queue condvar.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("edsr-par-{i}"))
+                .spawn(move || worker_loop(&shared));
+            if let Err(e) = spawned {
+                // Degraded but correct: the caller drains the queue itself.
+                eprintln!("edsr-par: could not spawn worker {i}: {e}");
+            }
+        }
+        Self { shared }
+    }
+
+    /// Executes `task(0..n_chunks)` across the pool and the calling
+    /// thread, returning (or re-panicking) once every chunk finished.
+    pub(crate) fn run(&self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(n_chunks >= 1);
+        // SAFETY: lifetime erasure only — this function blocks until the
+        // latch counts every job as finished, so the borrow outlives all
+        // uses on the workers (see `TaskPtr`).
+        let task: &'static Task = unsafe { std::mem::transmute(task) };
+        let latch = Latch::new(n_chunks);
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            for chunk in 1..n_chunks {
+                queue.push_back(Job {
+                    task: TaskPtr(task as *const Task),
+                    chunk,
+                    latch: Arc::clone(&latch),
+                });
+            }
+        }
+        self.shared.available.notify_all();
+
+        // Chunk 0 runs on the caller.
+        Job {
+            task: TaskPtr(task as *const Task),
+            chunk: 0,
+            latch: Arc::clone(&latch),
+        }
+        .execute();
+
+        // Help drain the queue (possibly executing jobs of concurrent
+        // calls) until this call's latch completes.
+        while !latch.is_done() {
+            let job = self
+                .shared
+                .queue
+                .lock()
+                .expect("pool queue lock")
+                .pop_front();
+            match job {
+                Some(job) => job.execute(),
+                None => latch.wait(),
+            }
+        }
+        latch.resume_panic();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                match queue.pop_front() {
+                    Some(job) => break job,
+                    None => queue = shared.available.wait(queue).expect("pool queue wait"),
+                }
+            }
+        };
+        job.execute();
+    }
+}
+
+/// The global pool, spawned on first parallel submission with
+/// `configured_threads() - 1` workers (the caller is the remaining
+/// participant).
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(crate::configured_threads().saturating_sub(1)))
+}

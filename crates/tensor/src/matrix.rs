@@ -4,12 +4,23 @@
 //! minibatches, representations, weights and gradients are all matrices.
 //! The implementation favours simple, cache-friendly loops (`ikj` matmul)
 //! over external BLAS, per the repository's no-external-substrate rule.
+//! Large products are data-parallel over *output rows* via `edsr-par`:
+//! every output row is computed from the shared inputs with the exact
+//! serial accumulation order, so results are bit-identical at every
+//! thread count (the determinism contract of DESIGN.md §9).
 
 use std::fmt;
+use std::ops::Range;
 
 use rand::rngs::StdRng;
 
 use crate::rng::{gaussian, uniform};
+
+/// Minimum multiply-accumulate count before a product is worth the
+/// pool-dispatch overhead; below this the same kernel runs inline. Purely
+/// a performance knob — it cannot affect values (each output row's
+/// computation is identical on both paths).
+const MIN_PAR_FLOPS: usize = 32 * 1024;
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -349,18 +360,26 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Branch-free `ikj` kernel. Deliberately no `a == 0.0` skip: the
+        // skip turned `0 * NaN` / `0 * inf` into `0`, masking non-finite
+        // activations from the divergence guard, and the branch blocked
+        // auto-vectorization of the inner loop.
+        let kernel = |rows: Range<usize>, out_chunk: &mut [f32]| {
+            for (local, i) in rows.enumerate() {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out_chunk[local * m..(local + 1) * m];
+                for (p, &a) in a_row.iter().enumerate() {
+                    let b_row = &other.data[p * m..(p + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+        };
+        if n * k * m >= MIN_PAR_FLOPS {
+            edsr_par::par_for_rows(&mut out.data, n, kernel);
+        } else {
+            kernel(0..n, &mut out.data);
         }
         out
     }
@@ -374,18 +393,25 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(k, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let b_row = &other.data[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Parallel over output rows `p`; for each, the accumulation over
+        // samples `i` runs in ascending order — the same per-element
+        // order as the serial `i`-outer loop, so results are bit-stable.
+        let kernel = |p_rows: Range<usize>, out_chunk: &mut [f32]| {
+            for (local, p) in p_rows.enumerate() {
+                let out_row = &mut out_chunk[local * m..(local + 1) * m];
+                for i in 0..n {
+                    let a = self.data[i * k + p];
+                    let b_row = &other.data[i * m..(i + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+        };
+        if n * k * m >= MIN_PAR_FLOPS {
+            edsr_par::par_for_rows(&mut out.data, k, kernel);
+        } else {
+            kernel(0..k, &mut out.data);
         }
         out
     }
@@ -399,16 +425,23 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..m {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let kernel = |rows: Range<usize>, out_chunk: &mut [f32]| {
+            for (local, i) in rows.enumerate() {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for j in 0..m {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    out_chunk[local * m + j] = acc;
                 }
-                out.data[i * m + j] = acc;
             }
+        };
+        if n * k * m >= MIN_PAR_FLOPS {
+            edsr_par::par_for_rows(&mut out.data, n, kernel);
+        } else {
+            kernel(0..n, &mut out.data);
         }
         out
     }
@@ -783,5 +816,62 @@ mod tests {
         let mut m = m2x3();
         m.fill_zero();
         assert_eq!(m.sum(), 0.0);
+    }
+
+    /// Regression: the old `ikj` kernel skipped `a == 0.0` terms, so a NaN
+    /// in `B` multiplied by a zero in `A` silently vanished and the
+    /// divergence guard never saw it. NaN must poison the affected output.
+    #[test]
+    fn matmul_propagates_nan_through_zero_operand() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan());
+
+        let at = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        assert!(at.transpose_matmul(&b).get(0, 0).is_nan());
+
+        let bt = Matrix::from_vec(1, 2, vec![f32::NAN, 2.0]);
+        assert!(a.matmul_transpose(&bt).get(0, 0).is_nan());
+    }
+
+    /// Determinism contract (DESIGN.md §9): all three products are
+    /// bit-identical at every thread count, including shapes large enough
+    /// to cross `MIN_PAR_FLOPS` and take the pool path.
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Matrix::randn(37, 53, 1.0, &mut rng);
+        let b = Matrix::randn(53, 41, 1.0, &mut rng);
+        let c = Matrix::randn(37, 41, 1.0, &mut rng);
+        let bt = Matrix::randn(41, 53, 1.0, &mut rng);
+        let serial = edsr_par::with_threads(1, || {
+            (
+                a.matmul(&b),
+                a.transpose_matmul(&c),
+                a.matmul_transpose(&bt),
+            )
+        });
+        for threads in [2, 7] {
+            let par = edsr_par::with_threads(threads, || {
+                (
+                    a.matmul(&b),
+                    a.transpose_matmul(&c),
+                    a.matmul_transpose(&bt),
+                )
+            });
+            for (s, p) in [
+                (&serial.0, &par.0),
+                (&serial.1, &par.1),
+                (&serial.2, &par.2),
+            ] {
+                assert!(
+                    s.data()
+                        .iter()
+                        .zip(p.data())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "product differs at {threads} threads"
+                );
+            }
+        }
     }
 }

@@ -14,6 +14,12 @@ use crate::matrix::Matrix;
 /// Numerical floor used when normalizing rows, preventing division by zero.
 const NORM_EPS: f32 = 1e-12;
 
+/// Minimum output element count before a forward op is dispatched to the
+/// `edsr-par` pool; below this the same kernel runs inline. Performance
+/// knob only — both paths compute each output row identically, so the
+/// DESIGN.md §9 determinism contract is unaffected.
+const MIN_PAR_ELEMS: usize = 8 * 1024;
+
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(usize);
@@ -205,18 +211,26 @@ impl Tape {
     /// L2-normalizes each row (`y_i = x_i / max(‖x_i‖, ε)`).
     pub fn row_normalize(&mut self, a: Var) -> Var {
         let x = self.value(a);
+        let (rows, cols) = x.shape();
         let mut out = x.clone();
-        for r in 0..out.rows() {
-            let norm = x
-                .row(r)
-                .iter()
-                .map(|v| v * v)
-                .sum::<f32>()
-                .sqrt()
-                .max(NORM_EPS);
-            for v in out.row_mut(r) {
-                *v /= norm;
+        let kernel = |range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+            for (local, r) in range.enumerate() {
+                let norm = x
+                    .row(r)
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    .sqrt()
+                    .max(NORM_EPS);
+                for v in &mut out_chunk[local * cols..(local + 1) * cols] {
+                    *v /= norm;
+                }
             }
+        };
+        if rows * cols >= MIN_PAR_ELEMS && rows > 1 {
+            edsr_par::par_for_rows(out.data_mut(), rows, kernel);
+        } else {
+            kernel(0..rows, out.data_mut());
         }
         self.push(Op::RowNormalize(a), out)
     }
@@ -284,9 +298,20 @@ impl Tape {
         let src = self.value(a);
         let src_data = src.data();
         let mut out = Matrix::zeros(out_rows, out_cols);
-        for (o, &idx) in out.data_mut().iter_mut().zip(map.iter()) {
-            assert!(idx < src_data.len(), "gather: index {idx} out of range");
-            *o = src_data[idx];
+        // Capture the index slice, not the `Rc` (an `Rc` is not `Sync`).
+        let map_slice: &[usize] = &map;
+        let fill = |range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+            let start = range.start * out_cols;
+            let idxs = &map_slice[start..start + out_chunk.len()];
+            for (o, &idx) in out_chunk.iter_mut().zip(idxs) {
+                assert!(idx < src_data.len(), "gather: index {idx} out of range");
+                *o = src_data[idx];
+            }
+        };
+        if out_rows * out_cols >= MIN_PAR_ELEMS && out_rows > 1 {
+            edsr_par::par_for_rows(out.data_mut(), out_rows, fill);
+        } else {
+            fill(0..out_rows, out.data_mut());
         }
         self.push(Op::Gather(a, map), out)
     }

@@ -9,6 +9,8 @@
 //! options: --seed N         data/model/run seed base   (default 11)
 //!          --epochs N       epochs per increment       (preset default)
 //!          --memory N       total memory budget        (preset default)
+//!          --threads N      compute threads (default: all cores; results
+//!                           are bit-identical at any value — DESIGN.md §9)
 //!          --save PATH      write the final model checkpoint
 //!          --checkpoint DIR snapshot run state after each increment
 //!          --resume         continue from the latest valid snapshot
@@ -31,7 +33,7 @@ use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH] [--checkpoint DIR] [--resume]\n  edsr tabular <method> [--seed N] [--epochs N]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask"
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial."
     );
     std::process::exit(2);
 }
@@ -255,8 +257,25 @@ fn cmd_tabular(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+/// Applies `--threads N` before any parallel work runs (the pool latches
+/// its size on first use).
+fn apply_threads_flag(args: &[String]) -> Result<(), Error> {
+    if let Some(v) = parse_flag(args, "--threads") {
+        let n: usize = parse_num(&v, "--threads")?;
+        if n == 0 {
+            return Err(Error::Data("--threads expects a value >= 1".into()));
+        }
+        edsr::par::set_threads(n);
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = apply_threads_flag(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     let result = match args.first().map(String::as_str) {
         Some("presets") => {
             cmd_presets();

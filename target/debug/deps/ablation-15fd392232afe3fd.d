@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-15fd392232afe3fd.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-15fd392232afe3fd: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-5da643a2527dc326.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-5da643a2527dc326: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_ablation-05aa47ac5622639f.d: crates/bench/src/bin/arch_ablation.rs
+
+/root/repo/target/debug/deps/arch_ablation-05aa47ac5622639f: crates/bench/src/bin/arch_ablation.rs
+
+crates/bench/src/bin/arch_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_ablation-2a19b4688296508a.d: crates/bench/src/bin/arch_ablation.rs
+
+/root/repo/target/debug/deps/arch_ablation-2a19b4688296508a: crates/bench/src/bin/arch_ablation.rs
+
+crates/bench/src/bin/arch_ablation.rs:

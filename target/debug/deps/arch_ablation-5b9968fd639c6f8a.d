@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arch_ablation-5b9968fd639c6f8a.d: crates/bench/src/bin/arch_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarch_ablation-5b9968fd639c6f8a.rmeta: crates/bench/src/bin/arch_ablation.rs Cargo.toml
+
+crates/bench/src/bin/arch_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-9b962d282ac3e1a8.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-9b962d282ac3e1a8: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-c8e3770d5dc1bc67.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-c8e3770d5dc1bc67: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

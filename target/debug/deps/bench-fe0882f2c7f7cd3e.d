@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-fe0882f2c7f7cd3e.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-fe0882f2c7f7cd3e.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

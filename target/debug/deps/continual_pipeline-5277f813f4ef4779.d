@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/continual_pipeline-5277f813f4ef4779.d: tests/continual_pipeline.rs
+
+/root/repo/target/debug/deps/continual_pipeline-5277f813f4ef4779: tests/continual_pipeline.rs
+
+tests/continual_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/continual_pipeline-6f2740537248e215.d: tests/continual_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontinual_pipeline-6f2740537248e215.rmeta: tests/continual_pipeline.rs Cargo.toml
+
+tests/continual_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

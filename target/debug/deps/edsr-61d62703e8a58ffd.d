@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr-61d62703e8a58ffd.d: src/bin/edsr.rs
+
+/root/repo/target/debug/deps/edsr-61d62703e8a58ffd: src/bin/edsr.rs
+
+src/bin/edsr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr-7396804dd5e80eed.d: src/lib.rs
+
+/root/repo/target/debug/deps/edsr-7396804dd5e80eed: src/lib.rs
+
+src/lib.rs:

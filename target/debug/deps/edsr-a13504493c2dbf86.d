@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edsr-a13504493c2dbf86.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedsr-a13504493c2dbf86.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedsr-a13504493c2dbf86.rmeta: src/lib.rs
+
+src/lib.rs:

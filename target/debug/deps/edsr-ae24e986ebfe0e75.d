@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edsr-ae24e986ebfe0e75.d: src/bin/edsr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr-ae24e986ebfe0e75.rmeta: src/bin/edsr.rs Cargo.toml
+
+src/bin/edsr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr-fac9a1ebdb520cfc.d: src/bin/edsr.rs
+
+/root/repo/target/debug/deps/edsr-fac9a1ebdb520cfc: src/bin/edsr.rs
+
+src/bin/edsr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edsr-fc116e3dd471105b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr-fc116e3dd471105b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edsr_bench-066bbcef557642fd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/edsr_bench-066bbcef557642fd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

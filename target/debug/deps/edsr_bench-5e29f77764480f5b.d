@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edsr_bench-5e29f77764480f5b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_bench-5e29f77764480f5b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

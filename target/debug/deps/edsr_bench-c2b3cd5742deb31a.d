@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edsr_bench-c2b3cd5742deb31a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedsr_bench-c2b3cd5742deb31a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libedsr_bench-c2b3cd5742deb31a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

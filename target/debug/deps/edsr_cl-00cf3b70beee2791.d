@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/edsr_cl-00cf3b70beee2791.d: crates/cl/src/lib.rs crates/cl/src/checkpoint.rs crates/cl/src/error.rs crates/cl/src/eval.rs crates/cl/src/fault.rs crates/cl/src/guard.rs crates/cl/src/memory.rs crates/cl/src/methods/mod.rs crates/cl/src/methods/cassle.rs crates/cl/src/methods/der.rs crates/cl/src/methods/finetune.rs crates/cl/src/methods/lin_replay.rs crates/cl/src/methods/lump.rs crates/cl/src/methods/si.rs crates/cl/src/metrics.rs crates/cl/src/model.rs crates/cl/src/trainer.rs crates/cl/src/fault_tests.rs crates/cl/src/trainer_tests.rs
+
+/root/repo/target/debug/deps/edsr_cl-00cf3b70beee2791: crates/cl/src/lib.rs crates/cl/src/checkpoint.rs crates/cl/src/error.rs crates/cl/src/eval.rs crates/cl/src/fault.rs crates/cl/src/guard.rs crates/cl/src/memory.rs crates/cl/src/methods/mod.rs crates/cl/src/methods/cassle.rs crates/cl/src/methods/der.rs crates/cl/src/methods/finetune.rs crates/cl/src/methods/lin_replay.rs crates/cl/src/methods/lump.rs crates/cl/src/methods/si.rs crates/cl/src/metrics.rs crates/cl/src/model.rs crates/cl/src/trainer.rs crates/cl/src/fault_tests.rs crates/cl/src/trainer_tests.rs
+
+crates/cl/src/lib.rs:
+crates/cl/src/checkpoint.rs:
+crates/cl/src/error.rs:
+crates/cl/src/eval.rs:
+crates/cl/src/fault.rs:
+crates/cl/src/guard.rs:
+crates/cl/src/memory.rs:
+crates/cl/src/methods/mod.rs:
+crates/cl/src/methods/cassle.rs:
+crates/cl/src/methods/der.rs:
+crates/cl/src/methods/finetune.rs:
+crates/cl/src/methods/lin_replay.rs:
+crates/cl/src/methods/lump.rs:
+crates/cl/src/methods/si.rs:
+crates/cl/src/metrics.rs:
+crates/cl/src/model.rs:
+crates/cl/src/trainer.rs:
+crates/cl/src/fault_tests.rs:
+crates/cl/src/trainer_tests.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/edsr_cl-58d5bb24ead7c464.d: crates/cl/src/lib.rs crates/cl/src/checkpoint.rs crates/cl/src/error.rs crates/cl/src/eval.rs crates/cl/src/fault.rs crates/cl/src/guard.rs crates/cl/src/memory.rs crates/cl/src/methods/mod.rs crates/cl/src/methods/cassle.rs crates/cl/src/methods/der.rs crates/cl/src/methods/finetune.rs crates/cl/src/methods/lin_replay.rs crates/cl/src/methods/lump.rs crates/cl/src/methods/si.rs crates/cl/src/metrics.rs crates/cl/src/model.rs crates/cl/src/trainer.rs crates/cl/src/fault_tests.rs crates/cl/src/trainer_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_cl-58d5bb24ead7c464.rmeta: crates/cl/src/lib.rs crates/cl/src/checkpoint.rs crates/cl/src/error.rs crates/cl/src/eval.rs crates/cl/src/fault.rs crates/cl/src/guard.rs crates/cl/src/memory.rs crates/cl/src/methods/mod.rs crates/cl/src/methods/cassle.rs crates/cl/src/methods/der.rs crates/cl/src/methods/finetune.rs crates/cl/src/methods/lin_replay.rs crates/cl/src/methods/lump.rs crates/cl/src/methods/si.rs crates/cl/src/metrics.rs crates/cl/src/model.rs crates/cl/src/trainer.rs crates/cl/src/fault_tests.rs crates/cl/src/trainer_tests.rs Cargo.toml
+
+crates/cl/src/lib.rs:
+crates/cl/src/checkpoint.rs:
+crates/cl/src/error.rs:
+crates/cl/src/eval.rs:
+crates/cl/src/fault.rs:
+crates/cl/src/guard.rs:
+crates/cl/src/memory.rs:
+crates/cl/src/methods/mod.rs:
+crates/cl/src/methods/cassle.rs:
+crates/cl/src/methods/der.rs:
+crates/cl/src/methods/finetune.rs:
+crates/cl/src/methods/lin_replay.rs:
+crates/cl/src/methods/lump.rs:
+crates/cl/src/methods/si.rs:
+crates/cl/src/metrics.rs:
+crates/cl/src/model.rs:
+crates/cl/src/trainer.rs:
+crates/cl/src/fault_tests.rs:
+crates/cl/src/trainer_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_core-104ab3b947f90be7.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs crates/core/src/proptests.rs
+
+/root/repo/target/debug/deps/edsr_core-104ab3b947f90be7: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs crates/core/src/proptests.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:
+crates/core/src/proptests.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/edsr_core-43ed03351357fdb3.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/debug/deps/libedsr_core-43ed03351357fdb3.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/debug/deps/libedsr_core-43ed03351357fdb3.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edsr_core-84d8a8b5f6dd558c.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs crates/core/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_core-84d8a8b5f6dd558c.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs crates/core/src/proptests.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:
+crates/core/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/edsr_data-4fa8af5f0493da6c.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+/root/repo/target/debug/deps/libedsr_data-4fa8af5f0493da6c.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+/root/repo/target/debug/deps/libedsr_data-4fa8af5f0493da6c.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batch.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/grid.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:
+crates/data/src/tabular.rs:
+crates/data/src/tasks.rs:

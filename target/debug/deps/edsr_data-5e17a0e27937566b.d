@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/edsr_data-5e17a0e27937566b.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_data-5e17a0e27937566b.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batch.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/grid.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:
+crates/data/src/tabular.rs:
+crates/data/src/tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

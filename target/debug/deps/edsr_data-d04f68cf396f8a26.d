@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edsr_data-d04f68cf396f8a26.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+/root/repo/target/debug/deps/edsr_data-d04f68cf396f8a26: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batch.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/grid.rs crates/data/src/presets.rs crates/data/src/synth.rs crates/data/src/tabular.rs crates/data/src/tasks.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batch.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/grid.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:
+crates/data/src/tabular.rs:
+crates/data/src/tasks.rs:

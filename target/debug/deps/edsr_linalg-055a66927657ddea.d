@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edsr_linalg-055a66927657ddea.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_linalg-055a66927657ddea.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/kmeans.rs:
+crates/linalg/src/knn.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edsr_linalg-4dc0e8d5f87473c3.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libedsr_linalg-4dc0e8d5f87473c3.rlib: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libedsr_linalg-4dc0e8d5f87473c3.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/kmeans.rs:
+crates/linalg/src/knn.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_linalg-bc7410b75c60a439.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/edsr_linalg-bc7410b75c60a439: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/kmeans.rs:
+crates/linalg/src/knn.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:

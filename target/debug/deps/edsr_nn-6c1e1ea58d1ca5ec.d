@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edsr_nn-6c1e1ea58d1ca5ec.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/libedsr_nn-6c1e1ea58d1ca5ec.rlib: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/libedsr_nn-6c1e1ea58d1ca5ec.rmeta: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_nn-a82900bd91fae035.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/edsr_nn-a82900bd91fae035: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edsr_par-108288d5093dce4d.d: crates/par/src/lib.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/libedsr_par-108288d5093dce4d.rlib: crates/par/src/lib.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/libedsr_par-108288d5093dce4d.rmeta: crates/par/src/lib.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:

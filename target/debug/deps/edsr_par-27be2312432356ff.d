@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edsr_par-27be2312432356ff.d: crates/par/src/lib.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/edsr_par-27be2312432356ff: crates/par/src/lib.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:

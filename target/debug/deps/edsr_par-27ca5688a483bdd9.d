@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_par-27ca5688a483bdd9.d: crates/par/src/lib.rs crates/par/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_par-27ca5688a483bdd9.rmeta: crates/par/src/lib.rs crates/par/src/pool.rs Cargo.toml
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

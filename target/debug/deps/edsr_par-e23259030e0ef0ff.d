@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_par-e23259030e0ef0ff.d: crates/par/src/lib.rs crates/par/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_par-e23259030e0ef0ff.rmeta: crates/par/src/lib.rs crates/par/src/pool.rs Cargo.toml
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edsr_ssl-6733a78866270b96.d: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/debug/deps/edsr_ssl-6733a78866270b96: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+crates/ssl/src/lib.rs:
+crates/ssl/src/distill.rs:
+crates/ssl/src/encoder.rs:
+crates/ssl/src/losses.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edsr_ssl-cf1834fea9bc3ec4.d: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/debug/deps/libedsr_ssl-cf1834fea9bc3ec4.rlib: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/debug/deps/libedsr_ssl-cf1834fea9bc3ec4.rmeta: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+crates/ssl/src/lib.rs:
+crates/ssl/src/distill.rs:
+crates/ssl/src/encoder.rs:
+crates/ssl/src/losses.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edsr_ssl-f73982a0276433b6.d: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_ssl-f73982a0276433b6.rmeta: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs Cargo.toml
+
+crates/ssl/src/lib.rs:
+crates/ssl/src/distill.rs:
+crates/ssl/src/encoder.rs:
+crates/ssl/src/losses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/edsr_tensor-967b39e1ba4fcc34.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedsr_tensor-967b39e1ba4fcc34.rmeta: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

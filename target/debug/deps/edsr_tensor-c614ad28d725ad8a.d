@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edsr_tensor-c614ad28d725ad8a.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/edsr_tensor-c614ad28d725ad8a: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-4332d69632e05a86.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-4332d69632e05a86: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-c5955d3aa7232dfb.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-c5955d3aa7232dfb: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-00f37cc9e441113d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-00f37cc9e441113d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-d382c83ecaa7ed90.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-d382c83ecaa7ed90: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4b471971cee43bd8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4b471971cee43bd8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

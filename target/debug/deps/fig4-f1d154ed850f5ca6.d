@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f1d154ed850f5ca6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-f1d154ed850f5ca6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b7146942004d370f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b7146942004d370f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-eeaa8cd6beb78dab.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-eeaa8cd6beb78dab: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3f92b9c0e86c2086.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-3f92b9c0e86c2086: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

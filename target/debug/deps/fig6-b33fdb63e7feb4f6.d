@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b33fdb63e7feb4f6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b33fdb63e7feb4f6: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

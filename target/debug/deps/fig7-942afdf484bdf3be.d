@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-942afdf484bdf3be.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-942afdf484bdf3be: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

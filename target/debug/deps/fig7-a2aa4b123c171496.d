@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a2aa4b123c171496.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-a2aa4b123c171496: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9605fbbbeb504e32.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9605fbbbeb504e32: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a7dda922cab18024.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a7dda922cab18024: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

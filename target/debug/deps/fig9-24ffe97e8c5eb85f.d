@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-24ffe97e8c5eb85f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-24ffe97e8c5eb85f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

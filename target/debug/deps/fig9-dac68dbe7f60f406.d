@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-dac68dbe7f60f406.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-dac68dbe7f60f406: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_runtime-88dccb7fd1bd1483.d: tests/parallel_runtime.rs
+
+/root/repo/target/debug/deps/parallel_runtime-88dccb7fd1bd1483: tests/parallel_runtime.rs
+
+tests/parallel_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_runtime-f90f40e1f0c31411.d: tests/parallel_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_runtime-f90f40e1f0c31411.rmeta: tests/parallel_runtime.rs Cargo.toml
+
+tests/parallel_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-1cbc94fbedcaf02a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-1cbc94fbedcaf02a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

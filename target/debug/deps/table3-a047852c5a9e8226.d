@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a047852c5a9e8226.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a047852c5a9e8226: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-0cf0b6074f897ae8.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-0cf0b6074f897ae8: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-62741e6b426254e1.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-62741e6b426254e1: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

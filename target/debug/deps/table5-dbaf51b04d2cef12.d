@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-dbaf51b04d2cef12.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-dbaf51b04d2cef12: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-81d7fe13e8a9b951.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-81d7fe13e8a9b951: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

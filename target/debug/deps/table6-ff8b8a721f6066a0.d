@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ff8b8a721f6066a0.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-ff8b8a721f6066a0: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

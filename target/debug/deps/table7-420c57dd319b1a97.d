@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-420c57dd319b1a97.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-420c57dd319b1a97: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-52407ed35c9c1851.d: crates/bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-52407ed35c9c1851.rmeta: crates/bench/src/bin/table7.rs Cargo.toml
+
+crates/bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-b9148626e01411e7.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-b9148626e01411e7: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

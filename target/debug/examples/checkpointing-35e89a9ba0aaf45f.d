@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpointing-35e89a9ba0aaf45f.d: examples/checkpointing.rs
+
+/root/repo/target/debug/examples/checkpointing-35e89a9ba0aaf45f: examples/checkpointing.rs
+
+examples/checkpointing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpointing-f78fa0c2bff7ed45.d: examples/checkpointing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpointing-f78fa0c2bff7ed45.rmeta: examples/checkpointing.rs Cargo.toml
+
+examples/checkpointing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

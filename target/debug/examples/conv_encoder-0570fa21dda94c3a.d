@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conv_encoder-0570fa21dda94c3a.d: examples/conv_encoder.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconv_encoder-0570fa21dda94c3a.rmeta: examples/conv_encoder.rs Cargo.toml
+
+examples/conv_encoder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conv_encoder-bfc05641811b588b.d: examples/conv_encoder.rs
+
+/root/repo/target/debug/examples/conv_encoder-bfc05641811b588b: examples/conv_encoder.rs
+
+examples/conv_encoder.rs:

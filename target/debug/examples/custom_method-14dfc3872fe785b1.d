@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_method-14dfc3872fe785b1.d: examples/custom_method.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_method-14dfc3872fe785b1.rmeta: examples/custom_method.rs Cargo.toml
+
+examples/custom_method.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_method-bd99f365d812963f.d: examples/custom_method.rs
+
+/root/repo/target/debug/examples/custom_method-bd99f365d812963f: examples/custom_method.rs
+
+examples/custom_method.rs:

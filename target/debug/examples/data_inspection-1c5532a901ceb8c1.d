@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_inspection-1c5532a901ceb8c1.d: examples/data_inspection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_inspection-1c5532a901ceb8c1.rmeta: examples/data_inspection.rs Cargo.toml
+
+examples/data_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

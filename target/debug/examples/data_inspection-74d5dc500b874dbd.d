@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_inspection-74d5dc500b874dbd.d: examples/data_inspection.rs
+
+/root/repo/target/debug/examples/data_inspection-74d5dc500b874dbd: examples/data_inspection.rs
+
+examples/data_inspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_comparison-447502cf3fa6c51a.d: examples/method_comparison.rs
+
+/root/repo/target/debug/examples/method_comparison-447502cf3fa6c51a: examples/method_comparison.rs
+
+examples/method_comparison.rs:

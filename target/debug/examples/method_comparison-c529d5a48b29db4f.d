@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/method_comparison-c529d5a48b29db4f.d: examples/method_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmethod_comparison-c529d5a48b29db4f.rmeta: examples/method_comparison.rs Cargo.toml
+
+examples/method_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

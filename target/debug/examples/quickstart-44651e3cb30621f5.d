@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-44651e3cb30621f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-44651e3cb30621f5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selection_playground-7b12e71fc28d4b03.d: examples/selection_playground.rs
+
+/root/repo/target/debug/examples/selection_playground-7b12e71fc28d4b03: examples/selection_playground.rs
+
+examples/selection_playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selection_playground-b935dd505ca989e5.d: examples/selection_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselection_playground-b935dd505ca989e5.rmeta: examples/selection_playground.rs Cargo.toml
+
+examples/selection_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tabular_stream-0cd240f3de15575c.d: examples/tabular_stream.rs
+
+/root/repo/target/debug/examples/tabular_stream-0cd240f3de15575c: examples/tabular_stream.rs
+
+examples/tabular_stream.rs:

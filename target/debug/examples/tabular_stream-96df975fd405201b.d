@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tabular_stream-96df975fd405201b.d: examples/tabular_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtabular_stream-96df975fd405201b.rmeta: examples/tabular_stream.rs Cargo.toml
+
+examples/tabular_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

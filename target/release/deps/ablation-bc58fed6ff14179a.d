@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-bc58fed6ff14179a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-bc58fed6ff14179a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arch_ablation-0d17c37f51a9d233.d: crates/bench/src/bin/arch_ablation.rs
+
+/root/repo/target/release/deps/arch_ablation-0d17c37f51a9d233: crates/bench/src/bin/arch_ablation.rs
+
+crates/bench/src/bin/arch_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-f462c06ef7bdd562.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-f462c06ef7bdd562: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edsr-667e40012fad6fd5.d: src/bin/edsr.rs
+
+/root/repo/target/release/deps/edsr-667e40012fad6fd5: src/bin/edsr.rs
+
+src/bin/edsr.rs:

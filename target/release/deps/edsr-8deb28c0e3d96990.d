@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edsr-8deb28c0e3d96990.d: src/lib.rs
+
+/root/repo/target/release/deps/libedsr-8deb28c0e3d96990.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedsr-8deb28c0e3d96990.rmeta: src/lib.rs
+
+src/lib.rs:

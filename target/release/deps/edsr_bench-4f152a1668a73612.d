@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edsr_bench-4f152a1668a73612.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libedsr_bench-4f152a1668a73612.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libedsr_bench-4f152a1668a73612.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/edsr_core-969315946ada78a1.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/release/deps/libedsr_core-969315946ada78a1.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+/root/repo/target/release/deps/libedsr_core-969315946ada78a1.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/method.rs crates/core/src/noise.rs crates/core/src/select.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/method.rs:
+crates/core/src/noise.rs:
+crates/core/src/select.rs:

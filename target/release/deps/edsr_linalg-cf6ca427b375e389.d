@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/edsr_linalg-cf6ca427b375e389.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libedsr_linalg-cf6ca427b375e389.rlib: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libedsr_linalg-cf6ca427b375e389.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/kmeans.rs crates/linalg/src/knn.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/kmeans.rs:
+crates/linalg/src/knn.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:

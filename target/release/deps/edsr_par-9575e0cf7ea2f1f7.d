@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/edsr_par-9575e0cf7ea2f1f7.d: crates/par/src/lib.rs crates/par/src/pool.rs
+
+/root/repo/target/release/deps/libedsr_par-9575e0cf7ea2f1f7.rlib: crates/par/src/lib.rs crates/par/src/pool.rs
+
+/root/repo/target/release/deps/libedsr_par-9575e0cf7ea2f1f7.rmeta: crates/par/src/lib.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/edsr_ssl-599d59dafe5d0888.d: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/release/deps/libedsr_ssl-599d59dafe5d0888.rlib: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+/root/repo/target/release/deps/libedsr_ssl-599d59dafe5d0888.rmeta: crates/ssl/src/lib.rs crates/ssl/src/distill.rs crates/ssl/src/encoder.rs crates/ssl/src/losses.rs
+
+crates/ssl/src/lib.rs:
+crates/ssl/src/distill.rs:
+crates/ssl/src/encoder.rs:
+crates/ssl/src/losses.rs:

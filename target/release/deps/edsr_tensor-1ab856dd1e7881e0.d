@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/edsr_tensor-1ab856dd1e7881e0.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libedsr_tensor-1ab856dd1e7881e0.rlib: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libedsr_tensor-1ab856dd1e7881e0.rmeta: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-a5464831f993ce73.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-a5464831f993ce73: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-e403ef609753f809.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-e403ef609753f809: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

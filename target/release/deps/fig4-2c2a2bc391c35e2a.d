@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-2c2a2bc391c35e2a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-2c2a2bc391c35e2a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-01b2bd92369be483.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-01b2bd92369be483: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

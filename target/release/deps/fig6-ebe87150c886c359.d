@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-ebe87150c886c359.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-ebe87150c886c359: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-76f46c3507f94bf4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-76f46c3507f94bf4: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-6ad68cdb1f27541b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-6ad68cdb1f27541b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

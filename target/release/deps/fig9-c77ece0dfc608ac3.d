@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-c77ece0dfc608ac3.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-c77ece0dfc608ac3: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

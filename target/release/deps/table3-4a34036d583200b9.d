@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-4a34036d583200b9.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-4a34036d583200b9: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-8b16fcaef6751ad0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-8b16fcaef6751ad0: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-47f88d9aba0a39ae.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-47f88d9aba0a39ae: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

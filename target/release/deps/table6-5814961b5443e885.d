@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-5814961b5443e885.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-5814961b5443e885: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-5d6d8a2792ada4c4.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-5d6d8a2792ada4c4: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpointing-71c2f055823f04ab.d: examples/checkpointing.rs
+
+/root/repo/target/release/examples/checkpointing-71c2f055823f04ab: examples/checkpointing.rs
+
+examples/checkpointing.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libedsr_par.rlib: /root/repo/crates/par/src/lib.rs /root/repo/crates/par/src/pool.rs

@@ -1,0 +1,77 @@
+//! Cross-crate contract tests for the `edsr-par` runtime: a worker panic
+//! surfaces as a structured error (`edsr_core::Error::Worker` /
+//! `TrainError::Worker`) instead of hanging or aborting, and the pool
+//! stays usable afterwards.
+
+use edsr::cl::TrainError;
+use edsr::core::Error;
+use edsr::par;
+use edsr::tensor::Matrix;
+
+/// Bridges a chunk panic into the workspace error type, the way sweep
+/// drivers do.
+fn guarded(len: usize, poison_at: Option<usize>) -> Result<Vec<f32>, Error> {
+    par::catch_panic(|| {
+        let mut out = vec![0.0f32; len];
+        par::par_for_rows(&mut out, len, |rows, chunk| {
+            for (local, i) in rows.enumerate() {
+                if Some(i) == poison_at {
+                    panic!("poisoned element {i}");
+                }
+                chunk[local] = i as f32 * 2.0;
+            }
+        });
+        out
+    })
+    .map_err(Error::Worker)
+}
+
+#[test]
+fn worker_panic_becomes_structured_error() {
+    par::with_threads(4, || {
+        let err = guarded(64, Some(17)).expect_err("panic must surface");
+        match &err {
+            Error::Worker(msg) => assert!(msg.contains("poisoned element 17"), "{msg}"),
+            other => panic!("expected Worker, got {other:?}"),
+        }
+        assert!(err.to_string().contains("parallel worker panicked"));
+    });
+}
+
+#[test]
+fn pool_remains_usable_after_worker_panic() {
+    par::with_threads(4, || {
+        assert!(guarded(64, Some(0)).is_err());
+        let ok = guarded(64, None).expect("clean run after panic");
+        assert_eq!(ok[10], 20.0);
+    });
+}
+
+#[test]
+fn train_error_worker_variant_formats() {
+    let e = TrainError::Worker("boom".into());
+    assert!(e.to_string().contains("parallel worker panicked: boom"));
+    let e: Error = e.into();
+    assert!(matches!(e, Error::Train(TrainError::Worker(_))));
+}
+
+/// End-to-end determinism spot check through the facade: a small training
+/// matmul chain is bit-identical at 1, 2, and 7 threads.
+#[test]
+fn facade_matmul_bit_identical_across_thread_counts() {
+    let mut rng = edsr::tensor::rng::seeded(7);
+    let a = Matrix::randn(33, 29, 1.0, &mut rng);
+    let b = Matrix::randn(29, 31, 1.0, &mut rng);
+    let baseline = par::with_threads(1, || a.matmul(&b));
+    for threads in [2usize, 7] {
+        let got = par::with_threads(threads, || a.matmul(&b));
+        assert!(
+            baseline
+                .data()
+                .iter()
+                .zip(got.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "matmul differs at {threads} threads"
+        );
+    }
+}
