@@ -19,6 +19,47 @@ echo "== bench bin smoke (BENCH_par.json) =="
 EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin bench
 test -s BENCH_par.json
 
+echo "== kernel bench smoke (BENCH_kernels.json) =="
+EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin kernels
+test -s BENCH_kernels.json
+
+echo "== bench regression gate (vs BENCH_baseline.json) =="
+# Quick-mode matmul / conv_forward 1-thread medians must stay within 2x of
+# the checked-in baseline. Catches large kernel regressions (a dropped
+# fast path, an accidental debug build of the hot loop) while tolerating
+# host-to-host noise. Regenerate the baseline with:
+#   EDSR_BENCH_QUICK=1 cargo run --release -p edsr-bench --bin bench \
+#     && cp BENCH_par.json BENCH_baseline.json
+python3 - <<'EOF'
+import json, sys
+
+def one_thread_ns(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = doc["records"] if isinstance(doc, dict) else doc
+    return {
+        r["op"]: r["ns_per_iter"]
+        for r in records
+        if r["threads"] == 1 and r["op"] in ("matmul", "conv_forward")
+    }
+
+baseline = one_thread_ns("BENCH_baseline.json")
+current = one_thread_ns("BENCH_par.json")
+failed = False
+for op, base in sorted(baseline.items()):
+    now = current.get(op)
+    if now is None:
+        print(f"bench gate: {op} missing from BENCH_par.json")
+        failed = True
+        continue
+    ratio = now / base if base > 0 else float("inf")
+    status = "FAIL" if ratio > 2.0 else "ok"
+    print(f"bench gate: {op:<14} {now:>12.0f} ns vs baseline {base:>12.0f} ns "
+          f"({ratio:.2f}x) {status}")
+    failed |= ratio > 2.0
+sys.exit(1 if failed else 0)
+EOF
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -138,11 +138,24 @@ fn main() -> Result<(), edsr_core::Error> {
         },
     );
 
+    // The parallelism that was actually measured, not just requested:
+    // worker threads the pool really spawned plus the helping caller,
+    // alongside what the hardware offers.
+    let pool_workers = edsr_par::pool_workers();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let single_core = hardware_threads == 1;
+
     // Hand-rolled JSON (no serde in the workspace).
-    let mut json = String::from("[\n");
+    let mut json = format!(
+        "{{\n  \"max_threads\": {max_threads},\n  \"pool_workers\": {pool_workers},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"single_core_warning\": {single_core},\n  \"records\": [\n"
+    );
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"op\": \"{}\", \"size\": \"{}\", \"threads\": {}, \
+            "    {{\"op\": \"{}\", \"size\": \"{}\", \"threads\": {}, \
              \"ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{}\n",
             r.op,
             r.size,
@@ -152,7 +165,7 @@ fn main() -> Result<(), edsr_core::Error> {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    json.push_str("]\n");
+    json.push_str("  ]\n}\n");
     let mut file = std::fs::File::create("BENCH_par.json")?;
     file.write_all(json.as_bytes())?;
 
@@ -167,8 +180,16 @@ fn main() -> Result<(), edsr_core::Error> {
         );
     }
     println!(
-        "\nwrote BENCH_par.json ({} records, max_threads={max_threads})",
-        records.len()
+        "\npool: {pool_workers} worker thread(s) + caller \
+         (requested max_threads={max_threads}, hardware_threads={hardware_threads})"
     );
+    if single_core {
+        println!(
+            "WARNING: single-core host — max-thread rows measure pool dispatch \
+             overhead on one core; speedups ≤ 1.0 are expected and say nothing \
+             about multi-core scaling."
+        );
+    }
+    println!("wrote BENCH_par.json ({} records)", records.len());
     Ok(())
 }

@@ -1,0 +1,181 @@
+//! GEMM kernel micro-benchmark: naive reference vs the tiled kernel layer
+//! for all three products (`a·b`, `aᵀ·b`, `a·bᵀ`), each at 1 thread and at
+//! the configured maximum. Writes `BENCH_kernels.json` (repo root).
+//!
+//! Both implementations run through `edsr_par::par_for_rows` at the
+//! max-thread rows, so the comparison isolates the kernel (packing +
+//! register tiling) rather than the dispatch. `EDSR_BENCH_QUICK=1` shrinks
+//! the size and iteration count to a smoke run.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use edsr_core::prelude::seeded;
+use edsr_tensor::kernel;
+use edsr_tensor::Matrix;
+
+/// One timed configuration of one (product, implementation) pair.
+struct Record {
+    product: &'static str,
+    /// `"naive"` or `"tiled"`.
+    kernel: &'static str,
+    size: String,
+    threads: usize,
+    ns_per_iter: f64,
+    /// `time(naive) / time(tiled)` at the same thread count; 1.0 on the
+    /// naive rows.
+    speedup_vs_naive: f64,
+}
+
+/// Median-of-iters wall time in ns/iter (one untimed warmup pass).
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn main() -> Result<(), edsr_core::Error> {
+    let quick = std::env::var("EDSR_BENCH_QUICK").is_ok();
+    let max_threads = edsr_par::configured_threads();
+    let iters = if quick { 3 } else { 15 };
+    let n = if quick { 48 } else { 192 };
+    let size = format!("{n}x{n}*{n}x{n}");
+
+    let mut rng = seeded(9100);
+    let a = Matrix::randn(n, n, 1.0, &mut rng);
+    let b = Matrix::randn(n, n, 1.0, &mut rng);
+    let mut out = vec![0.0f32; n * n];
+
+    // (product, naive-through-par closure, tiled closure). The naive rows
+    // split over the pool with the retained chunk kernels so both columns
+    // see the same dispatch.
+    type Kern<'m> = Box<dyn FnMut(&mut [f32]) + 'm>;
+    let products: Vec<(&'static str, Kern, Kern)> = vec![
+        (
+            "matmul",
+            Box::new(|out: &mut [f32]| {
+                edsr_par::par_for_rows(out, n, |rows, chunk| {
+                    kernel::naive::matmul_chunk(a.data(), b.data(), n, n, rows, chunk);
+                });
+            }),
+            Box::new(|out: &mut [f32]| kernel::matmul_tiled(a.data(), b.data(), out, n, n, n)),
+        ),
+        (
+            "transpose_matmul",
+            Box::new(|out: &mut [f32]| {
+                edsr_par::par_for_rows(out, n, |rows, chunk| {
+                    kernel::naive::transpose_matmul_chunk(a.data(), b.data(), n, n, n, rows, chunk);
+                });
+            }),
+            Box::new(|out: &mut [f32]| {
+                kernel::transpose_matmul_tiled(a.data(), b.data(), out, n, n, n)
+            }),
+        ),
+        (
+            "matmul_transpose",
+            Box::new(|out: &mut [f32]| {
+                edsr_par::par_for_rows(out, n, |rows, chunk| {
+                    kernel::naive::matmul_transpose_chunk(a.data(), b.data(), n, n, rows, chunk);
+                });
+            }),
+            Box::new(|out: &mut [f32]| {
+                kernel::matmul_transpose_tiled(a.data(), b.data(), out, n, n, n)
+            }),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for (product, mut naive, mut tiled) in products {
+        for threads in [1usize, max_threads] {
+            let t_naive = edsr_par::with_threads(threads, || {
+                time_ns(iters, || {
+                    out.fill(0.0);
+                    naive(&mut out);
+                    std::hint::black_box(&out);
+                })
+            });
+            let t_tiled = edsr_par::with_threads(threads, || {
+                time_ns(iters, || {
+                    out.fill(0.0);
+                    tiled(&mut out);
+                    std::hint::black_box(&out);
+                })
+            });
+            records.push(Record {
+                product,
+                kernel: "naive",
+                size: size.clone(),
+                threads,
+                ns_per_iter: t_naive,
+                speedup_vs_naive: 1.0,
+            });
+            records.push(Record {
+                product,
+                kernel: "tiled",
+                size: size.clone(),
+                threads,
+                ns_per_iter: t_tiled,
+                speedup_vs_naive: if t_tiled > 0.0 {
+                    t_naive / t_tiled
+                } else {
+                    f64::NAN
+                },
+            });
+            if threads == max_threads && max_threads == 1 {
+                break; // 1-thread host: the max-thread rows would repeat.
+            }
+        }
+    }
+
+    let pool_workers = edsr_par::pool_workers();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut json = format!(
+        "{{\n  \"max_threads\": {max_threads},\n  \"pool_workers\": {pool_workers},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \"records\": [\n"
+    );
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"product\": \"{}\", \"kernel\": \"{}\", \"size\": \"{}\", \
+             \"threads\": {}, \"ns_per_iter\": {:.0}, \"speedup_vs_naive\": {:.3}}}{}\n",
+            r.product,
+            r.kernel,
+            r.size,
+            r.threads,
+            r.ns_per_iter,
+            r.speedup_vs_naive,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create("BENCH_kernels.json")?;
+    file.write_all(json.as_bytes())?;
+
+    println!(
+        "{:<18} {:>7} {:>18} {:>8} {:>14} {:>10}",
+        "product", "kernel", "size", "threads", "ns/iter", "vs naive"
+    );
+    for r in &records {
+        println!(
+            "{:<18} {:>7} {:>18} {:>8} {:>14.0} {:>10.3}",
+            r.product, r.kernel, r.size, r.threads, r.ns_per_iter, r.speedup_vs_naive
+        );
+    }
+    if hardware_threads == 1 {
+        println!(
+            "\nWARNING: single-core host — max-thread rows measure pool dispatch \
+             overhead on one core."
+        );
+    }
+    println!("wrote BENCH_kernels.json ({} records)", records.len());
+    Ok(())
+}

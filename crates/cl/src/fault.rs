@@ -11,7 +11,7 @@
 use std::path::Path;
 
 use edsr_data::{Augmenter, Dataset};
-use edsr_nn::Optimizer;
+use edsr_nn::{Optimizer, Workspace};
 use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -176,6 +176,7 @@ impl<M: Method> Method for FaultInjector<M> {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let step = self.step_in_task;
@@ -193,11 +194,11 @@ impl<M: Method> Method for FaultInjector<M> {
                 self.injected += 1;
                 let poisoned = Matrix::filled(batch.rows(), batch.cols(), f32::NAN);
                 self.inner
-                    .train_step(model, opt, augs, &poisoned, task_idx, rng)
+                    .train_step(model, opt, augs, &poisoned, task_idx, ws, rng)
             }
             None => self
                 .inner
-                .train_step(model, opt, augs, batch, task_idx, rng),
+                .train_step(model, opt, augs, batch, task_idx, ws, rng),
         }
     }
 

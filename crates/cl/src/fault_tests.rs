@@ -293,6 +293,7 @@ fn checkpointing_requires_state_hooks() {
             _augs: &[Augmenter],
             _batch: &Matrix,
             _task_idx: usize,
+            _ws: &mut edsr_nn::Workspace,
             _rng: &mut rand::rngs::StdRng,
         ) -> f32 {
             0.0

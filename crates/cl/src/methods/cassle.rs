@@ -6,8 +6,8 @@
 //! + L_dis(x_2))` (Eq. 9 applied to both views).
 
 use edsr_data::{Augmenter, Dataset};
-use edsr_nn::{Binder, Optimizer};
-use edsr_tensor::{Matrix, Tape};
+use edsr_nn::{Optimizer, Workspace};
+use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 
 use crate::model::{ContinualModel, FrozenModel};
@@ -55,38 +55,41 @@ impl Method for Cassle {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
         let (x1, x2) = aug.two_views(batch, rng);
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (z1, z2, mut loss) = model.css_on_views(&mut tape, &mut binder, &x1, &x2, task_idx);
+        ws.reset();
+        let (z1, z2, mut loss) =
+            model.css_on_views(&mut ws.tape, &mut ws.binder, &x1, &x2, task_idx);
 
         if let Some(frozen) = &self.frozen {
-            let t1 = frozen.represent(&x1, task_idx);
-            let t2 = frozen.represent(&x2, task_idx);
+            // Frozen targets live on the aux tape; the main tape borrows
+            // their values without cloning them out.
+            let t1 = frozen.represent_on(&mut ws.aux_tape, &mut ws.aux_binder, &x1, task_idx);
+            let t2 = frozen.represent_on(&mut ws.aux_tape, &mut ws.aux_binder, &x2, task_idx);
             let d1 = model.distill.distill_loss(
-                &mut tape,
-                &mut binder,
+                &mut ws.tape,
+                &mut ws.binder,
                 &model.params,
                 &model.ssl,
                 z1,
-                &t1,
+                ws.aux_tape.value(t1),
             );
             let d2 = model.distill.distill_loss(
-                &mut tape,
-                &mut binder,
+                &mut ws.tape,
+                &mut ws.binder,
                 &model.params,
                 &model.ssl,
                 z2,
-                &t2,
+                ws.aux_tape.value(t2),
             );
-            let d = tape.add(d1, d2);
-            let d = tape.scale(d, 0.5);
-            loss = tape.add(loss, d);
+            let d = ws.tape.add(d1, d2);
+            let d = ws.tape.scale(d, 0.5);
+            loss = ws.tape.add(loss, d);
         }
-        apply_step(model, opt, &tape, &binder, loss)
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     // No state beyond the frozen model, which `begin_task` refreshes
@@ -144,6 +147,8 @@ mod tests {
         // no distillation term on the first increment).
         let mut rng_a = seeded(372);
         let mut rng_b = seeded(372);
+        let mut ws_a = Workspace::new();
+        let mut ws_b = Workspace::new();
         cassle.begin_task(&mut model, 0, &train, &mut rng_a);
         for _ in 0..40 {
             cassle.train_step(
@@ -152,6 +157,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &old_batch,
                 0,
+                &mut ws_a,
                 &mut rng_a,
             );
             ft.train_step(
@@ -160,6 +166,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &old_batch,
                 0,
+                &mut ws_b,
                 &mut rng_b,
             );
         }
@@ -182,6 +189,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &new_batch,
                 1,
+                &mut ws_a,
                 &mut rng_a,
             ));
         }

@@ -7,9 +7,9 @@
 //! reason it underuses the CSSL structure — reproduced faithfully here.
 
 use edsr_data::{Augmenter, Dataset};
-use edsr_nn::{Binder, Optimizer};
+use edsr_nn::{Optimizer, Workspace};
 use edsr_tensor::rng::sample_indices;
-use edsr_tensor::{Matrix, Tape};
+use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 
 use crate::memory::{MemoryBuffer, MemoryItem};
@@ -55,13 +55,14 @@ impl Method for Der {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (_, _, mut loss) =
-            model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
+        ws.reset();
+        let tape = &mut ws.tape;
+        let binder = &mut ws.binder;
+        let (_, _, mut loss) = model.css_on_batch(tape, binder, aug, batch, task_idx, rng);
 
         for group in self.memory.sample_grouped(self.replay_batch, rng) {
             // end_task always stores features; a group without them (e.g.
@@ -70,18 +71,17 @@ impl Method for Der {
             let Some(stored) = group.stored_features.as_ref() else {
                 continue;
             };
-            let x = tape.leaf(group.inputs.clone());
-            let (features, _) =
-                model
-                    .encoder
-                    .forward(&mut tape, &mut binder, &model.params, x, group.task);
-            let target = tape.leaf(stored.clone());
+            let x = tape.leaf_copy(&group.inputs);
+            let (features, _) = model
+                .encoder
+                .forward(tape, binder, &model.params, x, group.task);
+            let target = tape.leaf_copy(stored);
             let frozen = tape.detach(target);
             let match_loss = tape.mse(features, frozen);
             let weighted = tape.scale(match_loss, self.alpha);
             loss = tape.add(loss, weighted);
         }
-        apply_step(model, opt, &tape, &binder, loss)
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     fn end_task(
@@ -157,6 +157,8 @@ mod tests {
         let mut ft = crate::methods::finetune::Finetune::new();
         let mut rng_a = seeded(352);
         let mut rng_b = seeded(352);
+        let mut ws_a = Workspace::new();
+        let mut ws_b = Workspace::new();
         for _ in 0..30 {
             der.train_step(
                 &mut model,
@@ -164,6 +166,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &new_batch,
                 1,
+                &mut ws_a,
                 &mut rng_a,
             );
             ft.train_step(
@@ -172,6 +175,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &new_batch,
                 1,
+                &mut ws_b,
                 &mut rng_b,
             );
         }

@@ -2,8 +2,8 @@
 //! (the paper's vanilla baseline).
 
 use edsr_data::Augmenter;
-use edsr_nn::{Binder, Optimizer};
-use edsr_tensor::{Matrix, Tape};
+use edsr_nn::{Optimizer, Workspace};
+use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 
 use crate::model::ContinualModel;
@@ -32,13 +32,14 @@ impl Method for Finetune {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (_, _, loss) = model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
-        apply_step(model, opt, &tape, &binder, loss)
+        ws.reset();
+        let (_, _, loss) =
+            model.css_on_batch(&mut ws.tape, &mut ws.binder, aug, batch, task_idx, rng);
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     // Stateless: resumable with an empty payload.
@@ -66,12 +67,14 @@ mod tests {
         let aug = Augmenter::standard_image(GridSpec::new(4, 4, 1));
         let batch = Matrix::randn(24, 16, 1.0, &mut rng);
         let mut m = Finetune::new();
+        let mut ws = Workspace::new();
         let first = m.train_step(
             &mut model,
             &mut opt,
             std::slice::from_ref(&aug),
             &batch,
             0,
+            &mut ws,
             &mut rng,
         );
         let mut last = first;
@@ -82,6 +85,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &batch,
                 0,
+                &mut ws,
                 &mut rng,
             );
         }

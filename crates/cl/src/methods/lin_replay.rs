@@ -13,7 +13,7 @@
 
 use edsr_data::{Augmenter, Dataset};
 use edsr_linalg::{kmeans, nearest_to_centers};
-use edsr_nn::{Binder, Optimizer};
+use edsr_nn::{Optimizer, Workspace};
 use edsr_tensor::{Matrix, Tape, Var};
 use rand::rngs::StdRng;
 
@@ -55,14 +55,14 @@ impl LinReplay {
 fn pairwise_sq_dists(tape: &mut Tape, a: Var, b: Var) -> Var {
     let (m, d) = tape.value(a).shape();
     let n = tape.value(b).rows();
-    let ones_d1 = tape.leaf(Matrix::filled(d, 1, 1.0));
+    let ones_d1 = tape.leaf_filled(d, 1, 1.0);
     let sq_a = tape.square(a);
     let row_sq_a = tape.matmul(sq_a, ones_d1); // M x 1
     let sq_b = tape.square(b);
     let row_sq_b = tape.matmul(sq_b, ones_d1); // B x 1
-    let ones_1b = tape.leaf(Matrix::filled(1, n, 1.0));
+    let ones_1b = tape.leaf_filled(1, n, 1.0);
     let left = tape.matmul(row_sq_a, ones_1b); // M x B
-    let ones_m1 = tape.leaf(Matrix::filled(m, 1, 1.0));
+    let ones_m1 = tape.leaf_filled(m, 1, 1.0);
     let row_sq_b_t = tape.transpose(row_sq_b); // 1 x B
     let right = tape.matmul(ones_m1, row_sq_b_t); // M x B
     let bt = tape.transpose(b);
@@ -96,23 +96,35 @@ impl Method for LinReplay {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
         let (x1, x2) = aug.two_views(batch, rng);
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (z1, _, mut loss) = model.css_on_views(&mut tape, &mut binder, &x1, &x2, task_idx);
+        ws.reset();
+        let (z1, _, mut loss) =
+            model.css_on_views(&mut ws.tape, &mut ws.binder, &x1, &x2, task_idx);
 
         if let (Some(frozen), false) = (&self.frozen, self.memory.is_empty()) {
             if let Some(group) = self.memory.sample_merged(self.replay_batch, rng) {
-                // Distances under the frozen model are the anchor.
-                let frozen_mem = frozen.represent(&group.inputs, group.task);
-                let frozen_new = frozen.represent(&x1, task_idx);
-                let anchor = edsr_linalg::stats::pairwise_sq_euclidean(&frozen_mem, &frozen_new);
+                // Distances under the frozen model are the anchor; the
+                // frozen forwards live on the auxiliary tape so their
+                // buffers recycle with the workspace.
+                let fm = frozen.represent_on(
+                    &mut ws.aux_tape,
+                    &mut ws.aux_binder,
+                    &group.inputs,
+                    group.task,
+                );
+                let fnew = frozen.represent_on(&mut ws.aux_tape, &mut ws.aux_binder, &x1, task_idx);
+                let anchor = edsr_linalg::stats::pairwise_sq_euclidean(
+                    ws.aux_tape.value(fm),
+                    ws.aux_tape.value(fnew),
+                );
+                let tape = &mut ws.tape;
                 // Distances under the current model.
-                let zm = model.repr_var(&mut tape, &mut binder, &group.inputs, group.task);
-                let dists = pairwise_sq_dists(&mut tape, zm, z1);
+                let zm = model.repr_var(tape, &mut ws.binder, &group.inputs, group.task);
+                let dists = pairwise_sq_dists(tape, zm, z1);
                 let target = tape.leaf(anchor);
                 let frozen_target = tape.detach(target);
                 let keep = tape.mse(dists, frozen_target);
@@ -122,7 +134,7 @@ impl Method for LinReplay {
                 loss = tape.add(loss, keep);
             }
         }
-        apply_step(model, opt, &tape, &binder, loss)
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     fn end_task(
@@ -220,6 +232,7 @@ mod tests {
         let aug = Augmenter::standard_image(GridSpec::new(4, 4, 1));
         let train = Dataset::new("d", Matrix::randn(24, 16, 1.0, &mut rng), vec![0; 24]);
         let mut lin = LinReplay::new(5, 4, 1.0);
+        let mut ws = Workspace::new();
         lin.begin_task(&mut model, 0, &train, &mut rng);
         let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
         let l0 = lin.train_step(
@@ -228,6 +241,7 @@ mod tests {
             std::slice::from_ref(&aug),
             &batch,
             0,
+            &mut ws,
             &mut rng,
         );
         assert!(l0.is_finite());
@@ -239,6 +253,7 @@ mod tests {
             std::slice::from_ref(&aug),
             &batch,
             1,
+            &mut ws,
             &mut rng,
         );
         assert!(l1.is_finite());

@@ -7,9 +7,9 @@
 //! the tabular stream.
 
 use edsr_data::{Augmenter, Dataset};
-use edsr_nn::{Binder, Optimizer};
+use edsr_nn::{Optimizer, Workspace};
 use edsr_tensor::rng::{index, sample_indices, uniform};
-use edsr_tensor::{Matrix, Tape};
+use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 
 use crate::memory::{MemoryBuffer, MemoryItem};
@@ -71,14 +71,15 @@ impl Method for Lump {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
         let mixed = self.mix_batch(batch, rng);
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (_, _, loss) = model.css_on_batch(&mut tape, &mut binder, aug, &mixed, task_idx, rng);
-        apply_step(model, opt, &tape, &binder, loss)
+        ws.reset();
+        let (_, _, loss) =
+            model.css_on_batch(&mut ws.tape, &mut ws.binder, aug, &mixed, task_idx, rng);
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     fn end_task(
@@ -158,12 +159,14 @@ mod tests {
         lump.end_task(&mut model, 0, &train, &Augmenter::Identity, &mut rng);
         assert_eq!(lump.memory_len(), 4);
         let batch = Matrix::randn(8, 16, 1.0, &mut rng);
+        let mut ws = Workspace::new();
         let loss = lump.train_step(
             &mut model,
             &mut opt,
             std::slice::from_ref(&aug),
             &batch,
             1,
+            &mut ws,
             &mut rng,
         );
         assert!(loss.is_finite());

@@ -11,8 +11,8 @@
 #![allow(clippy::needless_range_loop)]
 
 use edsr_data::{Augmenter, Dataset};
-use edsr_nn::{Binder, Optimizer};
-use edsr_tensor::{Matrix, Tape};
+use edsr_nn::{Optimizer, Workspace};
+use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 
 use crate::model::ContinualModel;
@@ -101,22 +101,24 @@ impl Method for Si {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
         self.ensure_init(model);
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (_, _, loss) = model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
-        let value = tape.value(loss).get(0, 0);
+        ws.reset();
+        let (_, _, loss) =
+            model.css_on_batch(&mut ws.tape, &mut ws.binder, aug, batch, task_idx, rng);
+        let value = ws.tape.value(loss).get(0, 0);
         if !value.is_finite() {
             // Divergent step: leave weights, moments, and the path
             // integral untouched; the guard in `run_sequence` recovers.
             return value;
         }
-        let grads = tape.backward(loss);
+        let grads = ws.tape.backward(loss);
         model.params.zero_grads();
-        binder.accumulate_into(&grads, &mut model.params);
+        ws.binder.accumulate_into(&grads, &mut model.params);
+        ws.tape.recycle(grads);
         let all_finite = model
             .params
             .ids()
@@ -242,6 +244,7 @@ mod tests {
     fn importances_become_positive_after_training() {
         let (mut model, mut opt, aug, batch) = setup(340);
         let mut rng = seeded(341);
+        let mut ws = Workspace::new();
         let mut si = Si::new(1.0);
         let train = Dataset::new("d", batch.clone(), vec![0; batch.rows()]);
         si.begin_task(&mut model, 0, &train, &mut rng);
@@ -252,6 +255,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &batch,
                 0,
+                &mut ws,
                 &mut rng,
             );
         }
@@ -272,15 +276,32 @@ mod tests {
 
         let run = |si: &mut Si, model: &mut ContinualModel, opt: &mut edsr_nn::Sgd| {
             let mut rng = seeded(344);
+            let mut ws = Workspace::new();
             si.begin_task(model, 0, &train, &mut rng);
             for _ in 0..25 {
-                si.train_step(model, opt, std::slice::from_ref(&aug), &batch1, 0, &mut rng);
+                si.train_step(
+                    model,
+                    opt,
+                    std::slice::from_ref(&aug),
+                    &batch1,
+                    0,
+                    &mut ws,
+                    &mut rng,
+                );
             }
             si.end_task(model, 0, &train, &Augmenter::Identity, &mut rng);
             let anchor = model.params.snapshot();
             si.begin_task(model, 1, &train, &mut rng);
             for _ in 0..25 {
-                si.train_step(model, opt, std::slice::from_ref(&aug), &batch2, 1, &mut rng);
+                si.train_step(
+                    model,
+                    opt,
+                    std::slice::from_ref(&aug),
+                    &batch2,
+                    1,
+                    &mut ws,
+                    &mut rng,
+                );
             }
             si.end_task(model, 1, &train, &Augmenter::Identity, &mut rng);
             // Parameter movement during task 2.

@@ -80,6 +80,21 @@ pub struct FrozenModel {
 }
 
 impl FrozenModel {
+    /// Records a frozen-model representation forward on a caller-provided
+    /// auxiliary tape, returning the repr node. The value stays pool-backed
+    /// on that tape — borrow it via `tape.value(var)` instead of cloning —
+    /// which is what keeps the distillation/replay targets allocation-free.
+    pub fn represent_on(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        x: &Matrix,
+        task: usize,
+    ) -> Var {
+        self.encoder
+            .represent_on(tape, binder, &self.params, x, task)
+    }
+
     /// Representations under the old parameters.
     pub fn represent(&self, x: &Matrix, task: usize) -> Matrix {
         self.encoder.represent(&self.params, x, task)
@@ -180,8 +195,8 @@ impl ContinualModel {
         x2: &Matrix,
         task: usize,
     ) -> (Var, Var, Var) {
-        let v1 = tape.leaf(x1.clone());
-        let v2 = tape.leaf(x2.clone());
+        let v1 = tape.leaf_copy(x1);
+        let v2 = tape.leaf_copy(x2);
         let (_, z1) = self.encoder.forward(tape, binder, &self.params, v1, task);
         let (_, z2) = self.encoder.forward(tape, binder, &self.params, v2, task);
         let loss = self.ssl.loss(tape, binder, &self.params, z1, z2);
@@ -205,7 +220,7 @@ impl ContinualModel {
     /// Records the current model's representation of a raw (already
     /// augmented) view — used by distillation paths.
     pub fn repr_var(&self, tape: &mut Tape, binder: &mut Binder, x: &Matrix, task: usize) -> Var {
-        let v = tape.leaf(x.clone());
+        let v = tape.leaf_copy(x);
         let (_, z) = self.encoder.forward(tape, binder, &self.params, v, task);
         z
     }

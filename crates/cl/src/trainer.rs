@@ -15,7 +15,7 @@ use edsr_data::{Augmenter, BatchIter, Dataset, TaskSequence};
 use edsr_nn::io::{
     optim_state_from_bytes, optim_state_to_bytes, params_from_bytes, params_to_bytes,
 };
-use edsr_nn::{Adam, Binder, CosineSchedule, Optimizer, Sgd};
+use edsr_nn::{Adam, Binder, CosineSchedule, Optimizer, Sgd, Workspace};
 use edsr_tensor::{Matrix, Tape, Var};
 use rand::rngs::StdRng;
 
@@ -133,6 +133,12 @@ pub trait Method {
     /// samples with *their source increment's* generator (`augs[m.task]`)
     /// — tabular increments have different reference corpora and input
     /// widths.
+    ///
+    /// `ws` is the reusable per-step workspace: implementations must call
+    /// `ws.reset()` first, record the step on `ws.tape`/`ws.binder`
+    /// (frozen-model targets on `ws.aux_tape`/`ws.aux_binder`), and finish
+    /// via [`apply_step`] so every buffer returns to the scratch pools.
+    #[allow(clippy::too_many_arguments)] // the step's full context, by design
     fn train_step(
         &mut self,
         model: &mut ContinualModel,
@@ -140,6 +146,7 @@ pub trait Method {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32;
 
@@ -188,7 +195,7 @@ pub trait Method {
 pub fn apply_step(
     model: &mut ContinualModel,
     opt: &mut dyn Optimizer,
-    tape: &Tape,
+    tape: &mut Tape,
     binder: &Binder,
     loss: Var,
 ) -> f32 {
@@ -199,6 +206,7 @@ pub fn apply_step(
     let grads = tape.backward(loss);
     model.params.zero_grads();
     binder.accumulate_into(&grads, &mut model.params);
+    tape.recycle(grads);
     let all_finite = model
         .params
         .ids()
@@ -385,6 +393,9 @@ pub fn run_sequence_with(
     let mut guard = StepGuard::new(opts.guard.clone(), &model.params);
     guard.set_lr_scale(resumed_lr_scale);
     let until = opts.stop_after.map_or(seq.len(), |n| n.min(seq.len()));
+    // One workspace for the whole run: after the first step its scratch
+    // pools are warm and steady-state steps stop allocating.
+    let mut ws = Workspace::new();
 
     for task_idx in start_task..until {
         let task = &seq.tasks[task_idx];
@@ -405,8 +416,15 @@ pub fn run_sequence_with(
             let mut diverged_loss = None;
             for batch_idx in BatchIter::new(task.train.len(), cfg.batch_size, rng) {
                 let batch = task.train.inputs.select_rows(&batch_idx);
-                let loss =
-                    method.train_step(model, opt.as_mut(), augmenters, &batch, task_idx, rng);
+                let loss = method.train_step(
+                    model,
+                    opt.as_mut(),
+                    augmenters,
+                    &batch,
+                    task_idx,
+                    &mut ws,
+                    rng,
+                );
                 if guard.is_divergent(loss) {
                     diverged_loss = Some(loss);
                     break;
@@ -552,6 +570,7 @@ pub fn run_multitask(
     // scale the joint mixture needs extra passes to converge, hence the
     // multiplier (upper-bound semantics = trained to convergence).
     let total_epochs = cfg.epochs_per_task * cfg.multitask_epoch_multiplier.max(1);
+    let mut ws = Workspace::new();
     let mut epoch = 0usize;
     while epoch < total_epochs {
         opt.set_lr(cfg.lr * guard.lr_scale());
@@ -570,17 +589,16 @@ pub fn run_multitask(
                 if let Some(batch_idx) = iter.next() {
                     any = true;
                     let batch = seq.tasks[*task_idx].train.inputs.select_rows(&batch_idx);
-                    let mut tape = Tape::new();
-                    let mut binder = Binder::new();
+                    ws.reset();
                     let (_, _, loss) = model.css_on_batch(
-                        &mut tape,
-                        &mut binder,
+                        &mut ws.tape,
+                        &mut ws.binder,
                         &augmenters[*task_idx],
                         &batch,
                         *task_idx,
                         rng,
                     );
-                    let value = apply_step(model, opt.as_mut(), &tape, &binder, loss);
+                    let value = apply_step(model, opt.as_mut(), &mut ws.tape, &ws.binder, loss);
                     if guard.is_divergent(value) {
                         diverged_loss = Some(value);
                         break 'steps;

@@ -179,11 +179,12 @@ fn method_lifecycle_hooks_fire_in_order() {
             augs: &[Augmenter],
             batch: &Matrix,
             task_idx: usize,
+            ws: &mut edsr_nn::Workspace,
             rng: &mut StdRng,
         ) -> f32 {
             self.events.push(format!("step{task_idx}"));
             // Delegate to keep the model training for real.
-            Finetune::new().train_step(model, opt, augs, batch, task_idx, rng)
+            Finetune::new().train_step(model, opt, augs, batch, task_idx, ws, rng)
         }
         fn end_task(
             &mut self,

@@ -17,8 +17,8 @@ use edsr_cl::model::{ContinualModel, FrozenModel};
 use edsr_cl::trainer::{apply_step, Method};
 use edsr_data::{Augmenter, Dataset};
 use edsr_linalg::stats::{cosine_similarity, scalar_std};
-use edsr_nn::{Binder, Optimizer};
-use edsr_tensor::{Matrix, Tape};
+use edsr_nn::{Optimizer, Workspace};
+use edsr_tensor::Matrix;
 use rand::rngs::StdRng;
 
 use crate::noise::noise_magnitudes;
@@ -225,38 +225,41 @@ impl Method for Edsr {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
         let (x1, x2) = aug.two_views(batch, rng);
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let (z1, z2, mut loss) = model.css_on_views(&mut tape, &mut binder, &x1, &x2, task_idx);
+        ws.reset();
+        let (z1, z2, mut loss) =
+            model.css_on_views(&mut ws.tape, &mut ws.binder, &x1, &x2, task_idx);
 
         if let Some(frozen) = &self.frozen {
-            // ½(L_dis(x_1) + L_dis(x_2)) on the new increment.
+            // ½(L_dis(x_1) + L_dis(x_2)) on the new increment. Frozen
+            // forwards are recorded on the auxiliary tape so their targets
+            // stay pool-backed; the main tape borrows them by value ref.
             if self.cfg.distill_new {
-                let t1 = frozen.represent(&x1, task_idx);
-                let t2 = frozen.represent(&x2, task_idx);
+                let t1 = frozen.represent_on(&mut ws.aux_tape, &mut ws.aux_binder, &x1, task_idx);
+                let t2 = frozen.represent_on(&mut ws.aux_tape, &mut ws.aux_binder, &x2, task_idx);
                 let d1 = model.distill.distill_loss(
-                    &mut tape,
-                    &mut binder,
+                    &mut ws.tape,
+                    &mut ws.binder,
                     &model.params,
                     &model.ssl,
                     z1,
-                    &t1,
+                    ws.aux_tape.value(t1),
                 );
                 let d2 = model.distill.distill_loss(
-                    &mut tape,
-                    &mut binder,
+                    &mut ws.tape,
+                    &mut ws.binder,
                     &model.params,
                     &model.ssl,
                     z2,
-                    &t2,
+                    ws.aux_tape.value(t2),
                 );
-                let d = tape.add(d1, d2);
-                let d = tape.scale(d, 0.5);
-                loss = tape.add(loss, d);
+                let d = ws.tape.add(d1, d2);
+                let d = ws.tape.scale(d, 0.5);
+                loss = ws.tape.add(loss, d);
             }
 
             // ½ L_rpl on the stored data.
@@ -269,37 +272,49 @@ impl Method for Edsr {
                         ReplayLoss::None => unreachable!("filtered above"),
                         ReplayLoss::Css => {
                             let (m1, m2) = mem_aug.two_views(&group.inputs, rng);
-                            let (_, _, l) =
-                                model.css_on_views(&mut tape, &mut binder, &m1, &m2, group.task);
+                            let (_, _, l) = model.css_on_views(
+                                &mut ws.tape,
+                                &mut ws.binder,
+                                &m1,
+                                &m2,
+                                group.task,
+                            );
                             l
                         }
                         ReplayLoss::Dis | ReplayLoss::Rpl => {
                             let m1 = mem_aug.view_batch(&group.inputs, rng);
-                            let zm = model.repr_var(&mut tape, &mut binder, &m1, group.task);
-                            let target = frozen.represent(&m1, group.task);
-                            let scales: Vec<f32> = if self.cfg.replay_loss == ReplayLoss::Rpl {
-                                group.noise_scales.clone()
+                            let zm = model.repr_var(&mut ws.tape, &mut ws.binder, &m1, group.task);
+                            let target = frozen.represent_on(
+                                &mut ws.aux_tape,
+                                &mut ws.aux_binder,
+                                &m1,
+                                group.task,
+                            );
+                            let zeros;
+                            let scales: &[f32] = if self.cfg.replay_loss == ReplayLoss::Rpl {
+                                &group.noise_scales
                             } else {
-                                vec![0.0; group.noise_scales.len()]
+                                zeros = vec![0.0; group.noise_scales.len()];
+                                &zeros
                             };
                             model.distill.replay_loss(
-                                &mut tape,
-                                &mut binder,
+                                &mut ws.tape,
+                                &mut ws.binder,
                                 &model.params,
                                 &model.ssl,
                                 zm,
-                                &target,
-                                &scales,
+                                ws.aux_tape.value(target),
+                                scales,
                                 rng,
                             )
                         }
                     };
-                    let term = tape.scale(term, 0.5);
-                    loss = tape.add(loss, term);
+                    let term = ws.tape.scale(term, 0.5);
+                    loss = ws.tape.add(loss, term);
                 }
             }
         }
-        apply_step(model, opt, &tape, &binder, loss)
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     fn end_task(
@@ -428,6 +443,7 @@ mod tests {
         ] {
             let (mut model, mut opt, aug, train) = setup(434);
             let mut rng = seeded(435);
+            let mut ws = Workspace::new();
             let mut cfg = EdsrConfig::paper_default(6, 4, 3);
             cfg.replay_loss = replay;
             let mut edsr = Edsr::new(cfg);
@@ -440,6 +456,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &batch,
                 0,
+                &mut ws,
                 &mut rng,
             );
             assert!(l0.is_finite(), "{:?} task0 loss", replay);
@@ -452,6 +469,7 @@ mod tests {
                 std::slice::from_ref(&aug),
                 &batch,
                 1,
+                &mut ws,
                 &mut rng,
             );
             assert!(l1.is_finite(), "{:?} task1 loss", replay);
@@ -483,6 +501,7 @@ mod tests {
     fn similarity_weighted_replay_runs() {
         let (mut model, mut opt, aug, train) = setup(438);
         let mut rng = seeded(439);
+        let mut ws = Workspace::new();
         let mut cfg = EdsrConfig::paper_default(6, 4, 3);
         cfg.replay_sampling = ReplaySampling::SimilarityWeighted;
         let mut edsr = Edsr::new(cfg);
@@ -496,6 +515,7 @@ mod tests {
             std::slice::from_ref(&aug),
             &batch,
             1,
+            &mut ws,
             &mut rng,
         );
         assert!(l.is_finite());
@@ -507,6 +527,7 @@ mod tests {
         // the step must be pure L_css (loss ≥ −1 for SimSiam).
         let (mut model, mut opt, aug, train) = setup(440);
         let mut rng = seeded(441);
+        let mut ws = Workspace::new();
         let mut edsr = Edsr::paper_default(6, 4, 3);
         edsr.begin_task(&mut model, 0, &train, &mut rng);
         let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
@@ -516,6 +537,7 @@ mod tests {
             std::slice::from_ref(&aug),
             &batch,
             0,
+            &mut ws,
             &mut rng,
         );
         assert!(l >= -1.0 - 1e-4, "first-task loss had extra terms: {l}");

@@ -64,6 +64,24 @@ pub fn knn_search_with_scratch(
     exclude: Option<usize>,
     scratch: &mut Vec<Neighbor>,
 ) -> Vec<Neighbor> {
+    let mut out = Vec::new();
+    knn_search_into(reference, query, k, metric, exclude, scratch, &mut out);
+    out
+}
+
+/// [`knn_search_with_scratch`] writing the result into `out` (cleared
+/// first) so batched callers reuse the result vector's capacity too —
+/// steady-state repeated searches make no heap allocations.
+#[allow(clippy::too_many_arguments)] // scratch + out sink variant of knn_search
+pub fn knn_search_into(
+    reference: &Matrix,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+    exclude: Option<usize>,
+    scratch: &mut Vec<Neighbor>,
+    out: &mut Vec<Neighbor>,
+) {
     assert_eq!(
         reference.cols(),
         query.len(),
@@ -93,7 +111,8 @@ pub fn knn_search_with_scratch(
                 .unwrap_or(std::cmp::Ordering::Equal)
         }),
     }
-    scratch[..k.min(scratch.len())].to_vec()
+    out.clear();
+    out.extend_from_slice(&scratch[..k.min(scratch.len())]);
 }
 
 /// Minimum score count (`queries x reference rows`) before the batch is
@@ -112,21 +131,43 @@ pub fn knn_search_batch(
     k: usize,
     metric: Metric,
 ) -> Vec<Vec<Neighbor>> {
+    let mut out = Vec::new();
+    knn_search_batch_into(reference, queries, k, metric, &mut out);
+    out
+}
+
+/// [`knn_search_batch`] writing into a caller-owned result buffer: the
+/// outer vector and every per-query inner vector keep their capacity from
+/// the previous call, so repeated batches (the evaluation loop) allocate
+/// nothing once warm.
+pub fn knn_search_batch_into(
+    reference: &Matrix,
+    queries: &Matrix,
+    k: usize,
+    metric: Metric,
+    out: &mut Vec<Vec<Neighbor>>,
+) {
     let n = queries.rows();
-    let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+    out.resize_with(n, Vec::new);
     let kernel = |range: std::ops::Range<usize>, chunk: &mut [Vec<Neighbor>]| {
         let mut scratch = Vec::with_capacity(reference.rows());
         for (local, q) in range.enumerate() {
-            chunk[local] =
-                knn_search_with_scratch(reference, queries.row(q), k, metric, None, &mut scratch);
+            knn_search_into(
+                reference,
+                queries.row(q),
+                k,
+                metric,
+                None,
+                &mut scratch,
+                &mut chunk[local],
+            );
         }
     };
     if n * reference.rows() >= MIN_PAR_SCORES && n > 1 {
-        edsr_par::par_for_rows(&mut out, n, kernel);
+        edsr_par::par_for_rows(out, n, kernel);
     } else {
-        kernel(0..n, &mut out);
+        kernel(0..n, out);
     }
-    out
 }
 
 #[cfg(test)]
@@ -185,6 +226,27 @@ mod tests {
             assert_eq!(
                 row.iter().map(|n| n.index).collect::<Vec<_>>(),
                 single.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_buffers_and_matches_batch() {
+        let mut rng = seeded(91);
+        let reference = Matrix::randn(20, 4, 1.0, &mut rng);
+        let queries = Matrix::randn(5, 4, 1.0, &mut rng);
+        let fresh = knn_search_batch(&reference, &queries, 3, Metric::Euclidean);
+        let mut out = Vec::new();
+        knn_search_batch_into(&reference, &queries, 3, Metric::Euclidean, &mut out);
+        let caps: Vec<usize> = out.iter().map(Vec::capacity).collect();
+        knn_search_batch_into(&reference, &queries, 3, Metric::Euclidean, &mut out);
+        for (row, cap) in out.iter().zip(&caps) {
+            assert!(row.capacity() <= *cap, "inner buffer reallocated");
+        }
+        for (a, b) in out.iter().zip(&fresh) {
+            assert_eq!(
+                a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                b.iter().map(|n| n.index).collect::<Vec<_>>()
             );
         }
     }

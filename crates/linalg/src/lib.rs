@@ -15,7 +15,10 @@ pub mod stats;
 
 pub use eigen::{sym_eigen, SymEigen};
 pub use kmeans::{kmeans, kmeanspp_indices, nearest_to_centers, KMeansResult};
-pub use knn::{knn_search, knn_search_batch, knn_search_with_scratch, Metric, Neighbor};
+pub use knn::{
+    knn_search, knn_search_batch, knn_search_batch_into, knn_search_into, knn_search_with_scratch,
+    Metric, Neighbor,
+};
 pub use pca::{coding_length_entropy, coding_length_entropy_reference, trace_surrogate, Pca};
 
 #[cfg(test)]

@@ -7,10 +7,9 @@
 //! 2. the entropy estimate `H(M)` itself (lossy coding length, after
 //!    Ma et al. and Liu et al. \[66\], \[67\]).
 
-use edsr_tensor::Matrix;
+use edsr_tensor::{Matrix, Scratch};
 
 use crate::eigen::sym_eigen;
-use crate::stats::center_columns;
 
 /// Fixed sample-chunk height of the parallel covariance reduction in
 /// [`Pca::fit`]. Chunk boundaries depend only on the sample count and this
@@ -37,15 +36,29 @@ impl Pca {
     /// `k` is clamped to `min(d, requested)`. Components with numerically
     /// negative variance (Jacobi noise) are clamped to zero variance.
     pub fn fit(x: &Matrix, k: usize) -> Pca {
+        Self::fit_with_scratch(x, k, &mut Scratch::new())
+    }
+
+    /// [`fit`](Self::fit) with the centered-data and covariance working
+    /// buffers drawn from a caller-provided [`Scratch`] pool, so repeated
+    /// fits (e.g. a greedy selection loop) reuse them instead of
+    /// reallocating. Bit-identical to [`fit`](Self::fit).
+    pub fn fit_with_scratch(x: &Matrix, k: usize, scratch: &mut Scratch) -> Pca {
         let d = x.cols();
         let k = k.min(d);
         let n = x.rows();
-        let (centered, mean) = center_columns(x);
+        let mean = x.col_means();
+        let mut centered = scratch.take_copy(x);
+        for r in 0..n {
+            for (v, &m) in centered.row_mut(r).iter_mut().zip(mean.row(0)) {
+                *v -= m;
+            }
+        }
         // Scatter matrix Σ xᵢᵀxᵢ as a chunked parallel reduction: partial
         // sums over fixed `COV_CHUNK_ROWS`-sample chunks, folded serially
         // in chunk order (see `COV_CHUNK_ROWS` for the determinism
         // argument).
-        let mut cov = Matrix::zeros(d, d);
+        let mut cov = scratch.take_matrix(d, d);
         if n > 0 && d > 0 {
             let partials = edsr_par::par_chunk_partials(
                 n,
@@ -73,6 +86,8 @@ impl Pca {
             cov.scale_inplace(1.0 / (n as f32 - 1.0));
         }
         let eig = sym_eigen(&cov);
+        scratch.give_matrix(centered);
+        scratch.give_matrix(cov);
         let mut components = Matrix::zeros(d, k);
         let mut explained = Vec::with_capacity(k);
         for j in 0..k {
@@ -237,6 +252,22 @@ mod tests {
         let pca = Pca::fit(&x, 3);
         let gram = pca.components.transpose_matmul(&pca.components);
         assert!(gram.max_abs_diff(&Matrix::identity(3)) < 1e-3);
+    }
+
+    #[test]
+    fn fit_with_scratch_matches_fit_and_reuses_buffers() {
+        let x = anisotropic_data(128, 69);
+        let plain = Pca::fit(&x, 3);
+        let mut scratch = Scratch::new();
+        let pooled = Pca::fit_with_scratch(&x, 3, &mut scratch);
+        assert_eq!(plain.mean.max_abs_diff(&pooled.mean), 0.0);
+        assert_eq!(plain.components.max_abs_diff(&pooled.components), 0.0);
+        assert_eq!(plain.explained_variance, pooled.explained_variance);
+        // Warm pool: further fits take every working buffer from it.
+        let misses = scratch.misses();
+        let _ = Pca::fit_with_scratch(&x, 3, &mut scratch);
+        let _ = Pca::fit_with_scratch(&x, 3, &mut scratch);
+        assert_eq!(scratch.misses(), misses, "warm fit hit the allocator");
     }
 
     #[test]

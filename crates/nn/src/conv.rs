@@ -12,6 +12,7 @@
 //! `(C·kh·kw) x K` filter bank plus bias gives the responses; a second
 //! gather permutes the layout back to channel-major `B x (K·OH·OW)` rows.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use edsr_tensor::rng::gaussian;
@@ -54,6 +55,18 @@ pub struct Conv2d {
     shape: ConvShape,
     kernel: usize,
     filters: usize,
+    /// Gather maps for the last-seen batch size. The maps are pure
+    /// functions of `(geometry, batch)`, so caching them makes repeated
+    /// same-size forward passes allocation-free (the `Rc`s are shared with
+    /// the tape nodes that recorded them).
+    maps: RefCell<Option<CachedMaps>>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedMaps {
+    batch: usize,
+    im2col: Rc<Vec<usize>>,
+    regroup: Rc<Vec<usize>>,
 }
 
 impl Conv2d {
@@ -89,6 +102,7 @@ impl Conv2d {
             shape,
             kernel,
             filters,
+            maps: RefCell::new(None),
         }
     }
 
@@ -174,6 +188,25 @@ impl Conv2d {
         map
     }
 
+    /// Returns the (cached) gather maps for a batch of `b` rows,
+    /// rebuilding them only when the batch size changes.
+    fn maps_for(&self, b: usize) -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
+        let mut cache = self.maps.borrow_mut();
+        match cache.as_ref() {
+            Some(c) if c.batch == b => (Rc::clone(&c.im2col), Rc::clone(&c.regroup)),
+            _ => {
+                let im2col = Rc::new(self.im2col_map(b));
+                let regroup = Rc::new(self.regroup_map(b));
+                *cache = Some(CachedMaps {
+                    batch: b,
+                    im2col: Rc::clone(&im2col),
+                    regroup: Rc::clone(&regroup),
+                });
+                (im2col, regroup)
+            }
+        }
+    }
+
     /// Records the convolution of a `B x (C·H·W)` batch; returns a
     /// channel-major `B x (K·OH·OW)` node.
     ///
@@ -190,12 +223,13 @@ impl Conv2d {
         let (oh, ow) = (self.out_height(), self.out_width());
         let patch = self.shape.channels * self.kernel * self.kernel;
 
-        let cols = tape.gather(x, Rc::new(self.im2col_map(b)), b * oh * ow, patch);
+        let (im2col, regroup) = self.maps_for(b);
+        let cols = tape.gather(x, im2col, b * oh * ow, patch);
         let w = binder.bind(tape, params, self.w);
         let bias = binder.bind(tape, params, self.b);
         let responses = tape.matmul(cols, w);
         let responses = tape.add_row(responses, bias);
-        tape.gather(responses, Rc::new(self.regroup_map(b)), b, self.out_dim())
+        tape.gather(responses, regroup, b, self.out_dim())
     }
 }
 
@@ -331,6 +365,22 @@ mod tests {
         binder.accumulate_into(&grads, &mut ps);
         assert!(ps.grad(conv.w).frobenius_norm() > 0.0);
         assert!(ps.grad(conv.b).frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn gather_maps_cached_per_batch_size() {
+        let shape = ConvShape {
+            channels: 2,
+            height: 5,
+            width: 5,
+        };
+        let (conv, _ps) = layer(609, shape, 3, 2);
+        let (a1, a2) = conv.maps_for(4);
+        let (b1, b2) = conv.maps_for(4);
+        assert!(Rc::ptr_eq(&a1, &b1) && Rc::ptr_eq(&a2, &b2), "cache missed");
+        let (c1, _) = conv.maps_for(2);
+        assert!(!Rc::ptr_eq(&a1, &c1), "stale map served for new batch size");
+        assert_eq!(c1.len(), 2 * conv.out_height() * conv.out_width() * 2 * 9);
     }
 
     #[test]

@@ -10,12 +10,14 @@ pub mod io;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod workspace;
 
 pub use conv::{Conv2d, ConvShape};
 pub use io::{load_params, save_params, CheckpointError};
 pub use layers::{Activation, Init, Linear, Mlp};
 pub use optim::{Adam, CosineSchedule, OptimState, Optimizer, Sgd};
 pub use params::{Binder, ParamId, ParamSet};
+pub use workspace::Workspace;
 
 #[cfg(test)]
 mod gradcheck_tests {

@@ -133,6 +133,12 @@ impl Binder {
         Self::default()
     }
 
+    /// Forgets all bindings (keeping the slot allocation) so the binder can
+    /// serve the next step's tape. Pairs with [`Tape::reset`].
+    pub fn reset(&mut self) {
+        self.bound.iter_mut().for_each(|slot| *slot = None);
+    }
+
     /// Returns the tape node holding `id`'s current value, creating it on
     /// first use within this binder.
     pub fn bind(&mut self, tape: &mut Tape, params: &ParamSet, id: ParamId) -> Var {
@@ -142,7 +148,7 @@ impl Binder {
         if let Some(v) = self.bound[id.0] {
             return v;
         }
-        let var = tape.leaf(params.value(id).clone());
+        let var = tape.leaf_copy(params.value(id));
         self.bound[id.0] = Some(var);
         var
     }
@@ -152,7 +158,7 @@ impl Binder {
         for (raw, bound) in self.bound.iter().enumerate() {
             if let Some(var) = bound {
                 if let Some(g) = grads.get(*var) {
-                    params.accumulate_grad(ParamId(raw), &g.clone());
+                    params.accumulate_grad(ParamId(raw), g);
                 }
             }
         }

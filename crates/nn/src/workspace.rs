@@ -1,0 +1,96 @@
+//! Reusable per-step training workspace.
+//!
+//! A [`Workspace`] bundles the tapes and binders a training step records
+//! onto. Methods receive `&mut Workspace` instead of building fresh
+//! `Tape`/`Binder` pairs per step, so after one warmup step every node
+//! value and gradient is served from the tapes' scratch pools and the
+//! steady-state step performs zero heap allocations in the forward/backward
+//! hot path (DESIGN.md §10).
+//!
+//! The `aux` pair exists for forwards whose outputs are *constants* of the
+//! step — frozen-model targets for distillation and replay. Recording them
+//! on a second tape lets the main tape borrow the target value (`&Matrix`
+//! from `aux_tape.value(..)`) while being extended mutably: disjoint
+//! fields of one `&mut Workspace` borrow independently.
+
+use crate::params::Binder;
+use edsr_tensor::Tape;
+
+/// Tapes and binders reused across training steps.
+#[derive(Default)]
+pub struct Workspace {
+    /// Tape the step's differentiated computation is recorded on.
+    pub tape: Tape,
+    /// Binder memoizing live-model parameters onto [`tape`](Self::tape).
+    pub binder: Binder,
+    /// Side tape for frozen-model forwards (targets, no backward pass).
+    pub aux_tape: Tape,
+    /// Binder memoizing frozen-model parameters onto the aux tape.
+    pub aux_binder: Binder,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recycles all recorded nodes and bindings; call at the start of each
+    /// training step.
+    pub fn reset(&mut self) {
+        self.tape.reset();
+        self.binder.reset();
+        self.aux_tape.reset();
+        self.aux_binder.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use edsr_tensor::Matrix;
+
+    #[test]
+    fn reset_reuses_buffers_across_steps() {
+        let mut ps = ParamSet::new();
+        let id = ps.register("w", Matrix::filled(4, 4, 0.5));
+        let mut ws = Workspace::new();
+        let step = |ws: &mut Workspace| {
+            ws.reset();
+            let w = ws.binder.bind(&mut ws.tape, &ps, id);
+            let sq = ws.tape.square(w);
+            let loss = ws.tape.sum(sq);
+            let grads = ws.tape.backward(loss);
+            assert!(grads.get(w).is_some());
+            ws.tape.recycle(grads);
+        };
+        step(&mut ws); // warmup allocates
+        let misses = ws.tape.scratch().misses();
+        step(&mut ws);
+        step(&mut ws);
+        assert_eq!(
+            ws.tape.scratch().misses(),
+            misses,
+            "steady-state workspace step allocated"
+        );
+    }
+
+    #[test]
+    fn binder_rebinds_after_reset() {
+        let mut ps = ParamSet::new();
+        let id = ps.register("w", Matrix::filled(1, 2, 2.0));
+        let mut ws = Workspace::new();
+        let a = ws.binder.bind(&mut ws.tape, &ps, id);
+        let b = ws.binder.bind(&mut ws.tape, &ps, id);
+        assert_eq!(a, b);
+        ws.reset();
+        ps.value_mut(id).set(0, 0, 7.0);
+        let c = ws.binder.bind(&mut ws.tape, &ps, id);
+        assert_eq!(
+            ws.tape.value(c).get(0, 0),
+            7.0,
+            "stale binding survived reset"
+        );
+    }
+}

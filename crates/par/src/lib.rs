@@ -95,6 +95,21 @@ pub fn set_threads(n: usize) {
     CONFIGURED.store(n.max(1), Ordering::Relaxed);
 }
 
+/// Worker threads the global pool actually spawned (excluding the helping
+/// caller thread), forcing pool initialisation if it has not happened yet.
+/// `configured_threads() - 1` in the common case; less if thread spawning
+/// failed, and 0 on `EDSR_THREADS=1` or single-core hosts (every chunk
+/// then runs inline on the caller). Bench reporting uses this to record
+/// the parallelism that was *measured*, not just requested.
+pub fn pool_workers() -> usize {
+    if configured_threads() == 1 {
+        // The pool is never constructed on the serial path; don't spawn
+        // it just to count zero workers.
+        return 0;
+    }
+    pool::global().workers()
+}
+
 /// The thread count in effect on this thread: the innermost
 /// [`with_threads`] override, else [`configured_threads`].
 pub fn thread_count() -> usize {
@@ -161,6 +176,17 @@ fn run_chunks(n_chunks: usize, task: impl Fn(usize) + Sync) {
 /// on each chunk's index range. `f` must only write state disjoint per
 /// chunk (use [`par_for_rows`] for safe slice splitting).
 pub fn par_for_chunks(len: usize, f: impl Fn(Range<usize>) + Sync) {
+    if len == 0 {
+        return;
+    }
+    // Single-chunk fast path: identical to `chunk_ranges(len, 1)` (one
+    // `0..len` range) but without allocating the range vector — this keeps
+    // serial hot loops (e.g. every matmul on a 1-thread host) free of
+    // per-call heap traffic.
+    if len == 1 || thread_count() == 1 || IN_POOL.with(Cell::get) {
+        f(0..len);
+        return;
+    }
     let ranges = chunk_ranges(len, thread_count());
     run_chunks(ranges.len(), |chunk| f(ranges[chunk].clone()));
 }

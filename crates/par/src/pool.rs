@@ -119,6 +119,9 @@ struct Shared {
 /// they spend idle time blocked on the queue condvar.
 pub(crate) struct Pool {
     shared: Arc<Shared>,
+    /// Workers that actually spawned (spawn failures degrade gracefully,
+    /// so this can be below the requested count).
+    spawned: usize,
 }
 
 impl Pool {
@@ -127,17 +130,24 @@ impl Pool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
+        let mut spawned = 0;
         for i in 0..workers {
             let shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
+            let result = std::thread::Builder::new()
                 .name(format!("edsr-par-{i}"))
                 .spawn(move || worker_loop(&shared));
-            if let Err(e) = spawned {
+            match result {
+                Ok(_) => spawned += 1,
                 // Degraded but correct: the caller drains the queue itself.
-                eprintln!("edsr-par: could not spawn worker {i}: {e}");
+                Err(e) => eprintln!("edsr-par: could not spawn worker {i}: {e}"),
             }
         }
-        Self { shared }
+        Self { shared, spawned }
+    }
+
+    /// Number of live worker threads (excluding the helping caller).
+    pub(crate) fn workers(&self) -> usize {
+        self.spawned
     }
 
     /// Executes `task(0..n_chunks)` across the pool and the calling

@@ -53,7 +53,7 @@ impl DistillHead {
         frozen_repr: &Matrix,
     ) -> Var {
         let projected = self.project(tape, binder, params, z);
-        let target = tape.leaf(frozen_repr.clone());
+        let target = tape.leaf_copy(frozen_repr);
         ssl.align(tape, projected, target)
     }
 
@@ -81,14 +81,16 @@ impl DistillHead {
             frozen_repr.rows(),
             "replay_loss: one noise scale per memory sample required"
         );
-        let mut noisy = frozen_repr.clone();
+        // Perturb the pool-backed leaf copy in place (fresh leaf, nothing
+        // downstream has read it yet) instead of cloning `frozen_repr`.
+        let target = tape.leaf_copy(frozen_repr);
+        let noisy = tape.value_mut(target);
         for (r, &scale) in noise_scales.iter().enumerate() {
             for v in noisy.row_mut(r) {
                 *v += scale * edsr_tensor::rng::gaussian(rng);
             }
         }
         let projected = self.project(tape, binder, params, z);
-        let target = tape.leaf(noisy);
         ssl.align(tape, projected, target)
     }
 }

@@ -248,12 +248,28 @@ impl Encoder {
         (features, repr)
     }
 
+    /// Records a no-gradient-needed representation forward on a
+    /// caller-provided (typically auxiliary) tape, returning the repr node.
+    /// Unlike [`represent`](Self::represent) the value stays pool-backed on
+    /// `tape` — borrow it via `tape.value(var)` instead of cloning it out.
+    pub fn represent_on(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: &Matrix,
+        task: usize,
+    ) -> Var {
+        let input = tape.leaf_copy(x);
+        let (_, repr) = self.forward(tape, binder, params, input, task);
+        repr
+    }
+
     /// Inference-only representation extraction (no caller-visible tape).
     pub fn represent(&self, params: &ParamSet, x: &Matrix, task: usize) -> Matrix {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
-        let input = tape.leaf(x.clone());
-        let (_, repr) = self.forward(&mut tape, &mut binder, params, input, task);
+        let repr = self.represent_on(&mut tape, &mut binder, params, x, task);
         tape.value(repr).clone()
     }
 
@@ -261,7 +277,7 @@ impl Encoder {
     pub fn features(&self, params: &ParamSet, x: &Matrix, task: usize) -> Matrix {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
-        let input = tape.leaf(x.clone());
+        let input = tape.leaf_copy(x);
         let (features, _) = self.forward(&mut tape, &mut binder, params, input, task);
         tape.value(features).clone()
     }

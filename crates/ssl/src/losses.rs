@@ -8,7 +8,7 @@
 //!   Table VI to show how the choice interacts with distillation.
 
 use edsr_nn::{Activation, Binder, Init, Mlp, ParamSet};
-use edsr_tensor::{Matrix, Tape, Var};
+use edsr_tensor::{Tape, Var};
 use rand::rngs::StdRng;
 
 /// Which `L_css` to use.
@@ -139,15 +139,19 @@ fn barlow_loss(tape: &mut Tape, z1: Var, z2: Var, lambda: f32) -> Var {
     let s1t = tape.transpose(s1);
     let cc = tape.matmul(s1t, s2);
     let c = tape.scale(cc, 1.0 / batch as f32);
-    // (C - I)², weighted 1 on the diagonal and λ off it.
-    let identity = tape.leaf(Matrix::identity(d));
+    // (C - I)², weighted 1 on the diagonal and λ off it. Both constant
+    // leaves are pool-backed and set in place (fresh leaves, nothing has
+    // read them yet) so repeated losses allocate nothing.
+    let identity = tape.leaf_filled(d, d, 0.0);
+    for i in 0..d {
+        tape.value_mut(identity).set(i, i, 1.0);
+    }
     let diff = tape.sub(c, identity);
     let sq = tape.square(diff);
-    let mut weights = Matrix::filled(d, d, lambda);
+    let w = tape.leaf_filled(d, d, lambda);
     for i in 0..d {
-        weights.set(i, i, 1.0);
+        tape.value_mut(w).set(i, i, 1.0);
     }
-    let w = tape.leaf(weights);
     let weighted = tape.mul_elem(sq, w);
     tape.sum(weighted)
 }
@@ -157,6 +161,7 @@ mod tests {
     use super::*;
     use edsr_tensor::gradcheck::check_gradients;
     use edsr_tensor::rng::seeded;
+    use edsr_tensor::Matrix;
 
     fn head(variant: SslVariant, repr: usize, seed: u64) -> (SslHead, ParamSet) {
         let mut rng = seeded(seed);

@@ -17,11 +17,14 @@
 //! - [`gradcheck`]: finite-difference gradient verification for tests.
 
 pub mod gradcheck;
+pub mod kernel;
 pub mod matrix;
 pub mod rng;
+pub mod scratch;
 pub mod tape;
 
 pub use matrix::Matrix;
+pub use scratch::Scratch;
 pub use tape::{Grads, Tape, Var};
 
 #[cfg(test)]

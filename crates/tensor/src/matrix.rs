@@ -2,25 +2,20 @@
 //!
 //! [`Matrix`] is the single numeric container of the workspace: datasets,
 //! minibatches, representations, weights and gradients are all matrices.
-//! The implementation favours simple, cache-friendly loops (`ikj` matmul)
-//! over external BLAS, per the repository's no-external-substrate rule.
-//! Large products are data-parallel over *output rows* via `edsr-par`:
-//! every output row is computed from the shared inputs with the exact
-//! serial accumulation order, so results are bit-identical at every
-//! thread count (the determinism contract of DESIGN.md §9).
+//! The matrix products dispatch to the cache-blocked, register-tiled
+//! kernels of [`crate::kernel`] (in-tree, per the repository's
+//! no-external-substrate rule); tiny products use the retained naive
+//! loops. Large products are data-parallel over *output rows* via
+//! `edsr-par`: every output element keeps the exact serial accumulation
+//! order, so results are bit-identical at every thread count (the
+//! determinism contract of DESIGN.md §9, kernel details in §10).
 
 use std::fmt;
-use std::ops::Range;
 
 use rand::rngs::StdRng;
 
+use crate::kernel;
 use crate::rng::{gaussian, uniform};
-
-/// Minimum multiply-accumulate count before a product is worth the
-/// pool-dispatch overhead; below this the same kernel runs inline. Purely
-/// a performance knob — it cannot affect values (each output row's
-/// computation is identical on both paths).
-const MIN_PAR_FLOPS: usize = 32 * 1024;
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -237,8 +232,10 @@ impl Matrix {
     /// Panics if column counts differ.
     pub fn copy_row_from(&mut self, dst: usize, other: &Matrix, src: usize) {
         assert_eq!(self.cols, other.cols, "copy_row_from: column mismatch");
-        let row = other.row(src).to_vec();
-        self.row_mut(dst).copy_from_slice(&row);
+        // `self` and `other` cannot alias (`&mut self` + `&other`), so the
+        // source row can be borrowed directly — no temporary copy.
+        self.row_mut(dst)
+            .copy_from_slice(&other.data[src * other.cols..(src + 1) * other.cols]);
     }
 
     /// Builds a new matrix from the selected rows (in the given order).
@@ -279,6 +276,35 @@ impl Matrix {
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
         for v in &mut self.data {
             *v = f(*v);
+        }
+    }
+
+    /// Writes `f` applied to every element of `self` into `out` (same
+    /// shape), without allocating.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        assert_eq!(self.shape(), out.shape(), "map_into: shape mismatch");
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
+        }
+    }
+
+    /// Writes the elementwise combination of `self` and `other` into `out`
+    /// (all same shape), without allocating.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip_map_into: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "zip_map_into: out shape mismatch"
+        );
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
         }
     }
 
@@ -353,108 +379,92 @@ impl Matrix {
     /// # Panics
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self * other` written into a caller-provided matrix (reused from a
+    /// scratch arena on hot paths; the previous contents are overwritten).
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, m);
-        // Branch-free `ikj` kernel. Deliberately no `a == 0.0` skip: the
-        // skip turned `0 * NaN` / `0 * inf` into `0`, masking non-finite
-        // activations from the divergence guard, and the branch blocked
-        // auto-vectorization of the inner loop.
-        let kernel = |rows: Range<usize>, out_chunk: &mut [f32]| {
-            for (local, i) in rows.enumerate() {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut out_chunk[local * m..(local + 1) * m];
-                for (p, &a) in a_row.iter().enumerate() {
-                    let b_row = &other.data[p * m..(p + 1) * m];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        };
-        if n * k * m >= MIN_PAR_FLOPS {
-            edsr_par::par_for_rows(&mut out.data, n, kernel);
-        } else {
-            kernel(0..n, &mut out.data);
-        }
-        out
+        assert_eq!(out.shape(), (n, m), "matmul_into: out shape mismatch");
+        out.fill_zero();
+        kernel::matmul(&self.data, &other.data, &mut out.data, n, k, m);
     }
 
     /// `selfᵀ * other` without materializing the transpose.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ * other` written into a caller-provided matrix.
+    ///
+    /// # Panics
+    /// Panics if row counts disagree or `out` has the wrong shape.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "transpose_matmul: row mismatch {} vs {}",
             self.rows, other.rows
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(k, m);
-        // Parallel over output rows `p`; for each, the accumulation over
-        // samples `i` runs in ascending order — the same per-element
-        // order as the serial `i`-outer loop, so results are bit-stable.
-        let kernel = |p_rows: Range<usize>, out_chunk: &mut [f32]| {
-            for (local, p) in p_rows.enumerate() {
-                let out_row = &mut out_chunk[local * m..(local + 1) * m];
-                for i in 0..n {
-                    let a = self.data[i * k + p];
-                    let b_row = &other.data[i * m..(i + 1) * m];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        };
-        if n * k * m >= MIN_PAR_FLOPS {
-            edsr_par::par_for_rows(&mut out.data, k, kernel);
-        } else {
-            kernel(0..k, &mut out.data);
-        }
-        out
+        assert_eq!(out.shape(), (k, m), "transpose_matmul_into: out shape");
+        out.fill_zero();
+        kernel::transpose_matmul(&self.data, &other.data, &mut out.data, n, k, m);
     }
 
     /// `self * otherᵀ` without materializing the transpose.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_into(other, &mut out);
+        out
+    }
+
+    /// `self * otherᵀ` written into a caller-provided matrix.
+    ///
+    /// # Panics
+    /// Panics if column counts disagree or `out` has the wrong shape.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose: col mismatch {} vs {}",
             self.cols, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(n, m);
-        let kernel = |rows: Range<usize>, out_chunk: &mut [f32]| {
-            for (local, i) in rows.enumerate() {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for j in 0..m {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    out_chunk[local * m + j] = acc;
-                }
-            }
-        };
-        if n * k * m >= MIN_PAR_FLOPS {
-            edsr_par::par_for_rows(&mut out.data, n, kernel);
-        } else {
-            kernel(0..n, &mut out.data);
-        }
+        assert_eq!(out.shape(), (n, m), "matmul_transpose_into: out shape");
+        out.fill_zero();
+        kernel::matmul_transpose(&self.data, &other.data, &mut out.data, n, k, m);
+    }
+
+    /// Transposed copy (cache-blocked).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
         out
     }
 
-    /// Transposed copy.
-    pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
-        out
+    /// Transpose written into a caller-provided `cols x rows` matrix.
+    ///
+    /// # Panics
+    /// Panics if `out` has the wrong shape.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: out shape mismatch"
+        );
+        kernel::transpose(&self.data, &mut out.data, self.rows, self.cols);
     }
 
     /// Adds a `1 x cols` row vector to every row.
@@ -462,15 +472,33 @@ impl Matrix {
     /// # Panics
     /// Panics unless `bias` is `1 x self.cols`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.add_row_broadcast_into(bias, &mut out);
+        out
+    }
+
+    /// Row-broadcast add written into a caller-provided matrix in a single
+    /// pass (no intermediate full-matrix copy).
+    ///
+    /// # Panics
+    /// Panics unless `bias` is `1 x self.cols` and `out` matches `self`.
+    pub fn add_row_broadcast_into(&self, bias: &Matrix, out: &mut Matrix) {
         assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "add_row_broadcast: width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
-                *o += b;
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "add_row_broadcast_into: out shape mismatch"
+        );
+        for (out_row, src_row) in out
+            .data
+            .chunks_exact_mut(self.cols.max(1))
+            .zip(self.data.chunks_exact(self.cols.max(1)))
+        {
+            for ((o, &v), &b) in out_row.iter_mut().zip(src_row).zip(&bias.data) {
+                *o = v + b;
             }
         }
-        out
     }
 
     /// Sum over all elements.

@@ -1,0 +1,176 @@
+//! Reusable buffer arena for allocation-free hot paths.
+//!
+//! [`Scratch`] is a pool of `Vec<f32>` buffers ordered by capacity. Hot
+//! paths ([`crate::Tape`], the conv im2col lowering, PCA covariance, batched
+//! kNN) *take* a buffer of the length they need and *give* it back when the
+//! step is over — after a warmup step, every take is served from the pool
+//! and the steady-state training step performs zero heap allocations
+//! (ownership rules in DESIGN.md §10).
+//!
+//! The pool tracks how many takes missed (required a fresh allocation),
+//! which the allocation-counter tests assert drops to zero at steady state.
+
+use crate::matrix::Matrix;
+
+/// A capacity-ordered pool of reusable `f32` buffers.
+#[derive(Default)]
+pub struct Scratch {
+    /// Free buffers, sorted ascending by capacity.
+    free: Vec<Vec<f32>>,
+    /// Takes that could not be served from the pool (i.e. allocations).
+    misses: u64,
+    /// Total takes, for diagnostics.
+    takes: u64,
+}
+
+impl Scratch {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements, reusing the
+    /// smallest pooled buffer whose capacity suffices. Return it with
+    /// [`give`](Self::give) to keep the steady state allocation-free.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
+        let pos = self.free.partition_point(|b| b.capacity() < len);
+        if pos < self.free.len() {
+            let mut buf = self.free.remove(pos);
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        } else {
+            self.misses += 1;
+            vec![0.0; len]
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let pos = self.free.partition_point(|b| b.capacity() < buf.capacity());
+        self.free.insert(pos, buf);
+    }
+
+    /// Takes a zero-filled `rows x cols` matrix backed by a pooled buffer.
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take(rows * cols))
+    }
+
+    /// Takes a pooled matrix initialized to a copy of `src`.
+    pub fn take_copy(&mut self, src: &Matrix) -> Matrix {
+        let mut buf = self.take(src.len());
+        buf.copy_from_slice(src.data());
+        Matrix::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    pub fn give_matrix(&mut self, m: Matrix) {
+        self.give(m.into_vec());
+    }
+
+    /// Number of takes that had to allocate (pool misses) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total takes served so far.
+    pub fn takes(&self) -> u64 {
+        self.takes
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Absorbs every pooled buffer of `other` into this pool (used when a
+    /// worker's scratch is merged back after a scoped borrow).
+    pub fn absorb(&mut self, mut other: Scratch) {
+        for buf in other.free.drain(..) {
+            self.give(buf);
+        }
+        self.misses += other.misses;
+        self.takes += other.takes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_and_sized() {
+        let mut s = Scratch::new();
+        let mut buf = s.take(8);
+        assert_eq!(buf.len(), 8);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        buf.iter_mut().for_each(|v| *v = 3.0);
+        s.give(buf);
+        // Reuse must re-zero.
+        let buf = s.take(4);
+        assert_eq!(buf.len(), 4);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        let mut s = Scratch::new();
+        // Warmup: three distinct sizes.
+        for &len in &[16usize, 64, 256] {
+            let b = s.take(len);
+            s.give(b);
+        }
+        let warm_misses = s.misses();
+        // Steady state: same sizes (any order) — zero new misses.
+        for &len in &[256usize, 16, 64, 64, 16] {
+            let b = s.take(len);
+            s.give(b);
+        }
+        assert_eq!(s.misses(), warm_misses, "steady state allocated");
+    }
+
+    #[test]
+    fn smallest_sufficient_buffer_is_chosen() {
+        let mut s = Scratch::new();
+        s.give(vec![0.0; 100]);
+        s.give(vec![0.0; 10]);
+        let b = s.take(5);
+        assert!(b.capacity() >= 5 && b.capacity() < 100, "took the big one");
+        assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn matrix_roundtrip_reuses_buffer() {
+        let mut s = Scratch::new();
+        let m = s.take_matrix(4, 4);
+        s.give_matrix(m);
+        let before = s.misses();
+        let m = s.take_matrix(2, 8);
+        assert_eq!(m.shape(), (2, 8));
+        s.give_matrix(m);
+        assert_eq!(s.misses(), before);
+    }
+
+    #[test]
+    fn take_copy_copies() {
+        let mut s = Scratch::new();
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let c = s.take_copy(&src);
+        assert_eq!(c, src);
+    }
+
+    #[test]
+    fn absorb_merges_pools() {
+        let mut a = Scratch::new();
+        let mut b = Scratch::new();
+        b.give(vec![0.0; 32]);
+        let b_takes = b.takes();
+        a.absorb(b);
+        assert_eq!(a.pooled(), 1);
+        assert_eq!(a.takes(), b_takes);
+    }
+}

@@ -6,10 +6,14 @@
 //! EDSR training objectives need (SimSiam, BarlowTwins, CaSSLe-style
 //! distillation, DER logit matching, SI penalties).
 //!
-//! One tape corresponds to one training step; allocate a fresh tape per
-//! minibatch and read parameter gradients out afterwards.
+//! One tape corresponds to one training step. The tape owns a [`Scratch`]
+//! arena: every node value and every gradient matrix is served from the
+//! pool, and [`Tape::reset`] / [`Tape::recycle`] return them, so after a
+//! warmup step the steady-state training loop performs zero heap
+//! allocations in the forward/backward hot path (DESIGN.md §10).
 
 use crate::matrix::Matrix;
+use crate::scratch::Scratch;
 
 /// Numerical floor used when normalizing rows, preventing division by zero.
 const NORM_EPS: f32 = 1e-12;
@@ -66,6 +70,9 @@ struct Node {
 }
 
 /// Gradients produced by [`Tape::backward`].
+///
+/// Hand the whole set back to [`Tape::recycle`] once the optimizer has
+/// consumed it, so the gradient matrices return to the tape's scratch pool.
 pub struct Grads {
     grads: Vec<Option<Matrix>>,
 }
@@ -101,12 +108,16 @@ impl Grads {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    scratch: Scratch,
+    /// Recycled `Grads` vector (kept empty between backward passes so its
+    /// capacity is reused instead of reallocated).
+    grads_pool: Vec<Option<Matrix>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of recorded nodes.
@@ -117,6 +128,33 @@ impl Tape {
     /// True if nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears all recorded nodes, returning their value buffers to the
+    /// scratch pool. Call once per training step before re-recording; the
+    /// second and later steps then serve every node from the pool.
+    pub fn reset(&mut self) {
+        let Self { nodes, scratch, .. } = self;
+        for node in nodes.drain(..) {
+            scratch.give_matrix(node.value);
+        }
+    }
+
+    /// Returns a consumed gradient set's matrices to the scratch pool and
+    /// keeps its vector for the next [`backward`](Self::backward).
+    pub fn recycle(&mut self, mut grads: Grads) {
+        for slot in grads.grads.iter_mut() {
+            if let Some(g) = slot.take() {
+                self.scratch.give_matrix(g);
+            }
+        }
+        grads.grads.clear();
+        self.grads_pool = grads.grads;
+    }
+
+    /// The tape's scratch arena (pool diagnostics for allocation tests).
+    pub fn scratch(&self) -> &Scratch {
+        &self.scratch
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
@@ -130,89 +168,149 @@ impl Tape {
         self.push(Op::Leaf, value)
     }
 
+    /// Records a leaf whose value is a pool-backed copy of `value` — the
+    /// allocation-free counterpart of `leaf(value.clone())`.
+    pub fn leaf_copy(&mut self, value: &Matrix) -> Var {
+        let m = self.scratch.take_copy(value);
+        self.push(Op::Leaf, m)
+    }
+
+    /// Records a constant leaf filled with `v` — the allocation-free
+    /// counterpart of `leaf(Matrix::filled(rows, cols, v))`.
+    pub fn leaf_filled(&mut self, rows: usize, cols: usize, v: f32) -> Var {
+        let mut m = self.scratch.take_matrix(rows, cols);
+        m.data_mut().fill(v);
+        self.push(Op::Leaf, m)
+    }
+
     /// Value of a node.
     pub fn value(&self, var: Var) -> &Matrix {
         &self.nodes[var.0].value
     }
 
+    /// Mutable value of a node. Intended for initializing freshly recorded
+    /// *leaves* in place (e.g. perturbing a [`leaf_copy`](Self::leaf_copy)
+    /// with noise) — mutating a node after downstream ops have read it
+    /// desynchronizes forward values from the recorded graph.
+    pub fn value_mut(&mut self, var: Var) -> &mut Matrix {
+        &mut self.nodes[var.0].value
+    }
+
     /// `a (n x k) @ b (k x m)`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), value)
+        let Self { nodes, scratch, .. } = self;
+        let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut out = scratch.take_matrix(va.rows(), vb.cols());
+        va.matmul_into(vb, &mut out);
+        self.push(Op::MatMul(a, b), out)
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
-        self.push(Op::Add(a, b), value)
+        let Self { nodes, scratch, .. } = self;
+        let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.zip_map_into(vb, &mut out, |x, y| x + y);
+        self.push(Op::Add(a, b), out)
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).sub(self.value(b));
-        self.push(Op::Sub(a, b), value)
+        let Self { nodes, scratch, .. } = self;
+        let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.zip_map_into(vb, &mut out, |x, y| x - y);
+        self.push(Op::Sub(a, b), out)
     }
 
     /// Hadamard product `a ⊙ b`.
     pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).mul_elem(self.value(b));
-        self.push(Op::MulElem(a, b), value)
+        let Self { nodes, scratch, .. } = self;
+        let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.zip_map_into(vb, &mut out, |x, y| x * y);
+        self.push(Op::MulElem(a, b), out)
     }
 
     /// Adds a `1 x c` bias row to every row of `a`.
     pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
-        let value = self.value(a).add_row_broadcast(self.value(bias));
-        self.push(Op::AddRow(a, bias), value)
+        let Self { nodes, scratch, .. } = self;
+        let (va, vb) = (&nodes[a.0].value, &nodes[bias.0].value);
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.add_row_broadcast_into(vb, &mut out);
+        self.push(Op::AddRow(a, bias), out)
     }
 
     /// Scalar multiply `c * a`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let value = self.value(a).scale(c);
-        self.push(Op::Scale(a, c), value)
+        let Self { nodes, scratch, .. } = self;
+        let va = &nodes[a.0].value;
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.map_into(&mut out, |v| v * c);
+        self.push(Op::Scale(a, c), out)
     }
 
     /// Adds a constant matrix (no gradient into the constant). Used for the
     /// noise term `r(x^m)·σ` of the replay loss.
     pub fn add_const(&mut self, a: Var, constant: &Matrix) -> Var {
-        let value = self.value(a).add(constant);
-        self.push(Op::AddConst(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let va = &nodes[a.0].value;
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.zip_map_into(constant, &mut out, |x, y| x + y);
+        self.push(Op::AddConst(a), out)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| v.max(0.0));
-        self.push(Op::Relu(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let va = &nodes[a.0].value;
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.map_into(&mut out, |v| v.max(0.0));
+        self.push(Op::Relu(a), out)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
-        self.push(Op::Tanh(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let va = &nodes[a.0].value;
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.map_into(&mut out, f32::tanh);
+        self.push(Op::Tanh(a), out)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| v * v);
-        self.push(Op::Square(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let va = &nodes[a.0].value;
+        let mut out = scratch.take_matrix(va.rows(), va.cols());
+        va.map_into(&mut out, |v| v * v);
+        self.push(Op::Square(a), out)
     }
 
     /// Sum of all elements, as a `1 x 1` matrix.
     pub fn sum(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
-        self.push(Op::Sum(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let total = nodes[a.0].value.sum();
+        let mut out = scratch.take_matrix(1, 1);
+        out.set(0, 0, total);
+        self.push(Op::Sum(a), out)
     }
 
     /// Mean of all elements, as a `1 x 1` matrix.
     pub fn mean(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
-        self.push(Op::Mean(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let m = nodes[a.0].value.mean();
+        let mut out = scratch.take_matrix(1, 1);
+        out.set(0, 0, m);
+        self.push(Op::Mean(a), out)
     }
 
     /// L2-normalizes each row (`y_i = x_i / max(‖x_i‖, ε)`).
     pub fn row_normalize(&mut self, a: Var) -> Var {
-        let x = self.value(a);
+        let Self { nodes, scratch, .. } = self;
+        let x = &nodes[a.0].value;
         let (rows, cols) = x.shape();
-        let mut out = x.clone();
+        let mut out = scratch.take_copy(x);
         let kernel = |range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
             for (local, r) in range.enumerate() {
                 let norm = x
@@ -238,9 +336,10 @@ impl Tape {
     /// Standardizes each column to zero mean / unit variance over the batch
     /// (the normalization BarlowTwins applies before the cross-correlation).
     pub fn col_standardize(&mut self, a: Var, eps: f32) -> Var {
-        let x = self.value(a);
+        let Self { nodes, scratch, .. } = self;
+        let x = &nodes[a.0].value;
         let (rows, cols) = x.shape();
-        let mut out = Matrix::zeros(rows, cols);
+        let mut out = scratch.take_matrix(rows, cols);
         for c in 0..cols {
             let mut mean = 0.0;
             for r in 0..rows {
@@ -264,14 +363,18 @@ impl Tape {
     /// Stop-gradient: copies the value, blocks the backward pass (the
     /// `sg(·)` operation of SimSiam, Eq. 3).
     pub fn detach(&mut self, a: Var) -> Var {
-        let value = self.value(a).clone();
+        let Self { nodes, scratch, .. } = self;
+        let value = scratch.take_copy(&nodes[a.0].value);
         self.push(Op::Detach(a), value)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let value = self.value(a).transpose();
-        self.push(Op::Transpose(a), value)
+        let Self { nodes, scratch, .. } = self;
+        let va = &nodes[a.0].value;
+        let mut out = scratch.take_matrix(va.cols(), va.rows());
+        va.transpose_into(&mut out);
+        self.push(Op::Transpose(a), out)
     }
 
     /// Pure index gather: builds an `out_rows x out_cols` node whose
@@ -295,9 +398,10 @@ impl Tape {
             out_rows * out_cols,
             "gather: map length mismatch"
         );
-        let src = self.value(a);
+        let Self { nodes, scratch, .. } = self;
+        let src = &nodes[a.0].value;
         let src_data = src.data();
-        let mut out = Matrix::zeros(out_rows, out_cols);
+        let mut out = scratch.take_matrix(out_rows, out_cols);
         // Capture the index slice, not the `Rc` (an `Rc` is not `Sync`).
         let map_slice: &[usize] = &map;
         let fill = |range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
@@ -318,9 +422,20 @@ impl Tape {
 
     /// Mean squared error between two same-shape matrices, as `1 x 1`.
     pub fn mse(&mut self, a: Var, b: Var) -> Var {
-        let d = self.value(a).sub(self.value(b));
-        let value = Matrix::from_vec(1, 1, vec![d.map(|v| v * v).mean()]);
-        self.push(Op::MseLoss(a, b), value)
+        let Self { nodes, scratch, .. } = self;
+        let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "mse: shape mismatch");
+        // Same accumulation order as `sub` + `map` + `mean`, without the
+        // intermediate difference matrix.
+        let mut total = 0.0f32;
+        for (&x, &y) in va.data().iter().zip(vb.data()) {
+            let d = x - y;
+            total += d * d;
+        }
+        let value = total / va.len().max(1) as f32;
+        let mut out = scratch.take_matrix(1, 1);
+        out.set(0, 0, value);
+        self.push(Op::MseLoss(a, b), out)
     }
 
     /// Mean cosine similarity between corresponding rows of `a` and `b`,
@@ -335,85 +450,124 @@ impl Tape {
         self.scale(total, 1.0 / rows.max(1) as f32)
     }
 
-    /// Runs the backward pass from a scalar (`1 x 1`) loss node.
+    /// Runs the backward pass from a scalar (`1 x 1`) loss node. Every
+    /// gradient matrix is pool-backed; return the set with
+    /// [`recycle`](Self::recycle) once consumed.
     ///
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
-    pub fn backward(&self, loss: Var) -> Grads {
+    pub fn backward(&mut self, loss: Var) -> Grads {
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
             "backward: loss must be a 1x1 scalar node"
         );
-        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::filled(1, 1, 1.0));
+        let Self {
+            nodes,
+            scratch,
+            grads_pool,
+        } = self;
+        let mut grads = std::mem::take(grads_pool);
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
+        let mut seed = scratch.take_matrix(1, 1);
+        seed.set(0, 0, 1.0);
+        grads[loss.0] = Some(seed);
 
         for idx in (0..=loss.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
             // Re-insert so callers can read gradients of interior nodes too.
-            let node = &self.nodes[idx];
+            let node = &nodes[idx];
             match &node.op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_transpose(self.value(*b));
-                    let gb = self.value(*a).transpose_matmul(&g);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut ga = scratch.take_matrix(g.rows(), vb.rows());
+                    g.matmul_transpose_into(vb, &mut ga);
+                    let mut gb = scratch.take_matrix(va.cols(), g.cols());
+                    va.transpose_matmul_into(&g, &mut gb);
+                    accumulate(&mut grads, scratch, *a, ga);
+                    accumulate(&mut grads, scratch, *b, gb);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.clone());
+                    let ga = scratch.take_copy(&g);
+                    accumulate(&mut grads, scratch, *a, ga);
+                    let gb = scratch.take_copy(&g);
+                    accumulate(&mut grads, scratch, *b, gb);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.scale(-1.0));
+                    let ga = scratch.take_copy(&g);
+                    accumulate(&mut grads, scratch, *a, ga);
+                    let mut gb = scratch.take_matrix(g.rows(), g.cols());
+                    g.map_into(&mut gb, |v| -v);
+                    accumulate(&mut grads, scratch, *b, gb);
                 }
                 Op::MulElem(a, b) => {
-                    let ga = g.mul_elem(self.value(*b));
-                    let gb = g.mul_elem(self.value(*a));
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut ga = scratch.take_matrix(g.rows(), g.cols());
+                    g.zip_map_into(vb, &mut ga, |gv, bv| gv * bv);
+                    let mut gb = scratch.take_matrix(g.rows(), g.cols());
+                    g.zip_map_into(va, &mut gb, |gv, av| gv * av);
+                    accumulate(&mut grads, scratch, *a, ga);
+                    accumulate(&mut grads, scratch, *b, gb);
                 }
                 Op::AddRow(a, bias) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *bias, g.col_sums());
+                    let ga = scratch.take_copy(&g);
+                    accumulate(&mut grads, scratch, *a, ga);
+                    // Column sums in ascending-row order (matches
+                    // `Matrix::col_sums`), written without allocating.
+                    let mut gbias = scratch.take_matrix(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &v) in gbias.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, scratch, *bias, gbias);
                 }
                 Op::Scale(a, c) => {
-                    accumulate(&mut grads, *a, g.scale(*c));
+                    let mut ga = scratch.take_matrix(g.rows(), g.cols());
+                    g.map_into(&mut ga, |v| v * *c);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::AddConst(a) => {
-                    accumulate(&mut grads, *a, g.clone());
+                    let ga = scratch.take_copy(&g);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::Relu(a) => {
-                    let x = self.value(*a);
-                    let ga = g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
-                    accumulate(&mut grads, *a, ga);
+                    let x = &nodes[a.0].value;
+                    let mut ga = scratch.take_matrix(g.rows(), g.cols());
+                    g.zip_map_into(x, &mut ga, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::Tanh(a) => {
                     let y = &node.value;
-                    let ga = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
-                    accumulate(&mut grads, *a, ga);
+                    let mut ga = scratch.take_matrix(g.rows(), g.cols());
+                    g.zip_map_into(y, &mut ga, |gv, yv| gv * (1.0 - yv * yv));
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::Square(a) => {
-                    let x = self.value(*a);
-                    let ga = g.zip_map(x, |gv, xv| 2.0 * gv * xv);
-                    accumulate(&mut grads, *a, ga);
+                    let x = &nodes[a.0].value;
+                    let mut ga = scratch.take_matrix(g.rows(), g.cols());
+                    g.zip_map_into(x, &mut ga, |gv, xv| 2.0 * gv * xv);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::Sum(a) => {
-                    let x = self.value(*a);
-                    let ga = Matrix::filled(x.rows(), x.cols(), g.get(0, 0));
-                    accumulate(&mut grads, *a, ga);
+                    let x = &nodes[a.0].value;
+                    let mut ga = scratch.take_matrix(x.rows(), x.cols());
+                    ga.data_mut().fill(g.get(0, 0));
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::Mean(a) => {
-                    let x = self.value(*a);
+                    let x = &nodes[a.0].value;
                     let scale = g.get(0, 0) / x.len().max(1) as f32;
-                    let ga = Matrix::filled(x.rows(), x.cols(), scale);
-                    accumulate(&mut grads, *a, ga);
+                    let mut ga = scratch.take_matrix(x.rows(), x.cols());
+                    ga.data_mut().fill(scale);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::RowNormalize(a) => {
-                    let x = self.value(*a);
+                    let x = &nodes[a.0].value;
                     let y = &node.value;
-                    let mut ga = Matrix::zeros(x.rows(), x.cols());
+                    let mut ga = scratch.take_matrix(x.rows(), x.cols());
                     for r in 0..x.rows() {
                         let norm = x
                             .row(r)
@@ -432,14 +586,14 @@ impl Tape {
                             *out = (g.get(r, c) - y.get(r, c) * dot) / norm;
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::ColStandardize(a, eps) => {
-                    let x = self.value(*a);
+                    let x = &nodes[a.0].value;
                     let y = &node.value;
                     let (rows, cols) = x.shape();
                     let n = rows as f32;
-                    let mut ga = Matrix::zeros(rows, cols);
+                    let mut ga = scratch.take_matrix(rows, cols);
                     for c in 0..cols {
                         let mut mean = 0.0;
                         for r in 0..rows {
@@ -466,25 +620,32 @@ impl Tape {
                             ga.set(r, c, v);
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::Detach(_) => {}
                 Op::Transpose(a) => {
-                    accumulate(&mut grads, *a, g.transpose());
+                    let mut ga = scratch.take_matrix(g.cols(), g.rows());
+                    g.transpose_into(&mut ga);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::MseLoss(a, b) => {
-                    let diff = self.value(*a).sub(self.value(*b));
-                    let scale = 2.0 * g.get(0, 0) / diff.len().max(1) as f32;
-                    accumulate(&mut grads, *a, diff.scale(scale));
-                    accumulate(&mut grads, *b, diff.scale(-scale));
+                    let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let scale = 2.0 * g.get(0, 0) / va.len().max(1) as f32;
+                    let mut ga = scratch.take_matrix(va.rows(), va.cols());
+                    va.zip_map_into(vb, &mut ga, |x, y| (x - y) * scale);
+                    let mut gb = scratch.take_matrix(va.rows(), va.cols());
+                    va.zip_map_into(vb, &mut gb, |x, y| (x - y) * -scale);
+                    accumulate(&mut grads, scratch, *a, ga);
+                    accumulate(&mut grads, scratch, *b, gb);
                 }
                 Op::Gather(a, map) => {
-                    let src = self.value(*a);
-                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    let src = &nodes[a.0].value;
+                    // `take_matrix` zero-fills, which the scatter-add needs.
+                    let mut ga = scratch.take_matrix(src.rows(), src.cols());
                     for (i, &idx) in map.iter().enumerate() {
                         ga.data_mut()[idx] += g.data()[i];
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, scratch, *a, ga);
                 }
             }
             grads[idx] = Some(g);
@@ -493,9 +654,14 @@ impl Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], var: Var, g: Matrix) {
+/// Adds `g` into the slot for `var`, returning `g`'s buffer to the pool
+/// when the slot already holds a gradient.
+fn accumulate(grads: &mut [Option<Matrix>], scratch: &mut Scratch, var: Var, g: Matrix) {
     match &mut grads[var.0] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            scratch.give_matrix(g);
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -591,6 +757,36 @@ mod tests {
         let loss = t.sum(p);
         let g = t.backward(loss);
         assert_eq!(g.get(x).unwrap().data(), &[6.0, -2.0]);
+    }
+
+    #[test]
+    fn reset_recycles_node_buffers() {
+        let mut t = Tape::new();
+        let run = |t: &mut Tape| {
+            let x = t.leaf_copy(&Matrix::filled(8, 8, 2.0));
+            let y = t.square(x);
+            let s = t.sum(y);
+            let grads = t.backward(s);
+            assert_eq!(grads.get(x).unwrap().get(0, 0), 4.0);
+            t.recycle(grads);
+            t.reset();
+        };
+        run(&mut t); // warmup populates the pool
+        let misses = t.scratch().misses();
+        run(&mut t);
+        run(&mut t);
+        assert_eq!(t.scratch().misses(), misses, "steady-state tape allocated");
+    }
+
+    #[test]
+    fn leaf_copy_matches_leaf() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut t = Tape::new();
+        let a = t.leaf_copy(&m);
+        assert_eq!(t.value(a), &m);
+        // The copy is independent of the source.
+        t.value_mut(a).set(0, 0, 9.0);
+        assert_eq!(m.get(0, 0), 1.0);
     }
 
     #[test]

@@ -18,9 +18,9 @@ use edsr::cl::{
 };
 use edsr::core::{Edsr, Error};
 use edsr::data::{test_sim, Augmenter, Dataset};
-use edsr::nn::{Binder, Optimizer};
+use edsr::nn::{Optimizer, Workspace};
 use edsr::tensor::rng::{sample_indices, seeded};
-use edsr::tensor::{Matrix, Tape};
+use edsr::tensor::Matrix;
 use rand::rngs::StdRng;
 
 /// Store random samples with their storage-time representations; replay
@@ -55,14 +55,15 @@ impl Method for FeatureAnchor {
         augs: &[Augmenter],
         batch: &Matrix,
         task_idx: usize,
+        ws: &mut Workspace,
         rng: &mut StdRng,
     ) -> f32 {
         let aug = &augs[task_idx.min(augs.len() - 1)];
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        // The usual contrastive term on the new data.
+        // Reclaim last step's tape buffers, then record the usual
+        // contrastive term on the new data.
+        ws.reset();
         let (_, _, mut loss) =
-            model.css_on_batch(&mut tape, &mut binder, aug, batch, task_idx, rng);
+            model.css_on_batch(&mut ws.tape, &mut ws.binder, aug, batch, task_idx, rng);
 
         // Anchor stored samples to their storage-time representations.
         for group in self.memory.sample_grouped(self.replay_batch, rng) {
@@ -75,14 +76,15 @@ impl Method for FeatureAnchor {
             let Some(anchor) = stored_features else {
                 continue;
             };
-            let z = model.repr_var(&mut tape, &mut binder, &inputs, task);
+            let tape = &mut ws.tape;
+            let z = model.repr_var(tape, &mut ws.binder, &inputs, task);
             let target = tape.leaf(anchor);
             let frozen = tape.detach(target);
             let mse = tape.mse(z, frozen);
             let weighted = tape.scale(mse, self.weight);
             loss = tape.add(loss, weighted);
         }
-        apply_step(model, opt, &tape, &binder, loss)
+        apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
     }
 
     fn end_task(

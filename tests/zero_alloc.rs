@@ -1,0 +1,104 @@
+//! Allocation-counter proof of the zero-allocation training step: once the
+//! scratch pools are warm, a steady-state step — workspace reset, two-view
+//! forward, backward, gradient routing, optimizer step — performs zero heap
+//! allocations in the tape/matmul/conv hot path.
+//!
+//! Scope (DESIGN.md §10): the measured region excludes data augmentation,
+//! batch iteration, and memory sampling, which own their outputs by design.
+//! The claim holds at one thread (`EDSR_THREADS=1`); pool dispatch
+//! allocates per-spawn closure state at higher thread counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use edsr::cl::{apply_step, ContinualModel, ModelConfig};
+use edsr::nn::{Adam, Workspace};
+use edsr::tensor::rng::seeded;
+use edsr::tensor::Matrix;
+
+/// System allocator wrapper that counts every allocation-path call
+/// (alloc, alloc_zeroed, realloc). Deallocations are free and uncounted.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs warm-up steps (pool growth, optimizer moment init, kernel pack
+/// buffers), then returns the allocation count across `measured` further
+/// steps — which must be zero.
+fn steady_state_allocs(model: &mut ContinualModel, x1: &Matrix, x2: &Matrix) -> u64 {
+    let mut opt = Adam::new(1e-3, 0.0);
+    let mut ws = Workspace::new();
+    for _ in 0..3 {
+        ws.reset();
+        let (_, _, loss) = model.css_on_views(&mut ws.tape, &mut ws.binder, x1, x2, 0);
+        apply_step(model, &mut opt, &mut ws.tape, &ws.binder, loss);
+    }
+    let before = allocations();
+    for _ in 0..5 {
+        ws.reset();
+        let (_, _, loss) = model.css_on_views(&mut ws.tape, &mut ws.binder, x1, x2, 0);
+        apply_step(model, &mut opt, &mut ws.tape, &ws.binder, loss);
+    }
+    allocations() - before
+}
+
+#[test]
+fn steady_state_train_step_makes_no_hot_path_allocations() {
+    // Must be set before the first pool touch; single-thread keeps the
+    // whole step on this thread (no spawn bookkeeping).
+    std::env::set_var("EDSR_THREADS", "1");
+    let mut rng = seeded(7);
+    let x1 = Matrix::randn(16, 16, 1.0, &mut rng);
+    let x2 = Matrix::randn(16, 16, 1.0, &mut rng);
+
+    // MLP backbone + BarlowTwins head (the image default).
+    let mut mlp = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+    let n = steady_state_allocs(&mut mlp, &x1, &x2);
+    assert_eq!(
+        n, 0,
+        "MLP/BarlowTwins steady-state step allocated {n} times"
+    );
+
+    // Conv stem: exercises the cached im2col/regroup gather maps.
+    let shape = edsr::nn::ConvShape {
+        channels: 1,
+        height: 4,
+        width: 4,
+    };
+    let mut conv = ContinualModel::new(&ModelConfig::conv_image(shape, 3), &mut rng);
+    let n = steady_state_allocs(&mut conv, &x1, &x2);
+    assert_eq!(n, 0, "conv steady-state step allocated {n} times");
+
+    // SimSiam predictor variant (batch-norm + stop-gradient path).
+    let mut sim = ContinualModel::new(&ModelConfig::tabular(vec![16]), &mut rng);
+    let n = steady_state_allocs(&mut sim, &x1, &x2);
+    assert_eq!(n, 0, "SimSiam steady-state step allocated {n} times");
+}
