@@ -23,6 +23,33 @@ echo "== kernel bench smoke (BENCH_kernels.json) =="
 EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin kernels
 test -s BENCH_kernels.json
 
+echo "== observability smoke (EDSR_OBS=jsonl) =="
+# A short EDSR training run streaming metrics: the file must be non-empty,
+# every line valid JSON in the stable field order, and the paper-level
+# metrics (per-term losses, selection entropy) must be present.
+rm -f ci_metrics.jsonl
+EDSR_OBS=jsonl EDSR_OBS_PATH=ci_metrics.jsonl \
+    cargo run -q --release --bin edsr -- run test edsr --epochs 2
+test -s ci_metrics.jsonl
+python3 - <<'EOF'
+import json
+
+names = set()
+with open("ci_metrics.jsonl") as f:
+    for n, line in enumerate(f, 1):
+        if not line.strip():
+            continue
+        event = json.loads(line)  # raises on a malformed line
+        assert list(event) == ["seq", "kind", "name", "index", "value"], \
+            f"line {n}: unstable field order {list(event)}"
+        names.add(event["name"])
+for required in ("loss/css", "loss/dis", "loss/rpl", "select/entropy"):
+    assert required in names, f"missing {required}, saw {sorted(names)}"
+print(f"obs smoke: {n} events, {len(names)} distinct metrics")
+EOF
+cargo run -q --release --bin edsr -- metrics ci_metrics.jsonl > /dev/null
+rm -f ci_metrics.jsonl
+
 echo "== bench regression gate (vs BENCH_baseline.json) =="
 # Quick-mode matmul / conv_forward 1-thread medians must stay within 2x of
 # the checked-in baseline. Catches large kernel regressions (a dropped
@@ -65,5 +92,8 @@ cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "CI gate passed."

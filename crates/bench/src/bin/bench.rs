@@ -11,7 +11,8 @@ use std::time::Instant;
 
 use edsr_cl::ModelConfig;
 use edsr_core::prelude::seeded;
-use edsr_linalg::{knn_search_batch, Metric, Pca};
+use edsr_core::EnvConfig;
+use edsr_linalg::{KnnQuery, Pca};
 use edsr_tensor::Matrix;
 
 /// One timed configuration of one op.
@@ -67,7 +68,11 @@ fn bench_op(
 }
 
 fn main() -> Result<(), edsr_core::Error> {
-    let quick = std::env::var("EDSR_BENCH_QUICK").is_ok();
+    // Unified knobs: `--quick` / EDSR_BENCH_QUICK, `--threads` /
+    // EDSR_THREADS, `--obs` / EDSR_OBS (CLI > env > default).
+    let env_cfg = EnvConfig::from_process().map_err(edsr_core::Error::Config)?;
+    env_cfg.apply()?;
+    let quick = env_cfg.bench_quick;
     let max_threads = edsr_par::configured_threads();
     let iters = if quick { 3 } else { 15 };
     let mut records = Vec::new();
@@ -120,7 +125,7 @@ fn main() -> Result<(), edsr_core::Error> {
         iters,
         max_threads,
         &mut || {
-            std::hint::black_box(knn_search_batch(&reference, &qs, 10, Metric::Euclidean));
+            std::hint::black_box(KnnQuery::new(&reference, 10).search_batch(&qs));
         },
     );
 
@@ -191,5 +196,7 @@ fn main() -> Result<(), edsr_core::Error> {
         );
     }
     println!("wrote BENCH_par.json ({} records)", records.len());
+    edsr_par::emit_pool_metrics();
+    edsr_obs::flush();
     Ok(())
 }

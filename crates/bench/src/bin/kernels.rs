@@ -42,7 +42,18 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() -> Result<(), edsr_core::Error> {
-    let quick = std::env::var("EDSR_BENCH_QUICK").is_ok();
+    let env_cfg = match edsr_core::EnvConfig::from_process() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = env_cfg.apply() {
+        eprintln!("error: could not install metrics sink: {e}");
+        std::process::exit(1);
+    }
+    let quick = env_cfg.bench_quick;
     let max_threads = edsr_par::configured_threads();
     let iters = if quick { 3 } else { 15 };
     let n = if quick { 48 } else { 192 };
@@ -177,5 +188,7 @@ fn main() -> Result<(), edsr_core::Error> {
         );
     }
     println!("wrote BENCH_kernels.json ({} records)", records.len());
+    edsr_par::emit_pool_metrics();
+    edsr_obs::flush();
     Ok(())
 }

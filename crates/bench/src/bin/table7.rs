@@ -9,8 +9,8 @@
 
 use edsr_bench::{aggregate, seeds_for, Report, SeedFailure, TABULAR_SEEDS};
 use edsr_cl::{
-    run_multitask, run_sequence, tabular_augmenters, Cassle, ContinualModel, Finetune, Method,
-    ModelConfig, TrainConfig,
+    run_multitask, tabular_augmenters, Cassle, ContinualModel, Finetune, Method, ModelConfig,
+    RunBuilder, TrainConfig,
 };
 use edsr_core::prelude::seeded;
 use edsr_core::Edsr;
@@ -77,7 +77,8 @@ fn main() {
                     Box::new(Edsr::paper_default(budget, cfg.replay_batch, 10))
                 }
             };
-            match run_sequence(method.as_mut(), &mut model, &seq, &augs, &cfg, &mut run_rng) {
+            match RunBuilder::new(&cfg).run(method.as_mut(), &mut model, &seq, &augs, &mut run_rng)
+            {
                 Ok(run) => runs.push(run),
                 Err(error) => failures.push(SeedFailure { seed, error }),
             }

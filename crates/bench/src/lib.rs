@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use edsr_cl::metrics::mean_std;
 use edsr_cl::{
-    run_multitask, run_sequence, ContinualModel, Method, ModelConfig, MultitaskResult, RunResult,
+    run_multitask, ContinualModel, Method, ModelConfig, MultitaskResult, RunBuilder, RunResult,
     TrainConfig, TrainError,
 };
 use edsr_core::prelude::seeded;
@@ -175,7 +175,7 @@ pub fn run_method_over_seeds_with_model(
             let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
             let mut run_rng = seeded(seed + 2000);
             let mut method = make_method();
-            run_sequence(method.as_mut(), &mut model, &seq, &augs, cfg, &mut run_rng)
+            RunBuilder::new(cfg).run(method.as_mut(), &mut model, &seq, &augs, &mut run_rng)
         })
         .unwrap_or_else(|msg| Err(TrainError::Worker(msg)))
     });

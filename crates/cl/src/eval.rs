@@ -1,7 +1,7 @@
 //! Evaluation protocol: the weighted kNN classifier over representations
 //! (paper §IV-A5, after Wu et al. \[78\]) — no extra trainable parameters.
 
-use edsr_linalg::{knn_search, Metric};
+use edsr_linalg::{KnnQuery, Metric};
 use edsr_tensor::Matrix;
 
 /// Softmax temperature for neighbour weighting (Wu et al. use 0.07).
@@ -25,9 +25,12 @@ pub fn knn_classify(
         "knn_classify: reference labels misaligned"
     );
     let num_classes = train_labels.iter().copied().max().unwrap_or(0) + 1;
+    let query = KnnQuery::new(train_reps, k).metric(Metric::Cosine);
+    let mut scratch = Vec::with_capacity(train_reps.rows());
+    let mut neighbors = Vec::with_capacity(k);
     let mut out = Vec::with_capacity(test_reps.rows());
     for t in 0..test_reps.rows() {
-        let neighbors = knn_search(train_reps, test_reps.row(t), k, Metric::Cosine, None);
+        query.search_into(test_reps.row(t), &mut scratch, &mut neighbors);
         let mut votes = vec![0.0f32; num_classes];
         for n in &neighbors {
             let w = (n.score / KNN_TEMPERATURE).exp();

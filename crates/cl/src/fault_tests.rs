@@ -14,7 +14,7 @@ use crate::fault::{truncate_file, FaultInjector, FaultPlan};
 use crate::guard::GuardConfig;
 use crate::methods::{Der, Finetune};
 use crate::model::{ContinualModel, ModelConfig};
-use crate::trainer::{run_sequence, run_sequence_with, OptimizerKind, RunOptions, TrainConfig};
+use crate::trainer::{OptimizerKind, RunBuilder, TrainConfig};
 
 /// Two-increment toy stream with clearly clustered 8-d inputs.
 fn toy_sequence(seed: u64) -> TaskSequence {
@@ -76,8 +76,9 @@ fn nan_fault_is_rolled_back_and_run_completes() {
     let mut method = FaultInjector::new(Finetune::new(), FaultPlan::nan_loss_at(0, 1));
     let cfg = tiny_cfg();
     let mut rng = seeded(42);
-    let result =
-        run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).expect("survives NaN");
+    let result = RunBuilder::new(&cfg)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("survives NaN");
     assert_eq!(method.injected(), 1, "fault did not fire");
     assert!(result.recoveries >= 1, "no rollback recorded");
     assert_eq!(result.matrix.num_increments(), 2, "run did not complete");
@@ -104,8 +105,9 @@ fn corrupt_batch_is_survived_without_weight_damage() {
     let mut method = FaultInjector::new(Finetune::new(), FaultPlan::corrupt_batch_at(1, 2));
     let cfg = tiny_cfg();
     let mut rng = seeded(45);
-    let result =
-        run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).expect("survives");
+    let result = RunBuilder::new(&cfg)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("survives");
     assert_eq!(method.injected(), 1);
     assert!(result.recoveries >= 1);
     assert!(result.task_losses.iter().all(|l| l.is_finite()));
@@ -133,15 +135,13 @@ fn persistent_divergence_exhausts_retries_with_structured_error() {
     let mut method = FaultInjector::new(Finetune::new(), plan);
     let cfg = tiny_cfg();
     let mut rng = seeded(48);
-    let opts = RunOptions {
-        guard: GuardConfig {
+    let err = RunBuilder::new(&cfg)
+        .guard(GuardConfig {
             max_retries: 2,
             ..GuardConfig::default()
-        },
-        ..RunOptions::new()
-    };
-    let err =
-        run_sequence_with(&mut method, &mut model, &seq, &augs, &cfg, &mut rng, &opts).unwrap_err();
+        })
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .unwrap_err();
     match err {
         TrainError::Diverged { task, retries, .. } => {
             assert_eq!(task, 0);
@@ -165,15 +165,9 @@ fn resume_after_truncation_matches_uninterrupted_run() {
     let mut ref_model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(51));
     let mut ref_method = make_method();
     let mut ref_rng = seeded(52);
-    let reference = run_sequence(
-        &mut ref_method,
-        &mut ref_model,
-        &seq,
-        &augs,
-        &cfg,
-        &mut ref_rng,
-    )
-    .expect("reference run");
+    let reference = RunBuilder::new(&cfg)
+        .run(&mut ref_method, &mut ref_model, &seq, &augs, &mut ref_rng)
+        .expect("reference run");
 
     // Checkpointed run over the full sequence (snapshots after both
     // increments), identical seeds.
@@ -181,10 +175,10 @@ fn resume_after_truncation_matches_uninterrupted_run() {
     let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(51));
     let mut method = make_method();
     let mut rng = seeded(52);
-    let opts = RunOptions::new().with_checkpoint(ckpt.clone());
-    let checkpointed =
-        run_sequence_with(&mut method, &mut model, &seq, &augs, &cfg, &mut rng, &opts)
-            .expect("checkpointed run");
+    let checkpointed = RunBuilder::new(&cfg)
+        .checkpoint(ckpt.clone())
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("checkpointed run");
     assert_eq!(
         checkpointed.matrix.rows(),
         reference.matrix.rows(),
@@ -203,19 +197,17 @@ fn resume_after_truncation_matches_uninterrupted_run() {
     let mut resumed_model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(51));
     let mut resumed_method = make_method();
     let mut resumed_rng = seeded(777); // overwritten by the snapshot's RNG state
-    let opts = RunOptions::new()
-        .with_checkpoint(ckpt.clone())
-        .with_resume();
-    let resumed = run_sequence_with(
-        &mut resumed_method,
-        &mut resumed_model,
-        &seq,
-        &augs,
-        &cfg,
-        &mut resumed_rng,
-        &opts,
-    )
-    .expect("resumed run");
+    let resumed = RunBuilder::new(&cfg)
+        .checkpoint(ckpt.clone())
+        .resume()
+        .run(
+            &mut resumed_method,
+            &mut resumed_model,
+            &seq,
+            &augs,
+            &mut resumed_rng,
+        )
+        .expect("resumed run");
     assert_eq!(
         resumed.matrix.rows(),
         reference.matrix.rows(),
@@ -239,31 +231,27 @@ fn stop_after_then_resume_completes_the_sequence() {
     let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(54));
     let mut method = Finetune::new();
     let mut rng = seeded(55);
-    let opts = RunOptions {
-        checkpoint: Some(ckpt.clone()),
-        stop_after: Some(1),
-        ..RunOptions::new()
-    };
-    let partial = run_sequence_with(&mut method, &mut model, &seq, &augs, &cfg, &mut rng, &opts)
+    let partial = RunBuilder::new(&cfg)
+        .checkpoint(ckpt.clone())
+        .stop_after(1)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
         .expect("partial run");
     assert_eq!(partial.matrix.num_increments(), 1, "stop_after ignored");
 
     let mut resumed_model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(54));
     let mut resumed_method = Finetune::new();
     let mut resumed_rng = seeded(999);
-    let opts = RunOptions::new()
-        .with_checkpoint(ckpt.clone())
-        .with_resume();
-    let full = run_sequence_with(
-        &mut resumed_method,
-        &mut resumed_model,
-        &seq,
-        &augs,
-        &cfg,
-        &mut resumed_rng,
-        &opts,
-    )
-    .expect("resumed run");
+    let full = RunBuilder::new(&cfg)
+        .checkpoint(ckpt.clone())
+        .resume()
+        .run(
+            &mut resumed_method,
+            &mut resumed_model,
+            &seq,
+            &augs,
+            &mut resumed_rng,
+        )
+        .expect("resumed run");
     assert_eq!(
         full.matrix.num_increments(),
         2,
@@ -304,16 +292,71 @@ fn checkpointing_requires_state_hooks() {
     let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(57));
     let cfg = tiny_cfg();
     let mut rng = seeded(58);
-    let opts = RunOptions::new().with_checkpoint(temp_ckpt("stateless"));
-    let err = run_sequence_with(
-        &mut Stateless,
-        &mut model,
-        &seq,
-        &augs,
-        &cfg,
-        &mut rng,
-        &opts,
-    )
-    .unwrap_err();
+    let err = RunBuilder::new(&cfg)
+        .checkpoint(temp_ckpt("stateless"))
+        .run(&mut Stateless, &mut model, &seq, &augs, &mut rng)
+        .unwrap_err();
     assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+}
+
+/// Regression for the legacy `RunOptions::with_resume` silent no-op:
+/// asking to resume without naming a snapshot source must fail fast, not
+/// quietly start from scratch.
+#[test]
+fn resume_without_snapshot_source_is_an_explicit_error() {
+    let seq = toy_sequence(60);
+    let augs = toy_augmenters(seq.len());
+    let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(61));
+    let mut method = Finetune::new();
+    let cfg = tiny_cfg();
+    let mut rng = seeded(62);
+    let err = RunBuilder::new(&cfg)
+        .resume()
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .unwrap_err();
+    match err {
+        TrainError::InvalidConfig(msg) => {
+            assert!(msg.contains("resume"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected InvalidConfig, got {other}"),
+    }
+}
+
+/// `resume_from` pairs an explicit snapshot source with a (possibly
+/// different) destination: resuming from run A's snapshots while writing
+/// new snapshots to run B works, and B ends with its own full history.
+#[test]
+fn resume_from_reads_one_dir_while_checkpointing_to_another() {
+    let seq = toy_sequence(63);
+    let augs = toy_augmenters(seq.len());
+    let cfg = tiny_cfg();
+    let source = temp_ckpt("resume-from-src");
+    let dest = temp_ckpt("resume-from-dst");
+
+    // Seed the source with a 1-increment partial run.
+    let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(64));
+    let mut method = Finetune::new();
+    let mut rng = seeded(65);
+    RunBuilder::new(&cfg)
+        .checkpoint(source.clone())
+        .stop_after(1)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("partial run");
+
+    // Resume from `source` but snapshot the continuation into `dest`.
+    let mut model2 = ContinualModel::new(&ModelConfig::image(8), &mut seeded(64));
+    let mut method2 = Finetune::new();
+    let mut rng2 = seeded(888);
+    let full = RunBuilder::new(&cfg)
+        .checkpoint(dest.clone())
+        .resume_from(source.clone())
+        .run(&mut method2, &mut model2, &seq, &augs, &mut rng2)
+        .expect("cross-dir resume");
+    assert_eq!(full.matrix.num_increments(), 2);
+    let source_snaps = list_snapshots(&source);
+    let dest_snaps = list_snapshots(&dest);
+    assert_eq!(source_snaps.len(), 1, "source dir must stay untouched");
+    assert!(!dest_snaps.is_empty(), "continuation was not checkpointed");
+    let _ = std::fs::remove_dir_all(&source.dir);
+    let _ = std::fs::remove_dir_all(&dest.dir);
 }

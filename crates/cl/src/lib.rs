@@ -29,9 +29,12 @@ pub use methods::{Cassle, Der, Finetune, LinReplay, Lump, Si};
 pub use metrics::{mean_std, AccuracyMatrix};
 pub use model::{ContinualModel, FrozenModel, ModelConfig};
 pub use trainer::{
-    apply_step, evaluate_row, image_augmenters, run_multitask, run_sequence, run_sequence_with,
-    tabular_augmenters, Method, MultitaskResult, OptimizerKind, RunOptions, RunResult, TrainConfig,
+    apply_step, evaluate_row, image_augmenters, run_multitask, tabular_augmenters, Method,
+    MultitaskResult, NoopObserver, Observer, OptimizerKind, RunBuilder, RunOptions, RunResult,
+    StepRecord, TrainConfig,
 };
+#[allow(deprecated)] // legacy entry points stay reachable during migration
+pub use trainer::{run_sequence, run_sequence_with};
 
 #[cfg(test)]
 mod fault_tests;

@@ -63,6 +63,14 @@ impl Method for Cassle {
         ws.reset();
         let (z1, z2, mut loss) =
             model.css_on_views(&mut ws.tape, &mut ws.binder, &x1, &x2, task_idx);
+        let obs_on = edsr_obs::enabled();
+        if obs_on {
+            edsr_obs::gauge_at(
+                "loss/css",
+                task_idx as u64,
+                f64::from(ws.tape.value(loss).get(0, 0)),
+            );
+        }
 
         if let Some(frozen) = &self.frozen {
             // Frozen targets live on the aux tape; the main tape borrows
@@ -87,6 +95,13 @@ impl Method for Cassle {
             );
             let d = ws.tape.add(d1, d2);
             let d = ws.tape.scale(d, 0.5);
+            if obs_on {
+                edsr_obs::gauge_at(
+                    "loss/dis",
+                    task_idx as u64,
+                    f64::from(ws.tape.value(d).get(0, 0)),
+                );
+            }
             loss = ws.tape.add(loss, d);
         }
         apply_step(model, opt, &mut ws.tape, &ws.binder, loss)

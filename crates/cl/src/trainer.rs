@@ -5,10 +5,19 @@
 //! [`StepGuard`]; divergence rolls the model back to the last good epoch
 //! boundary and backs the LR off before retrying. With a
 //! [`CheckpointConfig`], the runner snapshots the full run state after
-//! each increment and [`RunOptions::resume`] continues from the newest
-//! valid snapshot — bit-identically, because the snapshot carries the
-//! exact RNG position, optimizer moments, and method state.
+//! each increment and resume continues from the newest valid snapshot —
+//! bit-identically, because the snapshot carries the exact RNG position,
+//! optimizer moments, and method state.
+//!
+//! Observability (DESIGN.md §11): runs are launched through a single
+//! [`RunBuilder`] that composes checkpointing, resume, guard tuning,
+//! early stop, and a pluggable [`Observer`]. The runner also emits
+//! `edsr-obs` spans (`run`/`task`/`epoch`/`step`/`select`/`eval`) and
+//! per-step loss gauges; with no sink installed every emit point is a
+//! single relaxed atomic load, keeping the steady-state step
+//! allocation-free (proved by `tests/zero_alloc.rs`).
 
+use std::path::Path;
 use std::time::Instant;
 
 use edsr_data::{Augmenter, BatchIter, Dataset, TaskSequence};
@@ -138,6 +147,11 @@ pub trait Method {
     /// `ws.reset()` first, record the step on `ws.tape`/`ws.binder`
     /// (frozen-model targets on `ws.aux_tape`/`ws.aux_binder`), and finish
     /// via [`apply_step`] so every buffer returns to the scratch pools.
+    ///
+    /// Implementations should report their loss terms through `edsr-obs`
+    /// gauges (`loss/css`, `loss/dis`, `loss/rpl`, …) behind an
+    /// `edsr_obs::enabled()` gate so the step stays allocation-free when
+    /// observability is off.
     #[allow(clippy::too_many_arguments)] // the step's full context, by design
     fn train_step(
         &mut self,
@@ -192,6 +206,9 @@ pub trait Method {
 /// backward pass entirely; non-finite gradients are dropped before the
 /// optimizer step so moment buffers can never be poisoned. Either way
 /// the caller sees a non-finite return value and can trigger recovery.
+///
+/// When observability is on, records the global gradient L2 norm as the
+/// `grad/norm` gauge just before the optimizer step.
 pub fn apply_step(
     model: &mut ContinualModel,
     opt: &mut dyn Optimizer,
@@ -213,6 +230,22 @@ pub fn apply_step(
         .all(|id| model.params.grad(id).data().iter().all(|g| g.is_finite()));
     if !all_finite {
         return f32::NAN;
+    }
+    if edsr_obs::enabled() {
+        let sq: f64 = model
+            .params
+            .ids()
+            .map(|id| {
+                model
+                    .params
+                    .grad(id)
+                    .data()
+                    .iter()
+                    .map(|&g| f64::from(g) * f64::from(g))
+                    .sum::<f64>()
+            })
+            .sum();
+        edsr_obs::gauge("grad/norm", sq.sqrt());
     }
     opt.step(&mut model.params);
     value
@@ -272,7 +305,99 @@ pub fn evaluate_row(
         .collect()
 }
 
-/// Robustness knobs of [`run_sequence_with`].
+/// One training step as seen by an [`Observer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Increment index (0-based).
+    pub task: usize,
+    /// Epoch within the increment.
+    pub epoch: usize,
+    /// Step within the epoch.
+    pub step: usize,
+    /// The step's training loss (may be non-finite on a diverging step).
+    pub loss: f32,
+}
+
+/// Pluggable run instrumentation. Every hook has a no-op default, so an
+/// observer implements only what it needs; [`RunBuilder::observer`]
+/// plugs it into the runner. Hooks fire on the training thread, in run
+/// order, and must not panic.
+///
+/// Observers complement (not replace) the process-global `edsr-obs`
+/// sink: the sink captures the cross-layer span/metric stream for files
+/// and CI, while an observer gets structured callbacks with typed
+/// payloads — progress bars, early-stop monitors, test probes.
+pub trait Observer {
+    /// The run is about to start (after a successful resume scan).
+    /// `tasks` is the number of increments that will be trained;
+    /// `start_task` is non-zero when resuming.
+    fn on_run_start(&mut self, method: &str, benchmark: &str, tasks: usize, start_task: usize) {
+        let _ = (method, benchmark, tasks, start_task);
+    }
+
+    /// A valid snapshot was restored; training restarts at `start_task`.
+    fn on_resume(&mut self, snapshot: &Path, start_task: usize) {
+        let _ = (snapshot, start_task);
+    }
+
+    /// Increment `task_idx` is about to train.
+    fn on_task_start(&mut self, task_idx: usize) {
+        let _ = task_idx;
+    }
+
+    /// An epoch is about to run at the given effective learning rate.
+    fn on_epoch_start(&mut self, task_idx: usize, epoch: usize, lr: f32) {
+        let _ = (task_idx, epoch, lr);
+    }
+
+    /// One training step finished.
+    fn on_step(&mut self, record: &StepRecord) {
+        let _ = record;
+    }
+
+    /// The divergence guard rolled back and retries the epoch;
+    /// `lr_scale` is the backoff factor now in effect.
+    fn on_recovery(&mut self, task_idx: usize, epoch: usize, bad_loss: f32, lr_scale: f32) {
+        let _ = (task_idx, epoch, bad_loss, lr_scale);
+    }
+
+    /// The method's `end_task` (memory selection for replay methods)
+    /// finished, taking `seconds`.
+    fn on_select(&mut self, task_idx: usize, seconds: f64) {
+        let _ = (task_idx, seconds);
+    }
+
+    /// The post-increment evaluation row `A_{i,j}, j ≤ i` was computed.
+    fn on_eval(&mut self, task_idx: usize, row: &[f32]) {
+        let _ = (task_idx, row);
+    }
+
+    /// Increment `task_idx` finished (trained, selected, evaluated).
+    fn on_task_end(&mut self, task_idx: usize, seconds: f64, mean_loss: f32) {
+        let _ = (task_idx, seconds, mean_loss);
+    }
+
+    /// A run-state snapshot was written to `path`.
+    fn on_checkpoint(&mut self, task_idx: usize, path: &Path) {
+        let _ = (task_idx, path);
+    }
+
+    /// The run completed (not called on error).
+    fn on_run_end(&mut self, result: &RunResult) {
+        let _ = result;
+    }
+}
+
+/// The do-nothing [`Observer`] the runner uses when none is supplied.
+/// Its dynamic dispatch is allocation-free, which `tests/zero_alloc.rs`
+/// relies on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// Robustness knobs of the deprecated [`run_sequence_with`] entry point.
+/// New code configures the same knobs on [`RunBuilder`] directly.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Snapshot the run state after every increment. Requires a method
@@ -306,21 +431,349 @@ impl RunOptions {
     }
 
     /// Enables resume-from-latest-valid-snapshot.
+    ///
+    /// Note: without a checkpoint config this silently no-ops — the
+    /// legacy behaviour [`RunBuilder::resume`] fixes by failing fast.
     pub fn with_resume(mut self) -> Self {
         self.resume = true;
         self
     }
 }
 
-/// Runs a method over a task sequence, evaluating after every increment.
+/// Builder for a continual run: one composable entry point replacing the
+/// `run_sequence`/`run_sequence_with` split. Checkpointing, resume,
+/// guard tuning, early stop, and an [`Observer`] all plug in here.
 ///
-/// `augmenters` supplies the per-increment view generator (images share
-/// one; the tabular stream needs one per increment, referencing that
-/// increment's train split).
-///
-/// Fails with [`TrainError::InvalidConfig`] when `augmenters.len() !=
-/// seq.len()` and [`TrainError::Diverged`] when an increment exhausts
-/// the divergence guard's retry budget.
+/// ```no_run
+/// # use edsr_cl::trainer::{RunBuilder, TrainConfig};
+/// # fn demo(method: &mut dyn edsr_cl::Method,
+/// #         model: &mut edsr_cl::ContinualModel,
+/// #         seq: &edsr_data::TaskSequence,
+/// #         augs: &[edsr_data::Augmenter],
+/// #         rng: &mut rand::rngs::StdRng) {
+/// let cfg = TrainConfig::image();
+/// let result = RunBuilder::new(&cfg)
+///     .run(method, model, seq, augs, rng)
+///     .expect("run");
+/// # let _ = result;
+/// # }
+/// ```
+pub struct RunBuilder<'a> {
+    cfg: &'a TrainConfig,
+    checkpoint: Option<CheckpointConfig>,
+    resume: bool,
+    resume_source: Option<CheckpointConfig>,
+    guard: GuardConfig,
+    stop_after: Option<usize>,
+    observer: Option<&'a mut dyn Observer>,
+}
+
+impl<'a> RunBuilder<'a> {
+    /// Starts a builder over the given hyper-parameters (no
+    /// checkpointing, default guard, no observer).
+    pub fn new(cfg: &'a TrainConfig) -> Self {
+        Self {
+            cfg,
+            checkpoint: None,
+            resume: false,
+            resume_source: None,
+            guard: GuardConfig::default(),
+            stop_after: None,
+            observer: None,
+        }
+    }
+
+    /// Snapshots the run state under `cfg` after every increment.
+    /// Requires a method whose [`Method::save_state`] returns `Some`.
+    pub fn checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Resumes from the newest valid snapshot in the
+    /// [`checkpoint`](Self::checkpoint) location. [`run`](Self::run)
+    /// fails with [`TrainError::InvalidConfig`] when no checkpoint
+    /// source is configured — the legacy `RunOptions::with_resume`
+    /// silently no-opped in that case, losing runs whose snapshot dir
+    /// differed from the write dir.
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Resumes from the newest valid snapshot under an explicit
+    /// `source`, which may differ from the [`checkpoint`](Self::checkpoint)
+    /// write location (e.g. continue an old run into a new snapshot
+    /// dir). Implies [`resume`](Self::resume).
+    pub fn resume_from(mut self, source: CheckpointConfig) -> Self {
+        self.resume = true;
+        self.resume_source = Some(source);
+        self
+    }
+
+    /// Overrides the divergence-guard tunables.
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Returns early (with a partial result) after `n` increments — an
+    /// interruption hook for resume tests and budgeted sweeps.
+    pub fn stop_after(mut self, n: usize) -> Self {
+        self.stop_after = Some(n);
+        self
+    }
+
+    /// Plugs in run instrumentation (default: [`NoopObserver`]).
+    pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs `method` over `seq`, evaluating after every increment.
+    ///
+    /// `augmenters` supplies the per-increment view generator (images
+    /// share one; the tabular stream needs one per increment,
+    /// referencing that increment's train split).
+    ///
+    /// Fails with [`TrainError::InvalidConfig`] when `augmenters.len()
+    /// != seq.len()`, when checkpointing a non-resumable method, or when
+    /// resume is requested without a snapshot source; fails with
+    /// [`TrainError::Diverged`] when an increment exhausts the
+    /// divergence guard's retry budget.
+    pub fn run(
+        self,
+        method: &mut dyn Method,
+        model: &mut ContinualModel,
+        seq: &TaskSequence,
+        augmenters: &[Augmenter],
+        rng: &mut StdRng,
+    ) -> Result<RunResult, TrainError> {
+        let RunBuilder {
+            cfg,
+            checkpoint,
+            resume,
+            resume_source,
+            guard: guard_cfg,
+            stop_after,
+            observer,
+        } = self;
+        let mut noop = NoopObserver;
+        let observer: &mut dyn Observer = match observer {
+            Some(o) => o,
+            None => &mut noop,
+        };
+
+        if augmenters.len() != seq.len() {
+            return Err(TrainError::InvalidConfig(format!(
+                "run: {} augmenters for {} tasks (one per task required)",
+                augmenters.len(),
+                seq.len()
+            )));
+        }
+        if checkpoint.is_some() && method.save_state().is_none() {
+            return Err(TrainError::InvalidConfig(format!(
+                "{} does not implement save_state/load_state; run-state checkpoints \
+                 would silently drop its internal state",
+                method.name()
+            )));
+        }
+        if resume && resume_source.is_none() && checkpoint.is_none() {
+            return Err(TrainError::InvalidConfig(
+                "resume requested without a snapshot source: pair .resume() with \
+                 .checkpoint(cfg), or point .resume_from(cfg) at the snapshot dir"
+                    .into(),
+            ));
+        }
+
+        let mut opt = cfg.build_optimizer();
+        let mut matrix = AccuracyMatrix::new();
+        let mut task_seconds = Vec::with_capacity(seq.len());
+        let mut task_losses = Vec::with_capacity(seq.len());
+        let mut recoveries = 0usize;
+        let mut start_task = 0usize;
+        let mut resumed_lr_scale = 1.0f32;
+
+        if resume {
+            let source = resume_source
+                .as_ref()
+                .or(checkpoint.as_ref())
+                .expect("validated above");
+            if let Some((path, state)) = latest_valid_run_state(source) {
+                restore_from_state(method, model, opt.as_mut(), rng, seq, &state)?;
+                for row in &state.matrix_rows {
+                    matrix.push_row(row.clone());
+                }
+                task_seconds = state.task_seconds;
+                task_losses = state.task_losses;
+                start_task = state.completed_tasks;
+                resumed_lr_scale = state.lr_scale;
+                observer.on_resume(&path, start_task);
+            }
+        }
+
+        let schedule = (cfg.cosine_floor < 1.0).then(|| {
+            CosineSchedule::new(
+                cfg.lr,
+                cfg.lr * cfg.cosine_floor,
+                0,
+                cfg.epochs_per_task.max(1),
+            )
+        });
+        let mut guard = StepGuard::new(guard_cfg, &model.params);
+        guard.set_lr_scale(resumed_lr_scale);
+        let until = stop_after.map_or(seq.len(), |n| n.min(seq.len()));
+        observer.on_run_start(&method.name(), &seq.name, until, start_task);
+        let _run_span = edsr_obs::span!("run");
+        // One workspace for the whole run: after the first step its scratch
+        // pools are warm and steady-state steps stop allocating.
+        let mut ws = Workspace::new();
+
+        for task_idx in start_task..until {
+            let task = &seq.tasks[task_idx];
+            let _task_span = edsr_obs::span!("task", task_idx);
+            observer.on_task_start(task_idx);
+            let start = Instant::now();
+            method.begin_task(model, task_idx, &task.train, rng);
+            guard.begin_task(&model.params);
+            let mut loss_sum = 0.0f32;
+            let mut loss_count = 0usize;
+            let mut epoch = 0usize;
+            while epoch < cfg.epochs_per_task {
+                let base_lr = schedule.as_ref().map_or(cfg.lr, |s| s.lr_at(epoch));
+                let lr = base_lr * guard.lr_scale();
+                opt.set_lr(lr);
+                observer.on_epoch_start(task_idx, epoch, lr);
+                let _epoch_span = edsr_obs::span!("epoch", epoch);
+                if edsr_obs::enabled() {
+                    edsr_obs::gauge_at("train/lr", task_idx as u64, f64::from(lr));
+                }
+                // Accumulate this epoch's losses separately: a diverged epoch
+                // is retried, and its partial sums must not pollute the task
+                // mean (acceptance: task_losses stay finite through faults).
+                let mut epoch_sum = 0.0f32;
+                let mut epoch_count = 0usize;
+                let mut diverged_loss = None;
+                for (step, batch_idx) in
+                    BatchIter::new(task.train.len(), cfg.batch_size, rng).enumerate()
+                {
+                    let batch = task.train.inputs.select_rows(&batch_idx);
+                    let loss = {
+                        let _step_span = edsr_obs::span!("step", step);
+                        method.train_step(
+                            model,
+                            opt.as_mut(),
+                            augmenters,
+                            &batch,
+                            task_idx,
+                            &mut ws,
+                            rng,
+                        )
+                    };
+                    if edsr_obs::enabled() {
+                        edsr_obs::gauge_at("train/loss", task_idx as u64, f64::from(loss));
+                    }
+                    observer.on_step(&StepRecord {
+                        task: task_idx,
+                        epoch,
+                        step,
+                        loss,
+                    });
+                    if guard.is_divergent(loss) {
+                        diverged_loss = Some(loss);
+                        break;
+                    }
+                    guard.observe(loss);
+                    epoch_sum += loss;
+                    epoch_count += 1;
+                }
+                if let Some(bad) = diverged_loss {
+                    guard.recover(
+                        &mut model.params,
+                        opt.as_mut(),
+                        &method.name(),
+                        task_idx,
+                        epoch,
+                        bad,
+                    )?;
+                    recoveries += 1;
+                    edsr_obs::counter_at("train/recovery", task_idx as u64, 1);
+                    observer.on_recovery(task_idx, epoch, bad, guard.lr_scale());
+                    continue; // retry this epoch from the rolled-back weights
+                }
+                loss_sum += epoch_sum;
+                loss_count += epoch_count;
+                guard.commit(&model.params);
+                epoch += 1;
+            }
+            let select_start = Instant::now();
+            {
+                let _select_span = edsr_obs::span!("select", task_idx);
+                method.end_task(model, task_idx, &task.train, &augmenters[task_idx], rng);
+            }
+            observer.on_select(task_idx, select_start.elapsed().as_secs_f64());
+            let seconds = start.elapsed().as_secs_f64();
+            task_seconds.push(seconds);
+            let mean_loss = if loss_count > 0 {
+                loss_sum / loss_count as f32
+            } else {
+                0.0
+            };
+            task_losses.push(mean_loss);
+
+            let row = {
+                let _eval_span = edsr_obs::span!("eval", task_idx);
+                evaluate_row(model, seq, task_idx, cfg.eval_k)
+            };
+            if edsr_obs::enabled() {
+                let mean = row.iter().sum::<f32>() / row.len().max(1) as f32;
+                edsr_obs::gauge_at("eval/mean_acc", task_idx as u64, f64::from(mean));
+            }
+            observer.on_eval(task_idx, &row);
+            matrix.push_row(row);
+            if edsr_obs::enabled() {
+                ws.emit_metrics(task_idx as u64);
+            }
+            observer.on_task_end(task_idx, seconds, mean_loss);
+
+            if let Some(ckpt) = &checkpoint {
+                let method_state = method.save_state().ok_or_else(|| TrainError::MethodState {
+                    method: method.name(),
+                    reason: "save_state returned None mid-run".into(),
+                })?;
+                let state = RunState {
+                    completed_tasks: task_idx + 1,
+                    method: method.name(),
+                    benchmark: seq.name.clone(),
+                    matrix_rows: matrix.rows().to_vec(),
+                    task_seconds: task_seconds.clone(),
+                    task_losses: task_losses.clone(),
+                    params_payload: params_to_bytes(&model.params),
+                    optim_payload: optim_state_to_bytes(&opt.export_state()),
+                    rng_state: rng.state(),
+                    method_state,
+                    lr_scale: guard.lr_scale(),
+                };
+                let path = save_run_state(ckpt, &state)?;
+                observer.on_checkpoint(task_idx, &path);
+            }
+        }
+
+        let result = RunResult {
+            method: method.name(),
+            benchmark: seq.name.clone(),
+            matrix,
+            task_seconds,
+            task_losses,
+            recoveries,
+        };
+        observer.on_run_end(&result);
+        Ok(result)
+    }
+}
+
+/// Runs a method over a task sequence with default options.
+#[deprecated(since = "0.1.0", note = "use RunBuilder::new(cfg).run(...)")]
 pub fn run_sequence(
     method: &mut dyn Method,
     model: &mut ContinualModel,
@@ -329,11 +782,16 @@ pub fn run_sequence(
     cfg: &TrainConfig,
     rng: &mut StdRng,
 ) -> Result<RunResult, TrainError> {
-    run_sequence_with(method, model, seq, augmenters, cfg, rng, &RunOptions::new())
+    RunBuilder::new(cfg).run(method, model, seq, augmenters, rng)
 }
 
-/// As [`run_sequence`], with explicit [`RunOptions`] (checkpointing,
-/// resume, guard tuning, early stop).
+/// Runs a method with explicit [`RunOptions`]. Preserves the legacy
+/// quirk that `resume` without `checkpoint` silently no-ops (the
+/// builder's [`RunBuilder::resume`] fails fast instead).
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunBuilder::new(cfg).checkpoint(..).resume().guard(..).stop_after(..).run(...)"
+)]
 #[allow(clippy::too_many_arguments)] // mirrors run_sequence + options
 pub fn run_sequence_with(
     method: &mut dyn Method,
@@ -344,152 +802,17 @@ pub fn run_sequence_with(
     rng: &mut StdRng,
     opts: &RunOptions,
 ) -> Result<RunResult, TrainError> {
-    if augmenters.len() != seq.len() {
-        return Err(TrainError::InvalidConfig(format!(
-            "run_sequence: {} augmenters for {} tasks (one per task required)",
-            augmenters.len(),
-            seq.len()
-        )));
-    }
-    if opts.checkpoint.is_some() && method.save_state().is_none() {
-        return Err(TrainError::InvalidConfig(format!(
-            "{} does not implement save_state/load_state; run-state checkpoints \
-             would silently drop its internal state",
-            method.name()
-        )));
-    }
-
-    let mut opt = cfg.build_optimizer();
-    let mut matrix = AccuracyMatrix::new();
-    let mut task_seconds = Vec::with_capacity(seq.len());
-    let mut task_losses = Vec::with_capacity(seq.len());
-    let mut recoveries = 0usize;
-    let mut start_task = 0usize;
-    let mut resumed_lr_scale = 1.0f32;
-
-    if opts.resume {
-        if let Some(ckpt) = &opts.checkpoint {
-            if let Some((_, state)) = latest_valid_run_state(ckpt) {
-                restore_from_state(method, model, opt.as_mut(), rng, seq, &state)?;
-                for row in &state.matrix_rows {
-                    matrix.push_row(row.clone());
-                }
-                task_seconds = state.task_seconds;
-                task_losses = state.task_losses;
-                start_task = state.completed_tasks;
-                resumed_lr_scale = state.lr_scale;
-            }
+    let mut builder = RunBuilder::new(cfg).guard(opts.guard.clone());
+    if let Some(ckpt) = &opts.checkpoint {
+        builder = builder.checkpoint(ckpt.clone());
+        if opts.resume {
+            builder = builder.resume();
         }
     }
-
-    let schedule = (cfg.cosine_floor < 1.0).then(|| {
-        CosineSchedule::new(
-            cfg.lr,
-            cfg.lr * cfg.cosine_floor,
-            0,
-            cfg.epochs_per_task.max(1),
-        )
-    });
-    let mut guard = StepGuard::new(opts.guard.clone(), &model.params);
-    guard.set_lr_scale(resumed_lr_scale);
-    let until = opts.stop_after.map_or(seq.len(), |n| n.min(seq.len()));
-    // One workspace for the whole run: after the first step its scratch
-    // pools are warm and steady-state steps stop allocating.
-    let mut ws = Workspace::new();
-
-    for task_idx in start_task..until {
-        let task = &seq.tasks[task_idx];
-        let start = Instant::now();
-        method.begin_task(model, task_idx, &task.train, rng);
-        guard.begin_task(&model.params);
-        let mut loss_sum = 0.0f32;
-        let mut loss_count = 0usize;
-        let mut epoch = 0usize;
-        while epoch < cfg.epochs_per_task {
-            let base_lr = schedule.as_ref().map_or(cfg.lr, |s| s.lr_at(epoch));
-            opt.set_lr(base_lr * guard.lr_scale());
-            // Accumulate this epoch's losses separately: a diverged epoch
-            // is retried, and its partial sums must not pollute the task
-            // mean (acceptance: task_losses stay finite through faults).
-            let mut epoch_sum = 0.0f32;
-            let mut epoch_count = 0usize;
-            let mut diverged_loss = None;
-            for batch_idx in BatchIter::new(task.train.len(), cfg.batch_size, rng) {
-                let batch = task.train.inputs.select_rows(&batch_idx);
-                let loss = method.train_step(
-                    model,
-                    opt.as_mut(),
-                    augmenters,
-                    &batch,
-                    task_idx,
-                    &mut ws,
-                    rng,
-                );
-                if guard.is_divergent(loss) {
-                    diverged_loss = Some(loss);
-                    break;
-                }
-                guard.observe(loss);
-                epoch_sum += loss;
-                epoch_count += 1;
-            }
-            if let Some(bad) = diverged_loss {
-                guard.recover(
-                    &mut model.params,
-                    opt.as_mut(),
-                    &method.name(),
-                    task_idx,
-                    epoch,
-                    bad,
-                )?;
-                recoveries += 1;
-                continue; // retry this epoch from the rolled-back weights
-            }
-            loss_sum += epoch_sum;
-            loss_count += epoch_count;
-            guard.commit(&model.params);
-            epoch += 1;
-        }
-        method.end_task(model, task_idx, &task.train, &augmenters[task_idx], rng);
-        task_seconds.push(start.elapsed().as_secs_f64());
-        task_losses.push(if loss_count > 0 {
-            loss_sum / loss_count as f32
-        } else {
-            0.0
-        });
-
-        matrix.push_row(evaluate_row(model, seq, task_idx, cfg.eval_k));
-
-        if let Some(ckpt) = &opts.checkpoint {
-            let method_state = method.save_state().ok_or_else(|| TrainError::MethodState {
-                method: method.name(),
-                reason: "save_state returned None mid-run".into(),
-            })?;
-            let state = RunState {
-                completed_tasks: task_idx + 1,
-                method: method.name(),
-                benchmark: seq.name.clone(),
-                matrix_rows: matrix.rows().to_vec(),
-                task_seconds: task_seconds.clone(),
-                task_losses: task_losses.clone(),
-                params_payload: params_to_bytes(&model.params),
-                optim_payload: optim_state_to_bytes(&opt.export_state()),
-                rng_state: rng.state(),
-                method_state,
-                lr_scale: guard.lr_scale(),
-            };
-            save_run_state(ckpt, &state)?;
-        }
+    if let Some(n) = opts.stop_after {
+        builder = builder.stop_after(n);
     }
-
-    Ok(RunResult {
-        method: method.name(),
-        benchmark: seq.name.clone(),
-        matrix,
-        task_seconds,
-        task_losses,
-        recoveries,
-    })
+    builder.run(method, model, seq, augmenters, rng)
 }
 
 /// Applies a loaded run state to the live objects, validating that it
@@ -546,7 +869,7 @@ impl MultitaskResult {
 /// Joint training over all increments at once (paper's Multitask row).
 /// Batches are drawn per task (so heterogeneous input widths work) and
 /// interleaved within each epoch. Runs under the same divergence guard
-/// as [`run_sequence`] (epoch-granular rollback, bounded LR backoff).
+/// as [`RunBuilder::run`] (epoch-granular rollback, bounded LR backoff).
 pub fn run_multitask(
     model: &mut ContinualModel,
     seq: &TaskSequence,
@@ -565,6 +888,7 @@ pub fn run_multitask(
     let mut guard = StepGuard::new(GuardConfig::default(), &model.params);
     guard.begin_task(&model.params);
     let start = Instant::now();
+    let _run_span = edsr_obs::span!("multitask");
     // The paper trains Multitask for the same epoch count as each
     // continual increment (200 epochs on CIFAR both ways). At simulation
     // scale the joint mixture needs extra passes to converge, hence the
@@ -574,6 +898,7 @@ pub fn run_multitask(
     let mut epoch = 0usize;
     while epoch < total_epochs {
         opt.set_lr(cfg.lr * guard.lr_scale());
+        let _epoch_span = edsr_obs::span!("epoch", epoch);
         // Interleave per-task batches.
         let mut iters: Vec<(usize, BatchIter)> = seq
             .tasks
@@ -599,6 +924,9 @@ pub fn run_multitask(
                         rng,
                     );
                     let value = apply_step(model, opt.as_mut(), &mut ws.tape, &ws.binder, loss);
+                    if edsr_obs::enabled() {
+                        edsr_obs::gauge_at("train/loss", *task_idx as u64, f64::from(value));
+                    }
                     if guard.is_divergent(value) {
                         diverged_loss = Some(value);
                         break 'steps;

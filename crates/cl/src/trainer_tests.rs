@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use crate::methods::Finetune;
 use crate::model::{ContinualModel, ModelConfig};
 use crate::trainer::{
-    evaluate_row, run_multitask, run_sequence, tabular_augmenters, Method, OptimizerKind,
-    TrainConfig,
+    evaluate_row, run_multitask, tabular_augmenters, Method, Observer, OptimizerKind, RunBuilder,
+    StepRecord, TrainConfig,
 };
 
 /// Two-increment toy stream with clearly clustered 8-d inputs.
@@ -69,7 +69,9 @@ fn cosine_floor_schedules_lr_without_breaking_training() {
     cfg.epochs_per_task = 4;
     cfg.cosine_floor = 0.05;
     let mut rng = seeded(22);
-    let result = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).expect("run");
+    let result = RunBuilder::new(&cfg)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("run");
     assert_eq!(result.matrix.num_increments(), 2);
     assert!(result.task_losses.iter().all(|l| l.is_finite()));
 }
@@ -102,7 +104,9 @@ fn run_sequence_fills_matrix_times_and_losses() {
     let mut method = Finetune::new();
     let cfg = tiny_cfg();
     let mut rng = seeded(5);
-    let result = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).expect("run");
+    let result = RunBuilder::new(&cfg)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("run");
     assert_eq!(result.matrix.num_increments(), 2);
     assert_eq!(result.task_seconds.len(), 2);
     assert_eq!(result.task_losses.len(), 2);
@@ -118,7 +122,9 @@ fn run_sequence_rejects_wrong_augmenter_count() {
     let mut method = Finetune::new();
     let cfg = tiny_cfg();
     let mut rng = seeded(8);
-    let err = run_sequence(&mut method, &mut model, &seq, &augs, &cfg, &mut rng).unwrap_err();
+    let err = RunBuilder::new(&cfg)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .unwrap_err();
     assert!(
         matches!(err, crate::error::TrainError::InvalidConfig(_)),
         "{err}"
@@ -205,7 +211,9 @@ fn method_lifecycle_hooks_fire_in_order() {
     let mut cfg = tiny_cfg();
     cfg.epochs_per_task = 1;
     let mut rng = seeded(15);
-    run_sequence(&mut spy, &mut model, &seq, &augs, &cfg, &mut rng).expect("run");
+    RunBuilder::new(&cfg)
+        .run(&mut spy, &mut model, &seq, &augs, &mut rng)
+        .expect("run");
 
     assert_eq!(spy.events.first().map(String::as_str), Some("begin0"));
     let end0 = spy
@@ -221,6 +229,114 @@ fn method_lifecycle_hooks_fire_in_order() {
     assert!(end0 < begin1, "task 1 began before task 0 ended");
     assert_eq!(spy.events.last().map(String::as_str), Some("end1"));
     assert!(spy.events.iter().filter(|e| e.starts_with("step0")).count() >= 1);
+}
+
+/// Observer hooks fire in run order with consistent payloads: one
+/// run_start, per-task start/select/eval/end, per-step records with
+/// in-range indices, and a final run_end carrying the result.
+#[test]
+fn observer_hooks_fire_in_order_with_consistent_payloads() {
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<String>,
+        steps: Vec<StepRecord>,
+    }
+    impl Observer for Recorder {
+        fn on_run_start(&mut self, method: &str, benchmark: &str, tasks: usize, start: usize) {
+            self.events
+                .push(format!("run_start {method} {benchmark} {tasks} {start}"));
+        }
+        fn on_task_start(&mut self, task_idx: usize) {
+            self.events.push(format!("task_start {task_idx}"));
+        }
+        fn on_epoch_start(&mut self, task_idx: usize, epoch: usize, lr: f32) {
+            assert!(lr > 0.0);
+            self.events.push(format!("epoch {task_idx} {epoch}"));
+        }
+        fn on_step(&mut self, record: &StepRecord) {
+            self.steps.push(*record);
+        }
+        fn on_select(&mut self, task_idx: usize, seconds: f64) {
+            assert!(seconds >= 0.0);
+            self.events.push(format!("select {task_idx}"));
+        }
+        fn on_eval(&mut self, task_idx: usize, row: &[f32]) {
+            assert_eq!(row.len(), task_idx + 1);
+            self.events.push(format!("eval {task_idx}"));
+        }
+        fn on_task_end(&mut self, task_idx: usize, seconds: f64, mean_loss: f32) {
+            assert!(seconds >= 0.0 && mean_loss.is_finite());
+            self.events.push(format!("task_end {task_idx}"));
+        }
+        fn on_run_end(&mut self, result: &crate::trainer::RunResult) {
+            self.events
+                .push(format!("run_end {}", result.matrix.num_increments()));
+        }
+    }
+
+    let seq = toy_sequence(30);
+    let augs = toy_augmenters(seq.len());
+    let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(31));
+    let mut method = Finetune::new();
+    let cfg = tiny_cfg();
+    let mut rng = seeded(32);
+    let mut rec = Recorder::default();
+    RunBuilder::new(&cfg)
+        .observer(&mut rec)
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .expect("observed run");
+
+    assert_eq!(
+        rec.events.first().map(String::as_str),
+        Some("run_start Finetune toy 2 0")
+    );
+    assert_eq!(rec.events.last().map(String::as_str), Some("run_end 2"));
+    for t in 0..2 {
+        let start = rec
+            .events
+            .iter()
+            .position(|e| *e == format!("task_start {t}"));
+        let select = rec.events.iter().position(|e| *e == format!("select {t}"));
+        let eval = rec.events.iter().position(|e| *e == format!("eval {t}"));
+        let end = rec
+            .events
+            .iter()
+            .position(|e| *e == format!("task_end {t}"));
+        assert!(
+            start < select && select < eval && eval < end,
+            "task {t} lifecycle out of order: {:?}",
+            rec.events
+        );
+    }
+    assert!(!rec.steps.is_empty());
+    assert!(rec.steps.iter().all(|s| s.task < 2 && s.loss.is_finite()));
+}
+
+/// The deprecated free functions are one-line shims: same result as the
+/// builder for identical seeds.
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_sequence_matches_builder() {
+    let seq = toy_sequence(33);
+    let augs = toy_augmenters(seq.len());
+    let cfg = tiny_cfg();
+
+    let mut model_a = ContinualModel::new(&ModelConfig::image(8), &mut seeded(34));
+    let mut method_a = Finetune::new();
+    let mut rng_a = seeded(35);
+    let via_shim =
+        crate::trainer::run_sequence(&mut method_a, &mut model_a, &seq, &augs, &cfg, &mut rng_a)
+            .expect("shim run");
+
+    let mut model_b = ContinualModel::new(&ModelConfig::image(8), &mut seeded(34));
+    let mut method_b = Finetune::new();
+    let mut rng_b = seeded(35);
+    let via_builder = RunBuilder::new(&cfg)
+        .run(&mut method_b, &mut model_b, &seq, &augs, &mut rng_b)
+        .expect("builder run");
+
+    assert_eq!(via_shim.matrix.rows(), via_builder.matrix.rows());
+    assert_eq!(via_shim.task_losses, via_builder.task_losses);
 }
 
 /// GridSpec sanity for the toy dims used above (regression guard for the

@@ -1,0 +1,276 @@
+//! One reader for every process-level knob.
+//!
+//! Before this module, configuration was scattered: `EDSR_THREADS` read in
+//! `edsr-par`, `EDSR_BENCH_QUICK` read ad-hoc in each bench binary, and the
+//! CLI parsed `--threads`/`--checkpoint`/`--resume` by hand. [`EnvConfig`]
+//! resolves all of them in one place with documented precedence:
+//!
+//! **CLI flag > environment variable > default.**
+//!
+//! | knob | CLI | env | default |
+//! |------|-----|-----|---------|
+//! | threads | `--threads N` | `EDSR_THREADS` | auto (pool picks) |
+//! | bench quick mode | `--quick` | `EDSR_BENCH_QUICK` | off |
+//! | checkpoint dir | `--checkpoint DIR` | `EDSR_CHECKPOINT` | none |
+//! | resume | `--resume` | `EDSR_RESUME` | off |
+//! | observability mode | `--obs MODE` | `EDSR_OBS` | `off` |
+//! | metrics path | `--obs-path PATH` | `EDSR_OBS_PATH` | `metrics.jsonl` |
+//!
+//! Boolean env vars are truthy unless empty, `0`, `false`, or `off`
+//! (case-insensitive). [`EnvConfig::resolve`] is pure — the environment is
+//! passed in as a lookup function — so each knob has an isolated unit test
+//! that cannot race other tests through the process environment.
+//! [`EnvConfig::from_process`] binds the real `std::env`, and
+//! [`EnvConfig::apply`] pushes the resolved values into the runtime
+//! (`edsr_par::set_threads`, `edsr_obs::install_mode`).
+
+use std::path::PathBuf;
+
+use edsr_obs::ObsMode;
+
+/// Resolved process configuration; see the module docs for the knob table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvConfig {
+    /// Compute thread count (`None` = let the pool auto-detect).
+    pub threads: Option<usize>,
+    /// Shrink benchmark workloads to a smoke run.
+    pub bench_quick: bool,
+    /// Directory for run-state snapshots.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from the latest valid snapshot in `checkpoint`.
+    pub resume: bool,
+    /// Observability sink mode.
+    pub obs: ObsMode,
+    /// Metrics file path for [`ObsMode::Jsonl`].
+    pub obs_path: PathBuf,
+    /// Arguments `resolve` did not consume (positionals and unknown
+    /// flags), in their original order, for the caller's own parser.
+    pub rest: Vec<String>,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            bench_quick: false,
+            checkpoint: None,
+            resume: false,
+            obs: ObsMode::Off,
+            obs_path: PathBuf::from("metrics.jsonl"),
+            rest: Vec::new(),
+        }
+    }
+}
+
+/// Is an env-var value truthy? Empty, `0`, `false`, and `off` are not.
+fn truthy(value: &str) -> bool {
+    !matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "" | "0" | "false" | "off"
+    )
+}
+
+impl EnvConfig {
+    /// Resolves configuration from an environment lookup and CLI args,
+    /// with precedence CLI > env > default. `args` excludes the program
+    /// name. Unrecognised arguments are preserved in [`rest`](Self::rest).
+    ///
+    /// Errors are human-readable strings naming the offending knob
+    /// (unparseable `--threads`, unknown `--obs` mode, missing flag value).
+    pub fn resolve(env: impl Fn(&str) -> Option<String>, args: &[String]) -> Result<Self, String> {
+        let mut cfg = Self::default();
+
+        // Environment layer.
+        if let Some(v) = env("EDSR_THREADS") {
+            cfg.threads = Some(parse_threads("EDSR_THREADS", &v)?);
+        }
+        if let Some(v) = env("EDSR_BENCH_QUICK") {
+            cfg.bench_quick = truthy(&v);
+        }
+        if let Some(v) = env("EDSR_CHECKPOINT") {
+            if !v.is_empty() {
+                cfg.checkpoint = Some(PathBuf::from(v));
+            }
+        }
+        if let Some(v) = env("EDSR_RESUME") {
+            cfg.resume = truthy(&v);
+        }
+        if let Some(v) = env("EDSR_OBS") {
+            cfg.obs = ObsMode::parse(&v).ok_or_else(|| bad_obs("EDSR_OBS", &v))?;
+        }
+        if let Some(v) = env("EDSR_OBS_PATH") {
+            if !v.is_empty() {
+                cfg.obs_path = PathBuf::from(v);
+            }
+        }
+
+        // CLI layer (wins). Both `--flag value` and `--flag=value` work.
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+                _ => (arg.as_str(), None),
+            };
+            let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+                inline
+                    .clone()
+                    .or_else(|| it.next().cloned())
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag {
+                "--threads" => {
+                    let v = value(&mut it)?;
+                    cfg.threads = Some(parse_threads("--threads", &v)?);
+                }
+                "--quick" => cfg.bench_quick = true,
+                "--checkpoint" => cfg.checkpoint = Some(PathBuf::from(value(&mut it)?)),
+                "--resume" => cfg.resume = true,
+                "--obs" => {
+                    let v = value(&mut it)?;
+                    cfg.obs = ObsMode::parse(&v).ok_or_else(|| bad_obs("--obs", &v))?;
+                }
+                "--obs-path" => cfg.obs_path = PathBuf::from(value(&mut it)?),
+                _ => cfg.rest.push(arg.clone()),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// [`resolve`](Self::resolve) against the real process environment
+    /// and `std::env::args` (program name skipped).
+    pub fn from_process() -> Result<Self, String> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::resolve(|k| std::env::var(k).ok(), &args)
+    }
+
+    /// Pushes the resolved config into the runtime: sets the `edsr-par`
+    /// thread count (when requested) and installs the observability sink.
+    /// Returns the ring sink when `obs = ring`, so the caller can drain
+    /// it; `Err` means the JSONL metrics file could not be created.
+    pub fn apply(&self) -> std::io::Result<Option<edsr_obs::RingSink>> {
+        if let Some(n) = self.threads {
+            edsr_par::set_threads(n);
+        }
+        edsr_obs::install_mode(self.obs, &self.obs_path)
+    }
+}
+
+fn parse_threads(source: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "{source}: expected a thread count >= 1, got {value:?}"
+        )),
+    }
+}
+
+fn bad_obs(source: &str, value: &str) -> String {
+    format!("{source}: expected off | ring | jsonl, got {value:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_nothing_set() {
+        let cfg = EnvConfig::resolve(no_env, &[]).unwrap();
+        assert_eq!(cfg, EnvConfig::default());
+        assert_eq!(cfg.obs_path, PathBuf::from("metrics.jsonl"));
+    }
+
+    #[test]
+    fn threads_cli_beats_env() {
+        let env = |k: &str| (k == "EDSR_THREADS").then(|| "8".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--threads", "2"])).unwrap();
+        assert_eq!(cfg.threads, Some(2));
+        let cfg = EnvConfig::resolve(env, &[]).unwrap();
+        assert_eq!(cfg.threads, Some(8));
+        assert!(EnvConfig::resolve(env, &args(&["--threads", "zero"])).is_err());
+        assert!(EnvConfig::resolve(no_env, &args(&["--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn bench_quick_cli_beats_env() {
+        let env = |k: &str| (k == "EDSR_BENCH_QUICK").then(|| "0".to_string());
+        // env says off...
+        assert!(!EnvConfig::resolve(env, &[]).unwrap().bench_quick);
+        // ...but the flag forces it on.
+        assert!(
+            EnvConfig::resolve(env, &args(&["--quick"]))
+                .unwrap()
+                .bench_quick
+        );
+        let env_on = |k: &str| (k == "EDSR_BENCH_QUICK").then(|| "1".to_string());
+        assert!(EnvConfig::resolve(env_on, &[]).unwrap().bench_quick);
+    }
+
+    #[test]
+    fn checkpoint_cli_beats_env() {
+        let env = |k: &str| (k == "EDSR_CHECKPOINT").then(|| "/tmp/env-ckpt".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--checkpoint", "/tmp/cli-ckpt"])).unwrap();
+        assert_eq!(cfg.checkpoint, Some(PathBuf::from("/tmp/cli-ckpt")));
+        let cfg = EnvConfig::resolve(env, &[]).unwrap();
+        assert_eq!(cfg.checkpoint, Some(PathBuf::from("/tmp/env-ckpt")));
+        assert!(EnvConfig::resolve(no_env, &args(&["--checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn resume_env_and_flag() {
+        let env = |k: &str| (k == "EDSR_RESUME").then(|| "false".to_string());
+        assert!(!EnvConfig::resolve(env, &[]).unwrap().resume);
+        assert!(
+            EnvConfig::resolve(env, &args(&["--resume"]))
+                .unwrap()
+                .resume
+        );
+        let env_on = |k: &str| (k == "EDSR_RESUME").then(|| "yes".to_string());
+        assert!(EnvConfig::resolve(env_on, &[]).unwrap().resume);
+    }
+
+    #[test]
+    fn obs_mode_cli_beats_env() {
+        let env = |k: &str| (k == "EDSR_OBS").then(|| "ring".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--obs", "jsonl"])).unwrap();
+        assert_eq!(cfg.obs, ObsMode::Jsonl);
+        assert_eq!(EnvConfig::resolve(env, &[]).unwrap().obs, ObsMode::Ring);
+        assert!(EnvConfig::resolve(no_env, &args(&["--obs", "tracing"])).is_err());
+    }
+
+    #[test]
+    fn obs_path_cli_beats_env() {
+        let env = |k: &str| (k == "EDSR_OBS_PATH").then(|| "env.jsonl".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--obs-path=cli.jsonl"])).unwrap();
+        assert_eq!(cfg.obs_path, PathBuf::from("cli.jsonl"));
+        assert_eq!(
+            EnvConfig::resolve(env, &[]).unwrap().obs_path,
+            PathBuf::from("env.jsonl")
+        );
+    }
+
+    #[test]
+    fn unknown_args_preserved_in_order() {
+        let cfg = EnvConfig::resolve(
+            no_env,
+            &args(&["run", "cifar10", "--threads", "3", "edsr", "--seed", "7"]),
+        )
+        .unwrap();
+        assert_eq!(cfg.threads, Some(3));
+        assert_eq!(cfg.rest, args(&["run", "cifar10", "edsr", "--seed", "7"]));
+    }
+
+    #[test]
+    fn inline_equals_form_accepted() {
+        let cfg = EnvConfig::resolve(no_env, &args(&["--threads=4", "--obs=jsonl"])).unwrap();
+        assert_eq!(cfg.threads, Some(4));
+        assert_eq!(cfg.obs, ObsMode::Jsonl);
+    }
+}

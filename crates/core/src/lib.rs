@@ -9,28 +9,36 @@
 //! - [`method`]: the [`Edsr`] continual-learning method (Fig. 2) with all
 //!   ablation switches (replay loss, selection strategy, neighbour count,
 //!   similarity-weighted replay).
+//! - [`config`]: one [`EnvConfig`] reader for every env-var/CLI knob
+//!   (`EDSR_THREADS`, `EDSR_OBS`, `--checkpoint`, …; CLI > env > default).
 //!
 //! This crate also re-exports the substrate crates as a facade, so
 //! `edsr_core::prelude::*` is enough to run experiments.
 
+pub mod config;
 pub mod error;
 pub mod method;
 pub mod noise;
 pub mod select;
 
+pub use config::EnvConfig;
 pub use error::Error;
 pub use method::{Edsr, EdsrConfig, ReplayLoss, ReplaySampling};
 pub use noise::noise_magnitudes;
-pub use select::{table5_strategies, SelectionContext, SelectionStrategy};
+pub use select::{table5_strategies, trace_cov, SelectionContext, SelectionStrategy};
 
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
-    pub use crate::{Edsr, EdsrConfig, Error, ReplayLoss, ReplaySampling, SelectionStrategy};
-    pub use edsr_cl::{
-        image_augmenters, run_multitask, run_sequence, run_sequence_with, tabular_augmenters,
-        Cassle, CheckpointConfig, ContinualModel, Der, Finetune, Lump, Method, ModelConfig,
-        RunOptions, RunResult, Si, TrainConfig, TrainError,
+    pub use crate::{
+        Edsr, EdsrConfig, EnvConfig, Error, ReplayLoss, ReplaySampling, SelectionStrategy,
     };
+    pub use edsr_cl::{
+        image_augmenters, run_multitask, tabular_augmenters, Cassle, CheckpointConfig,
+        ContinualModel, Der, Finetune, Lump, Method, ModelConfig, NoopObserver, Observer,
+        RunBuilder, RunOptions, RunResult, Si, StepRecord, TrainConfig, TrainError,
+    };
+    #[allow(deprecated)] // legacy entry points stay reachable during migration
+    pub use edsr_cl::{run_sequence, run_sequence_with};
     pub use edsr_data::{cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim};
     pub use edsr_ssl::SslVariant;
     pub use edsr_tensor::rng::seeded;

@@ -233,6 +233,17 @@ impl Method for Edsr {
         ws.reset();
         let (z1, z2, mut loss) =
             model.css_on_views(&mut ws.tape, &mut ws.binder, &x1, &x2, task_idx);
+        // The tape is eager, so each term's scalar is readable the moment
+        // its node exists; behind the `enabled()` gate this costs nothing
+        // when observability is off (zero_alloc.rs covers this step).
+        let obs_on = edsr_obs::enabled();
+        if obs_on {
+            edsr_obs::gauge_at(
+                "loss/css",
+                task_idx as u64,
+                f64::from(ws.tape.value(loss).get(0, 0)),
+            );
+        }
 
         if let Some(frozen) = &self.frozen {
             // ½(L_dis(x_1) + L_dis(x_2)) on the new increment. Frozen
@@ -259,11 +270,19 @@ impl Method for Edsr {
                 );
                 let d = ws.tape.add(d1, d2);
                 let d = ws.tape.scale(d, 0.5);
+                if obs_on {
+                    edsr_obs::gauge_at(
+                        "loss/dis",
+                        task_idx as u64,
+                        f64::from(ws.tape.value(d).get(0, 0)),
+                    );
+                }
                 loss = ws.tape.add(loss, d);
             }
 
             // ½ L_rpl on the stored data.
             if self.cfg.replay_loss != ReplayLoss::None && !self.memory.is_empty() {
+                let mut rpl_sum = 0.0f64;
                 for group in self.draw_memory(model, batch, task_idx, rng) {
                     // Old data is augmented by its source increment's own
                     // view generator.
@@ -310,7 +329,13 @@ impl Method for Edsr {
                         }
                     };
                     let term = ws.tape.scale(term, 0.5);
+                    if obs_on {
+                        rpl_sum += f64::from(ws.tape.value(term).get(0, 0));
+                    }
                     loss = ws.tape.add(loss, term);
+                }
+                if obs_on {
+                    edsr_obs::gauge_at("loss/rpl", task_idx as u64, rpl_sum);
                 }
             }
         }
@@ -360,6 +385,14 @@ impl Method for Edsr {
         };
         let selected = self.cfg.selection.select(&ctx, budget, rng);
         let scales = noise_magnitudes(&reps, &selected, self.cfg.noise_neighbors);
+        if edsr_obs::enabled() {
+            edsr_obs::gauge_at("memory/stored", task_idx as u64, selected.len() as f64);
+            edsr_obs::gauge_at(
+                "select/entropy",
+                task_idx as u64,
+                crate::select::trace_cov(&reps, &selected),
+            );
+        }
 
         self.memory
             .extend(selected.iter().zip(&scales).map(|(&i, &scale)| MemoryItem {

@@ -6,7 +6,7 @@
 //! its augmentation-overlapping neighbourhood \[71\].
 
 use edsr_linalg::stats::scalar_std;
-use edsr_linalg::{knn_search, Metric};
+use edsr_linalg::KnnQuery;
 use edsr_tensor::Matrix;
 
 /// Computes `r(x^m)` for each selected row.
@@ -14,22 +14,45 @@ use edsr_tensor::Matrix;
 /// `all_reps` are the representations `X̂ⁿ` of the full increment;
 /// `selected` indexes the stored subset. `k = 0` returns all-zero
 /// magnitudes (the `L_dis` ablation: Fig. 6's "0 neighbours" point).
+///
+/// When the observability layer is on, each magnitude lands in the
+/// `noise/r` histogram and the batch mean/max in `noise/r_mean` /
+/// `noise/r_max` — the distribution of the paper's noise scale before the
+/// per-draw `N(0, σ)` factor is applied.
 pub fn noise_magnitudes(all_reps: &Matrix, selected: &[usize], k: usize) -> Vec<f32> {
     if k == 0 {
         return vec![0.0; selected.len()];
     }
-    selected
+    let mut scratch = Vec::with_capacity(all_reps.rows());
+    let mut neighbors = Vec::with_capacity(k);
+    let mags: Vec<f32> = selected
         .iter()
         .map(|&idx| {
-            let neighbors =
-                knn_search(all_reps, all_reps.row(idx), k, Metric::Euclidean, Some(idx));
+            KnnQuery::new(all_reps, k).exclude(idx).search_into(
+                all_reps.row(idx),
+                &mut scratch,
+                &mut neighbors,
+            );
             if neighbors.is_empty() {
                 return 0.0;
             }
             let rows: Vec<usize> = neighbors.iter().map(|n| n.index).collect();
             scalar_std(&all_reps.select_rows(&rows))
         })
-        .collect()
+        .collect();
+    if edsr_obs::enabled() && !mags.is_empty() {
+        let mut sum = 0.0f64;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &r) in mags.iter().enumerate() {
+            let r = f64::from(r);
+            edsr_obs::histogram_at("noise/r", i as u64, r);
+            sum += r;
+            max = max.max(r);
+        }
+        edsr_obs::gauge("noise/r_mean", sum / mags.len() as f64);
+        edsr_obs::gauge("noise/r_max", max);
+    }
+    mags
 }
 
 #[cfg(test)]

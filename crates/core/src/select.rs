@@ -101,6 +101,29 @@ impl SelectionStrategy {
     }
 }
 
+/// `Tr(Cov)` of the selected rows of `reps` — the entropy surrogate the
+/// paper maximizes (Eq. 15 discussion): `(1/n)Σ‖x_i‖² − ‖μ‖²`.
+pub fn trace_cov(reps: &Matrix, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let n = rows.len() as f64;
+    let mut mean = vec![0.0f64; reps.cols()];
+    let mut sq = 0.0f64;
+    for &r in rows {
+        for (m, &v) in mean.iter_mut().zip(reps.row(r)) {
+            *m += f64::from(v);
+        }
+        sq += reps
+            .row(r)
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>();
+    }
+    let mean_sq: f64 = mean.iter().map(|m| (m / n) * (m / n)).sum();
+    sq / n - mean_sq
+}
+
 /// Tops `chosen` up to `budget` with unused random indices (selection
 /// methods based on clustering can return fewer after deduplication).
 fn fill_random(chosen: &mut Vec<usize>, n: usize, budget: usize, rng: &mut StdRng) {
@@ -182,6 +205,11 @@ fn select_high_entropy(reps: &Matrix, budget: usize, rng: &mut StdRng) -> Vec<us
 
     let mut chosen: Vec<usize> = Vec::with_capacity(budget);
     let mut used = vec![false; n];
+    // Entropy trajectory (DESIGN.md §11): track Tr(Cov) of the growing
+    // subset incrementally — O(d) per addition via running Σx and Σ‖x‖².
+    let obs_on = edsr_obs::enabled();
+    let mut sum = vec![0.0f64; if obs_on { d } else { 0 }];
+    let mut sq_sum = 0.0f64;
     // Alternate ±: for each component take the largest positive and most
     // negative projections in turn, covering both ends of the axis.
     let mut comp = 0usize;
@@ -203,6 +231,23 @@ fn select_high_entropy(reps: &Matrix, budget: usize, rng: &mut StdRng) -> Vec<us
             Some((i, _)) => {
                 used[i] = true;
                 chosen.push(i);
+                if obs_on {
+                    for (s, &v) in sum.iter_mut().zip(reps.row(i)) {
+                        *s += f64::from(v);
+                    }
+                    sq_sum += reps
+                        .row(i)
+                        .iter()
+                        .map(|&v| f64::from(v) * f64::from(v))
+                        .sum::<f64>();
+                    let m = chosen.len() as f64;
+                    let mean_sq: f64 = sum.iter().map(|s| (s / m) * (s / m)).sum();
+                    edsr_obs::histogram_at(
+                        "select/entropy_trace",
+                        chosen.len() as u64,
+                        sq_sum / m - mean_sq,
+                    );
+                }
             }
             None => break,
         }
@@ -428,6 +473,15 @@ mod tests {
             SelectionStrategy::HighEntropy.select(&c, 3, &mut rng),
             vec![0]
         );
+    }
+
+    #[test]
+    fn trace_cov_matches_hand_computation() {
+        // Rows (0,0) and (2,0): mean (1,0), Tr(Cov) = (0+4)/2 − 1 = 1.
+        let reps = Matrix::from_rows(&[&[0.0, 0.0], &[2.0, 0.0], &[9.0, 9.0]]);
+        assert!((trace_cov(&reps, &[0, 1]) - 1.0).abs() < 1e-12);
+        assert_eq!(trace_cov(&reps, &[]), 0.0);
+        assert_eq!(trace_cov(&reps, &[2]), 0.0, "singleton has zero spread");
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //!   protocol, after Wu et al. \[78\]) — see `edsr-cl::eval`;
 //! - the **noise magnitude** `r(x^m)` (paper §III-B), the std of the
 //!   representations of `x^m`'s k nearest neighbours in its source set.
+//!
+//! All searches go through the [`KnnQuery`] builder; the historical
+//! free-function variants remain as deprecated one-line shims.
 
 use edsr_tensor::Matrix;
 
@@ -28,20 +31,148 @@ pub struct Neighbor {
     pub score: f32,
 }
 
-/// Finds the `k` nearest rows of `reference` to `query` (a single row
-/// slice), ordered from closest to farthest. `exclude` optionally skips one
-/// reference row (used when the query itself is a member of the set).
+/// Minimum score count (`queries x reference rows`) before the batch is
+/// dispatched to the `edsr-par` pool. Performance knob only: each query is
+/// scored independently, so chunking cannot affect results.
+const MIN_PAR_SCORES: usize = 16 * 1024;
+
+/// A configured kNN search over a reference matrix: one builder replacing
+/// the historical `knn_search{,_with_scratch,_into,_batch,_batch_into}`
+/// quintet. Defaults: [`Metric::Euclidean`], no excluded row.
 ///
-/// `k` is clamped to the number of eligible reference rows.
+/// `k` is clamped to the number of eligible reference rows; results are
+/// ordered from closest to farthest.
 ///
 /// ```
-/// use edsr_linalg::{knn_search, Metric};
+/// use edsr_linalg::{KnnQuery, Metric};
 /// use edsr_tensor::Matrix;
 /// let reference = Matrix::from_rows(&[&[0.0], &[1.0], &[5.0]]);
-/// let got = knn_search(&reference, &[0.9], 2, Metric::Euclidean, None);
+/// let got = KnnQuery::new(&reference, 2).search(&[0.9]);
 /// assert_eq!(got[0].index, 1);
 /// assert_eq!(got[1].index, 0);
 /// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KnnQuery<'a> {
+    reference: &'a Matrix,
+    k: usize,
+    metric: Metric,
+    exclude: Option<usize>,
+}
+
+impl<'a> KnnQuery<'a> {
+    /// Starts a query for the `k` nearest rows of `reference`.
+    pub fn new(reference: &'a Matrix, k: usize) -> Self {
+        Self {
+            reference,
+            k,
+            metric: Metric::Euclidean,
+            exclude: None,
+        }
+    }
+
+    /// Sets the metric (default [`Metric::Euclidean`]).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Skips one reference row — used when the query itself is a member
+    /// of the reference set.
+    pub fn exclude(mut self, row: usize) -> Self {
+        self.exclude = Some(row);
+        self
+    }
+
+    /// Searches for the neighbours of a single query row.
+    pub fn search(&self, query: &[f32]) -> Vec<Neighbor> {
+        let mut scratch = Vec::new();
+        self.search_with_scratch(query, &mut scratch)
+    }
+
+    /// [`search`](Self::search) scoring into a caller-provided scratch
+    /// buffer, so repeated callers pay for the `O(reference rows)`
+    /// candidate vector once instead of once per query. The scratch
+    /// contents on entry are ignored.
+    pub fn search_with_scratch(&self, query: &[f32], scratch: &mut Vec<Neighbor>) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, scratch, &mut out);
+        out
+    }
+
+    /// [`search_with_scratch`](Self::search_with_scratch) writing the
+    /// result into `out` (cleared first) so steady-state repeated
+    /// searches make no heap allocations.
+    pub fn search_into(&self, query: &[f32], scratch: &mut Vec<Neighbor>, out: &mut Vec<Neighbor>) {
+        assert_eq!(
+            self.reference.cols(),
+            query.len(),
+            "knn search: dimension mismatch"
+        );
+        scratch.clear();
+        scratch.extend(
+            (0..self.reference.rows())
+                .filter(|&i| Some(i) != self.exclude)
+                .map(|i| {
+                    let score = match self.metric {
+                        Metric::Euclidean => sq_euclidean(self.reference.row(i), query),
+                        Metric::Cosine => cosine_similarity(self.reference.row(i), query),
+                    };
+                    Neighbor { index: i, score }
+                }),
+        );
+        match self.metric {
+            Metric::Euclidean => scratch.sort_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }),
+            Metric::Cosine => scratch.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }),
+        }
+        out.clear();
+        out.extend_from_slice(&scratch[..self.k.min(scratch.len())]);
+    }
+
+    /// Batched search over every row of `queries`.
+    ///
+    /// Queries are data-parallel over the `edsr-par` pool; each worker
+    /// chunk reuses one scratch buffer across its queries. Results are
+    /// identical to the serial loop at every thread count.
+    pub fn search_batch(&self, queries: &Matrix) -> Vec<Vec<Neighbor>> {
+        let mut out = Vec::new();
+        self.search_batch_into(queries, &mut out);
+        out
+    }
+
+    /// [`search_batch`](Self::search_batch) writing into a caller-owned
+    /// result buffer: the outer vector and every per-query inner vector
+    /// keep their capacity from the previous call, so repeated batches
+    /// (the evaluation loop) allocate nothing once warm.
+    pub fn search_batch_into(&self, queries: &Matrix, out: &mut Vec<Vec<Neighbor>>) {
+        let n = queries.rows();
+        out.resize_with(n, Vec::new);
+        let kernel = |range: std::ops::Range<usize>, chunk: &mut [Vec<Neighbor>]| {
+            let mut scratch = Vec::with_capacity(self.reference.rows());
+            for (local, q) in range.enumerate() {
+                self.search_into(queries.row(q), &mut scratch, &mut chunk[local]);
+            }
+        };
+        if n * self.reference.rows() >= MIN_PAR_SCORES && n > 1 {
+            edsr_par::par_for_rows(out, n, kernel);
+        } else {
+            kernel(0..n, out);
+        }
+    }
+}
+
+/// Finds the `k` nearest rows of `reference` to `query`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use KnnQuery::new(reference, k).search(query)"
+)]
 pub fn knn_search(
     reference: &Matrix,
     query: &[f32],
@@ -49,13 +180,11 @@ pub fn knn_search(
     metric: Metric,
     exclude: Option<usize>,
 ) -> Vec<Neighbor> {
-    let mut scratch = Vec::new();
-    knn_search_with_scratch(reference, query, k, metric, exclude, &mut scratch)
+    query_for(reference, k, metric, exclude).search(query)
 }
 
-/// [`knn_search`] scoring into a caller-provided scratch buffer, so batched
-/// callers pay for the `O(reference rows)` candidate vector once per worker
-/// instead of once per query. The scratch contents on entry are ignored.
+/// [`KnnQuery::search_with_scratch`] as a free function.
+#[deprecated(since = "0.1.0", note = "use KnnQuery::...::search_with_scratch")]
 pub fn knn_search_with_scratch(
     reference: &Matrix,
     query: &[f32],
@@ -64,15 +193,12 @@ pub fn knn_search_with_scratch(
     exclude: Option<usize>,
     scratch: &mut Vec<Neighbor>,
 ) -> Vec<Neighbor> {
-    let mut out = Vec::new();
-    knn_search_into(reference, query, k, metric, exclude, scratch, &mut out);
-    out
+    query_for(reference, k, metric, exclude).search_with_scratch(query, scratch)
 }
 
-/// [`knn_search_with_scratch`] writing the result into `out` (cleared
-/// first) so batched callers reuse the result vector's capacity too —
-/// steady-state repeated searches make no heap allocations.
-#[allow(clippy::too_many_arguments)] // scratch + out sink variant of knn_search
+/// [`KnnQuery::search_into`] as a free function.
+#[deprecated(since = "0.1.0", note = "use KnnQuery::...::search_into")]
+#[allow(clippy::too_many_arguments)] // legacy signature, kept verbatim
 pub fn knn_search_into(
     reference: &Matrix,
     query: &[f32],
@@ -82,64 +208,22 @@ pub fn knn_search_into(
     scratch: &mut Vec<Neighbor>,
     out: &mut Vec<Neighbor>,
 ) {
-    assert_eq!(
-        reference.cols(),
-        query.len(),
-        "knn_search: dimension mismatch"
-    );
-    scratch.clear();
-    scratch.extend(
-        (0..reference.rows())
-            .filter(|&i| Some(i) != exclude)
-            .map(|i| {
-                let score = match metric {
-                    Metric::Euclidean => sq_euclidean(reference.row(i), query),
-                    Metric::Cosine => cosine_similarity(reference.row(i), query),
-                };
-                Neighbor { index: i, score }
-            }),
-    );
-    match metric {
-        Metric::Euclidean => scratch.sort_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        }),
-        Metric::Cosine => scratch.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        }),
-    }
-    out.clear();
-    out.extend_from_slice(&scratch[..k.min(scratch.len())]);
+    query_for(reference, k, metric, exclude).search_into(query, scratch, out)
 }
 
-/// Minimum score count (`queries x reference rows`) before the batch is
-/// dispatched to the `edsr-par` pool. Performance knob only: each query is
-/// scored independently, so chunking cannot affect results.
-const MIN_PAR_SCORES: usize = 16 * 1024;
-
-/// Batched [`knn_search`] over every row of `queries`.
-///
-/// Queries are data-parallel over the `edsr-par` pool; each worker chunk
-/// reuses one scratch buffer across its queries. Results are identical to
-/// the serial loop at every thread count.
+/// [`KnnQuery::search_batch`] as a free function.
+#[deprecated(since = "0.1.0", note = "use KnnQuery::...::search_batch")]
 pub fn knn_search_batch(
     reference: &Matrix,
     queries: &Matrix,
     k: usize,
     metric: Metric,
 ) -> Vec<Vec<Neighbor>> {
-    let mut out = Vec::new();
-    knn_search_batch_into(reference, queries, k, metric, &mut out);
-    out
+    query_for(reference, k, metric, None).search_batch(queries)
 }
 
-/// [`knn_search_batch`] writing into a caller-owned result buffer: the
-/// outer vector and every per-query inner vector keep their capacity from
-/// the previous call, so repeated batches (the evaluation loop) allocate
-/// nothing once warm.
+/// [`KnnQuery::search_batch_into`] as a free function.
+#[deprecated(since = "0.1.0", note = "use KnnQuery::...::search_batch_into")]
 pub fn knn_search_batch_into(
     reference: &Matrix,
     queries: &Matrix,
@@ -147,26 +231,15 @@ pub fn knn_search_batch_into(
     metric: Metric,
     out: &mut Vec<Vec<Neighbor>>,
 ) {
-    let n = queries.rows();
-    out.resize_with(n, Vec::new);
-    let kernel = |range: std::ops::Range<usize>, chunk: &mut [Vec<Neighbor>]| {
-        let mut scratch = Vec::with_capacity(reference.rows());
-        for (local, q) in range.enumerate() {
-            knn_search_into(
-                reference,
-                queries.row(q),
-                k,
-                metric,
-                None,
-                &mut scratch,
-                &mut chunk[local],
-            );
-        }
-    };
-    if n * reference.rows() >= MIN_PAR_SCORES && n > 1 {
-        edsr_par::par_for_rows(out, n, kernel);
-    } else {
-        kernel(0..n, out);
+    query_for(reference, k, metric, None).search_batch_into(queries, out)
+}
+
+/// Shared shim body: the legacy positional arguments as a builder.
+fn query_for(reference: &Matrix, k: usize, metric: Metric, exclude: Option<usize>) -> KnnQuery<'_> {
+    let q = KnnQuery::new(reference, k).metric(metric);
+    match exclude {
+        Some(row) => q.exclude(row),
+        None => q,
     }
 }
 
@@ -183,7 +256,7 @@ mod tests {
     #[test]
     fn euclidean_orders_by_distance() {
         let reference = line_points();
-        let got = knn_search(&reference, &[3.2, 0.0], 3, Metric::Euclidean, None);
+        let got = KnnQuery::new(&reference, 3).search(&[3.2, 0.0]);
         assert_eq!(
             got.iter().map(|n| n.index).collect::<Vec<_>>(),
             vec![3, 4, 2]
@@ -194,7 +267,9 @@ mod tests {
     #[test]
     fn exclude_skips_self() {
         let reference = line_points();
-        let got = knn_search(&reference, reference.row(5), 2, Metric::Euclidean, Some(5));
+        let got = KnnQuery::new(&reference, 2)
+            .exclude(5)
+            .search(reference.row(5));
         assert!(got.iter().all(|n| n.index != 5));
         assert_eq!(got[0].index.min(got[1].index), 4);
         assert_eq!(got[0].index.max(got[1].index), 6);
@@ -203,7 +278,9 @@ mod tests {
     #[test]
     fn cosine_prefers_aligned() {
         let reference = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0], &[0.7, 0.7]]);
-        let got = knn_search(&reference, &[1.0, 0.1], 2, Metric::Cosine, None);
+        let got = KnnQuery::new(&reference, 2)
+            .metric(Metric::Cosine)
+            .search(&[1.0, 0.1]);
         assert_eq!(got[0].index, 0);
         assert!(got[0].score > 0.99);
     }
@@ -211,7 +288,7 @@ mod tests {
     #[test]
     fn k_clamped_to_population() {
         let reference = line_points();
-        let got = knn_search(&reference, &[0.0, 0.0], 100, Metric::Euclidean, None);
+        let got = KnnQuery::new(&reference, 100).search(&[0.0, 0.0]);
         assert_eq!(got.len(), 10);
     }
 
@@ -220,9 +297,10 @@ mod tests {
         let mut rng = seeded(90);
         let reference = Matrix::randn(20, 4, 1.0, &mut rng);
         let queries = Matrix::randn(5, 4, 1.0, &mut rng);
-        let batch = knn_search_batch(&reference, &queries, 3, Metric::Cosine);
+        let query = KnnQuery::new(&reference, 3).metric(Metric::Cosine);
+        let batch = query.search_batch(&queries);
         for (q, row) in batch.iter().enumerate() {
-            let single = knn_search(&reference, queries.row(q), 3, Metric::Cosine, None);
+            let single = query.search(queries.row(q));
             assert_eq!(
                 row.iter().map(|n| n.index).collect::<Vec<_>>(),
                 single.iter().map(|n| n.index).collect::<Vec<_>>()
@@ -235,11 +313,12 @@ mod tests {
         let mut rng = seeded(91);
         let reference = Matrix::randn(20, 4, 1.0, &mut rng);
         let queries = Matrix::randn(5, 4, 1.0, &mut rng);
-        let fresh = knn_search_batch(&reference, &queries, 3, Metric::Euclidean);
+        let query = KnnQuery::new(&reference, 3);
+        let fresh = query.search_batch(&queries);
         let mut out = Vec::new();
-        knn_search_batch_into(&reference, &queries, 3, Metric::Euclidean, &mut out);
+        query.search_batch_into(&queries, &mut out);
         let caps: Vec<usize> = out.iter().map(Vec::capacity).collect();
-        knn_search_batch_into(&reference, &queries, 3, Metric::Euclidean, &mut out);
+        query.search_batch_into(&queries, &mut out);
         for (row, cap) in out.iter().zip(&caps) {
             assert!(row.capacity() <= *cap, "inner buffer reallocated");
         }
@@ -254,6 +333,32 @@ mod tests {
     #[test]
     fn zero_k_returns_empty() {
         let reference = line_points();
-        assert!(knn_search(&reference, &[0.0, 0.0], 0, Metric::Euclidean, None).is_empty());
+        assert!(KnnQuery::new(&reference, 0).search(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let mut rng = seeded(92);
+        let reference = Matrix::randn(15, 3, 1.0, &mut rng);
+        let queries = Matrix::randn(4, 3, 1.0, &mut rng);
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            let builder = KnnQuery::new(&reference, 4).metric(metric).exclude(2);
+            let via_builder = builder.search(queries.row(0));
+            let via_shim = knn_search(&reference, queries.row(0), 4, metric, Some(2));
+            assert_eq!(
+                via_builder.iter().map(|n| n.index).collect::<Vec<_>>(),
+                via_shim.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+            let batch_builder = KnnQuery::new(&reference, 4).metric(metric);
+            let a = batch_builder.search_batch(&queries);
+            let b = knn_search_batch(&reference, &queries, 4, metric);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    y.iter().map(|n| n.index).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 }

@@ -15,10 +15,11 @@ pub mod stats;
 
 pub use eigen::{sym_eigen, SymEigen};
 pub use kmeans::{kmeans, kmeanspp_indices, nearest_to_centers, KMeansResult};
+#[allow(deprecated)] // legacy free functions stay reachable during migration
 pub use knn::{
     knn_search, knn_search_batch, knn_search_batch_into, knn_search_into, knn_search_with_scratch,
-    Metric, Neighbor,
 };
+pub use knn::{KnnQuery, Metric, Neighbor};
 pub use pca::{coding_length_entropy, coding_length_entropy_reference, trace_surrogate, Pca};
 
 #[cfg(test)]
@@ -92,22 +93,19 @@ mod proptests {
         #[test]
         fn knn_first_neighbor_is_self_when_included(x in sample_matrix()) {
             let row0: Vec<f32> = x.row(0).to_vec();
-            let got = knn_search(&x, &row0, 1, Metric::Euclidean, None);
+            let got = KnnQuery::new(&x, 1).search(&row0);
             prop_assert!(got[0].score <= 1e-6);
         }
 
-        /// Determinism contract (DESIGN.md §9): `knn_search_batch` returns
+        /// Determinism contract (DESIGN.md §9): batched kNN returns
         /// identical neighbours (indices and score bits) at every thread
         /// count.
         #[test]
         fn knn_batch_bit_identical_across_thread_counts(x in sample_matrix()) {
-            let serial = edsr_par::with_threads(1, || {
-                knn_search_batch(&x, &x, 3, Metric::Euclidean)
-            });
+            let query = KnnQuery::new(&x, 3);
+            let serial = edsr_par::with_threads(1, || query.search_batch(&x));
             for threads in [2usize, 7] {
-                let par = edsr_par::with_threads(threads, || {
-                    knn_search_batch(&x, &x, 3, Metric::Euclidean)
-                });
+                let par = edsr_par::with_threads(threads, || query.search_batch(&x));
                 prop_assert_eq!(serial.len(), par.len());
                 for (s_row, p_row) in serial.iter().zip(&par) {
                     prop_assert_eq!(s_row.len(), p_row.len());

@@ -43,6 +43,19 @@ impl Workspace {
         self.aux_tape.reset();
         self.aux_binder.reset();
     }
+
+    /// Records both tapes' scratch-arena counters and high-water marks as
+    /// `edsr-obs` gauges. The main tape's arena is tagged `index * 2`,
+    /// the aux tape's `index * 2 + 1`, so per-task emissions stay
+    /// distinguishable. No-op (one atomic load) when observability is
+    /// off.
+    pub fn emit_metrics(&self, index: u64) {
+        if !edsr_obs::enabled() {
+            return;
+        }
+        self.tape.scratch().emit_metrics(index * 2);
+        self.aux_tape.scratch().emit_metrics(index * 2 + 1);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,207 @@
+//! Event sinks: the bounded in-memory ring and the JSON-lines file.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::Event;
+
+/// Destination for [`Event`]s. Implementations must be `Send`: the sink
+/// lives in a process-global slot and any thread may emit.
+pub trait Sink: Send {
+    /// Records one event. Must not panic; I/O sinks swallow errors after
+    /// reporting the first one.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes buffered events to their backing store.
+    fn flush(&mut self) {}
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// Bounded in-memory sink. Cloning yields another handle to the same
+/// buffer, so tests keep a handle, install a clone globally, run, and
+/// read [`events`](RingSink::events) back. When full, the oldest event
+/// is dropped (and counted) to admit the newest.
+#[derive(Clone)]
+pub struct RingSink {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `cap` events (`cap == 0` drops
+    /// everything).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Ring {
+                events: VecDeque::with_capacity(cap.min(1024)),
+                cap,
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all buffered events (the drop counter is kept).
+    pub fn clear(&self) {
+        self.lock().events.clear();
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: &Event) {
+        let mut ring = self.lock();
+        if ring.cap == 0 {
+            ring.dropped += 1;
+            return;
+        }
+        if ring.events.len() == ring.cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+/// JSON-lines file sink: one event per line in the stable field order
+/// `seq, kind, name, index, value` (see [`crate::parse_line`] for the
+/// inverse). Buffered; flushed on [`Sink::flush`] and on drop. Write
+/// errors are reported to stderr once and subsequent events discarded.
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+    failed: bool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            path: path.to_path_buf(),
+            failed: false,
+        })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        if self.failed {
+            return;
+        }
+        let res = event
+            .write_json(&mut self.out)
+            .and_then(|()| self.out.write_all(b"\n"));
+        if let Err(err) = res {
+            eprintln!(
+                "edsr-obs: dropping metrics, write to {} failed: {err}",
+                self.path.display()
+            );
+            self.failed = true;
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.failed {
+            let _ = self.out.flush();
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+    use std::borrow::Cow;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            kind: EventKind::Gauge,
+            name: Cow::Borrowed("g"),
+            index: 0,
+            value: seq as f64,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let mut ring = RingSink::with_capacity(3);
+        for s in 0..5 {
+            ring.record(&ev(s));
+        }
+        let got: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_handles_share_the_buffer() {
+        let ring = RingSink::with_capacity(8);
+        let mut writer = ring.clone();
+        writer.record(&ev(7));
+        assert_eq!(ring.events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("edsr_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            assert_eq!(sink.path(), path.as_path());
+            for s in 0..3 {
+                sink.record(&ev(s));
+            }
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = crate::parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], ev(2));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -110,6 +110,25 @@ pub fn pool_workers() -> usize {
     pool::global().workers()
 }
 
+/// Emits the pool's cumulative occupancy to the observability layer:
+/// gauges `pool/busy_ns` and `pool/jobs`, indexed by participant slot
+/// (0 = the helping caller threads, `i` = worker `i - 1`). Busy time only
+/// accumulates while `edsr_obs` is enabled, so install a sink *before*
+/// the work being measured. No-op when observability is off or no
+/// parallel submission ever spawned the pool.
+pub fn emit_pool_metrics() {
+    if !edsr_obs::enabled() {
+        return;
+    }
+    let Some(pool) = pool::try_global() else {
+        return;
+    };
+    for (slot, (busy_ns, jobs)) in pool.occupancy().into_iter().enumerate() {
+        edsr_obs::gauge_at("pool/busy_ns", slot as u64, busy_ns as f64);
+        edsr_obs::gauge_at("pool/jobs", slot as u64, jobs as f64);
+    }
+}
+
 /// The thread count in effect on this thread: the innermost
 /// [`with_threads`] override, else [`configured_threads`].
 pub fn thread_count() -> usize {

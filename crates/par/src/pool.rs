@@ -113,6 +113,29 @@ impl Latch {
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
+    /// Cumulative busy time (ns) per participant slot, recorded only while
+    /// the observability layer is on. Slot 0 aggregates every non-worker
+    /// thread (callers running chunk 0 and helping drain); slot `i + 1` is
+    /// worker `i`.
+    busy_ns: Vec<std::sync::atomic::AtomicU64>,
+    /// Completed job count per participant slot (same layout).
+    jobs: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl Shared {
+    /// Runs one job, charging its wall time to `slot` when the
+    /// observability layer is on (a single relaxed load otherwise).
+    fn execute_on(&self, job: Job, slot: usize) {
+        if edsr_obs::enabled() {
+            let t0 = std::time::Instant::now();
+            job.execute();
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.busy_ns[slot].fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+            self.jobs[slot].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            job.execute();
+        }
+    }
 }
 
 /// The process-wide pool. Workers are detached and live for the process;
@@ -129,13 +152,19 @@ impl Pool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            busy_ns: (0..=workers)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            jobs: (0..=workers)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
         });
         let mut spawned = 0;
         for i in 0..workers {
             let shared = Arc::clone(&shared);
             let result = std::thread::Builder::new()
                 .name(format!("edsr-par-{i}"))
-                .spawn(move || worker_loop(&shared));
+                .spawn(move || worker_loop(&shared, i + 1));
             match result {
                 Ok(_) => spawned += 1,
                 // Degraded but correct: the caller drains the queue itself.
@@ -148,6 +177,23 @@ impl Pool {
     /// Number of live worker threads (excluding the helping caller).
     pub(crate) fn workers(&self) -> usize {
         self.spawned
+    }
+
+    /// Cumulative `(busy_ns, jobs)` per participant slot — slot 0 for the
+    /// helping callers, slot `i + 1` for worker `i`. Counts only
+    /// accumulate while the observability layer is on.
+    pub(crate) fn occupancy(&self) -> Vec<(u64, u64)> {
+        self.shared
+            .busy_ns
+            .iter()
+            .zip(&self.shared.jobs)
+            .map(|(b, j)| {
+                (
+                    b.load(std::sync::atomic::Ordering::Relaxed),
+                    j.load(std::sync::atomic::Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Executes `task(0..n_chunks)` across the pool and the calling
@@ -171,13 +217,15 @@ impl Pool {
         }
         self.shared.available.notify_all();
 
-        // Chunk 0 runs on the caller.
-        Job {
-            task: TaskPtr(task as *const Task),
-            chunk: 0,
-            latch: Arc::clone(&latch),
-        }
-        .execute();
+        // Chunk 0 runs on the caller (participant slot 0).
+        self.shared.execute_on(
+            Job {
+                task: TaskPtr(task as *const Task),
+                chunk: 0,
+                latch: Arc::clone(&latch),
+            },
+            0,
+        );
 
         // Help drain the queue (possibly executing jobs of concurrent
         // calls) until this call's latch completes.
@@ -189,7 +237,7 @@ impl Pool {
                 .expect("pool queue lock")
                 .pop_front();
             match job {
-                Some(job) => job.execute(),
+                Some(job) => self.shared.execute_on(job, 0),
                 None => latch.wait(),
             }
         }
@@ -197,7 +245,7 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, slot: usize) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool queue lock");
@@ -208,14 +256,20 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        job.execute();
+        shared.execute_on(job, slot);
     }
 }
+
+static POOL: OnceLock<Pool> = OnceLock::new();
 
 /// The global pool, spawned on first parallel submission with
 /// `configured_threads() - 1` workers (the caller is the remaining
 /// participant).
 pub(crate) fn global() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool::new(crate::configured_threads().saturating_sub(1)))
+}
+
+/// The global pool only if a parallel submission already spawned it.
+pub(crate) fn try_global() -> Option<&'static Pool> {
+    POOL.get()
 }

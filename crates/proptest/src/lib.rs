@@ -186,7 +186,7 @@ impl_tuple_strategy! {
 pub mod collection {
     use super::*;
 
-    /// Lengths acceptable to [`vec`]: exact or ranged.
+    /// Lengths acceptable to [`vec()`]: exact or ranged.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -216,7 +216,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

@@ -21,6 +21,10 @@ pub struct Scratch {
     misses: u64,
     /// Total takes, for diagnostics.
     takes: u64,
+    /// High-water mark: the largest single take ever requested.
+    peak_request: usize,
+    /// High-water mark: total `f32`s allocated by pool misses.
+    alloc_floats: u64,
 }
 
 impl Scratch {
@@ -34,6 +38,7 @@ impl Scratch {
     /// [`give`](Self::give) to keep the steady state allocation-free.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
         self.takes += 1;
+        self.peak_request = self.peak_request.max(len);
         let pos = self.free.partition_point(|b| b.capacity() < len);
         if pos < self.free.len() {
             let mut buf = self.free.remove(pos);
@@ -42,6 +47,7 @@ impl Scratch {
             buf
         } else {
             self.misses += 1;
+            self.alloc_floats += len as u64;
             vec![0.0; len]
         }
     }
@@ -87,6 +93,33 @@ impl Scratch {
         self.free.len()
     }
 
+    /// High-water mark: the largest single take requested so far.
+    pub fn peak_request(&self) -> usize {
+        self.peak_request
+    }
+
+    /// High-water mark: total `f32`s allocated by pool misses so far
+    /// (steady state stops growing once the pool is warm).
+    pub fn alloc_floats(&self) -> u64 {
+        self.alloc_floats
+    }
+
+    /// Records this arena's counters and high-water marks as `edsr-obs`
+    /// gauges (`scratch/takes`, `scratch/misses`, `scratch/pooled`,
+    /// `scratch/peak_request`, `scratch/alloc_floats`), tagged with
+    /// `index` to distinguish arenas. No-op (one atomic load) when
+    /// observability is off.
+    pub fn emit_metrics(&self, index: u64) {
+        if !edsr_obs::enabled() {
+            return;
+        }
+        edsr_obs::gauge_at("scratch/takes", index, self.takes as f64);
+        edsr_obs::gauge_at("scratch/misses", index, self.misses as f64);
+        edsr_obs::gauge_at("scratch/pooled", index, self.free.len() as f64);
+        edsr_obs::gauge_at("scratch/peak_request", index, self.peak_request as f64);
+        edsr_obs::gauge_at("scratch/alloc_floats", index, self.alloc_floats as f64);
+    }
+
     /// Absorbs every pooled buffer of `other` into this pool (used when a
     /// worker's scratch is merged back after a scoped borrow).
     pub fn absorb(&mut self, mut other: Scratch) {
@@ -95,6 +128,8 @@ impl Scratch {
         }
         self.misses += other.misses;
         self.takes += other.takes;
+        self.peak_request = self.peak_request.max(other.peak_request);
+        self.alloc_floats += other.alloc_floats;
     }
 }
 
@@ -161,6 +196,21 @@ mod tests {
         let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let c = s.take_copy(&src);
         assert_eq!(c, src);
+    }
+
+    #[test]
+    fn high_water_marks_track_takes_and_misses() {
+        let mut s = Scratch::new();
+        let b = s.take(100); // miss: +100 floats, peak 100
+        s.give(b);
+        let b = s.take(40); // served from pool
+        s.give(b);
+        assert_eq!(s.peak_request(), 100);
+        assert_eq!(s.alloc_floats(), 100);
+        let b = s.take(200); // miss again
+        s.give(b);
+        assert_eq!(s.peak_request(), 200);
+        assert_eq!(s.alloc_floats(), 300);
     }
 
     #[test]

@@ -11,10 +11,7 @@
 //! cargo run --release --example checkpointing
 //! ```
 
-use edsr::cl::{
-    run_sequence, run_sequence_with, CheckpointConfig, ContinualModel, ModelConfig, RunOptions,
-    TrainConfig,
-};
+use edsr::cl::{CheckpointConfig, ContinualModel, ModelConfig, RunBuilder, TrainConfig};
 use edsr::core::{Edsr, Error};
 use edsr::data::test_sim;
 use edsr::tensor::rng::seeded;
@@ -30,12 +27,11 @@ fn main() -> Result<(), Error> {
     let mut edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
 
     // Train over the whole stream once.
-    let result = run_sequence(
+    let result = RunBuilder::new(&cfg).run(
         &mut edsr,
         &mut model,
         &sequence,
         &augmenters,
-        &cfg,
         &mut seeded(33),
     )?;
     println!(
@@ -78,20 +74,16 @@ fn main() -> Result<(), Error> {
     let mut partial_model =
         ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(32));
     let mut partial_edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
-    let opts = RunOptions {
-        checkpoint: Some(ckpt.clone()),
-        stop_after: Some(1),
-        ..RunOptions::new()
-    };
-    let partial = run_sequence_with(
-        &mut partial_edsr,
-        &mut partial_model,
-        &sequence,
-        &augmenters,
-        &cfg,
-        &mut seeded(33),
-        &opts,
-    )?;
+    let partial = RunBuilder::new(&cfg)
+        .checkpoint(ckpt.clone())
+        .stop_after(1)
+        .run(
+            &mut partial_edsr,
+            &mut partial_model,
+            &sequence,
+            &augmenters,
+            &mut seeded(33),
+        )?;
     println!(
         "\ninterrupted after increment {} (snapshot in {})",
         partial.matrix.num_increments(),
@@ -103,15 +95,12 @@ fn main() -> Result<(), Error> {
     let mut resumed_model =
         ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(32));
     let mut resumed_edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
-    let opts = RunOptions::new().with_checkpoint(ckpt).with_resume();
-    let resumed = run_sequence_with(
+    let resumed = RunBuilder::new(&cfg).checkpoint(ckpt).resume().run(
         &mut resumed_edsr,
         &mut resumed_model,
         &sequence,
         &augmenters,
-        &cfg,
         &mut seeded(999), // ignored: the snapshot carries the RNG state
-        &opts,
     )?;
     println!(
         "resumed: Acc {:.1}%  Fgt {:.1}%",

@@ -5,7 +5,7 @@
 //! cargo run --release --example conv_encoder
 //! ```
 
-use edsr::cl::{run_sequence, ContinualModel, ModelConfig, TrainConfig};
+use edsr::cl::{ContinualModel, ModelConfig, RunBuilder, TrainConfig};
 use edsr::core::{Edsr, Error};
 use edsr::data::test_sim;
 use edsr::nn::ConvShape;
@@ -31,12 +31,11 @@ fn main() -> Result<(), Error> {
         let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(91));
         let mut model = ContinualModel::new(&model_cfg, &mut seeded(92));
         let mut edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
-        let result = run_sequence(
+        let result = RunBuilder::new(&cfg).run(
             &mut edsr,
             &mut model,
             &sequence,
             &augmenters,
-            &cfg,
             &mut seeded(93),
         )?;
         println!(

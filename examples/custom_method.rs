@@ -13,8 +13,8 @@
 //! ```
 
 use edsr::cl::{
-    apply_step, run_sequence, ContinualModel, MemoryBatch, MemoryBuffer, MemoryItem, Method,
-    ModelConfig, TrainConfig,
+    apply_step, ContinualModel, MemoryBatch, MemoryBuffer, MemoryItem, Method, ModelConfig,
+    RunBuilder, TrainConfig,
 };
 use edsr::core::{Edsr, Error};
 use edsr::data::{test_sim, Augmenter, Dataset};
@@ -124,12 +124,11 @@ fn main() -> Result<(), Error> {
         let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(61));
         let mut model =
             ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(62));
-        let result = run_sequence(
+        let result = RunBuilder::new(&cfg).run(
             method.as_mut(),
             &mut model,
             &sequence,
             &augmenters,
-            &cfg,
             &mut seeded(63),
         )?;
         println!(

@@ -7,7 +7,7 @@
 //! ```
 
 use edsr::cl::{
-    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, Lump, Method, ModelConfig,
+    run_multitask, Cassle, ContinualModel, Der, Finetune, Lump, Method, ModelConfig, RunBuilder,
     Si, TrainConfig,
 };
 use edsr::core::{Edsr, Error};
@@ -56,12 +56,11 @@ fn main() -> Result<(), Error> {
         );
         let mut run_rng = seeded(seed + 2);
         // A diverged method is reported on its row; the others still run.
-        match run_sequence(
+        match RunBuilder::new(&cfg).run(
             method.as_mut(),
             &mut model,
             &sequence,
             &augmenters,
-            &cfg,
             &mut run_rng,
         ) {
             Ok(result) => println!(

@@ -1,0 +1,124 @@
+//! Observability walkthrough: watch a run from both ends of the API.
+//!
+//! 1. An [`Observer`] plugged into [`RunBuilder`] gets typed callbacks on
+//!    the training thread — here a small progress printer.
+//! 2. The process-global `edsr-obs` sink captures the cross-layer metric
+//!    stream (per-term losses, selection entropy, kNN noise scales, span
+//!    timings) — here into an in-memory ring, summarized at the end.
+//!
+//! ```bash
+//! cargo run --release --example observability
+//! ```
+//!
+//! To stream the same events to a file instead, run any binary with
+//! `EDSR_OBS=jsonl EDSR_OBS_PATH=metrics.jsonl`, then inspect it with
+//! `cargo run --bin edsr -- metrics metrics.jsonl`.
+
+use edsr::cl::{ContinualModel, ModelConfig, Observer, RunBuilder, StepRecord, TrainConfig};
+use edsr::core::{Edsr, Error};
+use edsr::data::test_sim;
+use edsr::obs::{self, EventKind, RingSink};
+use edsr::tensor::rng::seeded;
+
+/// Prints one line per increment phase and keeps a running loss mean.
+#[derive(Default)]
+struct Progress {
+    steps: usize,
+    loss_sum: f64,
+}
+
+impl Observer for Progress {
+    fn on_run_start(&mut self, method: &str, benchmark: &str, tasks: usize, start_task: usize) {
+        println!("[obs] {method} on {benchmark}: {tasks} increments (starting at {start_task})");
+    }
+
+    fn on_task_start(&mut self, task_idx: usize) {
+        self.steps = 0;
+        self.loss_sum = 0.0;
+        println!("[obs] increment {task_idx}: training...");
+    }
+
+    fn on_step(&mut self, record: &StepRecord) {
+        self.steps += 1;
+        self.loss_sum += f64::from(record.loss);
+    }
+
+    fn on_select(&mut self, task_idx: usize, seconds: f64) {
+        println!("[obs] increment {task_idx}: memory selection took {seconds:.3}s");
+    }
+
+    fn on_eval(&mut self, task_idx: usize, row: &[f32]) {
+        let accs: Vec<String> = row.iter().map(|a| format!("{:.1}%", a * 100.0)).collect();
+        println!("[obs] increment {task_idx}: eval row [{}]", accs.join(", "));
+    }
+
+    fn on_task_end(&mut self, task_idx: usize, seconds: f64, _mean_loss: f32) {
+        println!(
+            "[obs] increment {task_idx}: done in {seconds:.2}s, mean step loss {:.4} over {} steps",
+            self.loss_sum / self.steps.max(1) as f64,
+            self.steps
+        );
+    }
+}
+
+fn main() -> Result<(), Error> {
+    // Capture the global metric stream into a ring buffer for this demo.
+    // (`EnvConfig::apply` does the same from `EDSR_OBS=ring|jsonl`.)
+    let ring = RingSink::with_capacity(obs::DEFAULT_RING_CAPACITY);
+    obs::install(Box::new(ring.clone()));
+
+    let preset = test_sim();
+    let mut data_rng = seeded(7);
+    let (sequence, augmenters) = preset.build_with_augmenters(&mut data_rng);
+    let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(8));
+    let mut edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
+
+    let mut cfg = TrainConfig::image();
+    cfg.epochs_per_task = 5; // quick demo
+    let mut progress = Progress::default();
+    let result = RunBuilder::new(&cfg).observer(&mut progress).run(
+        &mut edsr,
+        &mut model,
+        &sequence,
+        &augmenters,
+        &mut seeded(9),
+    )?;
+    println!(
+        "\nfinal: Acc = {:.1}%  Fgt = {:.1}%",
+        result.final_acc_pct(),
+        result.final_fgt_pct()
+    );
+
+    // Summarize the captured stream: the same numbers a JSONL file would
+    // hold, straight from the ring.
+    obs::flush();
+    let events = ring.events();
+    println!("\ncaptured {} events; per-metric summaries:", events.len());
+    println!(
+        "{:<22} {:>7} {:>12} {:>12} {:>12}",
+        "metric", "count", "min", "mean", "max"
+    );
+    for name in [
+        "loss/css",
+        "loss/dis",
+        "loss/rpl",
+        "grad/norm",
+        "select/entropy",
+        "noise/r",
+        "eval/mean_acc",
+    ] {
+        if let Some(s) = obs::summarize(&events, name) {
+            println!(
+                "{name:<22} {:>7} {:>12.4} {:>12.4} {:>12.4}",
+                s.count, s.min, s.mean, s.max
+            );
+        }
+    }
+    let spans = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanExit)
+        .count();
+    println!("plus {spans} closed spans (run > task > epoch > step timings)");
+    obs::uninstall();
+    Ok(())
+}

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use edsr::cl::{run_sequence, ContinualModel, ModelConfig, TrainConfig};
+use edsr::cl::{ContinualModel, ModelConfig, RunBuilder, TrainConfig};
 use edsr::core::Edsr;
 use edsr::core::Error;
 use edsr::data::test_sim;
@@ -41,14 +41,8 @@ fn main() -> Result<(), Error> {
     let mut cfg = TrainConfig::image();
     cfg.epochs_per_task = 20; // quick demo
     let mut run_rng = seeded(9);
-    let result = run_sequence(
-        &mut edsr,
-        &mut model,
-        &sequence,
-        &augmenters,
-        &cfg,
-        &mut run_rng,
-    )?;
+    let result =
+        RunBuilder::new(&cfg).run(&mut edsr, &mut model, &sequence, &augmenters, &mut run_rng)?;
 
     // 5. Inspect the results.
     for i in 0..result.matrix.num_increments() {

@@ -7,7 +7,7 @@
 //! cargo run --release --example tabular_stream
 //! ```
 
-use edsr::cl::{run_sequence, tabular_augmenters, ContinualModel, ModelConfig, TrainConfig};
+use edsr::cl::{tabular_augmenters, ContinualModel, ModelConfig, RunBuilder, TrainConfig};
 use edsr::core::{Edsr, Error};
 use edsr::data::{tabular_sequence, TabularConfig, TABULAR_SPECS};
 use edsr::tensor::rng::seeded;
@@ -52,14 +52,8 @@ fn main() -> Result<(), Error> {
     let mut cfg = TrainConfig::tabular();
     cfg.epochs_per_task = 20; // quick demo
     let mut run_rng = seeded(13);
-    let result = run_sequence(
-        &mut edsr,
-        &mut model,
-        &sequence,
-        &augmenters,
-        &cfg,
-        &mut run_rng,
-    )?;
+    let result =
+        RunBuilder::new(&cfg).run(&mut edsr, &mut model, &sequence, &augmenters, &mut run_rng)?;
 
     println!("\nper-increment kNN accuracy after the full stream:");
     let last = result.matrix.num_increments() - 1;

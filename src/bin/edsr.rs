@@ -4,6 +4,7 @@
 //! edsr presets                       list the built-in benchmarks
 //! edsr run <preset> <method> [opts]  run one continual-learning job
 //! edsr tabular <method> [opts]       run the tabular stream (§IV-E)
+//! edsr metrics [PATH]                summarize a JSONL metrics file
 //!
 //! methods: finetune | si | der | lump | cassle | edsr | multitask
 //! options: --seed N         data/model/run seed base   (default 11)
@@ -14,17 +15,23 @@
 //!          --save PATH      write the final model checkpoint
 //!          --checkpoint DIR snapshot run state after each increment
 //!          --resume         continue from the latest valid snapshot
+//!          --obs MODE       observability sink: off | ring | jsonl
+//!          --obs-path PATH  metrics file for --obs jsonl (metrics.jsonl)
 //! ```
+//!
+//! `--threads`, `--checkpoint`, `--resume`, `--obs` and `--obs-path` also
+//! read `EDSR_THREADS` / `EDSR_CHECKPOINT` / `EDSR_RESUME` / `EDSR_OBS` /
+//! `EDSR_OBS_PATH`; the CLI flag wins ([`EnvConfig`] precedence).
 //!
 //! Every failure (bad flag, divergence after retries, checkpoint
 //! corruption) surfaces as a structured error with a non-zero exit, not
 //! a panic.
 
 use edsr::cl::{
-    run_multitask, run_sequence_with, tabular_augmenters, Cassle, CheckpointConfig, ContinualModel,
-    Der, Finetune, Lump, Method, ModelConfig, RunOptions, Si, TrainConfig,
+    run_multitask, tabular_augmenters, Cassle, CheckpointConfig, ContinualModel, Der, Finetune,
+    Lump, Method, ModelConfig, RunBuilder, Si, TrainConfig,
 };
-use edsr::core::{Edsr, Error};
+use edsr::core::{Edsr, EnvConfig, Error};
 use edsr::data::{
     cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim, tiny_imagenet_sim,
     Preset, TabularConfig, TABULAR_SPECS,
@@ -33,19 +40,23 @@ use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial."
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path."
     );
     std::process::exit(2);
 }
 
+/// Finds `--flag value` or `--flag=value` (matching `EnvConfig`'s CLI
+/// grammar, so neither form is silently ignored).
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
+    args.iter().enumerate().find_map(|(i, a)| {
+        if a == flag {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix(flag)
+                .and_then(|rest| rest.strip_prefix('='))
+                .map(str::to_owned)
+        }
+    })
 }
 
 /// Parses a numeric flag value, turning bad input into a structured
@@ -108,7 +119,7 @@ fn cmd_presets() {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), Error> {
+fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     let (Some(preset_name), Some(method_name)) = (args.first(), args.get(1)) else {
         usage()
     };
@@ -127,17 +138,10 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
     if let Some(e) = parse_flag(args, "--epochs") {
         cfg.epochs_per_task = parse_num(&e, "--epochs")?;
     }
-    let mut opts = RunOptions::new();
-    if let Some(dir) = parse_flag(args, "--checkpoint") {
+    let checkpoint = env_cfg.checkpoint.as_ref().map(|dir| {
         let run_id = format!("{}-{}-s{}", preset.name, method_name, seed);
-        opts = opts.with_checkpoint(CheckpointConfig::new(dir, run_id));
-    }
-    if has_flag(args, "--resume") {
-        if opts.checkpoint.is_none() {
-            return Err(Error::Data("--resume requires --checkpoint DIR".into()));
-        }
-        opts = opts.with_resume();
-    }
+        CheckpointConfig::new(dir.display().to_string(), run_id)
+    });
 
     let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
     let mut model = ContinualModel::new(
@@ -164,14 +168,21 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
             eprintln!("unknown method {method_name:?}");
             usage()
         };
-        let result = run_sequence_with(
+        let mut builder = RunBuilder::new(&cfg);
+        if let Some(ckpt) = checkpoint {
+            builder = builder.checkpoint(ckpt);
+        }
+        if env_cfg.resume {
+            // Without --checkpoint this fails fast with InvalidConfig
+            // (the silent-no-op behaviour of the old RunOptions is gone).
+            builder = builder.resume();
+        }
+        let result = builder.run(
             method.as_mut(),
             &mut model,
             &sequence,
             &augmenters,
-            &cfg,
             &mut run_rng,
-            &opts,
         )?;
         println!(
             "{} on {}: Acc {:.2}%  Fgt {:.2}%  ({:.1}s, {} divergence recoveries)",
@@ -238,14 +249,12 @@ fn cmd_tabular(args: &[String]) -> Result<(), Error> {
         eprintln!("unknown method {method_name:?}");
         usage()
     };
-    let result = run_sequence_with(
+    let result = RunBuilder::new(&cfg).run(
         method.as_mut(),
         &mut model,
         &sequence,
         &augmenters,
-        &cfg,
         &mut run_rng,
-        &RunOptions::new(),
     )?;
     println!(
         "{} on tabular-sim: Acc {:.2}%  Fgt {:.2}%  ({:.1}s)",
@@ -257,34 +266,63 @@ fn cmd_tabular(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
-/// Applies `--threads N` before any parallel work runs (the pool latches
-/// its size on first use).
-fn apply_threads_flag(args: &[String]) -> Result<(), Error> {
-    if let Some(v) = parse_flag(args, "--threads") {
-        let n: usize = parse_num(&v, "--threads")?;
-        if n == 0 {
-            return Err(Error::Data("--threads expects a value >= 1".into()));
+/// `edsr metrics [PATH]` — parse a JSONL metrics file and print a
+/// five-number summary per metric name (span enters excluded).
+fn cmd_metrics(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
+    let path = args
+        .first()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| env_cfg.obs_path.clone());
+    let text = std::fs::read_to_string(&path)?;
+    let events = edsr::obs::parse_jsonl(&text)
+        .map_err(|e| Error::Data(format!("{}: {e}", path.display())))?;
+    let mut names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+    names.sort_unstable();
+    names.dedup();
+    println!(
+        "{:<24} {:>8} {:>14} {:>14} {:>14}",
+        "name", "count", "min", "mean", "max"
+    );
+    for name in names {
+        if let Some(s) = edsr::obs::summarize(&events, name) {
+            println!(
+                "{:<24} {:>8} {:>14.4} {:>14.4} {:>14.4}",
+                name, s.count, s.min, s.mean, s.max
+            );
         }
-        edsr::par::set_threads(n);
     }
+    println!("{} events in {}", events.len(), path.display());
     Ok(())
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Err(e) = apply_threads_flag(&args) {
-        eprintln!("error: {e}");
+    // One reader for every knob: CLI > env > default (DESIGN.md §11).
+    let env_cfg = match EnvConfig::from_process() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = env_cfg.apply() {
+        eprintln!("error: could not install metrics sink: {e}");
         std::process::exit(1);
     }
+    let args = &env_cfg.rest;
     let result = match args.first().map(String::as_str) {
         Some("presets") => {
             cmd_presets();
             Ok(())
         }
-        Some("run") => cmd_run(&args[1..]),
+        Some("run") => cmd_run(&args[1..], &env_cfg),
         Some("tabular") => cmd_tabular(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..], &env_cfg),
         _ => usage(),
     };
+    // Pool occupancy is cumulative over the whole run; emit it last so
+    // the JSONL tail carries the final busy-time split, then flush.
+    edsr::par::emit_pool_metrics();
+    edsr::obs::flush();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

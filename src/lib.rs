@@ -12,6 +12,7 @@ pub use edsr_core as core;
 pub use edsr_data as data;
 pub use edsr_linalg as linalg;
 pub use edsr_nn as nn;
+pub use edsr_obs as obs;
 pub use edsr_par as par;
 pub use edsr_ssl as ssl;
 pub use edsr_tensor as tensor;

@@ -3,8 +3,8 @@
 //! uses, on a tiny preset so they stay fast in debug builds.
 
 use edsr::cl::{
-    run_multitask, run_sequence, Cassle, ContinualModel, Der, Finetune, LinReplay, Lump, Method,
-    ModelConfig, Si, TrainConfig,
+    run_multitask, Cassle, ContinualModel, Der, Finetune, LinReplay, Lump, Method, ModelConfig,
+    RunBuilder, Si, TrainConfig,
 };
 use edsr::core::{Edsr, EdsrConfig, ReplayLoss, SelectionStrategy};
 use edsr::data::{tabular_sequence, test_sim, TabularConfig, TABULAR_SPECS};
@@ -28,7 +28,9 @@ fn run_method(method: &mut dyn Method, seed: u64, cfg: &TrainConfig) -> edsr::cl
         &mut seeded(seed + 1),
     );
     let mut run_rng = seeded(seed + 2);
-    run_sequence(method, &mut model, &seq, &augs, cfg, &mut run_rng).expect("run_sequence")
+    RunBuilder::new(cfg)
+        .run(method, &mut model, &seq, &augs, &mut run_rng)
+        .expect("run")
 }
 
 #[test]
@@ -189,8 +191,9 @@ fn tabular_stream_with_heterogeneous_adapters() {
     cfg.epochs_per_task = 4;
     let mut edsr = Edsr::paper_default(2, 4, 3);
     let mut run_rng = seeded(902);
-    let result =
-        run_sequence(&mut edsr, &mut model, &seq, &augs, &cfg, &mut run_rng).expect("tabular run");
+    let result = RunBuilder::new(&cfg)
+        .run(&mut edsr, &mut model, &seq, &augs, &mut run_rng)
+        .expect("tabular run");
     assert_eq!(result.matrix.num_increments(), 5);
     // Binary classification: even a weak model beats 35% on imbalanced
     // test splits.

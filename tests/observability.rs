@@ -1,0 +1,276 @@
+//! Observability integration tests (DESIGN.md §11): the JSONL encoding
+//! round-trips bit-exactly, spans stay balanced even when a run dies with
+//! `TrainError::Diverged`, and a real 2-task EDSR run streams the
+//! paper-level metrics (per-term losses, selection entropy) to a JSONL
+//! file that parses back cleanly.
+//!
+//! The sink is process-global state, so every test here serializes on
+//! one mutex.
+
+use std::borrow::Cow;
+use std::sync::Mutex;
+
+use edsr::cl::{
+    ContinualModel, FaultInjector, FaultPlan, Finetune, GuardConfig, ModelConfig, OptimizerKind,
+    RunBuilder, TrainConfig, TrainError,
+};
+use edsr::core::Edsr;
+use edsr::data::{Augmenter, Dataset, Task, TaskSequence};
+use edsr::obs::{parse_jsonl, parse_line, Event, EventKind, RingSink};
+use edsr::tensor::rng::seeded;
+use edsr::tensor::Matrix;
+use proptest::prelude::*;
+
+/// Serializes tests that install/uninstall the global sink.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Two-increment toy stream with clearly clustered 8-d inputs.
+fn toy_sequence(seed: u64) -> TaskSequence {
+    let mut rng = seeded(seed);
+    let mut make_task = |offset: f32| {
+        let mut inputs = Matrix::randn(24, 8, 0.2, &mut rng);
+        let mut labels = Vec::new();
+        for r in 0..24 {
+            let class = r % 2;
+            labels.push(class);
+            inputs.add_at(r, class, offset + 2.0);
+        }
+        let data = Dataset::new("toy", inputs, labels);
+        Task {
+            train: data.clone(),
+            test: data.subset(&(0..8).collect::<Vec<_>>()),
+            classes: vec![0, 1],
+        }
+    };
+    TaskSequence {
+        name: "toy".into(),
+        tasks: vec![make_task(0.0), make_task(1.0)],
+    }
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs_per_task: 2,
+        batch_size: 8,
+        replay_batch: 4,
+        lr: 1e-3,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        optimizer: OptimizerKind::Adam,
+        eval_k: 3,
+        multitask_epoch_multiplier: 1,
+        cosine_floor: 1.0,
+    }
+}
+
+/// Names that stress the JSON escaper: slashes, quotes, control chars,
+/// backslashes, and non-ASCII.
+const NAMES: &[&str] = &[
+    "loss/css",
+    "pool/busy_ns",
+    "quoted \"name\"",
+    "tab\thard",
+    "back\\slash",
+    "line\nbreak",
+    "grüße/σ",
+];
+
+const KINDS: &[EventKind] = &[
+    EventKind::SpanEnter,
+    EventKind::SpanExit,
+    EventKind::Counter,
+    EventKind::Gauge,
+    EventKind::Histogram,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serialize → parse → identical events (bit-exact values), and the
+    /// wire format keeps its stable field order on every line.
+    #[test]
+    fn jsonl_round_trips_events(
+        raw in proptest::collection::vec(
+            (0u64..u64::MAX, 0usize..5, 0usize..7, 0u64..1 << 40, 0u64..u64::MAX),
+            0..24,
+        )
+    ) {
+        let events: Vec<Event> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(seq, kind, name, index, bits))| {
+                let candidate = f64::from_bits(bits);
+                Event {
+                    seq: seq ^ i as u64,
+                    kind: KINDS[kind],
+                    name: Cow::Borrowed(NAMES[name]),
+                    index,
+                    // Non-finite payloads encode as null and decode as NaN
+                    // (covered by unit tests); keep equality meaningful here.
+                    value: if candidate.is_finite() {
+                        candidate
+                    } else {
+                        bits as f64 * 1e-3
+                    },
+                }
+            })
+            .collect();
+        let mut text = String::new();
+        for e in &events {
+            text.push_str(&e.to_json());
+            text.push('\n');
+        }
+        for line in text.lines() {
+            prop_assert!(line.starts_with("{\"seq\":"), "field order drifted: {line}");
+            let kind_at = line.find("\"kind\":").unwrap_or(usize::MAX);
+            let name_at = line.find("\"name\":").unwrap_or(0);
+            prop_assert!(kind_at < name_at, "field order drifted: {line}");
+            prop_assert_eq!(&parse_line(line).expect("line parses"),
+                            &events[text.lines().position(|l| l == line).expect("line present")]);
+        }
+        let parsed = parse_jsonl(&text).expect("all lines parse");
+        prop_assert_eq!(parsed, events);
+    }
+}
+
+/// Walks events in order, pushing on `SpanEnter` and matching on
+/// `SpanExit`; returns the maximum depth. Panics on imbalance.
+fn check_span_balance(events: &[Event]) -> usize {
+    let mut stack: Vec<(&str, u64)> = Vec::new();
+    let mut max_depth = 0;
+    for e in events {
+        match e.kind {
+            EventKind::SpanEnter => {
+                stack.push((e.name.as_ref(), e.index));
+                max_depth = max_depth.max(stack.len());
+            }
+            EventKind::SpanExit => {
+                let (name, index) = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("exit of {}#{} with no open span", e.name, e.index));
+                assert_eq!(
+                    (name, index),
+                    (e.name.as_ref(), e.index),
+                    "mis-nested span exit"
+                );
+                assert!(e.value >= 0.0, "negative span duration");
+            }
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    max_depth
+}
+
+/// Spans ride RAII guards, so the run/task/epoch/step nesting must stay
+/// balanced even when the engine unwinds through `?` with a `Diverged`
+/// error mid-epoch.
+#[test]
+fn spans_stay_balanced_when_a_run_diverges() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = toy_sequence(70);
+    let augs: Vec<Augmenter> = (0..seq.len()).map(|_| Augmenter::Identity).collect();
+    let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(71));
+    // Fault every consecutive step of increment 0 so retries re-fault
+    // until the bounded budget is exhausted.
+    let plan = FaultPlan {
+        faults: (0..8)
+            .map(|s| edsr::cl::Fault::NanLoss { task: 0, step: s })
+            .collect(),
+    };
+    let mut method = FaultInjector::new(Finetune::new(), plan);
+    let cfg = tiny_cfg();
+    let mut rng = seeded(72);
+
+    let ring = RingSink::with_capacity(edsr::obs::DEFAULT_RING_CAPACITY);
+    edsr::obs::install(Box::new(ring.clone()));
+    let err = RunBuilder::new(&cfg)
+        .guard(GuardConfig {
+            max_retries: 2,
+            ..GuardConfig::default()
+        })
+        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .unwrap_err();
+    edsr::obs::uninstall();
+
+    assert!(matches!(err, TrainError::Diverged { .. }), "{err}");
+    let events = ring.events();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::SpanEnter),
+        "no spans recorded"
+    );
+    // run > task > epoch > step ⇒ depth at least 4 before the abort.
+    let depth = check_span_balance(&events);
+    assert!(depth >= 4, "expected nested spans, max depth {depth}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Counter && e.name == "train/recovery"),
+        "divergence recoveries not counted"
+    );
+}
+
+/// End-to-end JSONL smoke: a 2-task EDSR run streams per-step loss terms
+/// (`loss/css`, `loss/dis`, `loss/rpl`) and per-task selection entropy to
+/// a metrics file, and the file parses back line-for-line.
+#[test]
+fn edsr_two_task_run_streams_paper_metrics_to_jsonl() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = toy_sequence(73);
+    let augs: Vec<Augmenter> = (0..seq.len()).map(|_| Augmenter::Identity).collect();
+    let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(74));
+    let mut edsr = Edsr::paper_default(6, 4, 3);
+    let cfg = tiny_cfg();
+    let mut rng = seeded(75);
+
+    let path = std::env::temp_dir().join(format!("edsr-obs-smoke-{}.jsonl", std::process::id()));
+    edsr::obs::install_mode(edsr::obs::ObsMode::Jsonl, &path).expect("create metrics file");
+    RunBuilder::new(&cfg)
+        .run(&mut edsr, &mut model, &seq, &augs, &mut rng)
+        .expect("observed EDSR run");
+    edsr::obs::uninstall();
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let events = parse_jsonl(&text).expect("every line parses");
+    assert!(!events.is_empty(), "metrics file is empty");
+    check_span_balance(&events);
+
+    let count = |kind: EventKind, name: &str, index: u64| {
+        events
+            .iter()
+            .filter(|e| e.kind == kind && e.name == name && e.index == index)
+            .count()
+    };
+    // Per-step L_css and per-task selection entropy for both increments;
+    // distillation and replay only exist once a frozen snapshot / memory
+    // is in place, i.e. from increment 1 on.
+    for task in 0..2u64 {
+        assert!(
+            count(EventKind::Gauge, "loss/css", task) > 0,
+            "no loss/css for task {task}"
+        );
+        assert!(
+            count(EventKind::Gauge, "select/entropy", task) == 1,
+            "selection entropy missing for task {task}"
+        );
+        assert!(
+            count(EventKind::Gauge, "train/loss", task) > 0,
+            "no train/loss for task {task}"
+        );
+    }
+    for term in ["loss/dis", "loss/rpl"] {
+        assert!(
+            count(EventKind::Gauge, term, 1) > 0,
+            "no {term} on the second increment"
+        );
+        assert_eq!(count(EventKind::Gauge, term, 0), 0, "{term} before task 1");
+    }
+    // The selection trajectory grows one entry per greedily added sample.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Histogram && e.name == "select/entropy_trace"),
+        "no selection-entropy trajectory"
+    );
+    let _ = std::fs::remove_file(&path);
+}

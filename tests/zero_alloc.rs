@@ -11,7 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use edsr::cl::{apply_step, ContinualModel, ModelConfig};
+use edsr::cl::{apply_step, ContinualModel, ModelConfig, NoopObserver, Observer, StepRecord};
 use edsr::nn::{Adam, Workspace};
 use edsr::tensor::rng::seeded;
 use edsr::tensor::Matrix;
@@ -53,7 +53,18 @@ fn allocations() -> u64 {
 /// Runs warm-up steps (pool growth, optimizer moment init, kernel pack
 /// buffers), then returns the allocation count across `measured` further
 /// steps — which must be zero.
-fn steady_state_allocs(model: &mut ContinualModel, x1: &Matrix, x2: &Matrix) -> u64 {
+///
+/// The measured region includes the observability surface in its
+/// off-state (DESIGN.md §11): a span guard around each step, a gated
+/// metric emit, and the `on_step` hook dispatched through
+/// `&mut dyn Observer`. None of it may allocate while no sink is
+/// installed.
+fn steady_state_allocs(
+    model: &mut ContinualModel,
+    x1: &Matrix,
+    x2: &Matrix,
+    observer: &mut dyn Observer,
+) -> u64 {
     let mut opt = Adam::new(1e-3, 0.0);
     let mut ws = Workspace::new();
     for _ in 0..3 {
@@ -62,10 +73,18 @@ fn steady_state_allocs(model: &mut ContinualModel, x1: &Matrix, x2: &Matrix) -> 
         apply_step(model, &mut opt, &mut ws.tape, &ws.binder, loss);
     }
     let before = allocations();
-    for _ in 0..5 {
+    for step in 0..5 {
+        let _step_span = edsr::obs::span("step", step as u64);
         ws.reset();
         let (_, _, loss) = model.css_on_views(&mut ws.tape, &mut ws.binder, x1, x2, 0);
-        apply_step(model, &mut opt, &mut ws.tape, &ws.binder, loss);
+        let loss = apply_step(model, &mut opt, &mut ws.tape, &ws.binder, loss);
+        edsr::obs::gauge("zero_alloc/loss", f64::from(loss));
+        observer.on_step(&StepRecord {
+            task: 0,
+            epoch: 0,
+            step,
+            loss,
+        });
     }
     allocations() - before
 }
@@ -75,13 +94,17 @@ fn steady_state_train_step_makes_no_hot_path_allocations() {
     // Must be set before the first pool touch; single-thread keeps the
     // whole step on this thread (no spawn bookkeeping).
     std::env::set_var("EDSR_THREADS", "1");
+    // No sink installed: the instrumented step must cost nothing.
+    assert!(edsr::obs::uninstall().is_none(), "stray sink installed");
+    assert!(!edsr::obs::enabled());
+    let mut observer = NoopObserver;
     let mut rng = seeded(7);
     let x1 = Matrix::randn(16, 16, 1.0, &mut rng);
     let x2 = Matrix::randn(16, 16, 1.0, &mut rng);
 
     // MLP backbone + BarlowTwins head (the image default).
     let mut mlp = ContinualModel::new(&ModelConfig::image(16), &mut rng);
-    let n = steady_state_allocs(&mut mlp, &x1, &x2);
+    let n = steady_state_allocs(&mut mlp, &x1, &x2, &mut observer);
     assert_eq!(
         n, 0,
         "MLP/BarlowTwins steady-state step allocated {n} times"
@@ -94,11 +117,11 @@ fn steady_state_train_step_makes_no_hot_path_allocations() {
         width: 4,
     };
     let mut conv = ContinualModel::new(&ModelConfig::conv_image(shape, 3), &mut rng);
-    let n = steady_state_allocs(&mut conv, &x1, &x2);
+    let n = steady_state_allocs(&mut conv, &x1, &x2, &mut observer);
     assert_eq!(n, 0, "conv steady-state step allocated {n} times");
 
     // SimSiam predictor variant (batch-norm + stop-gradient path).
     let mut sim = ContinualModel::new(&ModelConfig::tabular(vec![16]), &mut rng);
-    let n = steady_state_allocs(&mut sim, &x1, &x2);
+    let n = steady_state_allocs(&mut sim, &x1, &x2, &mut observer);
     assert_eq!(n, 0, "SimSiam steady-state step allocated {n} times");
 }
