@@ -23,6 +23,51 @@ echo "== kernel bench smoke (BENCH_kernels.json) =="
 EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin kernels
 test -s BENCH_kernels.json
 
+echo "== serve smoke (snapshot -> serve -> query -> graceful drain) =="
+# Train one quick run exporting serve snapshots, serve the newest on an
+# ephemeral port, hit every wire op through `edsr query`, then shut down
+# and assert the drain report answered every request we sent.
+rm -rf ci_serve_snaps ci_serve.log
+cargo run -q --release --bin edsr -- run test edsr --epochs 1 \
+    --serve-snapshot ci_serve_snaps
+cargo run -q --release --bin edsr -- serve ci_serve_snaps --port 0 \
+    > ci_serve.log &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' ci_serve.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { echo "serve smoke: server never came up"; cat ci_serve.log; exit 1; }
+INPUT=$(python3 -c "print(','.join('0.25' for _ in range(16)))")
+EMB=$(cargo run -q --release --bin edsr -- query "$ADDR" embed --task 0 --input "$INPUT")
+QUERY=$(printf '%s' "$EMB" | tr -d '[]')
+cargo run -q --release --bin edsr -- query "$ADDR" knn --k 3 --metric cosine \
+    --input "$QUERY" > /dev/null
+cargo run -q --release --bin edsr -- query "$ADDR" stats > /dev/null
+cargo run -q --release --bin edsr -- query "$ADDR" shutdown > /dev/null
+wait "$SERVE_PID"
+# embed + knn + stats + shutdown = 4 accepted requests, zero lost in drain.
+grep -q "^drained: 4 requests," ci_serve.log \
+    || { echo "serve smoke: graceful drain lost requests"; cat ci_serve.log; exit 1; }
+rm -rf ci_serve_snaps ci_serve.log
+
+echo "== serve load smoke (BENCH_serve.json) =="
+EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin serve_load
+test -s BENCH_serve.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_serve.json"))
+for key in ("reqs_per_s", "embed", "knn", "server"):
+    assert key in doc, f"BENCH_serve.json missing {key}"
+for kind in ("embed", "knn"):
+    assert doc[kind]["p50_us"] > 0 and doc[kind]["p99_us"] >= doc[kind]["p50_us"]
+assert doc["server"]["batches"] >= 1
+print(f"serve load smoke: {doc['reqs_per_s']:.0f} req/s, "
+      f"embed p50 {doc['embed']['p50_us']:.0f}us p99 {doc['embed']['p99_us']:.0f}us")
+EOF
+
 echo "== observability smoke (EDSR_OBS=jsonl) =="
 # A short EDSR training run streaming metrics: the file must be non-empty,
 # every line valid JSON in the stable field order, and the paper-level

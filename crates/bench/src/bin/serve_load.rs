@@ -1,0 +1,194 @@
+//! Load generator for the `edsr-serve` TCP server: N concurrent clients
+//! stream embed + kNN requests at a freshly served snapshot and the
+//! per-request latencies land in `BENCH_serve.json` (repo root) as
+//! p50/p99 plus aggregate throughput.
+//!
+//! The snapshot is built in-process (seeded model + synthetic replay
+//! memory), so the numbers measure the serving stack — wire protocol,
+//! micro-batcher, eval-mode forward, kNN scan — not training.
+//! `EDSR_BENCH_QUICK=1` shrinks clients and request counts to a smoke
+//! run; `EDSR_SERVE_BATCH` / `EDSR_SERVE_WINDOW_US` tune the batcher.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use edsr_cl::{ContinualModel, ModelConfig, ServeSnapshot};
+use edsr_core::prelude::seeded;
+use edsr_serve::{serve, Client, ServeError, ServerConfig, WireMetric};
+use edsr_serve::{Engine, ServerReport};
+use edsr_tensor::Matrix;
+
+const INPUT_DIM: usize = 32;
+
+/// Latencies for one request kind, microseconds, unsorted.
+#[derive(Default)]
+struct Lats {
+    embed: Vec<f64>,
+    knn: Vec<f64>,
+}
+
+/// `p` in [0, 100] over a sorted slice (nearest-rank on the upper side).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    client_id: u64,
+    requests: usize,
+    knn_every: usize,
+) -> Result<Lats, ServeError> {
+    let mut client = Client::connect(addr)?;
+    let inputs = Matrix::randn(requests, INPUT_DIM, 1.0, &mut seeded(7700 + client_id));
+    let mut lats = Lats::default();
+    let mut last_embedding: Option<Vec<f32>> = None;
+    for i in 0..requests {
+        // Re-send an earlier row every eighth request so the embedding
+        // cache sees hits under load too.
+        let row = if i % 8 == 7 { i / 2 } else { i };
+        let t0 = Instant::now();
+        let emb = client.embed(0, inputs.row(row))?;
+        lats.embed.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        if knn_every > 0 && i % knn_every == knn_every - 1 {
+            let t0 = Instant::now();
+            let _ = client.knn(&emb, 5, WireMetric::Cosine)?;
+            lats.knn.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        }
+        last_embedding = Some(emb);
+    }
+    std::hint::black_box(&last_embedding);
+    Ok(lats)
+}
+
+fn run_load(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    knn_every: usize,
+) -> (Lats, f64) {
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                client_loop(addr, c as u64, requests, knn_every).expect("client failed")
+            })
+        })
+        .collect();
+    let mut all = Lats::default();
+    for w in workers {
+        let lats = w.join().expect("client panicked");
+        all.embed.extend(lats.embed);
+        all.knn.extend(lats.knn);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (all, wall)
+}
+
+fn build_engine() -> Engine {
+    let mut rng = seeded(6100);
+    let model = ContinualModel::new(&ModelConfig::image(INPUT_DIM), &mut rng);
+    let memory_inputs = Matrix::randn(64, INPUT_DIM, 1.0, &mut rng);
+    let reprs = model.represent_eval(&memory_inputs, 0);
+    let tasks = (0..64u64).map(|i| i / 16).collect();
+    let snapshot =
+        ServeSnapshot::capture(&model, reprs, tasks, "serve-load", 4).expect("capture snapshot");
+    Engine::from_snapshot(snapshot, 256).expect("restore snapshot")
+}
+
+fn main() -> Result<(), edsr_core::Error> {
+    let env_cfg = match edsr_core::EnvConfig::from_process() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = env_cfg.apply() {
+        eprintln!("error: could not install metrics sink: {e}");
+        std::process::exit(1);
+    }
+    let quick = env_cfg.bench_quick;
+    let clients = if quick { 2 } else { 6 };
+    let requests = if quick { 40 } else { 400 };
+    let knn_every = 4;
+
+    let mut cfg = ServerConfig::default();
+    if let Some(n) = env_cfg.serve_batch {
+        cfg.max_batch = n;
+    }
+    if let Some(us) = env_cfg.serve_window_us {
+        cfg.window = std::time::Duration::from_micros(us);
+    }
+    cfg.max_connections = clients.max(cfg.max_connections);
+    let (max_batch_cfg, window_us) = (cfg.max_batch, cfg.window.as_micros());
+
+    let handle = serve(build_engine(), ("127.0.0.1", 0), cfg)
+        .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    let addr = handle.addr();
+
+    // Untimed warmup so pool spin-up and first-forward tape growth don't
+    // pollute the percentiles.
+    let _ = run_load(addr, clients, 8.min(requests), knn_every);
+    let (lats, wall) = run_load(addr, clients, requests, knn_every);
+
+    let mut shutdown_client =
+        Client::connect(addr).map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    shutdown_client
+        .shutdown()
+        .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    let report: ServerReport = handle
+        .join()
+        .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+
+    let mut embed = lats.embed;
+    let mut knn = lats.knn;
+    embed.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    knn.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let total_requests = embed.len() + knn.len();
+    let reqs_per_s = total_requests as f64 / wall;
+
+    let json = format!(
+        "{{\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \
+         \"total_requests\": {total_requests},\n  \"reqs_per_s\": {reqs_per_s:.1},\n  \
+         \"max_batch\": {max_batch_cfg},\n  \"window_us\": {window_us},\n  \
+         \"embed\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+         \"knn\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+         \"server\": {{\"requests\": {}, \"batches\": {}, \"batched_requests\": {}, \
+         \"max_batch_seen\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}\n}}\n",
+        embed.len(),
+        percentile(&embed, 50.0),
+        percentile(&embed, 99.0),
+        knn.len(),
+        percentile(&knn, 50.0),
+        percentile(&knn, 99.0),
+        report.requests,
+        report.batches,
+        report.batched_requests,
+        report.max_batch,
+        report.cache_hits,
+        report.cache_misses,
+    );
+    let mut file = std::fs::File::create("BENCH_serve.json")?;
+    file.write_all(json.as_bytes())?;
+
+    println!(
+        "{clients} clients x {requests} reqs: {reqs_per_s:.0} req/s  \
+         embed p50 {:.0}us p99 {:.0}us  knn p50 {:.0}us p99 {:.0}us",
+        percentile(&embed, 50.0),
+        percentile(&embed, 99.0),
+        percentile(&knn, 50.0),
+        percentile(&knn, 99.0),
+    );
+    println!(
+        "server: {} requests, {} batches (max {}), cache {}/{} hit/miss",
+        report.requests, report.batches, report.max_batch, report.cache_hits, report.cache_misses
+    );
+    println!("wrote BENCH_serve.json");
+    edsr_par::emit_pool_metrics();
+    edsr_obs::flush();
+    Ok(())
+}

@@ -15,12 +15,21 @@
 use std::path::{Path, PathBuf};
 
 use edsr_nn::io::{
-    put_bytes, put_f32, put_f64, put_u64, read_envelope, write_envelope, ByteReader,
+    params_from_bytes, params_to_bytes, put_bytes, put_f32, put_f64, put_matrix, put_u32, put_u64,
+    read_envelope, write_envelope, ByteReader,
 };
 use edsr_nn::CheckpointError;
+use edsr_ssl::SslVariant;
+use edsr_tensor::Matrix;
+
+use crate::memory::MemoryBuffer;
+use crate::model::{ContinualModel, ModelConfig};
 
 /// Magic of a run-state snapshot file.
 pub const RUN_STATE_MAGIC: &[u8; 8] = b"EDSRRS01";
+
+/// Magic of a serve snapshot file (model + replay-memory representations).
+pub const SERVE_SNAPSHOT_MAGIC: &[u8; 8] = b"EDSRSS01";
 
 /// Where and how often to snapshot a run.
 #[derive(Debug, Clone)]
@@ -227,6 +236,330 @@ pub fn latest_valid_run_state(cfg: &CheckpointConfig) -> Option<(PathBuf, RunSta
     None
 }
 
+// ---------------------------------------------------------------------------
+// Serve snapshots: the read-only artifact `edsr-serve` loads.
+// ---------------------------------------------------------------------------
+
+/// Everything an embedding server needs, in one self-describing,
+/// CRC-checked file: the model architecture ([`ModelConfig`]), the
+/// trained weights, and the replay-memory representations the retrieval
+/// API answers kNN queries against.
+///
+/// Written by the trainer after each completed increment (see
+/// `RunBuilder::serve_snapshots`) and loaded read-only by `edsr-serve`.
+/// The envelope (magic [`SERVE_SNAPSHOT_MAGIC`], length + CRC32 trailer,
+/// atomic rename) is shared with every other persisted artifact, so a
+/// snapshot interrupted mid-write is detected before any parsing.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    /// Increments fully trained when the snapshot was taken.
+    pub completed_tasks: usize,
+    /// Benchmark / run label (informational).
+    pub benchmark: String,
+    /// Architecture + objective the weights belong to.
+    pub config: ModelConfig,
+    /// Model weights (payload of `params_to_bytes`).
+    pub params_payload: Vec<u8>,
+    /// Replay-memory representations, one row per stored sample
+    /// (`repr_dim` columns; may have zero rows for memory-free methods).
+    pub memory_reprs: Matrix,
+    /// Source increment of each memory row (`memory_reprs.rows()` long).
+    pub memory_tasks: Vec<u64>,
+}
+
+fn put_model_config(buf: &mut Vec<u8>, cfg: &ModelConfig) {
+    put_u64(buf, cfg.input_dims.len() as u64);
+    for &d in &cfg.input_dims {
+        put_u64(buf, d as u64);
+    }
+    put_u64(buf, cfg.hidden_dim as u64);
+    put_u64(buf, cfg.repr_dim as u64);
+    put_u64(buf, cfg.backbone_layers as u64);
+    match cfg.variant {
+        SslVariant::SimSiam => put_u32(buf, 1),
+        SslVariant::BarlowTwins { lambda } => {
+            put_u32(buf, 2);
+            put_f32(buf, lambda);
+        }
+    }
+    match cfg.conv_stem {
+        None => put_u32(buf, 0),
+        Some((shape, kernel, filters)) => {
+            put_u32(buf, 1);
+            put_u64(buf, shape.channels as u64);
+            put_u64(buf, shape.height as u64);
+            put_u64(buf, shape.width as u64);
+            put_u64(buf, kernel as u64);
+            put_u64(buf, filters as u64);
+        }
+    }
+}
+
+fn read_model_config(r: &mut ByteReader<'_>) -> Result<ModelConfig, CheckpointError> {
+    let n_dims = r.u64()? as usize;
+    let mut input_dims = Vec::with_capacity(n_dims.min(1024));
+    for _ in 0..n_dims {
+        input_dims.push(r.u64()? as usize);
+    }
+    let hidden_dim = r.u64()? as usize;
+    let repr_dim = r.u64()? as usize;
+    let backbone_layers = r.u64()? as usize;
+    let variant = match r.u32()? {
+        1 => SslVariant::SimSiam,
+        2 => SslVariant::BarlowTwins { lambda: r.f32()? },
+        tag => {
+            return Err(CheckpointError::Mismatch(format!(
+                "serve snapshot: unknown SSL variant tag {tag}"
+            )))
+        }
+    };
+    let conv_stem = match r.u32()? {
+        0 => None,
+        1 => {
+            let shape = edsr_nn::ConvShape {
+                channels: r.u64()? as usize,
+                height: r.u64()? as usize,
+                width: r.u64()? as usize,
+            };
+            let kernel = r.u64()? as usize;
+            let filters = r.u64()? as usize;
+            Some((shape, kernel, filters))
+        }
+        tag => {
+            return Err(CheckpointError::Mismatch(format!(
+                "serve snapshot: unknown conv-stem tag {tag}"
+            )))
+        }
+    };
+    Ok(ModelConfig {
+        input_dims,
+        hidden_dim,
+        repr_dim,
+        backbone_layers,
+        variant,
+        conv_stem,
+    })
+}
+
+impl ServeSnapshot {
+    /// Captures a snapshot of `model` plus explicit replay-memory
+    /// representations (`reprs` rows × `repr_dim` columns, one source
+    /// task per row).
+    ///
+    /// Fails with [`CheckpointError::Mismatch`] when the representation
+    /// matrix disagrees with the model's `repr_dim` or the task list.
+    pub fn capture(
+        model: &ContinualModel,
+        reprs: Matrix,
+        tasks: Vec<u64>,
+        benchmark: impl Into<String>,
+        completed_tasks: usize,
+    ) -> Result<Self, CheckpointError> {
+        if reprs.rows() != tasks.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "serve snapshot: {} memory rows but {} task labels",
+                reprs.rows(),
+                tasks.len()
+            )));
+        }
+        if reprs.rows() > 0 && reprs.cols() != model.repr_dim() {
+            return Err(CheckpointError::Mismatch(format!(
+                "serve snapshot: memory representations are {}-d, model repr_dim is {}",
+                reprs.cols(),
+                model.repr_dim()
+            )));
+        }
+        Ok(Self {
+            completed_tasks,
+            benchmark: benchmark.into(),
+            config: model.config().clone(),
+            params_payload: params_to_bytes(&model.params),
+            memory_reprs: reprs,
+            memory_tasks: tasks,
+        })
+    }
+
+    /// [`capture`](Self::capture) taking the representations straight
+    /// from an episodic [`MemoryBuffer`]: every item whose
+    /// `stored_features` match the model's `repr_dim` contributes one
+    /// row. Items without stored features (or with features of another
+    /// dimensionality, e.g. DER's backbone features) are skipped.
+    pub fn capture_from_memory(
+        model: &ContinualModel,
+        memory: &MemoryBuffer,
+        benchmark: impl Into<String>,
+        completed_tasks: usize,
+    ) -> Result<Self, CheckpointError> {
+        let (reprs, tasks) = memory_representations(memory, model.repr_dim());
+        Self::capture(model, reprs, tasks, benchmark, completed_tasks)
+    }
+
+    /// Rebuilds a structurally identical model and restores the
+    /// snapshot's weights into it. Deterministic: the snapshot is
+    /// self-describing, so no external configuration is consulted.
+    pub fn restore_model(&self) -> Result<ContinualModel, CheckpointError> {
+        // The init RNG is irrelevant — every parameter is overwritten by
+        // the payload — but construction registers parameters in the
+        // model's canonical order, which is what the payload validates
+        // names and shapes against.
+        let mut rng = edsr_tensor::rng::seeded(0);
+        let mut model = ContinualModel::new(&self.config, &mut rng);
+        params_from_bytes(&mut model.params, &self.params_payload)?;
+        Ok(model)
+    }
+
+    /// Serializes into an (un-enveloped) payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.completed_tasks as u64);
+        put_bytes(&mut buf, self.benchmark.as_bytes());
+        put_model_config(&mut buf, &self.config);
+        put_bytes(&mut buf, &self.params_payload);
+        put_matrix(&mut buf, &self.memory_reprs);
+        put_u64(&mut buf, self.memory_tasks.len() as u64);
+        for &t in &self.memory_tasks {
+            put_u64(&mut buf, t);
+        }
+        buf
+    }
+
+    /// Parses a payload produced by [`encode`](Self::encode).
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload);
+        let completed_tasks = r.u64()? as usize;
+        let benchmark = utf8(r.bytes()?)?;
+        let config = read_model_config(&mut r)?;
+        let params_payload = r.bytes()?.to_vec();
+        let memory_reprs = r.matrix()?;
+        let n_tasks = r.u64()? as usize;
+        let mut memory_tasks = Vec::with_capacity(n_tasks.min(1 << 20));
+        for _ in 0..n_tasks {
+            memory_tasks.push(r.u64()?);
+        }
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Mismatch(
+                "serve snapshot payload has trailing bytes".into(),
+            ));
+        }
+        if memory_tasks.len() != memory_reprs.rows() {
+            return Err(CheckpointError::Mismatch(format!(
+                "serve snapshot: {} memory rows but {} task labels",
+                memory_reprs.rows(),
+                memory_tasks.len()
+            )));
+        }
+        Ok(Self {
+            completed_tasks,
+            benchmark,
+            config,
+            params_payload,
+            memory_reprs,
+            memory_tasks,
+        })
+    }
+
+    /// Writes the snapshot to `path` (atomic rename, CRC32 trailer).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        write_envelope(path, SERVE_SNAPSHOT_MAGIC, &self.encode())
+    }
+
+    /// Loads and validates a snapshot written by [`save`](Self::save).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        Self::decode(&read_envelope(path, SERVE_SNAPSHOT_MAGIC)?)
+    }
+}
+
+/// Extracts the replay representations a serve snapshot stores: one row
+/// per memory item whose `stored_features` are exactly `repr_dim`-d,
+/// paired with the item's source task.
+pub fn memory_representations(memory: &MemoryBuffer, repr_dim: usize) -> (Matrix, Vec<u64>) {
+    let rows: Vec<(&[f32], u64)> = memory
+        .items()
+        .iter()
+        .filter_map(|item| {
+            item.stored_features
+                .as_deref()
+                .filter(|f| f.len() == repr_dim)
+                .map(|f| (f, item.task as u64))
+        })
+        .collect();
+    let mut reprs = Matrix::zeros(rows.len(), repr_dim);
+    let mut tasks = Vec::with_capacity(rows.len());
+    for (i, (features, task)) in rows.into_iter().enumerate() {
+        reprs.row_mut(i).copy_from_slice(features);
+        tasks.push(task);
+    }
+    (reprs, tasks)
+}
+
+/// Path of the serve snapshot taken after `completed` increments, under
+/// the same dir/run-id convention as run-state checkpoints.
+pub fn serve_snapshot_path(cfg: &CheckpointConfig, completed: usize) -> PathBuf {
+    cfg.dir
+        .join(format!("{}.task{completed:04}.snapshot", cfg.run_id))
+}
+
+/// Writes the serve snapshot for `snapshot.completed_tasks` increments
+/// and prunes snapshots older than `cfg.keep`. Returns the written path.
+pub fn save_serve_snapshot(
+    cfg: &CheckpointConfig,
+    snapshot: &ServeSnapshot,
+) -> Result<PathBuf, CheckpointError> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let path = serve_snapshot_path(cfg, snapshot.completed_tasks);
+    snapshot.save(&path)?;
+    if cfg.keep > 0 {
+        for (_, old) in list_serve_snapshots(cfg).iter().rev().skip(cfg.keep) {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+    Ok(path)
+}
+
+/// All serve-snapshot files of this run, sorted by completed-increment
+/// count (ascending). Existence only — validity is checked at load time.
+pub fn list_serve_snapshots(cfg: &CheckpointConfig) -> Vec<(usize, PathBuf)> {
+    let prefix = format!("{}.task", cfg.run_id);
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&cfg.dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some(digits) = rest.strip_suffix(".snapshot") else {
+            continue;
+        };
+        if let Ok(completed) = digits.parse::<usize>() {
+            found.push((completed, entry.path()));
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Finds the newest serve snapshot under `dir` (any run id) that loads
+/// cleanly, skipping truncated or corrupt files. Returns `None` when no
+/// valid snapshot exists.
+pub fn latest_valid_serve_snapshot(dir: impl AsRef<Path>) -> Option<(PathBuf, ServeSnapshot)> {
+    let mut candidates: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "snapshot"))
+        .collect();
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        if let Ok(snapshot) = ServeSnapshot::load(&path) {
+            return Some((path, snapshot));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +655,169 @@ mod tests {
             Err(CheckpointError::BadMagic)
         ));
         assert!(latest_valid_run_state(&cfg).is_none());
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    // -- serve snapshots ---------------------------------------------------
+
+    use crate::memory::MemoryItem;
+    use edsr_tensor::rng::seeded;
+
+    fn serve_fixture(seed: u64) -> (ContinualModel, Matrix, Vec<u64>) {
+        let mut rng = seeded(seed);
+        let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+        let reprs = Matrix::randn(5, model.repr_dim(), 1.0, &mut rng);
+        let tasks = vec![0, 0, 1, 1, 2];
+        (model, reprs, tasks)
+    }
+
+    #[test]
+    fn serve_snapshot_roundtrips_and_restores_bit_identical() {
+        let (model, reprs, tasks) = serve_fixture(700);
+        let snap =
+            ServeSnapshot::capture(&model, reprs.clone(), tasks.clone(), "bench", 3).expect("cap");
+        let path = temp_cfg("serve-rt").dir.join("one.snapshot");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        snap.save(&path).expect("save");
+        let loaded = ServeSnapshot::load(&path).expect("load");
+        assert_eq!(loaded.completed_tasks, 3);
+        assert_eq!(loaded.benchmark, "bench");
+        assert_eq!(loaded.memory_reprs, reprs);
+        assert_eq!(loaded.memory_tasks, tasks);
+        let restored = loaded.restore_model().expect("restore");
+        let mut rng = seeded(701);
+        let x = Matrix::randn(4, 16, 1.0, &mut rng);
+        assert_eq!(
+            restored.represent(&x, 0),
+            model.represent(&x, 0),
+            "restored model is not bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn serve_snapshot_conv_and_simsiam_configs_roundtrip() {
+        let mut rng = seeded(702);
+        let shape = edsr_nn::ConvShape {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
+        for cfg in [
+            ModelConfig::conv_image(shape, 3),
+            ModelConfig::tabular(vec![16, 9, 12]),
+        ] {
+            let model = ContinualModel::new(&cfg, &mut rng);
+            let snap = ServeSnapshot::capture(
+                &model,
+                Matrix::zeros(0, model.repr_dim()),
+                Vec::new(),
+                "t",
+                1,
+            )
+            .expect("capture");
+            let decoded = ServeSnapshot::decode(&snap.encode()).expect("decode");
+            let restored = decoded.restore_model().expect("restore");
+            let x = Matrix::randn(2, cfg.input_dims[0], 1.0, &mut rng);
+            assert_eq!(restored.represent(&x, 0), model.represent(&x, 0));
+        }
+    }
+
+    #[test]
+    fn serve_snapshot_capture_validates_shapes() {
+        let (model, reprs, _) = serve_fixture(703);
+        // Task-label count mismatch.
+        assert!(matches!(
+            ServeSnapshot::capture(&model, reprs.clone(), vec![0; 3], "b", 1),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        // Wrong representation dimensionality.
+        let bad = Matrix::zeros(2, model.repr_dim() + 1);
+        assert!(matches!(
+            ServeSnapshot::capture(&model, bad, vec![0, 0], "b", 1),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn serve_snapshot_truncation_and_corruption_detected() {
+        let (model, reprs, tasks) = serve_fixture(704);
+        let snap = ServeSnapshot::capture(&model, reprs, tasks, "b", 2).expect("capture");
+        let cfg = temp_cfg("serve-corrupt");
+        std::fs::create_dir_all(&cfg.dir).unwrap();
+        let path = cfg.dir.join("x.snapshot");
+        snap.save(&path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(matches!(
+            ServeSnapshot::load(&path),
+            Err(CheckpointError::Truncated { .. } | CheckpointError::Corrupt { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).expect("flip");
+        assert!(matches!(
+            ServeSnapshot::load(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn memory_representations_skip_foreign_features() {
+        let mut memory = MemoryBuffer::new();
+        memory.extend([
+            MemoryItem {
+                input: vec![0.0; 4],
+                task: 0,
+                noise_scale: 0.0,
+                stored_features: Some(vec![1.0, 2.0]),
+            },
+            MemoryItem {
+                input: vec![0.0; 4],
+                task: 1,
+                noise_scale: 0.0,
+                // Wrong dimensionality (e.g. DER backbone features).
+                stored_features: Some(vec![9.0; 5]),
+            },
+            MemoryItem {
+                input: vec![0.0; 4],
+                task: 2,
+                noise_scale: 0.0,
+                stored_features: None,
+            },
+            MemoryItem {
+                input: vec![0.0; 4],
+                task: 3,
+                noise_scale: 0.0,
+                stored_features: Some(vec![3.0, 4.0]),
+            },
+        ]);
+        let (reprs, tasks) = memory_representations(&memory, 2);
+        assert_eq!(reprs.shape(), (2, 2));
+        assert_eq!(tasks, vec![0, 3]);
+        assert_eq!(reprs.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn serve_snapshot_save_prunes_and_latest_skips_corrupt() {
+        let (model, reprs, tasks) = serve_fixture(705);
+        let mut cfg = temp_cfg("serve-scan");
+        cfg.keep = 2;
+        for completed in 1..=4 {
+            let snap = ServeSnapshot::capture(&model, reprs.clone(), tasks.clone(), "b", completed)
+                .expect("capture");
+            save_serve_snapshot(&cfg, &snap).expect("save");
+        }
+        let counts: Vec<usize> = list_serve_snapshots(&cfg).iter().map(|(c, _)| *c).collect();
+        assert_eq!(counts, vec![3, 4]);
+        // Corrupt the newest; latest_valid must fall back.
+        let newest = serve_snapshot_path(&cfg, 4);
+        let bytes = std::fs::read(&newest).expect("read");
+        std::fs::write(&newest, &bytes[..bytes.len() - 3]).expect("truncate");
+        let (_, snap) = latest_valid_serve_snapshot(&cfg.dir).expect("fallback");
+        assert_eq!(snap.completed_tasks, 3);
         let _ = std::fs::remove_dir_all(&cfg.dir);
     }
 }

@@ -1,6 +1,7 @@
 //! The continual model: encoder + SSL head + distillation head sharing one
 //! [`ParamSet`], with snapshotting for the frozen old model `f̃`.
 
+use crate::error::TrainError;
 use edsr_data::Augmenter;
 use edsr_nn::ConvShape;
 use edsr_nn::{Binder, ParamSet};
@@ -116,6 +117,10 @@ pub struct ContinualModel {
     pub ssl: SslHead,
     /// The distillation head `p_dis`.
     pub distill: DistillHead,
+    /// The configuration this model was built from — kept so snapshots
+    /// (serve exports, see `checkpoint::ServeSnapshot`) are
+    /// self-describing and can rebuild a structurally identical model.
+    config: ModelConfig,
 }
 
 impl ContinualModel {
@@ -145,7 +150,13 @@ impl ContinualModel {
             encoder,
             ssl,
             distill,
+            config: cfg.clone(),
         }
+    }
+
+    /// The architecture/objective configuration the model was built from.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
     }
 
     /// Representation dimensionality.
@@ -156,6 +167,13 @@ impl ContinualModel {
     /// Inference representations with the live parameters.
     pub fn represent(&self, x: &Matrix, task: usize) -> Matrix {
         self.encoder.represent(&self.params, x, task)
+    }
+
+    /// Eval-mode inference representations: batch standardization is
+    /// skipped, so each row is independent of its batch-mates. This is
+    /// the forward `edsr-serve` answers embed requests with.
+    pub fn represent_eval(&self, x: &Matrix, task: usize) -> Matrix {
+        self.encoder.represent_eval(&self.params, x, task)
     }
 
     /// Inference backbone features with the live parameters.
@@ -172,17 +190,20 @@ impl ContinualModel {
     }
 
     /// Saves the model's weights to a checkpoint file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), edsr_nn::CheckpointError> {
-        edsr_nn::save_params(&self.params, path)
+    ///
+    /// Errors surface as the crate's structured [`TrainError`] rather
+    /// than leaking `edsr_nn::CheckpointError` at this API boundary; the
+    /// retained `From<CheckpointError> for TrainError` impl (and
+    /// `edsr_core::Error`'s `From<TrainError>`) keep existing `?` call
+    /// sites compiling unchanged.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), TrainError> {
+        edsr_nn::save_params(&self.params, path).map_err(TrainError::from)
     }
 
     /// Restores weights from a checkpoint written by [`save`](Self::save)
     /// on a structurally identical model.
-    pub fn load(
-        &mut self,
-        path: impl AsRef<std::path::Path>,
-    ) -> Result<(), edsr_nn::CheckpointError> {
-        edsr_nn::load_params(&mut self.params, path)
+    pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), TrainError> {
+        edsr_nn::load_params(&mut self.params, path).map_err(TrainError::from)
     }
 
     /// Records `L_css` on two augmented views of `batch`; returns
@@ -304,6 +325,33 @@ mod tests {
         m.load(&path).expect("load");
         assert_eq!(m.represent(&x, 0).max_abs_diff(&reference), 0.0);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_load_surface_structured_train_errors() {
+        // Loading into a structurally different model must fail with the
+        // crate's TrainError (wrapping the checkpoint cause), not leak
+        // edsr_nn::CheckpointError at the API boundary.
+        let m = model(330);
+        let mut path = std::env::temp_dir();
+        path.push(format!("edsr-model-err-{}.ckpt", std::process::id()));
+        m.save(&path).expect("save");
+        let mut rng = seeded(331);
+        let mut other = ContinualModel::new(
+            &ModelConfig::image(16).with_variant(SslVariant::SimSiam),
+            &mut rng,
+        );
+        let err = other.load(&path).unwrap_err();
+        assert!(matches!(err, TrainError::Checkpoint(_)), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn model_remembers_its_config() {
+        let m = model(332);
+        assert_eq!(m.config().input_dims, vec![16]);
+        assert_eq!(m.config().repr_dim, 48);
     }
 
     #[test]

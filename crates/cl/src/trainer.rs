@@ -28,7 +28,10 @@ use edsr_nn::{Adam, Binder, CosineSchedule, Optimizer, Sgd, Workspace};
 use edsr_tensor::{Matrix, Tape, Var};
 use rand::rngs::StdRng;
 
-use crate::checkpoint::{latest_valid_run_state, save_run_state, CheckpointConfig, RunState};
+use crate::checkpoint::{
+    latest_valid_run_state, save_run_state, save_serve_snapshot, CheckpointConfig, RunState,
+    ServeSnapshot,
+};
 use crate::error::TrainError;
 use crate::eval::{accuracy, knn_classify};
 use crate::guard::{GuardConfig, StepGuard};
@@ -197,6 +200,17 @@ pub trait Method {
             "{} does not support state restoration",
             self.name()
         ))
+    }
+
+    /// The replay-memory representations a serve snapshot should bundle:
+    /// one row per stored sample (in the model's `repr_dim`), paired
+    /// with each row's source increment.
+    ///
+    /// `None` (the default) means the method keeps no queryable replay
+    /// memory — serve snapshots are still written, with an empty
+    /// retrieval set. Memory-based methods (EDSR, …) override this.
+    fn replay_representations(&self) -> Option<(Matrix, Vec<u64>)> {
+        None
     }
 }
 
@@ -461,6 +475,7 @@ impl RunOptions {
 pub struct RunBuilder<'a> {
     cfg: &'a TrainConfig,
     checkpoint: Option<CheckpointConfig>,
+    serve_snapshots: Option<CheckpointConfig>,
     resume: bool,
     resume_source: Option<CheckpointConfig>,
     guard: GuardConfig,
@@ -475,6 +490,7 @@ impl<'a> RunBuilder<'a> {
         Self {
             cfg,
             checkpoint: None,
+            serve_snapshots: None,
             resume: false,
             resume_source: None,
             guard: GuardConfig::default(),
@@ -487,6 +503,17 @@ impl<'a> RunBuilder<'a> {
     /// Requires a method whose [`Method::save_state`] returns `Some`.
     pub fn checkpoint(mut self, cfg: CheckpointConfig) -> Self {
         self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Exports a [`crate::checkpoint::ServeSnapshot`] — model
+    /// architecture + weights + the method's replay-memory
+    /// representations — under `cfg` after every increment, for
+    /// `edsr-serve` to load read-only. Independent of
+    /// [`checkpoint`](Self::checkpoint): works with any method
+    /// (memory-free methods export an empty retrieval set).
+    pub fn serve_snapshots(mut self, cfg: CheckpointConfig) -> Self {
+        self.serve_snapshots = Some(cfg);
         self
     }
 
@@ -552,6 +579,7 @@ impl<'a> RunBuilder<'a> {
         let RunBuilder {
             cfg,
             checkpoint,
+            serve_snapshots,
             resume,
             resume_source,
             guard: guard_cfg,
@@ -755,6 +783,21 @@ impl<'a> RunBuilder<'a> {
                     lr_scale: guard.lr_scale(),
                 };
                 let path = save_run_state(ckpt, &state)?;
+                observer.on_checkpoint(task_idx, &path);
+            }
+
+            if let Some(serve_cfg) = &serve_snapshots {
+                let (reprs, repr_tasks) = method
+                    .replay_representations()
+                    .unwrap_or_else(|| (Matrix::zeros(0, model.repr_dim()), Vec::new()));
+                let snap = ServeSnapshot::capture(
+                    model,
+                    reprs,
+                    repr_tasks,
+                    seq.name.clone(),
+                    task_idx + 1,
+                )?;
+                let path = save_serve_snapshot(serve_cfg, &snap)?;
                 observer.on_checkpoint(task_idx, &path);
             }
         }

@@ -15,6 +15,8 @@
 //! | resume | `--resume` | `EDSR_RESUME` | off |
 //! | observability mode | `--obs MODE` | `EDSR_OBS` | `off` |
 //! | metrics path | `--obs-path PATH` | `EDSR_OBS_PATH` | `metrics.jsonl` |
+//! | serve batch cap | `--serve-batch N` | `EDSR_SERVE_BATCH` | server default |
+//! | serve window (µs) | `--serve-window-us N` | `EDSR_SERVE_WINDOW_US` | server default |
 //!
 //! Boolean env vars are truthy unless empty, `0`, `false`, or `off`
 //! (case-insensitive). [`EnvConfig::resolve`] is pure — the environment is
@@ -43,6 +45,11 @@ pub struct EnvConfig {
     pub obs: ObsMode,
     /// Metrics file path for [`ObsMode::Jsonl`].
     pub obs_path: PathBuf,
+    /// Micro-batcher flush size for `edsr serve` (`None` = server default).
+    pub serve_batch: Option<usize>,
+    /// Micro-batcher coalescing window in microseconds for `edsr serve`
+    /// (`None` = server default).
+    pub serve_window_us: Option<u64>,
     /// Arguments `resolve` did not consume (positionals and unknown
     /// flags), in their original order, for the caller's own parser.
     pub rest: Vec<String>,
@@ -57,6 +64,8 @@ impl Default for EnvConfig {
             resume: false,
             obs: ObsMode::Off,
             obs_path: PathBuf::from("metrics.jsonl"),
+            serve_batch: None,
+            serve_window_us: None,
             rest: Vec::new(),
         }
     }
@@ -103,6 +112,12 @@ impl EnvConfig {
                 cfg.obs_path = PathBuf::from(v);
             }
         }
+        if let Some(v) = env("EDSR_SERVE_BATCH") {
+            cfg.serve_batch = Some(parse_count("EDSR_SERVE_BATCH", &v)?);
+        }
+        if let Some(v) = env("EDSR_SERVE_WINDOW_US") {
+            cfg.serve_window_us = Some(parse_window("EDSR_SERVE_WINDOW_US", &v)?);
+        }
 
         // CLI layer (wins). Both `--flag value` and `--flag=value` work.
         let mut it = args.iter().peekable();
@@ -130,6 +145,14 @@ impl EnvConfig {
                     cfg.obs = ObsMode::parse(&v).ok_or_else(|| bad_obs("--obs", &v))?;
                 }
                 "--obs-path" => cfg.obs_path = PathBuf::from(value(&mut it)?),
+                "--serve-batch" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_batch = Some(parse_count("--serve-batch", &v)?);
+                }
+                "--serve-window-us" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_window_us = Some(parse_window("--serve-window-us", &v)?);
+                }
                 _ => cfg.rest.push(arg.clone()),
             }
         }
@@ -162,6 +185,20 @@ fn parse_threads(source: &str, value: &str) -> Result<usize, String> {
             "{source}: expected a thread count >= 1, got {value:?}"
         )),
     }
+}
+
+fn parse_count(source: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{source}: expected a count >= 1, got {value:?}")),
+    }
+}
+
+fn parse_window(source: &str, value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("{source}: expected microseconds (u64), got {value:?}"))
 }
 
 fn bad_obs(source: &str, value: &str) -> String {
@@ -254,6 +291,33 @@ mod tests {
             EnvConfig::resolve(env, &[]).unwrap().obs_path,
             PathBuf::from("env.jsonl")
         );
+    }
+
+    #[test]
+    fn serve_batch_cli_beats_env_and_validates() {
+        let env = |k: &str| (k == "EDSR_SERVE_BATCH").then(|| "16".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-batch", "4"])).unwrap();
+        assert_eq!(cfg.serve_batch, Some(4));
+        assert_eq!(EnvConfig::resolve(env, &[]).unwrap().serve_batch, Some(16));
+        assert_eq!(EnvConfig::resolve(no_env, &[]).unwrap().serve_batch, None);
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-batch", "0"])).is_err());
+        let bad = |k: &str| (k == "EDSR_SERVE_BATCH").then(|| "lots".to_string());
+        assert!(EnvConfig::resolve(bad, &[]).is_err());
+    }
+
+    #[test]
+    fn serve_window_cli_beats_env_and_validates() {
+        let env = |k: &str| (k == "EDSR_SERVE_WINDOW_US").then(|| "250".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-window-us=1000"])).unwrap();
+        assert_eq!(cfg.serve_window_us, Some(1000));
+        assert_eq!(
+            EnvConfig::resolve(env, &[]).unwrap().serve_window_us,
+            Some(250)
+        );
+        // Zero is a valid window: flush immediately once a request lands.
+        let cfg = EnvConfig::resolve(no_env, &args(&["--serve-window-us", "0"])).unwrap();
+        assert_eq!(cfg.serve_window_us, Some(0));
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-window-us", "-5"])).is_err());
     }
 
     #[test]

@@ -417,6 +417,20 @@ impl Method for Edsr {
         self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
         Ok(())
     }
+
+    // Serve snapshots bundle the cached selection-time representations so
+    // the server can answer kNN queries against replay memory without
+    // re-encoding the stored inputs. The representation width is inferred
+    // from the memory itself: every item stores its feature vector at
+    // selection time, all in the model's `repr_dim`.
+    fn replay_representations(&self) -> Option<(Matrix, Vec<u64>)> {
+        let dim = self
+            .memory
+            .items()
+            .iter()
+            .find_map(|item| item.stored_features.as_ref().map(Vec::len))?;
+        Some(edsr_cl::memory_representations(&self.memory, dim))
+    }
 }
 
 #[cfg(test)]

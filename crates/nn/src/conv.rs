@@ -13,7 +13,7 @@
 //! gather permutes the layout back to channel-major `B x (K·OH·OW)` rows.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use edsr_tensor::rng::gaussian;
 use edsr_tensor::{Matrix, Tape, Var};
@@ -57,7 +57,7 @@ pub struct Conv2d {
     filters: usize,
     /// Gather maps for the last-seen batch size. The maps are pure
     /// functions of `(geometry, batch)`, so caching them makes repeated
-    /// same-size forward passes allocation-free (the `Rc`s are shared with
+    /// same-size forward passes allocation-free (the `Arc`s are shared with
     /// the tape nodes that recorded them).
     maps: RefCell<Option<CachedMaps>>,
 }
@@ -65,8 +65,8 @@ pub struct Conv2d {
 #[derive(Debug, Clone)]
 struct CachedMaps {
     batch: usize,
-    im2col: Rc<Vec<usize>>,
-    regroup: Rc<Vec<usize>>,
+    im2col: Arc<Vec<usize>>,
+    regroup: Arc<Vec<usize>>,
 }
 
 impl Conv2d {
@@ -190,17 +190,17 @@ impl Conv2d {
 
     /// Returns the (cached) gather maps for a batch of `b` rows,
     /// rebuilding them only when the batch size changes.
-    fn maps_for(&self, b: usize) -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
+    fn maps_for(&self, b: usize) -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
         let mut cache = self.maps.borrow_mut();
         match cache.as_ref() {
-            Some(c) if c.batch == b => (Rc::clone(&c.im2col), Rc::clone(&c.regroup)),
+            Some(c) if c.batch == b => (Arc::clone(&c.im2col), Arc::clone(&c.regroup)),
             _ => {
-                let im2col = Rc::new(self.im2col_map(b));
-                let regroup = Rc::new(self.regroup_map(b));
+                let im2col = Arc::new(self.im2col_map(b));
+                let regroup = Arc::new(self.regroup_map(b));
                 *cache = Some(CachedMaps {
                     batch: b,
-                    im2col: Rc::clone(&im2col),
-                    regroup: Rc::clone(&regroup),
+                    im2col: Arc::clone(&im2col),
+                    regroup: Arc::clone(&regroup),
                 });
                 (im2col, regroup)
             }
@@ -332,13 +332,18 @@ mod tests {
             let b = t.value(vars[0]).rows();
             let cols = t.gather(
                 vars[0],
-                std::rc::Rc::new(conv.im2col_map(b)),
+                std::sync::Arc::new(conv.im2col_map(b)),
                 b * conv.out_height() * conv.out_width(),
                 2 * 4,
             );
             let r = t.matmul(cols, vars[1]);
             let r = t.add_row(r, vars[2]);
-            let y = t.gather(r, std::rc::Rc::new(conv.regroup_map(b)), b, conv.out_dim());
+            let y = t.gather(
+                r,
+                std::sync::Arc::new(conv.regroup_map(b)),
+                b,
+                conv.out_dim(),
+            );
             let sq = t.square(y);
             t.mean(sq)
         });
@@ -377,9 +382,15 @@ mod tests {
         let (conv, _ps) = layer(609, shape, 3, 2);
         let (a1, a2) = conv.maps_for(4);
         let (b1, b2) = conv.maps_for(4);
-        assert!(Rc::ptr_eq(&a1, &b1) && Rc::ptr_eq(&a2, &b2), "cache missed");
+        assert!(
+            Arc::ptr_eq(&a1, &b1) && Arc::ptr_eq(&a2, &b2),
+            "cache missed"
+        );
         let (c1, _) = conv.maps_for(2);
-        assert!(!Rc::ptr_eq(&a1, &c1), "stale map served for new batch size");
+        assert!(
+            !Arc::ptr_eq(&a1, &c1),
+            "stale map served for new batch size"
+        );
         assert_eq!(c1.len(), 2 * conv.out_height() * conv.out_width() * 2 * 9);
     }
 

@@ -188,14 +188,41 @@ impl Mlp {
             .collect()
     }
 
-    /// Records the forward pass on the tape.
+    /// Records the (train-mode) forward pass on the tape.
     pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, params: &ParamSet, x: Var) -> Var {
+        self.forward_mode(tape, binder, params, x, true)
+    }
+
+    /// Records an eval-mode forward: batch standardization is skipped
+    /// entirely, so each output row depends only on its own input row.
+    /// This matches train-mode behaviour for single-row batches (where
+    /// the statistics are undefined and BN is already skipped) and is
+    /// what inference servers rely on for batched responses being
+    /// bit-identical to single-request responses.
+    pub fn forward_eval(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: Var,
+    ) -> Var {
+        self.forward_mode(tape, binder, params, x, false)
+    }
+
+    fn forward_mode(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: Var,
+        train: bool,
+    ) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(tape, binder, params, h);
             if i != last {
-                if self.batch_norm && tape.value(h).rows() >= 2 {
+                if train && self.batch_norm && tape.value(h).rows() >= 2 {
                     h = tape.col_standardize(h, 1e-5);
                 }
                 h = self.activation.apply(tape, h);
@@ -392,6 +419,39 @@ mod tests {
         let a = plain.infer(&ps, &x);
         let b = bn.infer(&ps, &x);
         assert!(a.max_abs_diff(&b) > 1e-5, "BN had no effect on a batch");
+    }
+
+    #[test]
+    fn eval_forward_is_row_independent() {
+        // Eval mode skips batch standardization, so each batched row must
+        // be bit-identical to forwarding that row alone.
+        let mut rng = seeded(120);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[3, 5, 2],
+            Activation::Relu,
+            Init::He,
+            &mut rng,
+        )
+        .with_batch_norm(true);
+        let x = Matrix::randn(4, 3, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let input = tape.leaf(x.clone());
+        let batched = mlp.forward_eval(&mut tape, &mut binder, &ps, input);
+        let batched = tape.value(batched).clone();
+        for i in 0..x.rows() {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new();
+            let row = tape.leaf(Matrix::from_vec(1, 3, x.row(i).to_vec()));
+            let solo = mlp.forward_eval(&mut tape, &mut binder, &ps, row);
+            let solo = tape.value(solo);
+            let a: Vec<u32> = batched.row(i).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = solo.row(0).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "row {i} diverged in eval mode");
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! - [`Strategy`] with `prop_map` / `prop_flat_map`
 //! - ranges (`-5.0f32..5.0`, `1usize..8`, `1..=6`) and tuples as strategies
 //! - [`collection::vec`] with exact or ranged lengths
+//! - [`any`] over the primitive integer/bool types and the
+//!   [`prop_oneof!`] union of same-valued strategies
 //! - the [`proptest!`] block macro with optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`
 //! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`]
@@ -150,6 +152,108 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(usize, u64, u32);
 
+// The vendored rand only samples u32/u64 ranges directly; narrow integer
+// ranges go through u32.
+macro_rules! impl_narrow_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(u32::from(self.start)..u32::from(self.end)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(u32::from(*self.start())..=u32::from(*self.end())) as $t
+            }
+        }
+    )*};
+}
+
+impl_narrow_range_strategy!(u8, u16);
+
+/// Types [`any`] can sample over their full domain.
+pub trait ArbitrarySample: Debug {
+    /// Draws one uniformly distributed value.
+    fn sample_any(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn sample_any(rng: &mut StdRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl ArbitrarySample for bool {
+    fn sample_any(rng: &mut StdRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+/// Samples the full domain of `T` (upstream `any::<T>()`).
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform choice between same-valued strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    branches: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over `branches` (must be non-empty).
+    pub fn new(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof!: no branches");
+        Self { branches }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.random_range(0..self.branches.len());
+        self.branches[idx].sample(rng)
+    }
+}
+
+/// Uniformly picks one of the given strategies per case (upstream's
+/// macro, minus weight syntax).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let branches: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(branches)
+    }};
+}
+
 impl Strategy for Range<f32> {
     type Value = f32;
     fn sample(&self, rng: &mut StdRng) -> f32 {
@@ -236,8 +340,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult, Union,
     };
 }
 
@@ -408,6 +512,12 @@ mod tests {
         #[test]
         fn default_config_block_works(pair in (1usize..4, 1usize..4)) {
             prop_assert!(pair.0 * pair.1 < 16);
+        }
+
+        #[test]
+        fn any_and_oneof_sample(x in any::<u16>(), pick in prop_oneof![Just(1usize), 5usize..9]) {
+            prop_assert!(u32::from(x) <= u32::from(u16::MAX));
+            prop_assert!(pick == 1 || (5..9).contains(&pick));
         }
     }
 

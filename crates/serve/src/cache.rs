@@ -1,0 +1,199 @@
+//! LRU embedding cache keyed on the input's hash.
+//!
+//! Keys are an FNV-1a hash of `(task, input bit pattern)`; each entry
+//! keeps the full input alongside the embedding and verifies it bitwise
+//! on lookup, so a hash collision degrades to a miss — it can never
+//! return the wrong embedding. Eviction is least-recently-used by a
+//! monotone touch tick; the evicted entry's buffers are recycled into the
+//! incoming one, so a warm cache serves hits with **zero** heap
+//! allocations and misses with a small constant number (covered by
+//! `tests/zero_alloc.rs`).
+
+use std::collections::HashMap;
+
+/// FNV-1a over the task index and the input's f32 bit patterns.
+fn fingerprint(task: usize, input: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in (task as u64).to_le_bytes() {
+        mix(b);
+    }
+    for x in input {
+        for b in x.to_bits().to_le_bytes() {
+            mix(b);
+        }
+    }
+    h
+}
+
+struct Entry {
+    task: usize,
+    input: Vec<f32>,
+    embedding: Vec<f32>,
+    tick: u64,
+}
+
+/// Bounded least-recently-used map from `(task, input)` to embedding.
+pub struct EmbedCache {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl EmbedCache {
+    /// A cache holding at most `capacity` embeddings (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            // +1 head-room so insert-then-evict never rehashes.
+            map: HashMap::with_capacity(capacity.saturating_add(1)),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the embedding for `(task, input)`, copying it into `out`
+    /// on a hit (cleared first). Counts the hit/miss either way.
+    pub fn lookup_into(&mut self, task: usize, input: &[f32], out: &mut Vec<f32>) -> bool {
+        self.tick += 1;
+        let key = fingerprint(task, input);
+        if let Some(e) = self.map.get_mut(&key) {
+            let same = e.task == task
+                && e.input.len() == input.len()
+                && e.input
+                    .iter()
+                    .zip(input)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if same {
+                e.tick = self.tick;
+                out.clear();
+                out.extend_from_slice(&e.embedding);
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Stores an embedding, evicting the least-recently-used entry when
+    /// full. The evicted entry's buffers are reused for the new one.
+    pub fn insert(&mut self, task: usize, input: &[f32], embedding: &[f32]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let key = fingerprint(task, input);
+        let (mut input_buf, mut emb_buf) = if let Some(old) = self.map.remove(&key) {
+            // Same fingerprint (refresh or collision): replace in place.
+            (old.input, old.embedding)
+        } else if self.map.len() >= self.capacity {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            let old = self.map.remove(&lru).expect("lru key present");
+            (old.input, old.embedding)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        input_buf.clear();
+        input_buf.extend_from_slice(input);
+        emb_buf.clear();
+        emb_buf.extend_from_slice(embedding);
+        self.map.insert(
+            key,
+            Entry {
+                task,
+                input: input_buf,
+                embedding: emb_buf,
+                tick: self.tick,
+            },
+        );
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_stored_embedding_bitwise() {
+        let mut c = EmbedCache::new(4);
+        let input = [1.0f32, -0.0, f32::NAN];
+        let emb = [9.5f32, 2.0];
+        c.insert(0, &input, &emb);
+        let mut out = Vec::new();
+        assert!(c.lookup_into(0, &input, &mut out));
+        assert_eq!(
+            out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            emb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // Different task: miss, even with identical input bytes.
+        assert!(!c.lookup_into(1, &input, &mut out));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = EmbedCache::new(2);
+        c.insert(0, &[1.0], &[10.0]);
+        c.insert(0, &[2.0], &[20.0]);
+        let mut out = Vec::new();
+        assert!(c.lookup_into(0, &[1.0], &mut out)); // touch 1.0 → 2.0 is LRU
+        c.insert(0, &[3.0], &[30.0]);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup_into(0, &[1.0], &mut out));
+        assert!(c.lookup_into(0, &[3.0], &mut out));
+        assert!(!c.lookup_into(0, &[2.0], &mut out));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = EmbedCache::new(0);
+        c.insert(0, &[1.0], &[10.0]);
+        assert!(c.is_empty());
+        let mut out = Vec::new();
+        assert!(!c.lookup_into(0, &[1.0], &mut out));
+    }
+
+    #[test]
+    fn reinsert_same_key_refreshes() {
+        let mut c = EmbedCache::new(2);
+        c.insert(0, &[1.0], &[10.0]);
+        c.insert(0, &[1.0], &[11.0]);
+        assert_eq!(c.len(), 1);
+        let mut out = Vec::new();
+        assert!(c.lookup_into(0, &[1.0], &mut out));
+        assert_eq!(out, vec![11.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Blocking client for the serve wire protocol.
+//!
+//! One [`Client`] owns one connection and reuses its frame buffers, so a
+//! steady request loop allocates only for the returned values. Used by
+//! `tests/serve.rs`, the `serve_load` load generator, and the
+//! `edsr query` CLI.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, StatsReply, WireMetric, WireNeighbor,
+};
+use crate::ServeError;
+
+/// A blocking connection to an `edsr serve` instance.
+pub struct Client {
+    stream: TcpStream,
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY` so single-request latency is honest).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            payload: Vec::new(),
+            frame: Vec::new(),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
+        req.encode_into(&mut self.payload);
+        write_frame(&mut self.stream, &self.payload)?;
+        if !read_frame(&mut self.stream, &mut self.frame)? {
+            return Err(ServeError::ServerClosed);
+        }
+        let (_opcode, resp) = Response::decode(&self.frame)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ServeError::Rejected { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Embeds `input` through the snapshot encoder for `task`.
+    pub fn embed(&mut self, task: u32, input: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let resp = self.roundtrip(&Request::Embed {
+            task,
+            input: input.to_vec(),
+        })?;
+        match resp {
+            Response::Embedding(v) => Ok(v),
+            _ => Err(ServeError::UnexpectedResponse),
+        }
+    }
+
+    /// The `k` stored replay representations nearest to `query`.
+    pub fn knn(
+        &mut self,
+        query: &[f32],
+        k: u32,
+        metric: WireMetric,
+    ) -> Result<Vec<WireNeighbor>, ServeError> {
+        let resp = self.roundtrip(&Request::Knn {
+            k,
+            metric,
+            query: query.to_vec(),
+        })?;
+        match resp {
+            Response::Neighbors(ns) => Ok(ns),
+            _ => Err(ServeError::UnexpectedResponse),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ServeError::UnexpectedResponse),
+        }
+    }
+
+    /// Asks the server to drain and stop; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ServeError::UnexpectedResponse),
+        }
+    }
+}

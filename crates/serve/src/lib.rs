@@ -1,0 +1,96 @@
+//! # edsr-serve
+//!
+//! Embedding inference server over trained EDSR snapshots: the queryable
+//! product of unsupervised continual learning (DESIGN.md §12).
+//!
+//! - [`engine`] — loads a `cl::checkpoint::ServeSnapshot` (encoder
+//!   architecture + weights + replay-memory representations) and answers
+//!   embed/kNN requests through the zero-alloc workspace forward and
+//!   `linalg::KnnQuery`.
+//! - [`server`] — a dynamic micro-batching queue that coalesces
+//!   concurrent embed requests into one batched forward, plus a blocking
+//!   thread-per-connection TCP server with a bounded accept pool and
+//!   graceful drain.
+//! - [`protocol`] — the versioned length-prefixed binary wire format.
+//! - [`client`] — a blocking client for tests, load generation, and the
+//!   `edsr query` CLI.
+//!
+//! Determinism contract: serving runs the encoder's eval-mode forward
+//! (batch standardization skipped), which computes each output row
+//! independently in a fixed accumulation order, so batched responses are
+//! bit-identical to single-request responses at any `EDSR_THREADS`.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use cache::EmbedCache;
+pub use client::Client;
+pub use engine::{EmbedReport, Engine};
+pub use protocol::{
+    ProtocolError, Request, Response, StatsReply, WireMetric, WireNeighbor, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use server::{serve, Batcher, ServeHandle, ServerConfig, ServerReport, SubmitError, Submitter};
+
+/// Failures surfaced by the serve layer (client and server setup).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket/listener error.
+    Io(std::io::Error),
+    /// Malformed or truncated wire traffic.
+    Protocol(ProtocolError),
+    /// The server answered with an error response.
+    Rejected {
+        /// One of the protocol `ERR_*` codes.
+        code: u16,
+        /// Server-provided reason.
+        message: String,
+    },
+    /// The server closed the connection before answering.
+    ServerClosed,
+    /// The server answered with a different response type than the
+    /// request called for.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o: {e}"),
+            ServeError::Protocol(e) => write!(f, "serve protocol: {e}"),
+            ServeError::Rejected { code, message } => {
+                write!(f, "request rejected (code {code}): {message}")
+            }
+            ServeError::ServerClosed => write!(f, "server closed the connection"),
+            ServeError::UnexpectedResponse => write!(f, "unexpected response type"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(io) => ServeError::Io(io),
+            other => ServeError::Protocol(other),
+        }
+    }
+}

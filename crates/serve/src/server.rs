@@ -1,0 +1,909 @@
+//! Dynamic micro-batching queue and the blocking TCP server.
+//!
+//! ## Batching window semantics
+//!
+//! Embed requests enqueue onto one shared queue and block on a
+//! per-submitter slot. A dedicated batcher thread flushes the queue when
+//! either **max batch size** requests are waiting or the **batching
+//! window** has elapsed since the *oldest* queued request arrived —
+//! whichever comes first. A flush drains up to `max_batch` requests,
+//! groups them by task, and answers each group with one
+//! [`Engine::embed_rows`] call, so concurrent clients share a single
+//! batched forward. Because the forward computes rows independently,
+//! coalescing never changes any individual answer.
+//!
+//! The submit path and the flush path recycle every buffer they touch
+//! (slot state, staging matrix, drained-batch vector), so a warm
+//! cache-hit embed makes zero steady-state heap allocations end to end
+//! (`tests/zero_alloc.rs`).
+//!
+//! ## Shutdown
+//!
+//! A shutdown request (or [`ServeHandle::shutdown`]) stops the accept
+//! loop; connection handlers observe the flag only **between** frames, so
+//! every fully received request is still answered; the batcher drains its
+//! queue before exiting. Accepted requests are never dropped.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use edsr_tensor::Matrix;
+
+use crate::engine::{EmbedReport, Engine};
+use crate::protocol::{
+    write_frame, ProtocolError, Request, Response, StatsReply, WireNeighbor, ERR_BAD_REQUEST,
+    ERR_SHUTTING_DOWN,
+};
+use crate::ServeError;
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Server/batcher tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Flush the micro-batch queue at this many waiting requests.
+    pub max_batch: usize,
+    /// ... or once the oldest waiting request is this old.
+    pub window: Duration,
+    /// Concurrent connections the accept pool admits; further clients
+    /// queue in the listen backlog.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            window: Duration::from_micros(500),
+            max_connections: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Queued,
+    Done,
+    Failed,
+}
+
+struct SlotInner {
+    phase: Phase,
+    task: usize,
+    enqueued: Instant,
+    input: Vec<f32>,
+    out: Vec<f32>,
+    error: String,
+    report: EmbedReport,
+}
+
+/// One submitter's rendezvous cell with the batcher thread. All buffers
+/// live inside and are recycled across requests.
+struct Slot {
+    inner: Mutex<SlotInner>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(SlotInner {
+                phase: Phase::Idle,
+                task: 0,
+                enqueued: Instant::now(),
+                input: Vec::new(),
+                out: Vec::new(),
+                error: String::new(),
+                report: EmbedReport::default(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+#[derive(Default)]
+struct BatchStats {
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// State shared between submitters, the batcher thread, and the TCP
+/// handlers (which also reach the engine directly for knn/stats).
+struct BatchShared {
+    engine: Mutex<Engine>,
+    queue: Mutex<VecDeque<Arc<Slot>>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    max_batch: usize,
+    window: Duration,
+    stats: BatchStats,
+}
+
+/// The dynamic micro-batcher: owns the [`Engine`] (behind a mutex shared
+/// with knn/stats callers) and a worker thread coalescing embed
+/// submissions. Usable standalone, without the TCP server — the
+/// zero-allocation tests drive it in-process.
+pub struct Batcher {
+    shared: Arc<BatchShared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Why a submission was not answered.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The batcher is draining for shutdown.
+    ShuttingDown,
+    /// The engine rejected the request (dimension/task validation).
+    Rejected(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::Rejected(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl Batcher {
+    /// Starts the batcher thread over `engine`.
+    pub fn new(engine: Engine, max_batch: usize, window: Duration) -> Self {
+        let shared = Arc::new(BatchShared {
+            engine: Mutex::new(engine),
+            queue: Mutex::new(VecDeque::with_capacity(max_batch.max(1) * 2)),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            max_batch: max_batch.max(1),
+            window,
+            stats: BatchStats::default(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("edsr-serve-batch".into())
+            .spawn(move || batch_worker(&worker_shared))
+            .expect("spawn batcher thread");
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// A new submission handle (one per concurrent caller; each embeds
+    /// through its own recycled slot).
+    pub fn submitter(&self) -> Submitter {
+        Submitter {
+            shared: Arc::clone(&self.shared),
+            slot: Slot::new(),
+        }
+    }
+
+    /// The engine, for knn/stats calls that bypass the embed queue.
+    fn engine(&self) -> MutexGuard<'_, Engine> {
+        lock(&self.shared.engine)
+    }
+
+    /// Runs `f` under the engine lock.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        f(&mut self.engine())
+    }
+
+    /// Batches flushed, requests coalesced, and the largest batch so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.stats.batches.load(Ordering::Relaxed),
+            self.shared.stats.batched_requests.load(Ordering::Relaxed),
+            self.shared.stats.max_batch.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drains the queue and stops the worker thread. Submissions after
+    /// this fail with [`SubmitError::ShuttingDown`]; knn/stats through
+    /// [`with_engine`](Self::with_engine) keep working.
+    pub fn stop(&mut self) {
+        self.stop_worker();
+    }
+
+    fn stop_worker(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+/// A per-caller embed handle. `embed` blocks until the batcher answers.
+pub struct Submitter {
+    shared: Arc<BatchShared>,
+    slot: Arc<Slot>,
+}
+
+impl Submitter {
+    /// Submits one embed request: `input` is handed to the batcher and
+    /// returned (unchanged) on completion; the embedding lands in `out`.
+    /// Both buffers are recycled — warm calls allocate nothing here.
+    pub fn embed(
+        &mut self,
+        task: usize,
+        input: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) -> Result<EmbedReport, SubmitError> {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        {
+            let mut inner = lock(&self.slot.inner);
+            debug_assert_eq!(inner.phase, Phase::Idle, "slot reused while in flight");
+            inner.task = task;
+            inner.enqueued = Instant::now();
+            std::mem::swap(&mut inner.input, input);
+            std::mem::swap(&mut inner.out, out);
+            inner.phase = Phase::Queued;
+        }
+        // Lock order: a submitter never holds its slot lock while taking
+        // the queue lock (the batcher acquires queue → slot).
+        {
+            let mut q = lock(&self.shared.queue);
+            q.push_back(Arc::clone(&self.slot));
+            self.shared.queue_cv.notify_all();
+        }
+        let mut inner = lock(&self.slot.inner);
+        while inner.phase == Phase::Queued {
+            inner = self.slot.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::swap(&mut inner.input, input);
+        std::mem::swap(&mut inner.out, out);
+        let failed = inner.phase == Phase::Failed;
+        let report = inner.report;
+        inner.phase = Phase::Idle;
+        if failed {
+            let msg = std::mem::take(&mut inner.error);
+            if msg == "server is shutting down" {
+                Err(SubmitError::ShuttingDown)
+            } else {
+                Err(SubmitError::Rejected(msg))
+            }
+        } else {
+            Ok(report)
+        }
+    }
+}
+
+/// The batcher thread: wait for work, honour the batching window, flush.
+fn batch_worker(shared: &BatchShared) {
+    let mut batch: Vec<Arc<Slot>> = Vec::with_capacity(shared.max_batch);
+    let mut order: Vec<usize> = Vec::with_capacity(shared.max_batch);
+    let mut done: Vec<bool> = Vec::with_capacity(shared.max_batch);
+    let mut staging = Matrix::zeros(0, 0);
+    loop {
+        let mut q = lock(&shared.queue);
+        loop {
+            if !q.is_empty() {
+                break;
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                return; // queue drained, safe to exit
+            }
+            let (guard, _) = shared
+                .queue_cv
+                .wait_timeout(q, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        // Window: flush when full, when the oldest request ages out, or
+        // immediately when draining for shutdown.
+        if !shared.stop.load(Ordering::SeqCst) {
+            let deadline = {
+                let front = q.front().expect("non-empty");
+                let enqueued = lock(&front.inner).enqueued;
+                enqueued + shared.window
+            };
+            while q.len() < shared.max_batch && !shared.stop.load(Ordering::SeqCst) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+        let n = q.len().min(shared.max_batch);
+        batch.clear();
+        batch.extend(q.drain(..n));
+        drop(q);
+        flush(shared, &batch, &mut order, &mut done, &mut staging);
+        batch.clear(); // drop Arc refs promptly
+    }
+}
+
+/// Answers one drained batch: group by task, one batched forward per
+/// group, fill and wake every slot.
+fn flush(
+    shared: &BatchShared,
+    batch: &[Arc<Slot>],
+    order: &mut Vec<usize>,
+    done: &mut Vec<bool>,
+    staging: &mut Matrix,
+) {
+    let n = batch.len();
+    if n == 0 {
+        return;
+    }
+    let obs_on = edsr_obs::enabled();
+    if obs_on {
+        edsr_obs::counter("serve/batches", 1);
+        edsr_obs::counter("serve/batched_requests", n as u64);
+        edsr_obs::histogram("serve/batch_size", n as f64);
+    }
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batched_requests
+        .fetch_add(n as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .max_batch
+        .fetch_max(n as u64, Ordering::Relaxed);
+
+    let mut engine = lock(&shared.engine);
+    done.clear();
+    done.resize(n, false);
+    for start in 0..n {
+        if done[start] {
+            continue;
+        }
+        let task = lock(&batch[start].inner).task;
+        let dim = match engine.expected_input_dim(task) {
+            Ok(d) => d,
+            Err(msg) => {
+                // Fail every request of this (invalid) task in the batch.
+                for (i, slot) in batch.iter().enumerate().skip(start) {
+                    if !done[i] && lock(&slot.inner).task == task {
+                        done[i] = true;
+                        fail_slot(slot, &msg);
+                    }
+                }
+                continue;
+            }
+        };
+        // Gather this task's rows; wrong-width inputs fail individually
+        // so one bad client cannot sink its batch-mates.
+        order.clear();
+        for (i, slot) in batch.iter().enumerate().skip(start) {
+            if done[i] {
+                continue;
+            }
+            let inner = lock(&slot.inner);
+            if inner.task != task {
+                continue;
+            }
+            done[i] = true;
+            if inner.input.len() == dim {
+                order.push(i);
+            } else {
+                let msg = format!(
+                    "got {} features, task {task} expects {dim}",
+                    inner.input.len()
+                );
+                drop(inner);
+                fail_slot(slot, &msg);
+            }
+        }
+        if order.is_empty() {
+            continue;
+        }
+        if staging.rows() != order.len() || staging.cols() != dim {
+            *staging = Matrix::zeros(order.len(), dim);
+        }
+        for (row, &i) in order.iter().enumerate() {
+            staging
+                .row_mut(row)
+                .copy_from_slice(&lock(&batch[i].inner).input);
+        }
+        let result = engine.embed_rows(task, staging, |row, emb, hit| {
+            let slot = &batch[order[row]];
+            let mut inner = lock(&slot.inner);
+            inner.out.clear();
+            inner.out.extend_from_slice(emb);
+            inner.report = EmbedReport {
+                forward_rows: usize::from(!hit),
+                cache_hits: usize::from(hit),
+            };
+            inner.phase = Phase::Done;
+            slot.cv.notify_one();
+        });
+        if let Err(msg) = result {
+            for &i in order.iter() {
+                // embed_rows validates before emitting: on error no slot
+                // of this group has been answered yet.
+                fail_slot(&batch[i], &msg);
+            }
+        }
+    }
+}
+
+fn fail_slot(slot: &Slot, msg: &str) {
+    let mut inner = lock(&slot.inner);
+    inner.error.clear();
+    inner.error.push_str(msg);
+    inner.phase = Phase::Failed;
+    slot.cv.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// TCP server.
+
+/// Final counters reported by [`ServeHandle::join`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerReport {
+    /// Requests answered across all connections.
+    pub requests: u64,
+    /// Batched forward flushes.
+    pub batches: u64,
+    /// Embed requests answered through the batcher.
+    pub batched_requests: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+}
+
+struct ServerShared {
+    batch: Arc<BatchShared>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+    max_connections: usize,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](Self::shutdown) + [`join`](Self::join) (or send a
+/// shutdown request over the wire).
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<std::thread::JoinHandle<ServerReport>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to drain and stop (same as a wire shutdown).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop to drain all connections and the
+    /// batcher to stop; returns the final counters.
+    pub fn join(mut self) -> Result<ServerReport, ServeError> {
+        let handle = self.accept.take().expect("join called once");
+        handle.join().map_err(|_| ServeError::ServerClosed)
+    }
+}
+
+/// Starts the server over `engine` on `addr` (use port 0 for an
+/// ephemeral port; read it back from [`ServeHandle::addr`]).
+pub fn serve(
+    engine: Engine,
+    addr: impl std::net::ToSocketAddrs,
+    cfg: ServerConfig,
+) -> Result<ServeHandle, ServeError> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let batcher = Batcher::new(engine, cfg.max_batch, cfg.window);
+    let shared = Arc::new(ServerShared {
+        batch: Arc::clone(&batcher.shared),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        conns: Mutex::new(0),
+        conns_cv: Condvar::new(),
+        max_connections: cfg.max_connections.max(1),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("edsr-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared, batcher))
+        .map_err(ServeError::Io)?;
+    Ok(ServeHandle {
+        addr: local,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    mut batcher: Batcher,
+) -> ServerReport {
+    let _span = edsr_obs::span!("serve/accept_loop");
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Bounded accept pool: block admission at capacity.
+                {
+                    let mut active = lock(&shared.conns);
+                    while *active >= shared.max_connections {
+                        active = shared
+                            .conns_cv
+                            .wait(active)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    *active += 1;
+                }
+                let conn_shared = Arc::clone(shared);
+                let submitter = batcher.submitter();
+                let h = std::thread::Builder::new()
+                    .name("edsr-serve-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared, submitter);
+                        let mut active = lock(&conn_shared.conns);
+                        *active -= 1;
+                        conn_shared.conns_cv.notify_one();
+                    })
+                    .expect("spawn connection handler");
+                handlers.push(h);
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    // Graceful drain: every accepted connection finishes its in-flight
+    // frames, then the batcher empties its queue and stops.
+    for h in handlers {
+        let _ = h.join();
+    }
+    batcher.stop_worker();
+    let (batches, batched_requests, max_batch) = batcher.stats();
+    let (cache_hits, cache_misses) = batcher.with_engine(|e| (e.cache_hits(), e.cache_misses()));
+    edsr_obs::flush();
+    ServerReport {
+        requests: shared.requests.load(Ordering::Relaxed),
+        batches,
+        batched_requests,
+        max_batch,
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// Reads one frame, polling the shutdown flag between frames (a read
+/// timeout only aborts the connection mid-frame after `stall_cap`).
+fn poll_frame(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &ServerShared,
+) -> Result<bool, ProtocolError> {
+    use std::io::Read;
+    let stall_cap = Duration::from_secs(5);
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    let mut stall_start: Option<Instant> = None;
+    while filled < 4 {
+        match stream.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(ProtocolError::Truncated {
+                    expected: 4,
+                    got: filled,
+                })
+            }
+            Ok(n) => {
+                filled += n;
+                stall_start = None;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 {
+                    // Idle between frames: honour shutdown.
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Ok(false);
+                    }
+                } else {
+                    // Mid-frame: give the client time, but not forever.
+                    let start = *stall_start.get_or_insert_with(Instant::now);
+                    if start.elapsed() > stall_cap {
+                        return Err(ProtocolError::Truncated {
+                            expected: 4,
+                            got: filled,
+                        });
+                    }
+                }
+            }
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > crate::protocol::MAX_FRAME {
+        return Err(ProtocolError::TooLarge(len));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    let mut read = 0usize;
+    let mut stall_start: Option<Instant> = None;
+    while read < len {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Truncated {
+                    expected: len,
+                    got: read,
+                })
+            }
+            Ok(n) => {
+                read += n;
+                stall_start = None;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let start = *stall_start.get_or_insert_with(Instant::now);
+                if start.elapsed() > stall_cap {
+                    return Err(ProtocolError::Truncated {
+                        expected: len,
+                        got: read,
+                    });
+                }
+            }
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &ServerShared, mut submitter: Submitter) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut frame = Vec::new();
+    let mut payload = Vec::new();
+    let mut input = Vec::new();
+    let mut out = Vec::new();
+    let mut neighbors = Vec::new();
+    loop {
+        match poll_frame(&mut stream, &mut frame, shared) {
+            Ok(false) => return,
+            Ok(true) => {}
+            Err(ProtocolError::Io(_)) => return, // peer went away
+            Err(e) => {
+                // Malformed framing: answer with a structured error, then
+                // close — the stream can no longer be re-synchronised.
+                let resp = Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                };
+                resp.encode_into(0, &mut payload);
+                let _ = write_frame(&mut stream, &payload);
+                return;
+            }
+        }
+        let started = Instant::now();
+        let _req_span = edsr_obs::span!("serve/request");
+        let (opcode, response) = match Request::decode(&frame) {
+            Err(e) => (
+                0,
+                Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                },
+            ),
+            Ok(req) => {
+                let opcode = req.opcode();
+                let resp = answer(
+                    req,
+                    shared,
+                    &mut submitter,
+                    &mut input,
+                    &mut out,
+                    &mut neighbors,
+                );
+                (opcode, resp)
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        response.encode_into(opcode, &mut payload);
+        if write_frame(&mut stream, &payload).is_err() {
+            return;
+        }
+        if edsr_obs::enabled() {
+            edsr_obs::histogram("serve/latency_us", started.elapsed().as_secs_f64() * 1e6);
+        }
+        // Recycle the embedding buffer moved into the response.
+        if let Response::Embedding(v) = response {
+            out = v;
+        }
+    }
+}
+
+fn answer(
+    req: Request,
+    shared: &ServerShared,
+    submitter: &mut Submitter,
+    input: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+    neighbors: &mut Vec<edsr_linalg::Neighbor>,
+) -> Response {
+    match req {
+        Request::Embed { task, input: body } => {
+            input.clear();
+            input.extend_from_slice(&body);
+            match submitter.embed(task as usize, input, out) {
+                Ok(_) => Response::Embedding(std::mem::take(out)),
+                Err(SubmitError::ShuttingDown) => Response::Error {
+                    code: ERR_SHUTTING_DOWN,
+                    message: "server is shutting down".into(),
+                },
+                Err(SubmitError::Rejected(message)) => Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message,
+                },
+            }
+        }
+        Request::Knn { k, metric, query } => {
+            let result = {
+                let mut engine = lock(&shared.batch.engine);
+                engine.knn_into(&query, k as usize, metric.into(), neighbors)
+            };
+            match result {
+                Ok(()) => Response::Neighbors(
+                    neighbors
+                        .iter()
+                        .map(|n| WireNeighbor {
+                            index: n.index as u64,
+                            score: n.score,
+                        })
+                        .collect(),
+                ),
+                Err(message) => Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message,
+                },
+            }
+        }
+        Request::Stats => {
+            let engine_stats = {
+                let engine = lock(&shared.batch.engine);
+                (
+                    engine.cache_hits(),
+                    engine.cache_misses(),
+                    engine.memory_rows() as u64,
+                    engine.repr_dim() as u64,
+                )
+            };
+            Response::Stats(StatsReply {
+                // +1: count this stats request itself.
+                requests: shared.requests.load(Ordering::Relaxed) + 1,
+                batches: shared.batch.stats.batches.load(Ordering::Relaxed),
+                batched_requests: shared.batch.stats.batched_requests.load(Ordering::Relaxed),
+                max_batch: shared.batch.stats.max_batch.load(Ordering::Relaxed),
+                cache_hits: engine_stats.0,
+                cache_misses: engine_stats.1,
+                memory_rows: engine_stats.2,
+                repr_dim: engine_stats.3,
+            })
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::ShutdownAck
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_cl::checkpoint::ServeSnapshot;
+    use edsr_cl::{ContinualModel, ModelConfig};
+    use edsr_tensor::rng::seeded;
+
+    fn engine() -> Engine {
+        let mut rng = seeded(21);
+        let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+        let inputs = Matrix::randn(4, 16, 1.0, &mut rng);
+        let reprs = model.represent(&inputs, 0);
+        let snap = ServeSnapshot::capture(&model, reprs, vec![0; 4], "t", 1).unwrap();
+        Engine::from_snapshot(snap, 16).unwrap()
+    }
+
+    #[test]
+    fn batcher_answers_and_reports_errors() {
+        let batcher = Batcher::new(engine(), 4, Duration::from_micros(100));
+        let mut sub = batcher.submitter();
+        let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let mut out = Vec::new();
+        let report = sub.embed(0, &mut input, &mut out).expect("valid embed");
+        assert_eq!(report.forward_rows, 1);
+        assert_eq!(out.len(), 48);
+        assert_eq!(input.len(), 16, "input buffer handed back");
+
+        // Second identical request: cache hit, same bits.
+        let mut out2 = Vec::new();
+        let report = sub.embed(0, &mut input, &mut out2).expect("valid embed");
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(
+            out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            out2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Wrong width → Rejected, buffers intact.
+        let mut bad: Vec<f32> = vec![0.0; 9];
+        match sub.embed(0, &mut bad, &mut out) {
+            Err(SubmitError::Rejected(msg)) => assert!(msg.contains("expects 16")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        let (batches, reqs, max_batch) = batcher.stats();
+        assert!(batches >= 2);
+        assert_eq!(reqs, 3);
+        assert!(max_batch >= 1);
+        assert_eq!(batcher.with_engine(|e| e.cache_hits()), 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_coalesce_into_one_batch() {
+        let n = 4;
+        // A long window so all submitters land in one flush once the
+        // batch fills to exactly n.
+        let batcher = Arc::new(Batcher::new(engine(), n, Duration::from_secs(5)));
+        let results: Vec<_> = (0..n)
+            .map(|c| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    let mut sub = b.submitter();
+                    let mut input: Vec<f32> = (0..16).map(|i| (i + c) as f32 * 0.05).collect();
+                    let mut out = Vec::new();
+                    sub.embed(0, &mut input, &mut out).expect("valid");
+                    (input, out)
+                })
+            })
+            .collect();
+        let outs: Vec<(Vec<f32>, Vec<f32>)> =
+            results.into_iter().map(|h| h.join().unwrap()).collect();
+        let (batches, reqs, max_batch) = batcher.stats();
+        assert_eq!(reqs, n as u64);
+        assert_eq!(max_batch, n as u64, "all requests coalesced");
+        assert_eq!(batches, 1);
+
+        // Each coalesced answer matches a direct single-input embed.
+        let mut solo = engine();
+        for (input, got) in &outs {
+            let mut want = Vec::new();
+            solo.embed_into(0, input, &mut want).unwrap();
+            assert_eq!(
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -218,7 +218,8 @@ impl Encoder {
         }
     }
 
-    /// Records the full forward pass; returns `(backbone_out, repr)`.
+    /// Records the full (train-mode) forward pass; returns
+    /// `(backbone_out, repr)`.
     ///
     /// `backbone_out` is the pre-projector feature (what DER distills on);
     /// `repr` is the representation `x` used everywhere else.
@@ -229,6 +230,35 @@ impl Encoder {
         params: &ParamSet,
         x: Var,
         task: usize,
+    ) -> (Var, Var) {
+        self.forward_mode(tape, binder, params, x, task, true)
+    }
+
+    /// Eval-mode forward: batch standardization in the backbone and
+    /// projector is skipped, so each output row depends only on its own
+    /// input row. Identical to [`forward`](Self::forward) for single-row
+    /// batches (where BN statistics are undefined and already skipped);
+    /// this is the mode `edsr-serve` uses so batched responses are
+    /// bit-identical to single-request responses.
+    pub fn forward_eval(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: Var,
+        task: usize,
+    ) -> (Var, Var) {
+        self.forward_mode(tape, binder, params, x, task, false)
+    }
+
+    fn forward_mode(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: Var,
+        task: usize,
+        train: bool,
     ) -> (Var, Var) {
         let h = match &self.stem {
             Stem::Linear(adapters) => {
@@ -242,9 +272,17 @@ impl Encoder {
             }
         };
         let h = tape.relu(h);
-        let features = self.backbone.forward(tape, binder, params, h);
+        let features = if train {
+            self.backbone.forward(tape, binder, params, h)
+        } else {
+            self.backbone.forward_eval(tape, binder, params, h)
+        };
         let features = tape.relu(features);
-        let repr = self.projector.forward(tape, binder, params, features);
+        let repr = if train {
+            self.projector.forward(tape, binder, params, features)
+        } else {
+            self.projector.forward_eval(tape, binder, params, features)
+        };
         (features, repr)
     }
 
@@ -263,6 +301,31 @@ impl Encoder {
         let input = tape.leaf_copy(x);
         let (_, repr) = self.forward(tape, binder, params, input, task);
         repr
+    }
+
+    /// Eval-mode sibling of [`represent_on`](Self::represent_on): the
+    /// forward skips batch standardization, making every output row
+    /// independent of its batch-mates (see
+    /// [`forward_eval`](Self::forward_eval)).
+    pub fn represent_eval_on(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        params: &ParamSet,
+        x: &Matrix,
+        task: usize,
+    ) -> Var {
+        let input = tape.leaf_copy(x);
+        let (_, repr) = self.forward_eval(tape, binder, params, input, task);
+        repr
+    }
+
+    /// Inference-only eval-mode representation extraction.
+    pub fn represent_eval(&self, params: &ParamSet, x: &Matrix, task: usize) -> Matrix {
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let repr = self.represent_eval_on(&mut tape, &mut binder, params, x, task);
+        tape.value(repr).clone()
     }
 
     /// Inference-only representation extraction (no caller-visible tape).
@@ -342,6 +405,28 @@ mod tests {
         let enc = Encoder::new(&mut ps, &EncoderConfig::tabular(vec![4, 5], 8, 4), &mut rng);
         let x = Matrix::randn(1, 9, 1.0, &mut rng);
         let _ = enc.represent(&ps, &x, 2);
+    }
+
+    #[test]
+    fn eval_represent_is_row_independent_and_matches_single_row() {
+        let mut rng = seeded(208);
+        let mut ps = ParamSet::new();
+        let enc = Encoder::new(&mut ps, &EncoderConfig::image(12, 16, 8), &mut rng);
+        let x = Matrix::randn(5, 12, 1.0, &mut rng);
+        let batched = enc.represent_eval(&ps, &x, 0);
+        for i in 0..x.rows() {
+            let row = Matrix::from_vec(1, 12, x.row(i).to_vec());
+            let solo_eval = enc.represent_eval(&ps, &row, 0);
+            let solo_train = enc.represent(&ps, &row, 0);
+            let batch_bits: Vec<u32> = batched.row(i).iter().map(|v| v.to_bits()).collect();
+            let eval_bits: Vec<u32> = solo_eval.row(0).iter().map(|v| v.to_bits()).collect();
+            let train_bits: Vec<u32> = solo_train.row(0).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, eval_bits, "row {i} depends on batch-mates");
+            assert_eq!(
+                eval_bits, train_bits,
+                "row {i}: eval and train modes disagree on a single row"
+            );
+        }
     }
 
     #[test]

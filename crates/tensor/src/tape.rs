@@ -61,7 +61,7 @@ enum Op {
     /// source indices are allowed (backward accumulates), which makes this
     /// one op sufficient for im2col-style convolution lowering and layout
     /// permutations.
-    Gather(Var, std::rc::Rc<Vec<usize>>),
+    Gather(Var, std::sync::Arc<Vec<usize>>),
 }
 
 struct Node {
@@ -389,7 +389,7 @@ impl Tape {
     pub fn gather(
         &mut self,
         a: Var,
-        map: std::rc::Rc<Vec<usize>>,
+        map: std::sync::Arc<Vec<usize>>,
         out_rows: usize,
         out_cols: usize,
     ) -> Var {
@@ -947,11 +947,11 @@ mod tests {
 
     #[test]
     fn gather_forward_and_backward() {
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut t = Tape::new();
         // input 1x3: [10, 20, 30]; gather with duplicates into 2x2.
         let x = t.leaf(Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]));
-        let map = Rc::new(vec![0usize, 2, 2, 1]);
+        let map = Arc::new(vec![0usize, 2, 2, 1]);
         let y = t.gather(x, map, 2, 2);
         assert_eq!(t.value(y).data(), &[10.0, 30.0, 30.0, 20.0]);
         let sq = t.square(y);
@@ -964,12 +964,12 @@ mod tests {
 
     #[test]
     fn gradcheck_gather_with_duplicates() {
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut rng = seeded(34);
         let a = Matrix::randn(2, 3, 1.0, &mut rng);
-        let map = Rc::new(vec![0usize, 5, 1, 1, 4, 2, 3, 0]);
+        let map = Arc::new(vec![0usize, 5, 1, 1, 4, 2, 3, 0]);
         check_gradients(&[a], 1e-2, 2e-2, |t, vars| {
-            let y = t.gather(vars[0], Rc::clone(&map), 2, 4);
+            let y = t.gather(vars[0], Arc::clone(&map), 2, 4);
             let sq = t.square(y);
             t.sum(sq)
         });
@@ -978,10 +978,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn gather_bad_index_panics() {
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut t = Tape::new();
         let x = t.leaf(Matrix::zeros(1, 2));
-        let _ = t.gather(x, Rc::new(vec![5usize]), 1, 1);
+        let _ = t.gather(x, Arc::new(vec![5usize]), 1, 1);
     }
 
     #[test]

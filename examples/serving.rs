@@ -1,0 +1,123 @@
+//! Serving a trained model (DESIGN.md §12), end to end in one process:
+//!
+//! 1. **Train** a short EDSR run with per-increment serve snapshots.
+//! 2. **Load** the latest snapshot into an inference [`Engine`].
+//! 3. **Serve** it over TCP with dynamic micro-batching, query it with
+//!    concurrent clients, and confirm every served embedding is
+//!    bit-identical to a direct in-process eval-mode forward.
+//! 4. **Retrieve**: ask the server for the nearest replay-memory
+//!    representations to a fresh embedding.
+//!
+//! ```bash
+//! cargo run --release --example serving
+//! ```
+
+use edsr::cl::{
+    latest_valid_serve_snapshot, CheckpointConfig, ContinualModel, ModelConfig, RunBuilder,
+    TrainConfig,
+};
+use edsr::core::{Edsr, Error};
+use edsr::data::test_sim;
+use edsr::serve::{serve, Client, Engine, ServerConfig, WireMetric};
+use edsr::tensor::rng::seeded;
+use edsr::tensor::Matrix;
+
+fn main() -> Result<(), Error> {
+    // 1. Train with serve snapshots exported after every increment.
+    let preset = test_sim();
+    let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(61));
+    let mut cfg = TrainConfig::image();
+    cfg.epochs_per_task = 8;
+    let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(62));
+    let mut edsr = Edsr::paper_default(preset.per_task_budget(), 8, preset.noise_neighbors);
+
+    let dir = std::env::temp_dir().join("edsr-serving-example");
+    let result = RunBuilder::new(&cfg)
+        .serve_snapshots(CheckpointConfig::new(
+            dir.display().to_string(),
+            "serving-example",
+        ))
+        .run(
+            &mut edsr,
+            &mut model,
+            &sequence,
+            &augmenters,
+            &mut seeded(63),
+        )?;
+    println!(
+        "trained: Acc {:.1}%  Fgt {:.1}%",
+        result.final_acc_pct(),
+        result.final_fgt_pct()
+    );
+
+    // 2. Load the newest snapshot read-only and start the server on an
+    //    ephemeral port.
+    let (snap_path, snapshot) = latest_valid_serve_snapshot(&dir)
+        .ok_or_else(|| Error::Data("no serve snapshot written".into()))?;
+    println!("serving {}", snap_path.display());
+    let engine = Engine::from_snapshot(snapshot, 256)?;
+    let repr_dim = engine.repr_dim();
+    let handle = serve(engine, ("127.0.0.1", 0), ServerConfig::default())
+        .map_err(|e| Error::Data(e.to_string()))?;
+    let addr = handle.addr();
+
+    // 3. Concurrent clients embed the same test rows the model was
+    //    evaluated on; the batcher coalesces them into shared forwards.
+    let probe = sequence.tasks[0].test.inputs.clone();
+    let workers: Vec<_> = (0..3)
+        .map(|c| {
+            let rows = probe.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut embeddings = Vec::new();
+                for i in (c..rows.rows()).step_by(3) {
+                    embeddings.push((i, client.embed(0, rows.row(i)).expect("embed")));
+                }
+                embeddings
+            })
+        })
+        .collect();
+    let mut served: Vec<(usize, Vec<f32>)> = Vec::new();
+    for w in workers {
+        served.extend(w.join().expect("client"));
+    }
+    let direct = model.represent_eval(&probe, 0);
+    assert!(served.iter().all(|(i, emb)| {
+        emb.iter()
+            .map(|v| v.to_bits())
+            .eq(direct.row(*i).iter().map(|v| v.to_bits()))
+    }));
+    println!(
+        "{} served embeddings, all bit-identical to the in-process forward",
+        served.len()
+    );
+
+    // 4. Retrieval: nearest replay-memory representations to a fresh
+    //    embedding, straight off the snapshot's memory.
+    let mut client = Client::connect(addr).map_err(|e| Error::Data(e.to_string()))?;
+    let fresh = Matrix::randn(1, preset.grid.dim(), 1.0, &mut seeded(64));
+    let emb = client
+        .embed(0, fresh.row(0))
+        .map_err(|e| Error::Data(e.to_string()))?;
+    assert_eq!(emb.len(), repr_dim);
+    let neighbors = client
+        .knn(&emb, 3, WireMetric::Cosine)
+        .map_err(|e| Error::Data(e.to_string()))?;
+    for n in &neighbors {
+        println!(
+            "  neighbor memory[{}]  cosine score {:.4}",
+            n.index, n.score
+        );
+    }
+
+    let stats = client.stats().map_err(|e| Error::Data(e.to_string()))?;
+    println!(
+        "server stats: {} requests, {} batches (max {}), cache {}/{} hit/miss",
+        stats.requests, stats.batches, stats.max_batch, stats.cache_hits, stats.cache_misses
+    );
+    client.shutdown().map_err(|e| Error::Data(e.to_string()))?;
+    let report = handle.join().map_err(|e| Error::Data(e.to_string()))?;
+    println!("drained cleanly after {} requests", report.requests);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

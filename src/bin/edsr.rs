@@ -5,6 +5,8 @@
 //! edsr run <preset> <method> [opts]  run one continual-learning job
 //! edsr tabular <method> [opts]       run the tabular stream (§IV-E)
 //! edsr metrics [PATH]                summarize a JSONL metrics file
+//! edsr serve <SNAPSHOT> [opts]       serve embeddings + kNN over TCP
+//! edsr query <ADDR> <op> [opts]      talk to a running server
 //!
 //! methods: finetune | si | der | lump | cassle | edsr | multitask
 //! options: --seed N         data/model/run seed base   (default 11)
@@ -15,32 +17,49 @@
 //!          --save PATH      write the final model checkpoint
 //!          --checkpoint DIR snapshot run state after each increment
 //!          --resume         continue from the latest valid snapshot
+//!          --serve-snapshot DIR  export a serve snapshot after each task
 //!          --obs MODE       observability sink: off | ring | jsonl
 //!          --obs-path PATH  metrics file for --obs jsonl (metrics.jsonl)
+//!
+//! serve:   <SNAPSHOT> is a `.snapshot` file or a directory (the latest
+//!          valid snapshot in it is served)
+//!          --port N            TCP port (default 7878; 0 = ephemeral)
+//!          --cache N           embedding-cache capacity (default 1024)
+//!          --serve-batch N     micro-batch flush size
+//!          --serve-window-us N micro-batch coalescing window
+//!
+//! query:   edsr query ADDR embed --input 0.1,0.2,...  [--task N]
+//!          edsr query ADDR knn   --input ...  [--k N] [--metric M]
+//!          edsr query ADDR stats
+//!          edsr query ADDR shutdown
 //! ```
 //!
-//! `--threads`, `--checkpoint`, `--resume`, `--obs` and `--obs-path` also
-//! read `EDSR_THREADS` / `EDSR_CHECKPOINT` / `EDSR_RESUME` / `EDSR_OBS` /
-//! `EDSR_OBS_PATH`; the CLI flag wins ([`EnvConfig`] precedence).
+//! `--threads`, `--checkpoint`, `--resume`, `--obs`, `--obs-path`,
+//! `--serve-batch` and `--serve-window-us` also read `EDSR_THREADS` /
+//! `EDSR_CHECKPOINT` / `EDSR_RESUME` / `EDSR_OBS` / `EDSR_OBS_PATH` /
+//! `EDSR_SERVE_BATCH` / `EDSR_SERVE_WINDOW_US`; the CLI flag wins
+//! ([`EnvConfig`] precedence).
 //!
 //! Every failure (bad flag, divergence after retries, checkpoint
 //! corruption) surfaces as a structured error with a non-zero exit, not
 //! a panic.
 
 use edsr::cl::{
-    run_multitask, tabular_augmenters, Cassle, CheckpointConfig, ContinualModel, Der, Finetune,
-    Lump, Method, ModelConfig, RunBuilder, Si, TrainConfig,
+    latest_valid_serve_snapshot, run_multitask, tabular_augmenters, Cassle, CheckpointConfig,
+    ContinualModel, Der, Finetune, Lump, Method, ModelConfig, RunBuilder, ServeSnapshot, Si,
+    TrainConfig,
 };
 use edsr::core::{Edsr, EnvConfig, Error};
 use edsr::data::{
     cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim, tiny_imagenet_sim,
     Preset, TabularConfig, TABULAR_SPECS,
 };
+use edsr::serve::{serve, Client, Engine, ServeError, ServerConfig, WireMetric};
 use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path."
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n  edsr query <ADDR> embed --input F,F,... [--task N]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine]\n  edsr query <ADDR> stats | shutdown\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12)."
     );
     std::process::exit(2);
 }
@@ -138,10 +157,13 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     if let Some(e) = parse_flag(args, "--epochs") {
         cfg.epochs_per_task = parse_num(&e, "--epochs")?;
     }
-    let checkpoint = env_cfg.checkpoint.as_ref().map(|dir| {
-        let run_id = format!("{}-{}-s{}", preset.name, method_name, seed);
-        CheckpointConfig::new(dir.display().to_string(), run_id)
-    });
+    let run_id = format!("{}-{}-s{}", preset.name, method_name, seed);
+    let checkpoint = env_cfg
+        .checkpoint
+        .as_ref()
+        .map(|dir| CheckpointConfig::new(dir.display().to_string(), run_id.clone()));
+    let serve_snapshot =
+        parse_flag(args, "--serve-snapshot").map(|dir| CheckpointConfig::new(dir, run_id.clone()));
 
     let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
     let mut model = ContinualModel::new(
@@ -171,6 +193,9 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
         let mut builder = RunBuilder::new(&cfg);
         if let Some(ckpt) = checkpoint {
             builder = builder.checkpoint(ckpt);
+        }
+        if let Some(snap_cfg) = serve_snapshot {
+            builder = builder.serve_snapshots(snap_cfg);
         }
         if env_cfg.resume {
             // Without --checkpoint this fails fast with InvalidConfig
@@ -295,6 +320,137 @@ fn cmd_metrics(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     Ok(())
 }
 
+fn serve_err(e: ServeError) -> Error {
+    Error::Data(e.to_string())
+}
+
+/// `edsr serve <SNAPSHOT>` — load a serve snapshot (a file, or the latest
+/// valid one in a directory) and answer embed/kNN requests over TCP
+/// until a wire shutdown arrives.
+fn cmd_serve(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
+    let Some(target) = args.first() else { usage() };
+    let path = std::path::Path::new(target);
+    let (snap_path, snapshot) = if path.is_dir() {
+        latest_valid_serve_snapshot(path)
+            .ok_or_else(|| Error::Data(format!("no valid serve snapshot in {}", path.display())))?
+    } else {
+        (path.to_path_buf(), ServeSnapshot::load(path)?)
+    };
+    let port: u16 = match parse_flag(args, "--port") {
+        Some(v) => parse_num(&v, "--port")?,
+        None => 7878,
+    };
+    let cache: usize = match parse_flag(args, "--cache") {
+        Some(v) => parse_num(&v, "--cache")?,
+        None => 1024,
+    };
+    let mut cfg = ServerConfig::default();
+    if let Some(n) = env_cfg.serve_batch {
+        cfg.max_batch = n;
+    }
+    if let Some(us) = env_cfg.serve_window_us {
+        cfg.window = std::time::Duration::from_micros(us);
+    }
+
+    let engine = Engine::from_snapshot(snapshot, cache)?;
+    println!(
+        "serving {} ({} tasks, repr_dim {}, {} memory rows) from {}",
+        engine.benchmark(),
+        engine.completed_tasks(),
+        engine.repr_dim(),
+        engine.memory_rows(),
+        snap_path.display()
+    );
+    let (max_batch, window) = (cfg.max_batch, cfg.window);
+    let handle = serve(engine, ("127.0.0.1", port), cfg).map_err(serve_err)?;
+    println!(
+        "listening on {} (batch {max_batch}, window {window:?}) — stop with: edsr query {} shutdown",
+        handle.addr(),
+        handle.addr()
+    );
+    let report = handle.join().map_err(serve_err)?;
+    println!(
+        "drained: {} requests, {} batches (max {}), cache {}/{} hit/miss",
+        report.requests, report.batches, report.max_batch, report.cache_hits, report.cache_misses
+    );
+    Ok(())
+}
+
+/// Parses `--input 0.1,0.2,...` (commas and/or whitespace).
+fn parse_input(args: &[String]) -> Result<Vec<f32>, Error> {
+    let Some(raw) = parse_flag(args, "--input") else {
+        return Err(Error::Data("--input F,F,... is required".into()));
+    };
+    raw.split([',', ' '])
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<f32>()
+                .map_err(|_| Error::Data(format!("--input: bad float {s:?}")))
+        })
+        .collect()
+}
+
+/// `edsr query <ADDR> <op>` — one-shot client for a running server.
+fn cmd_query(args: &[String]) -> Result<(), Error> {
+    let (Some(addr), Some(op)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let mut client = Client::connect(addr.as_str()).map_err(serve_err)?;
+    match op.as_str() {
+        "embed" => {
+            let input = parse_input(args)?;
+            let task: u32 = match parse_flag(args, "--task") {
+                Some(v) => parse_num(&v, "--task")?,
+                None => 0,
+            };
+            let emb = client.embed(task, &input).map_err(serve_err)?;
+            let rendered: Vec<String> = emb.iter().map(|v| format!("{v:.6}")).collect();
+            println!("[{}]", rendered.join(", "));
+        }
+        "knn" => {
+            let query = parse_input(args)?;
+            let k: u32 = match parse_flag(args, "--k") {
+                Some(v) => parse_num(&v, "--k")?,
+                None => 5,
+            };
+            let metric = match parse_flag(args, "--metric").as_deref() {
+                None | Some("euclidean") => WireMetric::Euclidean,
+                Some("cosine") => WireMetric::Cosine,
+                Some(m) => {
+                    return Err(Error::Data(format!(
+                        "--metric: expected euclidean | cosine, got {m:?}"
+                    )))
+                }
+            };
+            let neighbors = client.knn(&query, k, metric).map_err(serve_err)?;
+            for n in neighbors {
+                println!("memory[{}]  score {:.6}", n.index, n.score);
+            }
+        }
+        "stats" => {
+            let s = client.stats().map_err(serve_err)?;
+            println!(
+                "requests {}  batches {}  batched {}  max_batch {}\ncache hits {}  misses {}  memory rows {}  repr_dim {}",
+                s.requests,
+                s.batches,
+                s.batched_requests,
+                s.max_batch,
+                s.cache_hits,
+                s.cache_misses,
+                s.memory_rows,
+                s.repr_dim
+            );
+        }
+        "shutdown" => {
+            client.shutdown().map_err(serve_err)?;
+            println!("server acknowledged shutdown");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
 fn main() {
     // One reader for every knob: CLI > env > default (DESIGN.md §11).
     let env_cfg = match EnvConfig::from_process() {
@@ -317,6 +473,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..], &env_cfg),
         Some("tabular") => cmd_tabular(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..], &env_cfg),
+        Some("serve") => cmd_serve(&args[1..], &env_cfg),
+        Some("query") => cmd_query(&args[1..]),
         _ => usage(),
     };
     // Pool occupancy is cumulative over the whole run; emit it last so

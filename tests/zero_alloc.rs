@@ -10,11 +10,20 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
-use edsr::cl::{apply_step, ContinualModel, ModelConfig, NoopObserver, Observer, StepRecord};
+use edsr::cl::{
+    apply_step, ContinualModel, ModelConfig, NoopObserver, Observer, ServeSnapshot, StepRecord,
+};
 use edsr::nn::{Adam, Workspace};
+use edsr::serve::{Batcher, Engine};
 use edsr::tensor::rng::seeded;
 use edsr::tensor::Matrix;
+
+/// The allocation counter is process-global, so the measuring tests in
+/// this binary must not run concurrently.
+static ALLOC_LOCK: Mutex<()> = Mutex::new(());
 
 /// System allocator wrapper that counts every allocation-path call
 /// (alloc, alloc_zeroed, realloc). Deallocations are free and uncounted.
@@ -91,6 +100,7 @@ fn steady_state_allocs(
 
 #[test]
 fn steady_state_train_step_makes_no_hot_path_allocations() {
+    let _serialized = ALLOC_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Must be set before the first pool touch; single-thread keeps the
     // whole step on this thread (no spawn bookkeeping).
     std::env::set_var("EDSR_THREADS", "1");
@@ -124,4 +134,85 @@ fn steady_state_train_step_makes_no_hot_path_allocations() {
     let mut sim = ContinualModel::new(&ModelConfig::tabular(vec![16]), &mut rng);
     let n = steady_state_allocs(&mut sim, &x1, &x2, &mut observer);
     assert_eq!(n, 0, "SimSiam steady-state step allocated {n} times");
+}
+
+/// A served engine behind the micro-batcher. Because the allocation
+/// counter is the *global* allocator, the measured figure covers the
+/// whole round trip — submitter swap, queue, batcher flush, eval-mode
+/// forward, cache — across both threads.
+fn serve_batcher(cache_capacity: usize) -> Batcher {
+    let mut rng = seeded(31);
+    let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+    let mem = Matrix::randn(4, 16, 1.0, &mut rng);
+    let reprs = model.represent_eval(&mem, 0);
+    let snap = ServeSnapshot::capture(&model, reprs, vec![0; 4], "za", 1).unwrap();
+    let engine = Engine::from_snapshot(snap, cache_capacity).unwrap();
+    Batcher::new(engine, 2, Duration::from_micros(50))
+}
+
+#[test]
+fn warm_serve_embed_is_alloc_free_on_hits_and_bounded_on_misses() {
+    let _serialized = ALLOC_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("EDSR_THREADS", "1");
+    assert!(edsr::obs::uninstall().is_none(), "stray sink installed");
+
+    // --- Cache-hit path: repeated input, zero steady-state allocations.
+    let mut batcher = serve_batcher(8);
+    let mut sub = batcher.submitter();
+    let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        sub.embed(0, &mut input, &mut out).expect("warmup embed");
+    }
+    let before = allocations();
+    for _ in 0..8 {
+        sub.embed(0, &mut input, &mut out).expect("hit embed");
+    }
+    let hit_allocs = allocations() - before;
+    assert_eq!(
+        hit_allocs, 0,
+        "warm cache-hit embeds allocated {hit_allocs} times"
+    );
+    batcher.stop();
+
+    // --- Cache-miss path: rotate more distinct inputs than the cache
+    // holds, so every request misses, forwards, and evicts. Warm rounds
+    // fill the recycled entry buffers; after that the per-round count
+    // must be constant (and small) — eviction recycling, the staging
+    // matrix, and the workspace pools hold steady.
+    let mut batcher = serve_batcher(2);
+    let mut sub = batcher.submitter();
+    let mut rng = seeded(33);
+    let rotation: Vec<Vec<f32>> = (0..4)
+        .map(|_| Matrix::randn(1, 16, 1.0, &mut rng).row(0).to_vec())
+        .collect();
+    // Stable caller buffers: the swap protocol circulates them with the
+    // slot's, so after warm-up no round allocates for request plumbing.
+    let mut input: Vec<f32> = Vec::new();
+    let mut out: Vec<f32> = Vec::new();
+    let mut round = |input: &mut Vec<f32>, out: &mut Vec<f32>| {
+        for probe in &rotation {
+            input.clear();
+            input.extend_from_slice(probe);
+            sub.embed(0, input, out).expect("miss embed");
+        }
+    };
+    for _ in 0..3 {
+        round(&mut input, &mut out);
+    }
+    let before = allocations();
+    round(&mut input, &mut out);
+    let first = allocations() - before;
+    let before = allocations();
+    round(&mut input, &mut out);
+    let second = allocations() - before;
+    assert_eq!(
+        first, second,
+        "miss-path allocations not constant per round ({first} vs {second})"
+    );
+    assert!(
+        first <= 16,
+        "miss-path rounds allocate too much: {first} per 4 embeds"
+    );
+    batcher.stop();
 }
