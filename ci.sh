@@ -59,14 +59,102 @@ test -s BENCH_serve.json
 python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_serve.json"))
-for key in ("reqs_per_s", "embed", "knn", "server"):
+for key in ("reqs_per_s", "embed", "knn", "server", "saturation"):
     assert key in doc, f"BENCH_serve.json missing {key}"
 for kind in ("embed", "knn"):
     assert doc[kind]["p50_us"] > 0 and doc[kind]["p99_us"] >= doc[kind]["p50_us"]
 assert doc["server"]["batches"] >= 1
+sat = doc["saturation"]
+# At 2x-capacity offered load with a tight queue, every request is either
+# answered or shed as a structured error — none may simply vanish.
+assert sat["answered"] + sat["rejected"] == sat["offered"], \
+    f"saturation lost requests: {sat}"
+assert sat["answered"] >= 1 and sat["reqs_per_s"] > 0
+assert 0.0 <= sat["rejected_rate"] <= 1.0
 print(f"serve load smoke: {doc['reqs_per_s']:.0f} req/s, "
-      f"embed p50 {doc['embed']['p50_us']:.0f}us p99 {doc['embed']['p99_us']:.0f}us")
+      f"embed p50 {doc['embed']['p50_us']:.0f}us p99 {doc['embed']['p99_us']:.0f}us; "
+      f"saturation {sat['reqs_per_s']:.0f} req/s at "
+      f"{sat['rejected_rate']*100:.0f}% shed")
 EOF
+
+echo "== chaos smoke (wire faults + live snapshot rotation) =="
+# Pass A: serve one snapshot with a seeded wire-fault plan on every
+# accepted connection (delays, partial transfers, corruption, mid-frame
+# disconnects) and a tightened stall cap. Retrying clients must land
+# every op, and the drain report must still be printed — the server
+# answered everything it accepted despite the chaos.
+EDSR=./target/release/edsr
+rm -rf ci_chaos_snaps ci_chaos.log ci_rotate.log
+"$EDSR" run test edsr --epochs 1 --serve-snapshot ci_chaos_snaps
+SNAP=$(ls ci_chaos_snaps/*.snapshot | sort | head -n 1)
+EDSR_SERVE_STALL_MS=300 "$EDSR" serve "$SNAP" --port 0 --chaos-seed 5 \
+    > ci_chaos.log &
+CHAOS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' ci_chaos.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { echo "chaos smoke: server never came up"; cat ci_chaos.log; exit 1; }
+INPUT=$(python3 -c "print(','.join('0.25' for _ in range(16)))")
+"$EDSR" query "$ADDR" embed --task 0 --input "$INPUT" \
+    --retries 8 --retry-rejections > /dev/null
+"$EDSR" query "$ADDR" stats --retries 8 --retry-rejections > /dev/null
+# Shutdown is never retried inside the client (a lost ack may still have
+# flipped the drain flag), so retry at the operator level instead.
+for _ in $(seq 1 20); do
+    "$EDSR" query "$ADDR" shutdown > /dev/null 2>&1 && break
+    sleep 0.2
+done
+wait "$CHAOS_PID"
+grep -q "^drained: " ci_chaos.log \
+    || { echo "chaos smoke: no drain report under faults"; cat ci_chaos.log; exit 1; }
+
+# Pass B: live rotation. Serve a directory holding only the OLDEST
+# snapshot of the training run, then drop in the newest (staged copy +
+# atomic rename) plus a truncated decoy that sorts even newer. The
+# watcher must skip the corrupt decoy, swap to the valid snapshot, and
+# report the rotation through `stats` — all under a live server.
+NEWEST=$(ls ci_chaos_snaps/*.snapshot | sort | tail -n 1)
+if [ "$SNAP" = "$NEWEST" ]; then
+    echo "chaos smoke: need at least 2 exported snapshots"; exit 1
+fi
+rm -rf ci_rotate_snaps
+mkdir -p ci_rotate_snaps
+cp "$SNAP" ci_rotate_snaps/
+EDSR_SERVE_ROTATE_MS=50 "$EDSR" serve ci_rotate_snaps --port 0 \
+    > ci_rotate.log &
+ROTATE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' ci_rotate.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { echo "chaos smoke: rotation server never came up"; cat ci_rotate.log; exit 1; }
+# The decoy: a truncated copy that path-sorts newest of all.
+head -c 100 "$NEWEST" > ci_rotate_snaps/.staging
+mv ci_rotate_snaps/.staging "ci_rotate_snaps/zzz.task9999.snapshot"
+# The real newer snapshot, published with the exporter's atomicity.
+cp "$NEWEST" ci_rotate_snaps/.staging
+mv ci_rotate_snaps/.staging "ci_rotate_snaps/$(basename "$NEWEST")"
+ROT=0
+for _ in $(seq 1 100); do
+    ROT=$("$EDSR" query "$ADDR" stats | sed -n 's/^rotations \([0-9]*\).*/\1/p')
+    [ "${ROT:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+[ "${ROT:-0}" -ge 1 ] \
+    || { echo "chaos smoke: rotation never happened"; cat ci_rotate.log; exit 1; }
+"$EDSR" query "$ADDR" embed --task 0 --input "$INPUT" > /dev/null
+"$EDSR" query "$ADDR" shutdown > /dev/null
+wait "$ROTATE_PID"
+grep -q "^drained: " ci_rotate.log \
+    || { echo "chaos smoke: rotation drain lost requests"; cat ci_rotate.log; exit 1; }
+grep -q " 1 rotations," ci_rotate.log \
+    || { echo "chaos smoke: drain report missing the rotation"; cat ci_rotate.log; exit 1; }
+rm -rf ci_chaos_snaps ci_rotate_snaps ci_chaos.log ci_rotate.log
 
 echo "== observability smoke (EDSR_OBS=jsonl) =="
 # A short EDSR training run streaming metrics: the file must be non-empty,

@@ -88,6 +88,35 @@ fn run_load(
     (all, wall)
 }
 
+/// One client of the saturation phase: fire embeds as fast as possible
+/// against a deliberately under-provisioned server and tally answered
+/// vs shed. Shed requests (`ERR_DEADLINE`/`ERR_OVERLOADED`) keep the
+/// connection synced, so the loop keeps offering load.
+fn saturation_loop(
+    addr: std::net::SocketAddr,
+    client_id: u64,
+    requests: usize,
+) -> Result<(Vec<f64>, u64), ServeError> {
+    let mut client = Client::connect(addr)?;
+    let inputs = Matrix::randn(requests, INPUT_DIM, 1.0, &mut seeded(8800 + client_id));
+    let mut ok = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..requests {
+        let t0 = Instant::now();
+        match client.embed(0, inputs.row(i)) {
+            Ok(_) => ok.push(t0.elapsed().as_nanos() as f64 / 1e3),
+            Err(ServeError::Rejected { code, .. })
+                if code == edsr_serve::protocol::ERR_OVERLOADED
+                    || code == edsr_serve::protocol::ERR_DEADLINE =>
+            {
+                rejected += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((ok, rejected))
+}
+
 fn build_engine() -> Engine {
     let mut rng = seeded(6100);
     let model = ContinualModel::new(&ModelConfig::image(INPUT_DIM), &mut rng);
@@ -144,6 +173,52 @@ fn main() -> Result<(), edsr_core::Error> {
         .join()
         .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
 
+    // --- Saturation phase: a fresh server with a deliberately tight
+    // queue and a deadline, offered ~2x the client concurrency of the
+    // measured phase. The point is the overload knee: throughput of
+    // *answered* requests, their p99, and the shed rate — the shed
+    // requests must come back as bounded structured errors, which is
+    // exactly what lets this phase terminate.
+    let sat_clients = clients * 2;
+    let sat_requests = (requests / 2).max(8);
+    let sat_cfg = ServerConfig {
+        queue_cap: 2,
+        deadline: Some(std::time::Duration::from_millis(50)),
+        max_connections: sat_clients,
+        ..ServerConfig::default()
+    };
+    let sat_handle = serve(build_engine(), ("127.0.0.1", 0), sat_cfg)
+        .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    let sat_addr = sat_handle.addr();
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..sat_clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                saturation_loop(sat_addr, c as u64, sat_requests).expect("saturation client")
+            })
+        })
+        .collect();
+    let mut sat_ok = Vec::new();
+    let mut sat_rejected = 0u64;
+    for w in workers {
+        let (ok, rejected) = w.join().expect("saturation client panicked");
+        sat_ok.extend(ok);
+        sat_rejected += rejected;
+    }
+    let sat_wall = t0.elapsed().as_secs_f64();
+    let mut sat_shutdown =
+        Client::connect(sat_addr).map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    sat_shutdown
+        .shutdown()
+        .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    let sat_report: ServerReport = sat_handle
+        .join()
+        .map_err(|e| edsr_core::Error::Data(e.to_string()))?;
+    sat_ok.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sat_offered = (sat_clients * sat_requests) as u64;
+    let sat_rate = sat_ok.len() as f64 / sat_wall;
+    let sat_rejected_rate = sat_rejected as f64 / sat_offered as f64;
+
     let mut embed = lats.embed;
     let mut knn = lats.knn;
     embed.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -158,7 +233,11 @@ fn main() -> Result<(), edsr_core::Error> {
          \"embed\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
          \"knn\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
          \"server\": {{\"requests\": {}, \"batches\": {}, \"batched_requests\": {}, \
-         \"max_batch_seen\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}\n}}\n",
+         \"max_batch_seen\": {}, \"cache_hits\": {}, \"cache_misses\": {}}},\n  \
+         \"saturation\": {{\"clients\": {sat_clients}, \"offered\": {sat_offered}, \
+         \"answered\": {}, \"rejected\": {}, \"rejected_rate\": {sat_rejected_rate:.4}, \
+         \"reqs_per_s\": {sat_rate:.1}, \"p99_us\": {:.1}, \
+         \"server_rejected_deadline\": {}, \"server_rejected_overload\": {}}}\n}}\n",
         embed.len(),
         percentile(&embed, 50.0),
         percentile(&embed, 99.0),
@@ -171,6 +250,11 @@ fn main() -> Result<(), edsr_core::Error> {
         report.max_batch,
         report.cache_hits,
         report.cache_misses,
+        sat_ok.len(),
+        sat_rejected,
+        percentile(&sat_ok, 99.0),
+        sat_report.rejected_deadline,
+        sat_report.rejected_overload,
     );
     let mut file = std::fs::File::create("BENCH_serve.json")?;
     file.write_all(json.as_bytes())?;
@@ -186,6 +270,16 @@ fn main() -> Result<(), edsr_core::Error> {
     println!(
         "server: {} requests, {} batches (max {}), cache {}/{} hit/miss",
         report.requests, report.batches, report.max_batch, report.cache_hits, report.cache_misses
+    );
+    println!(
+        "saturation: {sat_clients} clients, {} answered / {} shed of {} offered \
+         ({:.1}% shed), {:.0} req/s, p99 {:.0}us",
+        sat_ok.len(),
+        sat_rejected,
+        sat_offered,
+        sat_rejected_rate * 100.0,
+        sat_rate,
+        percentile(&sat_ok, 99.0),
     );
     println!("wrote BENCH_serve.json");
     edsr_par::emit_pool_metrics();

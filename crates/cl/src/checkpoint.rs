@@ -179,6 +179,10 @@ pub fn decode_run_state(payload: &[u8]) -> Result<RunState, CheckpointError> {
 
 /// Writes the snapshot for `state.completed_tasks` increments and prunes
 /// snapshots older than `cfg.keep`. Returns the snapshot's path.
+///
+/// Inherits `write_envelope`'s durability contract: the payload is
+/// fsynced before the atomic rename, so a crash or power loss mid-save
+/// can never publish a torn or unflushed snapshot under the final name.
 pub fn save_run_state(
     cfg: &CheckpointConfig,
     state: &RunState,
@@ -458,7 +462,11 @@ impl ServeSnapshot {
         })
     }
 
-    /// Writes the snapshot to `path` (atomic rename, CRC32 trailer).
+    /// Writes the snapshot to `path` (fsync, then atomic rename, CRC32
+    /// trailer — see `write_envelope`'s durability contract). The serve
+    /// rotation watcher relies on this: a `.snapshot` file that is
+    /// *visible* in the export directory is always *complete*, so the
+    /// watcher only ever has to defend against corruption, not tearing.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         write_envelope(path, SERVE_SNAPSHOT_MAGIC, &self.encode())
     }

@@ -17,6 +17,11 @@
 //! | metrics path | `--obs-path PATH` | `EDSR_OBS_PATH` | `metrics.jsonl` |
 //! | serve batch cap | `--serve-batch N` | `EDSR_SERVE_BATCH` | server default |
 //! | serve window (µs) | `--serve-window-us N` | `EDSR_SERVE_WINDOW_US` | server default |
+//! | serve rotation poll (ms) | `--serve-rotate-ms N` | `EDSR_SERVE_ROTATE_MS` | server default |
+//! | serve deadline (ms, 0 = off) | `--serve-deadline-ms N` | `EDSR_SERVE_DEADLINE_MS` | off |
+//! | serve queue cap | `--serve-queue N` | `EDSR_SERVE_QUEUE` | server default |
+//! | serve read timeout (ms) | `--serve-read-timeout-ms N` | `EDSR_SERVE_READ_TIMEOUT_MS` | server default |
+//! | serve stall cap (ms) | `--serve-stall-ms N` | `EDSR_SERVE_STALL_MS` | server default |
 //!
 //! Boolean env vars are truthy unless empty, `0`, `false`, or `off`
 //! (case-insensitive). [`EnvConfig::resolve`] is pure — the environment is
@@ -50,6 +55,23 @@ pub struct EnvConfig {
     /// Micro-batcher coalescing window in microseconds for `edsr serve`
     /// (`None` = server default).
     pub serve_window_us: Option<u64>,
+    /// Snapshot-rotation poll interval in milliseconds for `edsr serve`
+    /// (`None` = server default; rotation itself is enabled by serving a
+    /// snapshot *directory* rather than a single file).
+    pub serve_rotate_ms: Option<u64>,
+    /// Per-request deadline in milliseconds for `edsr serve`
+    /// (`None` = unset, `Some(0)` = explicitly disabled).
+    pub serve_deadline_ms: Option<u64>,
+    /// Bounded submit-queue capacity for `edsr serve` (`None` = server
+    /// default). Requests beyond it are shed with `ERR_OVERLOADED`.
+    pub serve_queue: Option<usize>,
+    /// Per-connection socket read timeout in milliseconds for
+    /// `edsr serve` (`None` = server default).
+    pub serve_read_timeout_ms: Option<u64>,
+    /// Slow-peer stall cap in milliseconds for `edsr serve`: a
+    /// connection idle mid-frame longer than this is dropped
+    /// (`None` = server default).
+    pub serve_stall_ms: Option<u64>,
     /// Arguments `resolve` did not consume (positionals and unknown
     /// flags), in their original order, for the caller's own parser.
     pub rest: Vec<String>,
@@ -66,6 +88,11 @@ impl Default for EnvConfig {
             obs_path: PathBuf::from("metrics.jsonl"),
             serve_batch: None,
             serve_window_us: None,
+            serve_rotate_ms: None,
+            serve_deadline_ms: None,
+            serve_queue: None,
+            serve_read_timeout_ms: None,
+            serve_stall_ms: None,
             rest: Vec::new(),
         }
     }
@@ -118,6 +145,21 @@ impl EnvConfig {
         if let Some(v) = env("EDSR_SERVE_WINDOW_US") {
             cfg.serve_window_us = Some(parse_window("EDSR_SERVE_WINDOW_US", &v)?);
         }
+        if let Some(v) = env("EDSR_SERVE_ROTATE_MS") {
+            cfg.serve_rotate_ms = Some(parse_ms_nonzero("EDSR_SERVE_ROTATE_MS", &v)?);
+        }
+        if let Some(v) = env("EDSR_SERVE_DEADLINE_MS") {
+            cfg.serve_deadline_ms = Some(parse_ms("EDSR_SERVE_DEADLINE_MS", &v)?);
+        }
+        if let Some(v) = env("EDSR_SERVE_QUEUE") {
+            cfg.serve_queue = Some(parse_count("EDSR_SERVE_QUEUE", &v)?);
+        }
+        if let Some(v) = env("EDSR_SERVE_READ_TIMEOUT_MS") {
+            cfg.serve_read_timeout_ms = Some(parse_ms_nonzero("EDSR_SERVE_READ_TIMEOUT_MS", &v)?);
+        }
+        if let Some(v) = env("EDSR_SERVE_STALL_MS") {
+            cfg.serve_stall_ms = Some(parse_ms_nonzero("EDSR_SERVE_STALL_MS", &v)?);
+        }
 
         // CLI layer (wins). Both `--flag value` and `--flag=value` work.
         let mut it = args.iter().peekable();
@@ -152,6 +194,27 @@ impl EnvConfig {
                 "--serve-window-us" => {
                     let v = value(&mut it)?;
                     cfg.serve_window_us = Some(parse_window("--serve-window-us", &v)?);
+                }
+                "--serve-rotate-ms" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_rotate_ms = Some(parse_ms_nonzero("--serve-rotate-ms", &v)?);
+                }
+                "--serve-deadline-ms" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_deadline_ms = Some(parse_ms("--serve-deadline-ms", &v)?);
+                }
+                "--serve-queue" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_queue = Some(parse_count("--serve-queue", &v)?);
+                }
+                "--serve-read-timeout-ms" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_read_timeout_ms =
+                        Some(parse_ms_nonzero("--serve-read-timeout-ms", &v)?);
+                }
+                "--serve-stall-ms" => {
+                    let v = value(&mut it)?;
+                    cfg.serve_stall_ms = Some(parse_ms_nonzero("--serve-stall-ms", &v)?);
                 }
                 _ => cfg.rest.push(arg.clone()),
             }
@@ -199,6 +262,22 @@ fn parse_window(source: &str, value: &str) -> Result<u64, String> {
         .trim()
         .parse::<u64>()
         .map_err(|_| format!("{source}: expected microseconds (u64), got {value:?}"))
+}
+
+fn parse_ms(source: &str, value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("{source}: expected milliseconds (u64), got {value:?}"))
+}
+
+fn parse_ms_nonzero(source: &str, value: &str) -> Result<u64, String> {
+    match value.trim().parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "{source}: expected milliseconds >= 1, got {value:?}"
+        )),
+    }
 }
 
 fn bad_obs(source: &str, value: &str) -> String {
@@ -318,6 +397,74 @@ mod tests {
         let cfg = EnvConfig::resolve(no_env, &args(&["--serve-window-us", "0"])).unwrap();
         assert_eq!(cfg.serve_window_us, Some(0));
         assert!(EnvConfig::resolve(no_env, &args(&["--serve-window-us", "-5"])).is_err());
+    }
+
+    #[test]
+    fn serve_rotate_cli_beats_env_and_validates() {
+        let env = |k: &str| (k == "EDSR_SERVE_ROTATE_MS").then(|| "500".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-rotate-ms", "50"])).unwrap();
+        assert_eq!(cfg.serve_rotate_ms, Some(50));
+        assert_eq!(
+            EnvConfig::resolve(env, &[]).unwrap().serve_rotate_ms,
+            Some(500)
+        );
+        assert_eq!(
+            EnvConfig::resolve(no_env, &[]).unwrap().serve_rotate_ms,
+            None
+        );
+        // A zero poll interval would spin; reject it.
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-rotate-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_deadline_cli_beats_env_and_zero_means_disabled() {
+        let env = |k: &str| (k == "EDSR_SERVE_DEADLINE_MS").then(|| "250".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-deadline-ms=40"])).unwrap();
+        assert_eq!(cfg.serve_deadline_ms, Some(40));
+        assert_eq!(
+            EnvConfig::resolve(env, &[]).unwrap().serve_deadline_ms,
+            Some(250)
+        );
+        // Zero is a valid setting: it explicitly disables the deadline.
+        let cfg = EnvConfig::resolve(no_env, &args(&["--serve-deadline-ms", "0"])).unwrap();
+        assert_eq!(cfg.serve_deadline_ms, Some(0));
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-deadline-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn serve_queue_cli_beats_env_and_validates() {
+        let env = |k: &str| (k == "EDSR_SERVE_QUEUE").then(|| "64".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-queue", "8"])).unwrap();
+        assert_eq!(cfg.serve_queue, Some(8));
+        assert_eq!(EnvConfig::resolve(env, &[]).unwrap().serve_queue, Some(64));
+        assert_eq!(EnvConfig::resolve(no_env, &[]).unwrap().serve_queue, None);
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-queue", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_read_timeout_cli_beats_env_and_validates() {
+        let env = |k: &str| (k == "EDSR_SERVE_READ_TIMEOUT_MS").then(|| "100".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-read-timeout-ms", "5"])).unwrap();
+        assert_eq!(cfg.serve_read_timeout_ms, Some(5));
+        assert_eq!(
+            EnvConfig::resolve(env, &[]).unwrap().serve_read_timeout_ms,
+            Some(100)
+        );
+        // A zero read timeout means "block forever" to the socket layer,
+        // which would defeat the poll loop; reject it.
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-read-timeout-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_stall_cli_beats_env_and_validates() {
+        let env = |k: &str| (k == "EDSR_SERVE_STALL_MS").then(|| "2000".to_string());
+        let cfg = EnvConfig::resolve(env, &args(&["--serve-stall-ms=300"])).unwrap();
+        assert_eq!(cfg.serve_stall_ms, Some(300));
+        assert_eq!(
+            EnvConfig::resolve(env, &[]).unwrap().serve_stall_ms,
+            Some(2000)
+        );
+        assert!(EnvConfig::resolve(no_env, &args(&["--serve-stall-ms", "0"])).is_err());
     }
 
     #[test]

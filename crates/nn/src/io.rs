@@ -145,8 +145,14 @@ const TRAILER_LEN: u64 = 12; // u64 length + u32 crc
 
 /// Writes `payload` under `magic` to `path` with the v2 integrity trailer.
 ///
-/// The write goes to `<path>.tmp` first and is renamed into place, so an
-/// interrupted save never leaves a half-written file under `path`.
+/// Durability contract: the write goes to `<path>.tmp`, is `fsync`ed to
+/// stable storage, and only then renamed into place, so neither a process
+/// crash nor a power loss can leave a half-written (or fully-written but
+/// unflushed) file under the final name. Without the fsync, rename-only
+/// atomicity still allows the *metadata* rename to reach disk before the
+/// *data* blocks — after power loss the final path could hold garbage
+/// that passes the existence check and fails CRC. The parent directory
+/// is fsynced best-effort so the rename itself is durable too.
 pub fn write_envelope(
     path: impl AsRef<Path>,
     magic: &[u8; 8],
@@ -161,9 +167,28 @@ pub fn write_envelope(
         w.write_all(&(payload.len() as u64).to_le_bytes())?;
         w.write_all(&crc32(payload).to_le_bytes())?;
         w.flush()?;
+        w.get_ref().sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
     Ok(())
+}
+
+/// Best-effort fsync of `path`'s parent directory, making a just-completed
+/// rename durable. Failures are ignored: some filesystems (and most CI
+/// sandboxes) reject directory fsync, and the worst case is the pre-fsync
+/// status quo — the rename may be lost on power failure, never torn.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(handle) = File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
 }
 
 /// Reads and validates an envelope written by [`write_envelope`].
@@ -529,8 +554,12 @@ pub fn save_params_v1(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), C
         w.write_all(MAGIC_V1)?;
         w.write_all(&params_to_bytes(params))?;
         w.flush()?;
+        // Same durability contract as `write_envelope`: data reaches
+        // stable storage before the rename publishes the final name.
+        w.get_ref().sync_all()?;
     }
     std::fs::rename(&tmp, path.as_ref())?;
+    sync_parent_dir(path.as_ref());
     Ok(())
 }
 

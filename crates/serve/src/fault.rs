@@ -1,0 +1,294 @@
+//! Deterministic network fault injection for the serve layer.
+//!
+//! Extends the trainer's fault philosophy (`edsr_cl::FaultPlan`) to the
+//! wire: a [`WireFaultPlan`] pins faults to exact I/O-operation indices —
+//! hand-placed or drawn from a seed — and [`FaultyStream`] wraps any
+//! `Read + Write` transport (either end of a connection) to fire them:
+//! injected delays, partial reads/writes, mid-frame disconnects, and
+//! single-byte corruption. Same seed, same plan, so a failing chaos test
+//! replays exactly.
+//!
+//! The wrapper is transparent to timeout semantics: `WouldBlock` /
+//! `TimedOut` results from the inner stream pass through untouched, so
+//! the server's poll loop keeps working under a fault plan.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One planned wire fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Sleep before performing the operation (a slow or congested peer).
+    Delay(Duration),
+    /// Cap the read buffer to one byte, forcing the caller's read loop to
+    /// reassemble the frame from fragments.
+    PartialRead,
+    /// Write at most half of the offered bytes, forcing `write_all` to
+    /// loop — a torn frame becomes visible to the peer mid-write if a
+    /// later fault disconnects.
+    PartialWrite,
+    /// Drop the connection: this and every later operation fails with
+    /// `ConnectionReset`, exactly like a peer vanishing mid-frame.
+    Disconnect,
+    /// XOR the first transferred byte with `mask` (bit rot on the wire).
+    CorruptByte {
+        /// XOR mask applied to the first byte moved by the operation.
+        mask: u8,
+    },
+}
+
+/// A deterministic set of wire faults keyed by operation index (each
+/// `read`/`write` call on the wrapped stream consumes one index).
+#[derive(Debug, Clone, Default)]
+pub struct WireFaultPlan {
+    /// Planned `(operation index, fault)` pairs.
+    pub faults: Vec<(u64, WireFault)>,
+}
+
+impl WireFaultPlan {
+    /// No faults: the wrapper becomes a transparent pass-through.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single disconnect at operation `op` (mid-frame if `op` lands
+    /// inside a frame's reads/writes).
+    pub fn disconnect_at(op: u64) -> Self {
+        Self {
+            faults: vec![(op, WireFault::Disconnect)],
+        }
+    }
+
+    /// Draws `count` faults over operation indices `0..horizon_ops`,
+    /// cycling through every fault kind — same seed, same plan. Delays
+    /// stay small (≤ 5 ms) so chaos suites finish inside test budgets.
+    pub fn seeded(seed: u64, horizon_ops: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = (0..count)
+            .map(|i| {
+                let op = rng.random_range(0..horizon_ops.max(1));
+                let fault = match i % 5 {
+                    0 => WireFault::Delay(Duration::from_millis(rng.random_range(1..=5u64))),
+                    1 => WireFault::PartialRead,
+                    2 => WireFault::PartialWrite,
+                    3 => WireFault::CorruptByte {
+                        mask: 1 << rng.random_range(0..8u32),
+                    },
+                    _ => WireFault::Disconnect,
+                };
+                (op, fault)
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// Like [`seeded`](Self::seeded) but without disconnects or
+    /// corruption: only delays and partial transfers, which any correct
+    /// peer must absorb without a single failed request.
+    pub fn seeded_benign(seed: u64, horizon_ops: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = (0..count)
+            .map(|i| {
+                let op = rng.random_range(0..horizon_ops.max(1));
+                let fault = match i % 3 {
+                    0 => WireFault::Delay(Duration::from_millis(rng.random_range(1..=5u64))),
+                    1 => WireFault::PartialRead,
+                    _ => WireFault::PartialWrite,
+                };
+                (op, fault)
+            })
+            .collect();
+        Self { faults }
+    }
+
+    fn find(&self, op: u64) -> Option<WireFault> {
+        self.faults
+            .iter()
+            .find(|(at, _)| *at == op)
+            .map(|(_, f)| *f)
+    }
+}
+
+/// Wraps a transport and fires the plan's faults at their operation
+/// indices. Usable on both ends: wrap the server's accepted stream or
+/// the client's connection.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: WireFaultPlan,
+    op: u64,
+    injected: u64,
+    dead: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: S, plan: WireFaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            op: 0,
+            injected: 0,
+            dead: false,
+        }
+    }
+
+    /// Faults actually fired so far (tests assert the plan executed).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    fn next_fault(&mut self) -> Option<WireFault> {
+        let fault = self.plan.find(self.op);
+        self.op += 1;
+        if fault.is_some() {
+            self.injected += 1;
+        }
+        fault
+    }
+
+    fn reset_err() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected disconnect")
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(Self::reset_err());
+        }
+        match self.next_fault() {
+            Some(WireFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Some(WireFault::PartialRead) => {
+                let cap = buf.len().min(1);
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(WireFault::Disconnect) => {
+                self.dead = true;
+                Err(Self::reset_err())
+            }
+            Some(WireFault::CorruptByte { mask }) => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    buf[0] ^= mask;
+                }
+                Ok(n)
+            }
+            Some(WireFault::PartialWrite) | None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(Self::reset_err());
+        }
+        match self.next_fault() {
+            Some(WireFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(WireFault::PartialWrite) => {
+                let cap = (buf.len() / 2).max(1).min(buf.len());
+                self.inner.write(&buf[..cap])
+            }
+            Some(WireFault::Disconnect) => {
+                self.dead = true;
+                Err(Self::reset_err())
+            }
+            Some(WireFault::CorruptByte { mask }) => {
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                // Corrupt a copy; the caller's buffer must stay pristine
+                // (it may retry the same bytes after a reconnect).
+                let mut mangled = buf.to_vec();
+                mangled[0] ^= mask;
+                self.inner.write(&mangled)
+            }
+            Some(WireFault::PartialRead) | None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::reset_err());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = WireFaultPlan::seeded(9, 64, 10);
+        let b = WireFaultPlan::seeded(9, 64, 10);
+        assert_eq!(a.faults, b.faults);
+        let c = WireFaultPlan::seeded(10, 64, 10);
+        assert_ne!(a.faults, c.faults, "different seeds should differ");
+        assert!(a.faults.iter().all(|(op, _)| *op < 64));
+        assert!(WireFaultPlan::seeded_benign(9, 64, 9)
+            .faults
+            .iter()
+            .all(|(_, f)| !matches!(f, WireFault::Disconnect | WireFault::CorruptByte { .. })));
+    }
+
+    #[test]
+    fn disconnect_poisons_all_later_operations() {
+        let data = vec![1u8, 2, 3, 4];
+        let mut s = FaultyStream::new(std::io::Cursor::new(data), WireFaultPlan::disconnect_at(1));
+        let mut buf = [0u8; 2];
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset,
+            "dead stream must stay dead"
+        );
+        assert_eq!(s.injected(), 1);
+    }
+
+    #[test]
+    fn partial_and_corrupt_faults_shape_the_transfer() {
+        let plan = WireFaultPlan {
+            faults: vec![
+                (0, WireFault::PartialRead),
+                (1, WireFault::CorruptByte { mask: 0x01 }),
+            ],
+        };
+        let mut s = FaultyStream::new(std::io::Cursor::new(vec![8u8, 9, 10]), plan);
+        let mut buf = [0u8; 3];
+        assert_eq!(s.read(&mut buf).unwrap(), 1, "partial read caps at 1 byte");
+        assert_eq!(buf[0], 8);
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+        assert_eq!(buf[0], 9 ^ 0x01, "first byte of the chunk is corrupted");
+        assert_eq!(s.injected(), 2);
+
+        let plan = WireFaultPlan {
+            faults: vec![(0, WireFault::PartialWrite)],
+        };
+        let mut s = FaultyStream::new(std::io::Cursor::new(Vec::new()), plan);
+        let n = s.write(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(n, 2, "partial write moves half the buffer");
+        s.write_all(&[3, 4]).unwrap();
+        assert_eq!(s.get_ref().get_ref(), &[1, 2, 3, 4]);
+    }
+}

@@ -13,7 +13,15 @@
 //!   graceful drain.
 //! - [`protocol`] — the versioned length-prefixed binary wire format.
 //! - [`client`] — a blocking client for tests, load generation, and the
-//!   `edsr query` CLI.
+//!   `edsr query` CLI, with reconnect + bounded seeded-jitter backoff.
+//! - [`fault`] — deterministic wire fault injection ([`FaultyStream`])
+//!   for chaos tests on either end of a connection.
+//!
+//! Robustness contract (DESIGN.md §13): the server enforces per-request
+//! deadlines and bounded-queue backpressure (structured `ERR_DEADLINE` /
+//! `ERR_OVERLOADED` errors with a retry-after hint), survives torn or
+//! corrupt frames at any byte offset, and can rotate to newer snapshots
+//! under live traffic without mixing answers across snapshots.
 //!
 //! Determinism contract: serving runs the encoder's eval-mode forward
 //! (batch standardization skipped), which computes each output row
@@ -23,17 +31,21 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 
 pub use cache::EmbedCache;
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{EmbedReport, Engine};
+pub use fault::{FaultyStream, WireFault, WireFaultPlan};
 pub use protocol::{
     ProtocolError, Request, Response, StatsReply, WireMetric, WireNeighbor, MAX_FRAME,
     PROTOCOL_VERSION,
 };
-pub use server::{serve, Batcher, ServeHandle, ServerConfig, ServerReport, SubmitError, Submitter};
+pub use server::{
+    serve, Batcher, RotateConfig, ServeHandle, ServerConfig, ServerReport, SubmitError, Submitter,
+};
 
 /// Failures surfaced by the serve layer (client and server setup).
 #[derive(Debug)]
@@ -46,6 +58,8 @@ pub enum ServeError {
     Rejected {
         /// One of the protocol `ERR_*` codes.
         code: u16,
+        /// Backpressure hint from the server (0 = none).
+        retry_after_ms: u32,
         /// Server-provided reason.
         message: String,
     },
@@ -61,7 +75,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "serve i/o: {e}"),
             ServeError::Protocol(e) => write!(f, "serve protocol: {e}"),
-            ServeError::Rejected { code, message } => {
+            ServeError::Rejected { code, message, .. } => {
                 write!(f, "request rejected (code {code}): {message}")
             }
             ServeError::ServerClosed => write!(f, "server closed the connection"),

@@ -21,16 +21,21 @@
 //!   status 0 (ok):
 //!     embed     := dim:u32 f32*dim
 //!     knn       := n:u32 (index:u64 score:f32)*n
-//!     stats     := 8 x u64 (see [`StatsReply`])
+//!     stats     := 11 x u64 (see [`StatsReply`])
 //!     shutdown  := (empty)
-//!   status 1 (error) := code:u16 len:u32 utf8*len
+//!   status 1 (error) := code:u16 retry_after_ms:u32 len:u32 utf8*len
 //! ```
+//!
+//! Version 2 added `retry_after_ms` to error responses (the backpressure
+//! hint honoured by the retrying client) and the rotation/rejection
+//! counters to the stats body; v1 peers are rejected with
+//! [`ProtocolError::BadVersion`] rather than misparsed.
 
 use std::fmt;
 use std::io::{Read, Write};
 
 /// Wire protocol version carried in every payload.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on a frame payload (16 MiB): anything larger is rejected
 /// before allocation, so a corrupt length prefix cannot OOM the server.
@@ -51,6 +56,12 @@ pub const ERR_BAD_REQUEST: u16 = 1;
 pub const ERR_SHUTTING_DOWN: u16 = 2;
 /// Internal failure while answering (details in the message).
 pub const ERR_INTERNAL: u16 = 3;
+/// The request sat in the batch queue past its deadline and was dropped
+/// unanswered by the engine (`EDSR_SERVE_DEADLINE_MS`).
+pub const ERR_DEADLINE: u16 = 4;
+/// The bounded submit queue was full; the response carries a
+/// `retry_after_ms` hint and the request was shed without blocking.
+pub const ERR_OVERLOADED: u16 = 5;
 
 /// Neighbour metric selector on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +151,12 @@ pub struct StatsReply {
     pub memory_rows: u64,
     /// Representation dimensionality served.
     pub repr_dim: u64,
+    /// Completed live snapshot rotations (engine swaps).
+    pub rotations: u64,
+    /// Requests rejected because they aged past the batcher deadline.
+    pub rejected_deadline: u64,
+    /// Requests shed because the bounded submit queue was full.
+    pub rejected_overload: u64,
 }
 
 /// A server → client message.
@@ -157,6 +174,10 @@ pub enum Response {
     Error {
         /// One of the `ERR_*` codes.
         code: u16,
+        /// Backpressure hint in milliseconds: how long the client should
+        /// wait before retrying. Zero means "no hint"; only
+        /// [`ERR_OVERLOADED`] responses carry a non-zero value today.
+        retry_after_ms: u32,
         /// Human-readable reason.
         message: String,
     },
@@ -412,10 +433,15 @@ impl Response {
         buf.clear();
         buf.push(PROTOCOL_VERSION);
         match self {
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => {
                 buf.push(1);
                 buf.push(opcode);
                 put_u16(buf, *code);
+                put_u32(buf, *retry_after_ms);
                 put_u32(buf, message.len() as u32);
                 buf.extend_from_slice(message.as_bytes());
             }
@@ -441,6 +467,9 @@ impl Response {
                             s.cache_misses,
                             s.memory_rows,
                             s.repr_dim,
+                            s.rotations,
+                            s.rejected_deadline,
+                            s.rejected_overload,
                         ] {
                             put_u64(buf, v);
                         }
@@ -471,11 +500,16 @@ impl Response {
         let resp = match status {
             1 => {
                 let code = c.u16()?;
+                let retry_after_ms = c.u32()?;
                 let len = c.u32()? as usize;
                 let bytes = c.take(len)?;
                 let message = String::from_utf8(bytes.to_vec())
                     .map_err(|_| ProtocolError::Malformed("error message is not utf-8"))?;
-                Response::Error { code, message }
+                Response::Error {
+                    code,
+                    retry_after_ms,
+                    message,
+                }
             }
             0 => match opcode {
                 OP_EMBED => Response::Embedding(c.f32_vec()?),
@@ -508,6 +542,9 @@ impl Response {
                     cache_misses: c.u64()?,
                     memory_rows: c.u64()?,
                     repr_dim: c.u64()?,
+                    rotations: c.u64()?,
+                    rejected_deadline: c.u64()?,
+                    rejected_overload: c.u64()?,
                 }),
                 OP_SHUTDOWN => Response::ShutdownAck,
                 other => return Err(ProtocolError::BadOpcode(other)),
@@ -614,7 +651,7 @@ mod tests {
                         .collect(),
                 )
             )),
-            proptest::collection::vec(any::<u64>(), 8).prop_map(|v| (
+            proptest::collection::vec(any::<u64>(), 11).prop_map(|v| (
                 OP_STATS,
                 Response::Stats(StatsReply {
                     requests: v[0],
@@ -625,15 +662,28 @@ mod tests {
                     cache_misses: v[5],
                     memory_rows: v[6],
                     repr_dim: v[7],
+                    rotations: v[8],
+                    rejected_deadline: v[9],
+                    rejected_overload: v[10],
                 })
             )),
             Just((OP_SHUTDOWN, Response::ShutdownAck)),
-            (proptest::collection::vec(32u8..127, 0..40), any::<u16>()).prop_map(
-                |(bytes, code)| {
+            (
+                proptest::collection::vec(32u8..127, 0..40),
+                any::<u16>(),
+                any::<u32>()
+            )
+                .prop_map(|(bytes, code, retry_after_ms)| {
                     let message = String::from_utf8(bytes).expect("printable ascii");
-                    (OP_EMBED, Response::Error { code, message })
-                }
-            ),
+                    (
+                        OP_EMBED,
+                        Response::Error {
+                            code,
+                            retry_after_ms,
+                            message,
+                        },
+                    )
+                }),
         ]
     }
 

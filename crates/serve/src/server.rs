@@ -17,6 +17,30 @@
 //! cache-hit embed makes zero steady-state heap allocations end to end
 //! (`tests/zero_alloc.rs`).
 //!
+//! ## Deadlines and backpressure
+//!
+//! The submit queue is bounded ([`ServerConfig::queue_cap`]): a full
+//! queue sheds the request immediately with
+//! [`SubmitError::Overloaded`] and a retry-after hint instead of
+//! blocking forever. A configured per-request deadline
+//! ([`ServerConfig::deadline`]) is enforced at flush time — a request
+//! that aged out in the queue is failed with
+//! [`SubmitError::DeadlineExceeded`] and never reaches the engine, so
+//! overload turns into bounded, structured errors rather than unbounded
+//! latency.
+//!
+//! ## Live snapshot rotation
+//!
+//! With [`ServerConfig::rotate`] set, a rotator thread polls the
+//! snapshot directory. A candidate newer (by path order) than the live
+//! snapshot is CRC-validated and built into a fresh [`Engine`]
+//! **off-lock**; only the final swap takes the engine mutex. A flush
+//! holds that mutex for its whole batch, so the swap always lands
+//! between flushes: every request is answered by exactly one coherent
+//! snapshot, never a mix. Corrupt or torn candidates are skipped (the
+//! exporter's tmp-file + rename keeps visible files complete; the CRC
+//! catches everything else).
+//!
 //! ## Shutdown
 //!
 //! A shutdown request (or [`ServeHandle::shutdown`]) stops the accept
@@ -25,22 +49,48 @@
 //! queue before exiting. Accepted requests are never dropped.
 
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use edsr_cl::checkpoint::ServeSnapshot;
 use edsr_tensor::Matrix;
 
 use crate::engine::{EmbedReport, Engine};
+use crate::fault::{FaultyStream, WireFaultPlan};
 use crate::protocol::{
     write_frame, ProtocolError, Request, Response, StatsReply, WireNeighbor, ERR_BAD_REQUEST,
-    ERR_SHUTTING_DOWN,
+    ERR_DEADLINE, ERR_OVERLOADED, ERR_SHUTTING_DOWN,
 };
 use crate::ServeError;
 
+/// Obs index for `serve/rejected` counters shed by the deadline.
+pub const REJECT_DEADLINE: u64 = 0;
+/// Obs index for `serve/rejected` counters shed by the bounded queue.
+pub const REJECT_OVERLOAD: u64 = 1;
+
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Live snapshot rotation settings ([`ServerConfig::rotate`]).
+#[derive(Debug, Clone)]
+pub struct RotateConfig {
+    /// Directory to watch for `.snapshot` files.
+    pub dir: PathBuf,
+    /// Poll interval (`EDSR_SERVE_ROTATE_MS`).
+    pub poll: Duration,
+    /// Embedding-cache capacity for freshly built engines (a rotation
+    /// replaces the whole engine, cache included — coherence by
+    /// construction).
+    pub cache_capacity: usize,
+    /// Path of the snapshot the initial engine was built from; only
+    /// strictly newer paths are rotation candidates. `None` rotates to
+    /// the newest valid snapshot on the first poll.
+    pub current: Option<PathBuf>,
 }
 
 /// Server/batcher tuning knobs.
@@ -51,8 +101,29 @@ pub struct ServerConfig {
     /// ... or once the oldest waiting request is this old.
     pub window: Duration,
     /// Concurrent connections the accept pool admits; further clients
-    /// queue in the listen backlog.
+    /// queue in the listen backlog. Each connection is a blocking
+    /// request–response loop, so this doubles as the per-connection
+    /// in-flight cap (exactly one request in flight per connection).
     pub max_connections: usize,
+    /// Per-request deadline enforced in the batcher
+    /// (`EDSR_SERVE_DEADLINE_MS`); `None` disables.
+    pub deadline: Option<Duration>,
+    /// Bound on the submit queue (`EDSR_SERVE_QUEUE`); a full queue
+    /// sheds with [`SubmitError::Overloaded`].
+    pub queue_cap: usize,
+    /// Socket read poll granularity (`EDSR_SERVE_READ_TIMEOUT_MS`):
+    /// how often an idle handler re-checks the shutdown flag.
+    pub read_timeout: Duration,
+    /// Slow-loris cap (`EDSR_SERVE_STALL_MS`): a peer that stalls
+    /// mid-frame longer than this gets a structured truncation error
+    /// and its connection closed.
+    pub stall_cap: Duration,
+    /// Live snapshot rotation; `None` pins the startup snapshot.
+    pub rotate: Option<RotateConfig>,
+    /// Wrap every accepted connection in a seeded [`FaultyStream`]
+    /// (chaos testing only; the per-connection plan is derived from
+    /// this seed plus the connection index).
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +132,12 @@ impl Default for ServerConfig {
             max_batch: 8,
             window: Duration::from_micros(500),
             max_connections: 8,
+            deadline: None,
+            queue_cap: 1024,
+            read_timeout: Duration::from_millis(20),
+            stall_cap: Duration::from_secs(5),
+            rotate: None,
+            fault_seed: None,
         }
     }
 }
@@ -79,6 +156,7 @@ struct SlotInner {
     enqueued: Instant,
     input: Vec<f32>,
     out: Vec<f32>,
+    code: u16,
     error: String,
     report: EmbedReport,
 }
@@ -99,6 +177,7 @@ impl Slot {
                 enqueued: Instant::now(),
                 input: Vec::new(),
                 out: Vec::new(),
+                code: ERR_BAD_REQUEST,
                 error: String::new(),
                 report: EmbedReport::default(),
             }),
@@ -112,10 +191,13 @@ struct BatchStats {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_overload: AtomicU64,
+    rotations: AtomicU64,
 }
 
-/// State shared between submitters, the batcher thread, and the TCP
-/// handlers (which also reach the engine directly for knn/stats).
+/// State shared between submitters, the batcher thread, the rotator, and
+/// the TCP handlers (which also reach the engine directly for knn/stats).
 struct BatchShared {
     engine: Mutex<Engine>,
     queue: Mutex<VecDeque<Arc<Slot>>>,
@@ -123,6 +205,10 @@ struct BatchShared {
     stop: AtomicBool,
     max_batch: usize,
     window: Duration,
+    deadline: Option<Duration>,
+    queue_cap: usize,
+    rotate_mx: Mutex<()>,
+    rotate_cv: Condvar,
     stats: BatchStats,
 }
 
@@ -133,6 +219,7 @@ struct BatchShared {
 pub struct Batcher {
     shared: Arc<BatchShared>,
     worker: Option<std::thread::JoinHandle<()>>,
+    rotator: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Why a submission was not answered.
@@ -142,6 +229,14 @@ pub enum SubmitError {
     ShuttingDown,
     /// The engine rejected the request (dimension/task validation).
     Rejected(String),
+    /// The request aged past [`ServerConfig::deadline`] in the queue.
+    DeadlineExceeded,
+    /// The bounded submit queue is full; the request was shed.
+    Overloaded {
+        /// Suggested wait before retrying (the batching window: one
+        /// flush from now the queue has drained at least one batch).
+        retry_after_ms: u32,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -149,6 +244,10 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
             SubmitError::Rejected(msg) => write!(f, "{msg}"),
+            SubmitError::DeadlineExceeded => write!(f, "request deadline exceeded in batch queue"),
+            SubmitError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -156,15 +255,32 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 impl Batcher {
-    /// Starts the batcher thread over `engine`.
+    /// Starts the batcher thread over `engine` with default deadline and
+    /// queue-bound settings.
     pub fn new(engine: Engine, max_batch: usize, window: Duration) -> Self {
+        let cfg = ServerConfig {
+            max_batch,
+            window,
+            ..ServerConfig::default()
+        };
+        Self::with_config(engine, &cfg)
+    }
+
+    /// Starts the batcher thread with the full knob set (deadline,
+    /// bounded queue). TCP-only fields of `cfg` are ignored here.
+    pub fn with_config(engine: Engine, cfg: &ServerConfig) -> Self {
+        let max_batch = cfg.max_batch.max(1);
         let shared = Arc::new(BatchShared {
             engine: Mutex::new(engine),
-            queue: Mutex::new(VecDeque::with_capacity(max_batch.max(1) * 2)),
+            queue: Mutex::new(VecDeque::with_capacity(max_batch * 2)),
             queue_cv: Condvar::new(),
             stop: AtomicBool::new(false),
-            max_batch: max_batch.max(1),
-            window,
+            max_batch,
+            window: cfg.window,
+            deadline: cfg.deadline,
+            queue_cap: cfg.queue_cap.max(1),
+            rotate_mx: Mutex::new(()),
+            rotate_cv: Condvar::new(),
             stats: BatchStats::default(),
         });
         let worker_shared = Arc::clone(&shared);
@@ -175,7 +291,20 @@ impl Batcher {
         Self {
             shared,
             worker: Some(worker),
+            rotator: None,
         }
+    }
+
+    /// Starts the live-rotation thread: poll the snapshot directory,
+    /// validate candidates, build fresh engines off-lock, swap between
+    /// flushes. Stopped (and joined) together with the batcher.
+    pub fn start_rotation(&mut self, cfg: RotateConfig) {
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name("edsr-serve-rotate".into())
+            .spawn(move || rotation_worker(&shared, cfg))
+            .expect("spawn rotation thread");
+        self.rotator = Some(handle);
     }
 
     /// A new submission handle (one per concurrent caller; each embeds
@@ -206,6 +335,19 @@ impl Batcher {
         )
     }
 
+    /// Requests shed so far: `(deadline-expired, queue-overload)`.
+    pub fn rejected(&self) -> (u64, u64) {
+        (
+            self.shared.stats.rejected_deadline.load(Ordering::Relaxed),
+            self.shared.stats.rejected_overload.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Completed live snapshot rotations.
+    pub fn rotations(&self) -> u64 {
+        self.shared.stats.rotations.load(Ordering::Relaxed)
+    }
+
     /// Drains the queue and stops the worker thread. Submissions after
     /// this fail with [`SubmitError::ShuttingDown`]; knn/stats through
     /// [`with_engine`](Self::with_engine) keep working.
@@ -216,8 +358,12 @@ impl Batcher {
     fn stop_worker(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.queue_cv.notify_all();
+        self.shared.rotate_cv.notify_all();
         if let Some(w) = self.worker.take() {
             let _ = w.join();
+        }
+        if let Some(r) = self.rotator.take() {
+            let _ = r.join();
         }
     }
 }
@@ -260,6 +406,26 @@ impl Submitter {
         // the queue lock (the batcher acquires queue → slot).
         {
             let mut q = lock(&self.shared.queue);
+            if q.len() >= self.shared.queue_cap {
+                // Bounded queue: shed now instead of blocking forever.
+                // The hint is one batching window — by then the batcher
+                // has drained at least one flush from the backlog.
+                drop(q);
+                let mut inner = lock(&self.slot.inner);
+                inner.phase = Phase::Idle;
+                std::mem::swap(&mut inner.input, input);
+                std::mem::swap(&mut inner.out, out);
+                self.shared
+                    .stats
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                if edsr_obs::enabled() {
+                    edsr_obs::counter_at("serve/rejected", REJECT_OVERLOAD, 1);
+                }
+                return Err(SubmitError::Overloaded {
+                    retry_after_ms: (self.shared.window.as_millis() as u32).max(1),
+                });
+            }
             q.push_back(Arc::clone(&self.slot));
             self.shared.queue_cv.notify_all();
         }
@@ -273,11 +439,10 @@ impl Submitter {
         let report = inner.report;
         inner.phase = Phase::Idle;
         if failed {
-            let msg = std::mem::take(&mut inner.error);
-            if msg == "server is shutting down" {
-                Err(SubmitError::ShuttingDown)
-            } else {
-                Err(SubmitError::Rejected(msg))
+            match inner.code {
+                ERR_SHUTTING_DOWN => Err(SubmitError::ShuttingDown),
+                ERR_DEADLINE => Err(SubmitError::DeadlineExceeded),
+                _ => Err(SubmitError::Rejected(std::mem::take(&mut inner.error))),
             }
         } else {
             Ok(report)
@@ -335,8 +500,8 @@ fn batch_worker(shared: &BatchShared) {
     }
 }
 
-/// Answers one drained batch: group by task, one batched forward per
-/// group, fill and wake every slot.
+/// Answers one drained batch: shed deadline-expired requests, group the
+/// rest by task, one batched forward per group, fill and wake every slot.
 fn flush(
     shared: &BatchShared,
     batch: &[Arc<Slot>],
@@ -348,25 +513,56 @@ fn flush(
     if n == 0 {
         return;
     }
+    done.clear();
+    done.resize(n, false);
+    // Deadline shedding happens before the engine lock: an expired
+    // request costs a slot wake, never a forward.
+    let mut live = n;
+    if let Some(deadline) = shared.deadline {
+        let now = Instant::now();
+        for (i, slot) in batch.iter().enumerate() {
+            let expired = {
+                let inner = lock(&slot.inner);
+                now.saturating_duration_since(inner.enqueued) > deadline
+            };
+            if expired {
+                done[i] = true;
+                live -= 1;
+                shared
+                    .stats
+                    .rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                if edsr_obs::enabled() {
+                    edsr_obs::counter_at("serve/rejected", REJECT_DEADLINE, 1);
+                }
+                fail_slot(
+                    slot,
+                    ERR_DEADLINE,
+                    "request deadline exceeded in batch queue",
+                );
+            }
+        }
+    }
+    if live == 0 {
+        return;
+    }
     let obs_on = edsr_obs::enabled();
     if obs_on {
         edsr_obs::counter("serve/batches", 1);
-        edsr_obs::counter("serve/batched_requests", n as u64);
-        edsr_obs::histogram("serve/batch_size", n as f64);
+        edsr_obs::counter("serve/batched_requests", live as u64);
+        edsr_obs::histogram("serve/batch_size", live as f64);
     }
     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .stats
         .batched_requests
-        .fetch_add(n as u64, Ordering::Relaxed);
+        .fetch_add(live as u64, Ordering::Relaxed);
     shared
         .stats
         .max_batch
-        .fetch_max(n as u64, Ordering::Relaxed);
+        .fetch_max(live as u64, Ordering::Relaxed);
 
     let mut engine = lock(&shared.engine);
-    done.clear();
-    done.resize(n, false);
     for start in 0..n {
         if done[start] {
             continue;
@@ -379,7 +575,7 @@ fn flush(
                 for (i, slot) in batch.iter().enumerate().skip(start) {
                     if !done[i] && lock(&slot.inner).task == task {
                         done[i] = true;
-                        fail_slot(slot, &msg);
+                        fail_slot(slot, ERR_BAD_REQUEST, &msg);
                     }
                 }
                 continue;
@@ -405,7 +601,7 @@ fn flush(
                     inner.input.len()
                 );
                 drop(inner);
-                fail_slot(slot, &msg);
+                fail_slot(slot, ERR_BAD_REQUEST, &msg);
             }
         }
         if order.is_empty() {
@@ -435,18 +631,101 @@ fn flush(
             for &i in order.iter() {
                 // embed_rows validates before emitting: on error no slot
                 // of this group has been answered yet.
-                fail_slot(&batch[i], &msg);
+                fail_slot(&batch[i], ERR_BAD_REQUEST, &msg);
             }
         }
     }
 }
 
-fn fail_slot(slot: &Slot, msg: &str) {
+fn fail_slot(slot: &Slot, code: u16, msg: &str) {
     let mut inner = lock(&slot.inner);
+    inner.code = code;
     inner.error.clear();
     inner.error.push_str(msg);
     inner.phase = Phase::Failed;
     slot.cv.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Live snapshot rotation.
+
+/// `.snapshot` files in `dir`, path-sorted ascending (the exporter's
+/// naming embeds the completed-task count, so newest sorts last — the
+/// same convention as `latest_valid_serve_snapshot`).
+fn scan_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("snapshot") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// One rotation attempt: newest candidate first, skipping corrupt files
+/// (CRC/decode failures), stopping at the live snapshot. The fresh
+/// engine is fully built before the engine lock is taken, so the swap
+/// itself is one pointer-sized store between micro-batch flushes.
+fn try_rotate(
+    shared: &BatchShared,
+    dir: &Path,
+    cache_capacity: usize,
+    current: &mut Option<PathBuf>,
+) {
+    let paths = scan_snapshots(dir);
+    for path in paths.iter().rev() {
+        if let Some(cur) = current.as_ref() {
+            if path <= cur {
+                break; // nothing newer than the live snapshot
+            }
+        }
+        let started = Instant::now();
+        let fresh = ServeSnapshot::load(path)
+            .ok()
+            .and_then(|snap| Engine::from_snapshot(snap, cache_capacity).ok());
+        match fresh {
+            Some(engine) => {
+                *lock(&shared.engine) = engine;
+                shared.stats.rotations.fetch_add(1, Ordering::Relaxed);
+                if edsr_obs::enabled() {
+                    edsr_obs::counter("serve/rotations", 1);
+                    edsr_obs::histogram("serve/rotation_ms", started.elapsed().as_secs_f64() * 1e3);
+                }
+                *current = Some(path.clone());
+                return;
+            }
+            None => {
+                // Corrupt/torn candidate: skip it and try the next-older
+                // one; the next poll retries in case it heals.
+                if edsr_obs::enabled() {
+                    edsr_obs::counter("serve/rotation_skipped", 1);
+                }
+            }
+        }
+    }
+}
+
+/// The rotator thread: sleep on its condvar (woken early by stop),
+/// then attempt one rotation per poll tick.
+fn rotation_worker(shared: &BatchShared, cfg: RotateConfig) {
+    let mut current = cfg.current;
+    loop {
+        {
+            let guard = lock(&shared.rotate_mx);
+            let _ = shared
+                .rotate_cv
+                .wait_timeout(guard, cfg.poll)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        try_rotate(shared, &cfg.dir, cfg.cache_capacity, &mut current);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -467,6 +746,12 @@ pub struct ServerReport {
     pub cache_hits: u64,
     /// Embedding-cache misses.
     pub cache_misses: u64,
+    /// Completed live snapshot rotations.
+    pub rotations: u64,
+    /// Requests shed because they aged past the deadline.
+    pub rejected_deadline: u64,
+    /// Requests shed because the submit queue was full.
+    pub rejected_overload: u64,
 }
 
 struct ServerShared {
@@ -476,6 +761,8 @@ struct ServerShared {
     conns: Mutex<usize>,
     conns_cv: Condvar,
     max_connections: usize,
+    read_timeout: Duration,
+    stall_cap: Duration,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -516,7 +803,15 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    let batcher = Batcher::new(engine, cfg.max_batch, cfg.window);
+    let mut batcher = Batcher::with_config(engine, &cfg);
+    if let Some(rotate) = cfg.rotate.clone() {
+        batcher.start_rotation(rotate);
+    }
+    let read_timeout = if cfg.read_timeout.is_zero() {
+        ServerConfig::default().read_timeout
+    } else {
+        cfg.read_timeout
+    };
     let shared = Arc::new(ServerShared {
         batch: Arc::clone(&batcher.shared),
         shutdown: AtomicBool::new(false),
@@ -524,11 +819,14 @@ pub fn serve(
         conns: Mutex::new(0),
         conns_cv: Condvar::new(),
         max_connections: cfg.max_connections.max(1),
+        read_timeout,
+        stall_cap: cfg.stall_cap.max(Duration::from_millis(1)),
     });
     let accept_shared = Arc::clone(&shared);
+    let fault_seed = cfg.fault_seed;
     let accept = std::thread::Builder::new()
         .name("edsr-serve-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_shared, batcher))
+        .spawn(move || accept_loop(&listener, &accept_shared, batcher, fault_seed))
         .map_err(ServeError::Io)?;
     Ok(ServeHandle {
         addr: local,
@@ -541,9 +839,11 @@ fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<ServerShared>,
     mut batcher: Batcher,
+    fault_seed: Option<u64>,
 ) -> ServerReport {
     let _span = edsr_obs::span!("serve/accept_loop");
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut accepted: u64 = 0;
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -558,12 +858,27 @@ fn accept_loop(
                     }
                     *active += 1;
                 }
+                let conn_idx = accepted;
+                accepted += 1;
                 let conn_shared = Arc::clone(shared);
                 let submitter = batcher.submitter();
                 let h = std::thread::Builder::new()
                     .name("edsr-serve-conn".into())
                     .spawn(move || {
-                        handle_connection(stream, &conn_shared, submitter);
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(conn_shared.read_timeout));
+                        match fault_seed {
+                            Some(seed) => {
+                                // A per-connection plan so reconnects see
+                                // fresh faults (deterministic in the
+                                // seed + accept order).
+                                let plan =
+                                    WireFaultPlan::seeded(seed.wrapping_add(conn_idx), 64, 6);
+                                let faulty = FaultyStream::new(stream, plan);
+                                handle_connection(faulty, &conn_shared, submitter);
+                            }
+                            None => handle_connection(stream, &conn_shared, submitter),
+                        }
                         let mut active = lock(&conn_shared.conns);
                         *active -= 1;
                         conn_shared.conns_cv.notify_one();
@@ -585,6 +900,8 @@ fn accept_loop(
     }
     batcher.stop_worker();
     let (batches, batched_requests, max_batch) = batcher.stats();
+    let (rejected_deadline, rejected_overload) = batcher.rejected();
+    let rotations = batcher.rotations();
     let (cache_hits, cache_misses) = batcher.with_engine(|e| (e.cache_hits(), e.cache_misses()));
     edsr_obs::flush();
     ServerReport {
@@ -594,18 +911,21 @@ fn accept_loop(
         max_batch,
         cache_hits,
         cache_misses,
+        rotations,
+        rejected_deadline,
+        rejected_overload,
     }
 }
 
 /// Reads one frame, polling the shutdown flag between frames (a read
-/// timeout only aborts the connection mid-frame after `stall_cap`).
-fn poll_frame(
-    stream: &mut TcpStream,
+/// timeout only aborts the connection mid-frame after the configured
+/// stall cap — slow-loris protection).
+fn poll_frame<S: Read>(
+    stream: &mut S,
     buf: &mut Vec<u8>,
     shared: &ServerShared,
 ) -> Result<bool, ProtocolError> {
-    use std::io::Read;
-    let stall_cap = Duration::from_secs(5);
+    let stall_cap = shared.stall_cap;
     let mut len_bytes = [0u8; 4];
     let mut filled = 0usize;
     let mut stall_start: Option<Instant> = None;
@@ -683,9 +1003,11 @@ fn poll_frame(
     Ok(true)
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &ServerShared, mut submitter: Submitter) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+fn handle_connection<S: Read + Write>(
+    mut stream: S,
+    shared: &ServerShared,
+    mut submitter: Submitter,
+) {
     let mut frame = Vec::new();
     let mut payload = Vec::new();
     let mut input = Vec::new();
@@ -701,6 +1023,7 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared, mut submitter
                 // close — the stream can no longer be re-synchronised.
                 let resp = Response::Error {
                     code: ERR_BAD_REQUEST,
+                    retry_after_ms: 0,
                     message: e.to_string(),
                 };
                 resp.encode_into(0, &mut payload);
@@ -715,6 +1038,7 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared, mut submitter
                 0,
                 Response::Error {
                     code: ERR_BAD_REQUEST,
+                    retry_after_ms: 0,
                     message: e.to_string(),
                 },
             ),
@@ -762,10 +1086,22 @@ fn answer(
                 Ok(_) => Response::Embedding(std::mem::take(out)),
                 Err(SubmitError::ShuttingDown) => Response::Error {
                     code: ERR_SHUTTING_DOWN,
+                    retry_after_ms: 0,
                     message: "server is shutting down".into(),
+                },
+                Err(SubmitError::DeadlineExceeded) => Response::Error {
+                    code: ERR_DEADLINE,
+                    retry_after_ms: 0,
+                    message: "request deadline exceeded in batch queue".into(),
+                },
+                Err(SubmitError::Overloaded { retry_after_ms }) => Response::Error {
+                    code: ERR_OVERLOADED,
+                    retry_after_ms,
+                    message: "server overloaded, submit queue full".into(),
                 },
                 Err(SubmitError::Rejected(message)) => Response::Error {
                     code: ERR_BAD_REQUEST,
+                    retry_after_ms: 0,
                     message,
                 },
             }
@@ -787,6 +1123,7 @@ fn answer(
                 ),
                 Err(message) => Response::Error {
                     code: ERR_BAD_REQUEST,
+                    retry_after_ms: 0,
                     message,
                 },
             }
@@ -811,6 +1148,9 @@ fn answer(
                 cache_misses: engine_stats.1,
                 memory_rows: engine_stats.2,
                 repr_dim: engine_stats.3,
+                rotations: shared.batch.stats.rotations.load(Ordering::Relaxed),
+                rejected_deadline: shared.batch.stats.rejected_deadline.load(Ordering::Relaxed),
+                rejected_overload: shared.batch.stats.rejected_overload.load(Ordering::Relaxed),
             })
         }
         Request::Shutdown => {
@@ -827,13 +1167,17 @@ mod tests {
     use edsr_cl::{ContinualModel, ModelConfig};
     use edsr_tensor::rng::seeded;
 
-    fn engine() -> Engine {
-        let mut rng = seeded(21);
+    fn engine_seeded(seed: u64) -> Engine {
+        let mut rng = seeded(seed);
         let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
         let inputs = Matrix::randn(4, 16, 1.0, &mut rng);
         let reprs = model.represent(&inputs, 0);
         let snap = ServeSnapshot::capture(&model, reprs, vec![0; 4], "t", 1).unwrap();
         Engine::from_snapshot(snap, 16).unwrap()
+    }
+
+    fn engine() -> Engine {
+        engine_seeded(21)
     }
 
     #[test]
@@ -905,5 +1249,133 @@ mod tests {
                 got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded_and_retry_hint() {
+        // Two queued requests saturate queue_cap; the window is long
+        // enough that they are still queued when the third submits.
+        let cfg = ServerConfig {
+            max_batch: 64,
+            window: Duration::from_millis(400),
+            queue_cap: 2,
+            ..ServerConfig::default()
+        };
+        let batcher = Arc::new(Batcher::with_config(engine(), &cfg));
+        let blocked: Vec<_> = (0..2)
+            .map(|c| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    let mut sub = b.submitter();
+                    let mut input: Vec<f32> = (0..16).map(|i| (i + c) as f32 * 0.05).collect();
+                    let mut out = Vec::new();
+                    sub.embed(0, &mut input, &mut out)
+                })
+            })
+            .collect();
+        // Give both background submitters time to enqueue.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut sub = batcher.submitter();
+        let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let mut out = Vec::new();
+        match sub.embed(0, &mut input, &mut out) {
+            Err(SubmitError::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms >= 1, "hint must be non-zero");
+            }
+            other => panic!("expected overload shed, got {other:?}"),
+        }
+        assert_eq!(input.len(), 16, "input buffer handed back on shed");
+        for worker in blocked {
+            worker
+                .join()
+                .expect("thread")
+                .expect("queued requests still answered");
+        }
+        assert_eq!(batcher.rejected().1, 1);
+    }
+
+    #[test]
+    fn queued_requests_past_deadline_fail_with_deadline_exceeded() {
+        // The window keeps the request queued for ~80 ms while the
+        // deadline expires after 1 ms: the flush must shed it.
+        let cfg = ServerConfig {
+            max_batch: 64,
+            window: Duration::from_millis(80),
+            deadline: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        };
+        let batcher = Batcher::with_config(engine(), &cfg);
+        let mut sub = batcher.submitter();
+        let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let mut out = Vec::new();
+        match sub.embed(0, &mut input, &mut out) {
+            Err(SubmitError::DeadlineExceeded) => {}
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+        assert_eq!(batcher.rejected().0, 1);
+        assert_eq!(batcher.stats().0, 0, "expired request must not flush");
+    }
+
+    #[test]
+    fn rotation_swaps_to_newer_snapshot_and_skips_corrupt() {
+        let dir = std::env::temp_dir().join(format!("edsr-rotate-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let save = |seed: u64, name: &str| {
+            let mut rng = seeded(seed);
+            let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+            let inputs = Matrix::randn(4, 16, 1.0, &mut rng);
+            let reprs = model.represent_eval(&inputs, 0);
+            let snap = ServeSnapshot::capture(&model, reprs, vec![0; 4], "rot", 1).unwrap();
+            let path = dir.join(name);
+            snap.save(&path).unwrap();
+            path
+        };
+        let first = save(100, "rot.task0001.snapshot");
+
+        let mut batcher = Batcher::new(engine_seeded(100), 4, Duration::from_micros(100));
+        batcher.start_rotation(RotateConfig {
+            dir: dir.clone(),
+            poll: Duration::from_millis(5),
+            cache_capacity: 16,
+            current: Some(first.clone()),
+        });
+
+        // A corrupt newer candidate must be skipped. Corrupt a copy
+        // *outside* the watched directory, then rename it in atomically,
+        // so the poller can never observe it in a valid state.
+        let staged = std::env::temp_dir().join(format!("edsr-rotate-bad-{}", std::process::id()));
+        std::fs::copy(&first, &staged).unwrap();
+        let len = std::fs::metadata(&staged).unwrap().len() as usize;
+        edsr_cl::fault::flip_byte(&staged, len / 2, 0xFF).unwrap();
+        std::fs::rename(&staged, dir.join("rot.task0002.snapshot")).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(batcher.rotations(), 0, "corrupt snapshot must not rotate");
+
+        // ... while a valid even-newer one rotates within a few polls.
+        save(102, "rot.task0003.snapshot");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while batcher.rotations() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(batcher.rotations(), 1, "valid snapshot must rotate");
+
+        // The served embedding now matches the rotated model.
+        let mut rng = seeded(102);
+        let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+        let probe = Matrix::randn(1, 16, 1.0, &mut seeded(7));
+        let want = model.represent_eval(&probe, 0);
+        let mut sub = batcher.submitter();
+        let mut input = probe.row(0).to_vec();
+        let mut out = Vec::new();
+        sub.embed(0, &mut input, &mut out).expect("embed");
+        assert_eq!(
+            want.row(0).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "post-rotation embedding diverged from the new snapshot"
+        );
+        batcher.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

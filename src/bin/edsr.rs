@@ -54,12 +54,14 @@ use edsr::data::{
     cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim, tiny_imagenet_sim,
     Preset, TabularConfig, TABULAR_SPECS,
 };
-use edsr::serve::{serve, Client, Engine, ServeError, ServerConfig, WireMetric};
+use edsr::serve::{
+    serve, Client, Engine, RetryPolicy, RotateConfig, ServeError, ServerConfig, WireMetric,
+};
 use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n  edsr query <ADDR> embed --input F,F,... [--task N]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine]\n  edsr query <ADDR> stats | shutdown\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12)."
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12)."
     );
     std::process::exit(2);
 }
@@ -351,6 +353,34 @@ fn cmd_serve(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     if let Some(us) = env_cfg.serve_window_us {
         cfg.window = std::time::Duration::from_micros(us);
     }
+    if let Some(ms) = env_cfg.serve_deadline_ms {
+        // 0 explicitly disables the deadline (the default).
+        cfg.deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = env_cfg.serve_queue {
+        cfg.queue_cap = n;
+    }
+    if let Some(ms) = env_cfg.serve_read_timeout_ms {
+        cfg.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_cfg.serve_stall_ms {
+        cfg.stall_cap = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = parse_flag(args, "--chaos-seed") {
+        cfg.fault_seed = Some(parse_num(&v, "--chaos-seed")?);
+    }
+    // Serving a directory enables live rotation: the watcher polls for
+    // newer valid snapshots (e.g. from a concurrent `edsr run
+    // --serve-snapshot`) and swaps them in between micro-batch flushes.
+    if path.is_dir() {
+        let poll_ms = env_cfg.serve_rotate_ms.unwrap_or(1000);
+        cfg.rotate = Some(RotateConfig {
+            dir: path.to_path_buf(),
+            poll: std::time::Duration::from_millis(poll_ms),
+            cache_capacity: cache,
+            current: Some(snap_path.clone()),
+        });
+    }
 
     let engine = Engine::from_snapshot(snapshot, cache)?;
     println!(
@@ -370,8 +400,15 @@ fn cmd_serve(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     );
     let report = handle.join().map_err(serve_err)?;
     println!(
-        "drained: {} requests, {} batches (max {}), cache {}/{} hit/miss",
-        report.requests, report.batches, report.max_batch, report.cache_hits, report.cache_misses
+        "drained: {} requests, {} batches (max {}), cache {}/{} hit/miss, {} rotations, rejected {}/{} deadline/overload",
+        report.requests,
+        report.batches,
+        report.max_batch,
+        report.cache_hits,
+        report.cache_misses,
+        report.rotations,
+        report.rejected_deadline,
+        report.rejected_overload
     );
     Ok(())
 }
@@ -396,7 +433,16 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
     let (Some(addr), Some(op)) = (args.first(), args.get(1)) else {
         usage()
     };
-    let mut client = Client::connect(addr.as_str()).map_err(serve_err)?;
+    let mut policy = RetryPolicy::none();
+    if let Some(v) = parse_flag(args, "--retries") {
+        policy = RetryPolicy::retries(parse_num(&v, "--retries")?);
+    }
+    if args.iter().any(|a| a == "--retry-rejections") {
+        // Under chaos, a corrupted request frame surfaces as a server-side
+        // rejection; idempotent ops may simply resend it.
+        policy.retry_rejections = true;
+    }
+    let mut client = Client::connect_with(addr.as_str(), policy).map_err(serve_err)?;
     match op.as_str() {
         "embed" => {
             let input = parse_input(args)?;
@@ -431,7 +477,7 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
         "stats" => {
             let s = client.stats().map_err(serve_err)?;
             println!(
-                "requests {}  batches {}  batched {}  max_batch {}\ncache hits {}  misses {}  memory rows {}  repr_dim {}",
+                "requests {}  batches {}  batched {}  max_batch {}\ncache hits {}  misses {}  memory rows {}  repr_dim {}\nrotations {}  rejected deadline {}  rejected overload {}",
                 s.requests,
                 s.batches,
                 s.batched_requests,
@@ -439,7 +485,10 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
                 s.cache_hits,
                 s.cache_misses,
                 s.memory_rows,
-                s.repr_dim
+                s.repr_dim,
+                s.rotations,
+                s.rejected_deadline,
+                s.rejected_overload
             );
         }
         "shutdown" => {

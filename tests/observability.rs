@@ -10,6 +10,7 @@
 use std::borrow::Cow;
 use std::sync::Mutex;
 
+use edsr::cl::ServeSnapshot;
 use edsr::cl::{
     ContinualModel, FaultInjector, FaultPlan, Finetune, GuardConfig, ModelConfig, OptimizerKind,
     RunBuilder, TrainConfig, TrainError,
@@ -17,6 +18,8 @@ use edsr::cl::{
 use edsr::core::Edsr;
 use edsr::data::{Augmenter, Dataset, Task, TaskSequence};
 use edsr::obs::{parse_jsonl, parse_line, Event, EventKind, RingSink};
+use edsr::serve::server::{REJECT_DEADLINE, REJECT_OVERLOAD};
+use edsr::serve::{Batcher, Client, Engine, RetryPolicy, RotateConfig, ServerConfig, SubmitError};
 use edsr::tensor::rng::seeded;
 use edsr::tensor::Matrix;
 use proptest::prelude::*;
@@ -273,4 +276,157 @@ fn edsr_two_task_run_streams_paper_metrics_to_jsonl() {
         "no selection-entropy trajectory"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// Deterministic serve snapshot for the robustness-counter test below.
+fn serve_snapshot(seed: u64) -> ServeSnapshot {
+    let mut rng = seeded(seed);
+    let model = ContinualModel::new(&ModelConfig::image(8), &mut rng);
+    let mem = Matrix::randn(4, 8, 1.0, &mut rng);
+    let reprs = model.represent_eval(&mem, 0);
+    ServeSnapshot::capture(&model, reprs, vec![0; 4], "obs-serve", 1).unwrap()
+}
+
+fn serve_engine(seed: u64) -> Engine {
+    Engine::from_snapshot(serve_snapshot(seed), 16).unwrap()
+}
+
+/// The serve robustness layer reports itself (DESIGN.md §13): shed
+/// requests land in `serve/rejected` indexed by reason, snapshot swaps
+/// in `serve/rotations` + a `serve/rotation_ms` histogram, and the
+/// client's resilience loop in `client/retries`.
+#[test]
+fn serve_chaos_counters_cover_rejections_rotations_and_retries() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ring = RingSink::with_capacity(edsr::obs::DEFAULT_RING_CAPACITY);
+    edsr::obs::install(Box::new(ring.clone()));
+
+    // --- Overload shed: a 1-slot queue with a wide window holds the
+    // first request; the second must be rejected while it waits.
+    let cfg = ServerConfig {
+        max_batch: 64,
+        window: std::time::Duration::from_millis(400),
+        queue_cap: 1,
+        ..ServerConfig::default()
+    };
+    let mut batcher = Batcher::with_config(serve_engine(80), &cfg);
+    let blocked = {
+        let mut sub = batcher.submitter();
+        std::thread::spawn(move || {
+            let mut input: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+            let mut out = Vec::new();
+            sub.embed(0, &mut input, &mut out).expect("queued embed")
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut sub = batcher.submitter();
+    let mut input: Vec<f32> = (0..8).map(|i| i as f32 * 0.2).collect();
+    let mut out = Vec::new();
+    match sub.embed(0, &mut input, &mut out) {
+        Err(SubmitError::Overloaded { .. }) => {}
+        other => panic!("expected overload shed, got {other:?}"),
+    }
+    blocked.join().expect("queued embed answered");
+    batcher.stop();
+
+    // --- Deadline shed: a 1 ms deadline against an 80 ms window means
+    // the request is already expired when the flush examines it.
+    let cfg = ServerConfig {
+        window: std::time::Duration::from_millis(80),
+        deadline: Some(std::time::Duration::from_millis(1)),
+        ..ServerConfig::default()
+    };
+    let mut batcher = Batcher::with_config(serve_engine(80), &cfg);
+    let mut sub = batcher.submitter();
+    match sub.embed(0, &mut input, &mut out) {
+        Err(SubmitError::DeadlineExceeded) => {}
+        other => panic!("expected deadline shed, got {other:?}"),
+    }
+    batcher.stop();
+
+    // --- Rotation: a newer valid snapshot lands and the watcher swaps.
+    let dir = std::env::temp_dir().join(format!("edsr-obs-rotate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let first = dir.join("obs.task0001.snapshot");
+    serve_snapshot(80).save(&first).unwrap();
+    let mut batcher = Batcher::with_config(serve_engine(80), &ServerConfig::default());
+    batcher.start_rotation(RotateConfig {
+        dir: dir.clone(),
+        poll: std::time::Duration::from_millis(5),
+        cache_capacity: 16,
+        current: Some(first),
+    });
+    serve_snapshot(81)
+        .save(dir.join("obs.task0002.snapshot"))
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while batcher.rotations() < 1 {
+        assert!(std::time::Instant::now() < deadline, "rotation never fired");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    batcher.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Client retries: a listener that drops every accepted
+    // connection forces the bounded retry loop to run dry.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let dropper = std::thread::spawn(move || {
+        // Three request attempts = up to three accepts; extras are fine.
+        for stream in listener.incoming().take(4) {
+            drop(stream);
+        }
+    });
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: std::time::Duration::from_millis(1),
+        backoff_cap: std::time::Duration::from_millis(4),
+        jitter_seed: 7,
+        retry_rejections: false,
+    };
+    let mut client = Client::connect_with(addr, policy).expect("tcp connect");
+    let probe = vec![0.5f32; 8];
+    assert!(
+        client.embed(0, &probe).is_err(),
+        "every connection is dropped; the embed must fail after retries"
+    );
+    drop(client);
+    drop(dropper); // detach: the listener thread dies with the process
+
+    edsr::obs::uninstall();
+    let events = ring.events();
+    let counter_sum = |name: &str, index: u64| -> f64 {
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::Counter && e.name == name && e.index == index)
+            .map(|e| e.value)
+            .sum()
+    };
+    assert!(
+        counter_sum("serve/rejected", REJECT_OVERLOAD) >= 1.0,
+        "overload shed not counted"
+    );
+    assert!(
+        counter_sum("serve/rejected", REJECT_DEADLINE) >= 1.0,
+        "deadline shed not counted"
+    );
+    assert_eq!(
+        counter_sum("serve/rotations", 0),
+        1.0,
+        "rotation not counted"
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::Histogram && e.name == "serve/rotation_ms")
+            .count(),
+        1,
+        "rotation duration not recorded"
+    );
+    assert_eq!(
+        counter_sum("client/retries", 0),
+        2.0,
+        "client retries not counted"
+    );
 }

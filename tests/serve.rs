@@ -45,6 +45,7 @@ fn multi_client_responses_match_in_process_forward_and_knn() {
         max_batch: 4,
         window: Duration::from_micros(300),
         max_connections: 8,
+        ..ServerConfig::default()
     };
     let handle = serve(engine(), ("127.0.0.1", 0), cfg).expect("bind");
     let addr = handle.addr();
@@ -123,6 +124,7 @@ fn concurrent_clients_coalesce_and_obs_counters_prove_it() {
         max_batch: n,
         window: Duration::from_millis(500),
         max_connections: n + 1,
+        ..ServerConfig::default()
     };
     let handle = serve(engine(), ("127.0.0.1", 0), cfg).expect("bind");
     let addr = handle.addr();
@@ -193,7 +195,7 @@ fn malformed_traffic_gets_structured_errors_and_server_survives() {
         let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
         raw.read_exact(&mut payload).expect("error response body");
         match Response::decode(&payload) {
-            Ok((_, Response::Error { code, message })) => {
+            Ok((_, Response::Error { code, message, .. })) => {
                 assert_eq!(code, edsr::serve::protocol::ERR_BAD_REQUEST);
                 assert!(!message.is_empty());
             }

@@ -17,7 +17,7 @@ use edsr::cl::{
     apply_step, ContinualModel, ModelConfig, NoopObserver, Observer, ServeSnapshot, StepRecord,
 };
 use edsr::nn::{Adam, Workspace};
-use edsr::serve::{Batcher, Engine};
+use edsr::serve::{Batcher, Engine, RotateConfig, ServerConfig};
 use edsr::tensor::rng::seeded;
 use edsr::tensor::Matrix;
 
@@ -157,7 +157,35 @@ fn warm_serve_embed_is_alloc_free_on_hits_and_bounded_on_misses() {
     assert!(edsr::obs::uninstall().is_none(), "stray sink installed");
 
     // --- Cache-hit path: repeated input, zero steady-state allocations.
-    let mut batcher = serve_batcher(8);
+    // The full robustness config is live — deadline checks, bounded
+    // queue, and a rotation watcher (quiescent: nothing new to load and
+    // an hour-long poll, so the watcher thread is parked off the hot
+    // path) — and the steady state must STILL be allocation-free.
+    let mut rng = seeded(31);
+    let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+    let mem = Matrix::randn(4, 16, 1.0, &mut rng);
+    let reprs = model.represent_eval(&mem, 0);
+    let snap = ServeSnapshot::capture(&model, reprs, vec![0; 4], "za", 1).unwrap();
+    let dir = std::env::temp_dir().join(format!("edsr-za-rotate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("za.task0001.snapshot");
+    snap.save(&snap_path).unwrap();
+    let engine = Engine::from_snapshot(snap, 8).unwrap();
+    let cfg = ServerConfig {
+        max_batch: 2,
+        window: Duration::from_micros(50),
+        deadline: Some(Duration::from_secs(30)),
+        queue_cap: 64,
+        ..ServerConfig::default()
+    };
+    let mut batcher = Batcher::with_config(engine, &cfg);
+    batcher.start_rotation(RotateConfig {
+        dir: dir.clone(),
+        poll: Duration::from_secs(3600),
+        cache_capacity: 8,
+        current: Some(snap_path),
+    });
     let mut sub = batcher.submitter();
     let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
     let mut out = Vec::new();
@@ -174,6 +202,7 @@ fn warm_serve_embed_is_alloc_free_on_hits_and_bounded_on_misses() {
         "warm cache-hit embeds allocated {hit_allocs} times"
     );
     batcher.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 
     // --- Cache-miss path: rotate more distinct inputs than the cache
     // holds, so every request misses, forwards, and evicts. Warm rounds
