@@ -156,6 +156,51 @@ grep -q " 1 rotations," ci_rotate.log \
     || { echo "chaos smoke: drain report missing the rotation"; cat ci_rotate.log; exit 1; }
 rm -rf ci_chaos_snaps ci_rotate_snaps ci_chaos.log ci_rotate.log
 
+echo "== dist smoke (1 PS + 2 workers, bit-identical to edsr run) =="
+# Train the reference single-process checkpoint, then the same run as a
+# parameter server on an ephemeral port with two separate worker
+# processes, and require the two checkpoints to be byte-for-byte equal
+# (DESIGN.md §14).
+rm -f ci_dist_ref.ckpt ci_dist.ckpt ci_dist_ps.log
+"$EDSR" run test edsr --epochs 1 --save ci_dist_ref.ckpt > /dev/null
+"$EDSR" ps test edsr --epochs 1 --save ci_dist.ckpt \
+    --dist-addr 127.0.0.1:0 --dist-workers 2 > ci_dist_ps.log &
+PS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' ci_dist_ps.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { echo "dist smoke: server never came up"; cat ci_dist_ps.log; exit 1; }
+"$EDSR" worker "$ADDR" > /dev/null &
+W1_PID=$!
+"$EDSR" worker "$ADDR" > /dev/null &
+W2_PID=$!
+wait "$W1_PID" "$W2_PID" "$PS_PID"
+cmp ci_dist_ref.ckpt ci_dist.ckpt \
+    || { echo "dist smoke: distributed checkpoint differs from single-process"; exit 1; }
+grep -q "^drained: " ci_dist_ps.log \
+    || { echo "dist smoke: no drain report"; cat ci_dist_ps.log; exit 1; }
+rm -f ci_dist_ref.ckpt ci_dist.ckpt ci_dist_ps.log
+
+echo "== dist bench smoke (BENCH_dist.json) =="
+EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin dist_bench
+test -s BENCH_dist.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_dist.json"))
+assert doc["bit_identical"] is True
+runs = doc["runs"]
+assert len(runs) >= 2 and runs[0]["workers"] == 1
+for r in runs:
+    assert r["tasks_per_s"] > 0 and r["steps"] > 0, f"bad run record: {r}"
+    # Lockstep: the step count must not depend on the worker count.
+    assert r["steps"] == runs[0]["steps"], f"step count drifted: {r}"
+print("dist bench smoke: " + ", ".join(
+    f"{r['workers']}w {r['tasks_per_s']:.1f} tasks/s" for r in runs))
+EOF
+
 echo "== observability smoke (EDSR_OBS=jsonl) =="
 # A short EDSR training run streaming metrics: the file must be non-empty,
 # every line valid JSON in the stable field order, and the paper-level

@@ -1,0 +1,89 @@
+//! Distributed-training throughput: the same run executed by 1 PS + N
+//! in-process workers for several N, with wall clock, tasks/sec and wire
+//! traffic per configuration landing in `BENCH_dist.json` (repo root).
+//!
+//! The lockstep protocol trains each step on exactly one worker, so this
+//! measures protocol + codec overhead (and the eval fan-out win), not a
+//! gradient-parallel speedup. Every configuration's final parameters are
+//! asserted byte-identical to the 1-worker run — a benchmark that also
+//! re-proves the determinism contract (DESIGN.md §14).
+//! `EDSR_BENCH_QUICK=1` shrinks epochs and the worker-count sweep.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use edsr_dist::{run_local, DistSpec, PsConfig, WorkerOptions};
+
+fn main() -> Result<(), edsr_core::Error> {
+    let env_cfg = match edsr_core::EnvConfig::from_process() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = env_cfg.apply() {
+        eprintln!("error: could not install metrics sink: {e}");
+        std::process::exit(1);
+    }
+    let quick = env_cfg.bench_quick;
+    let epochs = if quick { 1 } else { 3 };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+
+    let mut train = edsr_cl::TrainConfig::image();
+    train.epochs_per_task = epochs;
+    let spec = DistSpec::new("test", "edsr", 11, &train, None);
+
+    let mut baseline_params: Option<Vec<u8>> = None;
+    let mut baseline_wall = 0.0f64;
+    let mut rows = Vec::new();
+    for &n in worker_counts {
+        let t0 = Instant::now();
+        let (report, _) = run_local(&spec, n, PsConfig::default(), |_| WorkerOptions::default())
+            .map_err(|e| edsr_core::Error::Dist(e.to_string()))?;
+        let wall = t0.elapsed().as_secs_f64();
+        match &baseline_params {
+            None => {
+                baseline_params = Some(report.params_payload.clone());
+                baseline_wall = wall;
+            }
+            Some(p) => assert_eq!(
+                p, &report.params_payload,
+                "bit-identity broke at {n} workers"
+            ),
+        }
+        let tasks = report.matrix.num_increments();
+        let tasks_per_s = tasks as f64 / wall;
+        let steps_per_s = report.stats.steps as f64 / wall;
+        let speedup = baseline_wall / wall;
+        println!(
+            "{n} workers: {wall:.2}s  {tasks_per_s:.2} tasks/s  {steps_per_s:.1} steps/s  \
+             {:.1}/{:.1} KiB pulled/pushed  ({speedup:.2}x vs 1 worker)",
+            report.stats.pull_bytes as f64 / 1024.0,
+            report.stats.push_bytes as f64 / 1024.0,
+        );
+        rows.push(format!(
+            "    {{\"workers\": {n}, \"wall_s\": {wall:.4}, \"tasks\": {tasks}, \
+             \"tasks_per_s\": {tasks_per_s:.4}, \"steps\": {}, \"steps_per_s\": {steps_per_s:.1}, \
+             \"speedup_vs_1\": {speedup:.4}, \"pull_bytes\": {}, \"push_bytes\": {}, \
+             \"reissues\": {}, \"eval_cells\": {}}}",
+            report.stats.steps,
+            report.stats.pull_bytes,
+            report.stats.push_bytes,
+            report.stats.reissues,
+            report.stats.eval_cells,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"preset\": \"test\",\n  \"method\": \"edsr\",\n  \"epochs\": {epochs},\n  \
+         \"bit_identical\": true,\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let mut file = std::fs::File::create("BENCH_dist.json")?;
+    file.write_all(json.as_bytes())?;
+    println!("wrote BENCH_dist.json");
+    edsr_par::emit_pool_metrics();
+    edsr_obs::flush();
+    Ok(())
+}

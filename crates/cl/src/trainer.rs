@@ -48,7 +48,7 @@ pub enum OptimizerKind {
 }
 
 /// Hyper-parameters of a continual run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Epochs per increment.
     pub epochs_per_task: usize,
@@ -118,6 +118,28 @@ impl TrainConfig {
             OptimizerKind::Sgd => Box::new(Sgd::new(self.lr, self.momentum, self.weight_decay)),
             OptimizerKind::Adam => Box::new(Adam::new(self.lr, self.weight_decay)),
         }
+    }
+}
+
+/// The schedule's base learning rate for `epoch` of an increment —
+/// cosine decay from `cfg.lr` down to `cfg.lr × cosine_floor` when the
+/// floor is below 1.0, flat `cfg.lr` otherwise. The single source of
+/// truth for both the in-process runner and the distributed parameter
+/// server ([DESIGN.md §14]): any process that evaluates it for the same
+/// `(cfg, epoch)` gets bit-identical rates, which the dist layer's
+/// bit-identity guarantee depends on. The divergence guard's backoff
+/// multiplies on top of this value.
+pub fn epoch_base_lr(cfg: &TrainConfig, epoch: usize) -> f32 {
+    if cfg.cosine_floor < 1.0 {
+        CosineSchedule::new(
+            cfg.lr,
+            cfg.lr * cfg.cosine_floor,
+            0,
+            cfg.epochs_per_task.max(1),
+        )
+        .lr_at(epoch)
+    } else {
+        cfg.lr
     }
 }
 
@@ -299,9 +321,22 @@ impl RunResult {
     }
 }
 
-/// Evaluates `A_{i,j}` for all `j ≤ i` with the kNN protocol: for each
-/// learned task, build a classifier from that task's train-split
-/// representations and classify its test split.
+/// Evaluates one accuracy-matrix cell `A_{·,j}` with the kNN protocol:
+/// builds a classifier from task `j`'s train-split representations under
+/// the model's *current* weights and classifies its test split. Pure in
+/// the model and RNG-free, so cells can be computed in any order — or on
+/// different machines — and assembled into the same row, which is how the
+/// distributed runner fans evaluation out across workers.
+pub fn evaluate_cell(model: &ContinualModel, seq: &TaskSequence, col: usize, eval_k: usize) -> f32 {
+    let task = &seq.tasks[col];
+    let train_reps = model.represent(&task.train.inputs, col);
+    let test_reps = model.represent(&task.test.inputs, col);
+    let preds = knn_classify(&train_reps, &task.train.labels, &test_reps, eval_k);
+    accuracy(&preds, &task.test.labels)
+}
+
+/// Evaluates `A_{i,j}` for all `j ≤ i` with the kNN protocol: one
+/// [`evaluate_cell`] per learned task.
 pub fn evaluate_row(
     model: &ContinualModel,
     seq: &TaskSequence,
@@ -309,14 +344,80 @@ pub fn evaluate_row(
     eval_k: usize,
 ) -> Vec<f32> {
     (0..=upto)
-        .map(|j| {
-            let task = &seq.tasks[j];
-            let train_reps = model.represent(&task.train.inputs, j);
-            let test_reps = model.represent(&task.test.inputs, j);
-            let preds = knn_classify(&train_reps, &task.train.labels, &test_reps, eval_k);
-            accuracy(&preds, &task.test.labels)
-        })
+        .map(|j| evaluate_cell(model, seq, j, eval_k))
         .collect()
+}
+
+/// An [`Optimizer`] whose `step` is a no-op: after [`apply_step`] runs
+/// with it, the routed gradients survive in `model.params` untouched by
+/// any update rule. Distributed workers drive [`Method::train_step`]
+/// through it to *compute* a step's gradients locally while the real
+/// optimizer — and its moment buffers — live only on the parameter
+/// server. Carries a learning rate so methods that read `opt.lr()`
+/// inside their loss see the server's effective rate.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCapture {
+    lr: f32,
+}
+
+impl GradCapture {
+    /// A capture "optimizer" reporting the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for GradCapture {
+    fn step(&mut self, _params: &mut edsr_nn::ParamSet) {}
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn export_state(&self) -> edsr_nn::OptimState {
+        // Shaped like momentum-free SGD so the export is well-formed, but
+        // a capture pass has no state worth persisting.
+        edsr_nn::OptimState::Sgd {
+            lr: self.lr,
+            velocity: Vec::new(),
+        }
+    }
+
+    fn import_state(&mut self, _state: edsr_nn::OptimState) -> Result<(), String> {
+        Err("GradCapture holds no optimizer state to restore".into())
+    }
+}
+
+/// Runs one method step purely for its gradients: drives
+/// [`Method::train_step`] with a [`GradCapture`] in place of the real
+/// optimizer, so the batch's gradients are left in `model.params`
+/// (readable via `params.grad(id)`) and **no parameter update happens**.
+/// Returns the step's loss.
+///
+/// This is the worker half of a distributed step. Bit-identity with the
+/// in-process runner holds because `train_step` consumes the same RNG
+/// draws and records the same tape regardless of what the optimizer
+/// does with the result. A non-finite loss short-circuits inside
+/// [`apply_step`] *before* gradients are written — callers must treat
+/// the gradient buffers as garbage whenever the returned loss is
+/// non-finite.
+#[allow(clippy::too_many_arguments)] // the step's full context, mirroring Method::train_step
+pub fn compute_step_grads(
+    method: &mut dyn Method,
+    model: &mut ContinualModel,
+    augmenters: &[Augmenter],
+    batch: &Matrix,
+    task_idx: usize,
+    lr: f32,
+    ws: &mut Workspace,
+    rng: &mut StdRng,
+) -> f32 {
+    let mut capture = GradCapture::new(lr);
+    method.train_step(model, &mut capture, augmenters, batch, task_idx, ws, rng)
 }
 
 /// One training step as seen by an [`Observer`].
@@ -640,14 +741,6 @@ impl<'a> RunBuilder<'a> {
             }
         }
 
-        let schedule = (cfg.cosine_floor < 1.0).then(|| {
-            CosineSchedule::new(
-                cfg.lr,
-                cfg.lr * cfg.cosine_floor,
-                0,
-                cfg.epochs_per_task.max(1),
-            )
-        });
         let mut guard = StepGuard::new(guard_cfg, &model.params);
         guard.set_lr_scale(resumed_lr_scale);
         let until = stop_after.map_or(seq.len(), |n| n.min(seq.len()));
@@ -668,8 +761,7 @@ impl<'a> RunBuilder<'a> {
             let mut loss_count = 0usize;
             let mut epoch = 0usize;
             while epoch < cfg.epochs_per_task {
-                let base_lr = schedule.as_ref().map_or(cfg.lr, |s| s.lr_at(epoch));
-                let lr = base_lr * guard.lr_scale();
+                let lr = epoch_base_lr(cfg, epoch) * guard.lr_scale();
                 opt.set_lr(lr);
                 observer.on_epoch_start(task_idx, epoch, lr);
                 let _epoch_span = edsr_obs::span!("epoch", epoch);

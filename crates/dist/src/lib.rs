@@ -1,0 +1,156 @@
+//! # edsr-dist
+//!
+//! Deterministic parameter-server training over the wire layer
+//! (DESIGN.md §14): one **parameter server** owns the canonical model
+//! parameters, the optimizer moments, and the run's RNG stream; **worker
+//! processes** pull versioned params over a length-prefixed binary
+//! protocol, compute gradients for their assigned slice of the global
+//! batch schedule, and push them back through a sparse/delta codec.
+//!
+//! The contract extends PR 2's bit-identity guarantee from
+//! any-thread-count to any-worker-count: in synchronous mode, **1 PS +
+//! N workers produce parameters bit-identical to the single-process
+//! trainer** — same batches, same RNG stream, same optimizer-update
+//! order, at every N. The server sequences the run exactly as
+//! `RunBuilder::run` does and aggregates pushed gradient shards in
+//! ascending shard order (deterministic fixed order per step), so float
+//! summation order never depends on worker arrival.
+//!
+//! Module map:
+//! - [`protocol`] — versioned PULL/PUSH/BARRIER/STATS/SHUTDOWN messages
+//!   over `edsr-wire` framing, with structured `ERR_*` responses.
+//! - [`codec`] — the sparse/delta tensor codec (bit-exact XOR deltas,
+//!   dense fallback when density is high).
+//! - [`spec`] — the run specification a server hands to registering
+//!   workers, so both ends construct identical data/model/method state.
+//! - [`sessions`] — worker registry: identities, reconnects, per-worker
+//!   params baselines for delta encoding.
+//! - [`server`] — the coordinator state machine + blocking TCP server.
+//! - [`worker`] — the worker loop and its fault-tolerant client.
+
+pub mod codec;
+pub mod protocol;
+pub mod server;
+pub mod sessions;
+pub mod spec;
+pub mod worker;
+
+pub use codec::{decode_tensors, encode_tensors, TensorCodecError};
+pub use protocol::{DistStats, ProtoError, Request, Response, WorkItem, DIST_PROTOCOL_VERSION};
+pub use server::{serve_ps, DistRunReport, PsConfig, PsHandle};
+pub use spec::{build_method, preset_for, DistSpec};
+pub use worker::{run_worker, WorkerOptions, WorkerReport};
+
+use std::fmt;
+
+/// Failures surfaced by the distributed-training layer.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket/listener error.
+    Io(std::io::Error),
+    /// Malformed or truncated wire traffic.
+    Protocol(ProtoError),
+    /// The peer answered with a structured error response.
+    Rejected {
+        /// One of the protocol `ERR_*` codes.
+        code: u16,
+        /// Human-readable reason from the peer.
+        message: String,
+    },
+    /// Invalid run specification or server configuration.
+    InvalidConfig(String),
+    /// Workers disagreed where the protocol requires bit-identical state
+    /// (RNG stream or method state at a barrier) — a determinism bug or
+    /// an unsupported method.
+    Desync(String),
+    /// A training step produced a non-finite loss; the synchronous
+    /// runner has no divergence-rollback path (use the single-process
+    /// trainer's `StepGuard` for flaky configs).
+    Diverged {
+        /// Increment being trained when the loss went non-finite.
+        task: usize,
+        /// The offending loss value.
+        loss: f32,
+    },
+    /// The run ended in a failed state (server-side reason attached).
+    Failed(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "dist i/o: {e}"),
+            DistError::Protocol(e) => write!(f, "dist protocol: {e}"),
+            DistError::Rejected { code, message } => {
+                write!(f, "dist rejected (code {code}): {message}")
+            }
+            DistError::InvalidConfig(m) => write!(f, "dist config: {m}"),
+            DistError::Desync(m) => write!(f, "dist desync: {m}"),
+            DistError::Diverged { task, loss } => {
+                write!(f, "dist diverged on task {task}: loss {loss}")
+            }
+            DistError::Failed(m) => write!(f, "dist run failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+            DistError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<ProtoError> for DistError {
+    fn from(e: ProtoError) -> Self {
+        DistError::Protocol(e)
+    }
+}
+
+/// Runs a complete distributed job in-process: binds a parameter server
+/// on an ephemeral localhost port, spawns `workers` worker threads, and
+/// waits for the run to finish. The backbone of `tests/dist.rs` and the
+/// `dist_bench` binary.
+pub fn run_local(
+    spec: &DistSpec,
+    workers: usize,
+    ps_cfg: PsConfig,
+    worker_opts: impl Fn(usize) -> WorkerOptions,
+) -> Result<(DistRunReport, Vec<WorkerReport>), DistError> {
+    let mut cfg = ps_cfg;
+    cfg.workers = workers;
+    let handle = serve_ps(spec.clone(), cfg)?;
+    let addr = handle.addr().to_string();
+    let mut joins = Vec::new();
+    for w in 0..workers {
+        let addr = addr.clone();
+        let opts = worker_opts(w);
+        joins.push(std::thread::spawn(move || run_worker(&addr, opts)));
+    }
+    let report = handle.wait();
+    let mut worker_reports = Vec::new();
+    for j in joins {
+        match j.join() {
+            Ok(Ok(r)) => worker_reports.push(r),
+            Ok(Err(e)) => {
+                // A worker failure matters only if the run itself failed:
+                // after a successful run the server has already drained
+                // everyone, so surface the run result instead.
+                if report.is_err() {
+                    return Err(e);
+                }
+            }
+            Err(_) => return Err(DistError::Failed("worker thread panicked".into())),
+        }
+    }
+    Ok((report?, worker_reports))
+}

@@ -1,0 +1,190 @@
+//! Worker session registry.
+//!
+//! Tracks which worker ids are claimed (keyed by a client-generated
+//! session token, so a retried HELLO is idempotent and never leaks a
+//! slot), which parameter snapshot each worker last confirmed holding
+//! (the XOR-delta baseline), and which workers have drained. Baselines
+//! survive reconnects — the PULL's `have_version` field, not connection
+//! state, decides whether a delta against the stored baseline is safe
+//! to send.
+
+/// Per-worker server-side state.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// The client token that claimed this slot (`None` = free).
+    pub token: Option<u64>,
+    /// Re-attach count (the claiming HELLO is not a reconnect).
+    pub reconnects: u64,
+    /// `(version, bits)` of the last parameter payload this worker is
+    /// known to have been sent — the XOR baseline candidate for the next
+    /// send.
+    pub baseline: Option<(u64, Vec<Vec<u32>>)>,
+    /// Whether this worker has received its Done item.
+    pub done: bool,
+}
+
+/// All worker sessions of one run.
+#[derive(Debug)]
+pub struct Registry {
+    sessions: Vec<Session>,
+}
+
+/// Why a HELLO was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HelloError {
+    /// All worker slots are claimed by other tokens.
+    Full {
+        /// Configured worker count.
+        expected: usize,
+    },
+    /// The token was zero (reserved as invalid).
+    BadToken,
+}
+
+impl Registry {
+    /// A registry expecting exactly `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            sessions: (0..workers).map(|_| Session::default()).collect(),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn expected(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of claimed slots.
+    pub fn registered(&self) -> usize {
+        self.sessions.iter().filter(|s| s.token.is_some()).count()
+    }
+
+    /// True once every slot is claimed.
+    pub fn all_registered(&self) -> bool {
+        self.sessions.iter().all(|s| s.token.is_some())
+    }
+
+    /// Handles a HELLO: the first HELLO with `token` claims the lowest
+    /// free slot; later HELLOs with the same token re-attach to it
+    /// (keeping its baseline). Returns the worker id.
+    pub fn hello(&mut self, token: u64) -> Result<usize, HelloError> {
+        if token == 0 {
+            return Err(HelloError::BadToken);
+        }
+        if let Some(id) = self.sessions.iter().position(|s| s.token == Some(token)) {
+            self.sessions[id].reconnects += 1;
+            return Ok(id);
+        }
+        match self.sessions.iter().position(|s| s.token.is_none()) {
+            Some(id) => {
+                self.sessions[id].token = Some(token);
+                Ok(id)
+            }
+            None => Err(HelloError::Full {
+                expected: self.sessions.len(),
+            }),
+        }
+    }
+
+    /// Whether `worker` names a claimed session.
+    pub fn is_registered(&self, worker: usize) -> bool {
+        self.sessions.get(worker).is_some_and(|s| s.token.is_some())
+    }
+
+    /// The stored baseline for `worker`, if its version matches what the
+    /// worker claims to hold.
+    pub fn baseline_if(&self, worker: usize, have_version: u64) -> Option<&[Vec<u32>]> {
+        self.sessions[worker]
+            .baseline
+            .as_ref()
+            .filter(|(v, _)| *v == have_version && have_version != 0)
+            .map(|(_, bits)| bits.as_slice())
+    }
+
+    /// Records the parameter bits just sent to `worker` as its new
+    /// baseline.
+    pub fn set_baseline(&mut self, worker: usize, version: u64, bits: Vec<Vec<u32>>) {
+        self.sessions[worker].baseline = Some((version, bits));
+    }
+
+    /// Marks `worker` as having received Done.
+    pub fn mark_done(&mut self, worker: usize) {
+        self.sessions[worker].done = true;
+    }
+
+    /// True once every worker has received Done.
+    pub fn all_done(&self) -> bool {
+        self.sessions.iter().all(|s| s.done)
+    }
+
+    /// Total re-attaches across all workers.
+    pub fn reconnects(&self) -> u64 {
+        self.sessions.iter().map(|s| s.reconnects).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tokens_fill_slots_in_order() {
+        let mut r = Registry::new(2);
+        assert_eq!(r.hello(10), Ok(0));
+        assert!(!r.all_registered());
+        assert_eq!(r.hello(20), Ok(1));
+        assert!(r.all_registered());
+        assert_eq!(r.hello(30), Err(HelloError::Full { expected: 2 }));
+    }
+
+    #[test]
+    fn repeated_token_reattaches_and_keeps_baseline() {
+        let mut r = Registry::new(1);
+        assert_eq!(r.hello(10), Ok(0));
+        r.set_baseline(0, 7, vec![vec![1, 2]]);
+        assert_eq!(r.hello(10), Ok(0), "same token maps to the same slot");
+        assert_eq!(r.reconnects(), 1);
+        assert_eq!(r.baseline_if(0, 7), Some(&[vec![1, 2]][..]));
+    }
+
+    #[test]
+    fn lost_welcome_retry_does_not_leak_a_slot() {
+        // The whole point of token-keyed registration: a worker whose
+        // Welcome got lost retries the identical HELLO and must land on
+        // the slot it already claimed, leaving the other slot free.
+        let mut r = Registry::new(2);
+        assert_eq!(r.hello(10), Ok(0));
+        assert_eq!(r.hello(10), Ok(0));
+        assert_eq!(r.hello(10), Ok(0));
+        assert_eq!(r.registered(), 1);
+        assert_eq!(r.hello(20), Ok(1));
+    }
+
+    #[test]
+    fn zero_token_is_rejected() {
+        let mut r = Registry::new(1);
+        assert_eq!(r.hello(0), Err(HelloError::BadToken));
+    }
+
+    #[test]
+    fn baseline_gated_by_claimed_version() {
+        let mut r = Registry::new(1);
+        r.hello(10).unwrap();
+        assert_eq!(r.baseline_if(0, 0), None, "no baseline yet");
+        r.set_baseline(0, 5, vec![vec![9]]);
+        assert_eq!(r.baseline_if(0, 4), None, "stale claim");
+        assert_eq!(r.baseline_if(0, 0), None, "version 0 never matches");
+        assert!(r.baseline_if(0, 5).is_some());
+    }
+
+    #[test]
+    fn done_tracking() {
+        let mut r = Registry::new(2);
+        r.hello(10).unwrap();
+        r.hello(20).unwrap();
+        assert!(!r.all_done());
+        r.mark_done(0);
+        r.mark_done(1);
+        assert!(r.all_done());
+    }
+}

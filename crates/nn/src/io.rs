@@ -101,94 +101,43 @@ impl From<io::Error> for CheckpointError {
 }
 
 // ---------------------------------------------------------------------------
-// CRC32 (IEEE 802.3, reflected), table-driven.
+// CRC32 + envelope: shared with the wire layer (edsr-wire). The helpers
+// below keep this module's historical public API — `CheckpointError` out,
+// same semantics — while the byte-level mechanics live in one place for
+// checkpoints, serve snapshots, and the dist protocol alike.
 // ---------------------------------------------------------------------------
-
-fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
 
 /// CRC32 (IEEE) of `bytes` — the integrity check in the v2 trailer.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    // const-fn table construction keeps this allocation-free and cheap to
-    // call; the table itself is computed once per call site inline — the
-    // compiler hoists it, and checkpoint IO is far from any hot loop.
-    let table = crc32_table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+/// Re-exported from `edsr-wire`, the shared implementation.
+pub use edsr_wire::crc32;
+
+fn envelope_err(e: edsr_wire::EnvelopeError) -> CheckpointError {
+    match e {
+        edsr_wire::EnvelopeError::Io(e) => CheckpointError::Io(e),
+        edsr_wire::EnvelopeError::BadMagic => CheckpointError::BadMagic,
+        edsr_wire::EnvelopeError::Truncated { expected, got } => {
+            CheckpointError::Truncated { expected, got }
+        }
+        edsr_wire::EnvelopeError::Corrupt { stored, computed } => {
+            CheckpointError::Corrupt { stored, computed }
+        }
     }
-    c ^ 0xFFFF_FFFF
 }
-
-// ---------------------------------------------------------------------------
-// Envelope: magic + payload + (length, crc32) trailer, atomic write.
-// ---------------------------------------------------------------------------
-
-const TRAILER_LEN: u64 = 12; // u64 length + u32 crc
 
 /// Writes `payload` under `magic` to `path` with the v2 integrity trailer.
 ///
-/// Durability contract: the write goes to `<path>.tmp`, is `fsync`ed to
-/// stable storage, and only then renamed into place, so neither a process
-/// crash nor a power loss can leave a half-written (or fully-written but
-/// unflushed) file under the final name. Without the fsync, rename-only
-/// atomicity still allows the *metadata* rename to reach disk before the
-/// *data* blocks — after power loss the final path could hold garbage
-/// that passes the existence check and fails CRC. The parent directory
-/// is fsynced best-effort so the rename itself is durable too.
+/// Durability contract (implemented by [`edsr_wire::write_envelope`]):
+/// the write goes to `<path>.tmp`, is `fsync`ed to stable storage, and
+/// only then renamed into place, so neither a process crash nor a power
+/// loss can leave a half-written (or fully-written but unflushed) file
+/// under the final name. The parent directory is fsynced best-effort so
+/// the rename itself is durable too.
 pub fn write_envelope(
     path: impl AsRef<Path>,
     magic: &[u8; 8],
     payload: &[u8],
 ) -> Result<(), CheckpointError> {
-    let path = path.as_ref();
-    let tmp = path.with_extension("tmp");
-    {
-        let mut w = io::BufWriter::new(File::create(&tmp)?);
-        w.write_all(magic)?;
-        w.write_all(payload)?;
-        w.write_all(&(payload.len() as u64).to_le_bytes())?;
-        w.write_all(&crc32(payload).to_le_bytes())?;
-        w.flush()?;
-        w.get_ref().sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    sync_parent_dir(path);
-    Ok(())
-}
-
-/// Best-effort fsync of `path`'s parent directory, making a just-completed
-/// rename durable. Failures are ignored: some filesystems (and most CI
-/// sandboxes) reject directory fsync, and the worst case is the pre-fsync
-/// status quo — the rename may be lost on power failure, never torn.
-fn sync_parent_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        let dir = if parent.as_os_str().is_empty() {
-            Path::new(".")
-        } else {
-            parent
-        };
-        if let Ok(handle) = File::open(dir) {
-            let _ = handle.sync_all();
-        }
-    }
+    edsr_wire::write_envelope(path, magic, payload).map_err(envelope_err)
 }
 
 /// Reads and validates an envelope written by [`write_envelope`].
@@ -198,41 +147,12 @@ fn sync_parent_dir(path: &Path) {
 /// shortfall), and the payload CRC32 ([`CheckpointError::Corrupt`]).
 /// Only then is the validated payload returned for parsing.
 pub fn read_envelope(path: impl AsRef<Path>, magic: &[u8; 8]) -> Result<Vec<u8>, CheckpointError> {
-    let bytes = std::fs::read(path)?;
-    read_envelope_bytes(&bytes, magic)
+    edsr_wire::read_envelope(path, magic).map_err(envelope_err)
 }
 
 /// As [`read_envelope`], over an in-memory image of the file.
 pub fn read_envelope_bytes(bytes: &[u8], magic: &[u8; 8]) -> Result<Vec<u8>, CheckpointError> {
-    if bytes.len() < 8 || &bytes[..8] != magic {
-        return Err(CheckpointError::BadMagic);
-    }
-    let body = &bytes[8..];
-    if (body.len() as u64) < TRAILER_LEN {
-        return Err(CheckpointError::Truncated {
-            expected: TRAILER_LEN,
-            got: body.len() as u64,
-        });
-    }
-    let (payload_and_len, crc_bytes) = body.split_at(body.len() - 4);
-    let (payload, len_bytes) = payload_and_len.split_at(payload_and_len.len() - 8);
-    let mut len_arr = [0u8; 8];
-    len_arr.copy_from_slice(len_bytes);
-    let declared = u64::from_le_bytes(len_arr);
-    if declared != payload.len() as u64 {
-        return Err(CheckpointError::Truncated {
-            expected: declared,
-            got: payload.len() as u64,
-        });
-    }
-    let mut crc_arr = [0u8; 4];
-    crc_arr.copy_from_slice(crc_bytes);
-    let stored = u32::from_le_bytes(crc_arr);
-    let computed = crc32(payload);
-    if stored != computed {
-        return Err(CheckpointError::Corrupt { stored, computed });
-    }
-    Ok(payload.to_vec())
+    edsr_wire::read_envelope_bytes(bytes, magic).map_err(envelope_err)
 }
 
 // ---------------------------------------------------------------------------
@@ -559,7 +479,7 @@ pub fn save_params_v1(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), C
         w.get_ref().sync_all()?;
     }
     std::fs::rename(&tmp, path.as_ref())?;
-    sync_parent_dir(path.as_ref());
+    edsr_wire::sync_parent_dir(path.as_ref());
     Ok(())
 }
 

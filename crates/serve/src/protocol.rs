@@ -39,7 +39,8 @@ pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on a frame payload (16 MiB): anything larger is rejected
 /// before allocation, so a corrupt length prefix cannot OOM the server.
-pub const MAX_FRAME: usize = 1 << 24;
+/// Shared with every wire consumer through `edsr-wire`.
+pub const MAX_FRAME: usize = edsr_wire::MAX_FRAME;
 
 /// Request opcodes.
 pub const OP_EMBED: u8 = 1;
@@ -249,6 +250,18 @@ impl std::error::Error for ProtocolError {
 impl From<std::io::Error> for ProtocolError {
     fn from(e: std::io::Error) -> Self {
         ProtocolError::Io(e)
+    }
+}
+
+impl From<edsr_wire::FrameError> for ProtocolError {
+    fn from(e: edsr_wire::FrameError) -> Self {
+        match e {
+            edsr_wire::FrameError::Io(e) => ProtocolError::Io(e),
+            edsr_wire::FrameError::Truncated { expected, got } => {
+                ProtocolError::Truncated { expected, got }
+            }
+            edsr_wire::FrameError::TooLarge(n) => ProtocolError::TooLarge(n),
+        }
     }
 }
 
@@ -557,55 +570,19 @@ impl Response {
 }
 
 // ---------------------------------------------------------------------------
-// Framing.
+// Framing — the shared `edsr-wire` implementation, surfaced with this
+// protocol's error type so existing callers and tests are unchanged.
 
 /// Writes one `u32`-length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
-    if payload.len() > MAX_FRAME {
-        return Err(ProtocolError::TooLarge(payload.len()));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
+    edsr_wire::write_frame(w, payload).map_err(ProtocolError::from)
 }
 
 /// Reads one frame's payload into `buf` (cleared and resized; reusing one
 /// buffer keeps steady-state reads allocation-free). Returns `Ok(false)`
 /// on clean EOF before any length byte; propagates everything else.
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, ProtocolError> {
-    let mut len_bytes = [0u8; 4];
-    let mut filled = 0usize;
-    while filled < 4 {
-        match r.read(&mut len_bytes[filled..]) {
-            Ok(0) if filled == 0 => return Ok(false),
-            Ok(0) => {
-                return Err(ProtocolError::Truncated {
-                    expected: 4,
-                    got: filled,
-                })
-            }
-            Ok(n) => filled += n,
-            Err(e) => return Err(ProtocolError::Io(e)),
-        }
-    }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME {
-        return Err(ProtocolError::TooLarge(len));
-    }
-    buf.clear();
-    buf.resize(len, 0);
-    r.read_exact(buf).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            ProtocolError::Truncated {
-                expected: len,
-                got: 0,
-            }
-        } else {
-            ProtocolError::Io(e)
-        }
-    })?;
-    Ok(true)
+    edsr_wire::read_frame(r, buf).map_err(ProtocolError::from)
 }
 
 #[cfg(test)]

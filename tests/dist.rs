@@ -1,0 +1,136 @@
+//! Integration tests for edsr-dist: 1 PS + N workers must reproduce the
+//! single-process trainer **bit-identically** — same final parameter
+//! bytes, same accuracy matrix, same per-task losses — at every worker
+//! count, and under wire chaos (DESIGN.md §14).
+
+use edsr::cl::{AccuracyMatrix, ContinualModel, ModelConfig, RunBuilder};
+use edsr::dist::{build_method, preset_for, run_local, DistSpec, PsConfig, WorkerOptions};
+use edsr::nn::io::params_to_bytes;
+use edsr::serve::WireFaultPlan;
+use edsr::tensor::rng::seeded;
+
+/// The canonical spec every test runs: the tiny `test` preset with the
+/// paper method, short enough for debug builds.
+fn spec() -> DistSpec {
+    let mut train = edsr::cl::TrainConfig::image();
+    train.epochs_per_task = 2;
+    DistSpec::new("test", "edsr", 11, &train, None)
+}
+
+struct Reference {
+    params: Vec<u8>,
+    matrix: AccuracyMatrix,
+    task_losses: Vec<f32>,
+}
+
+/// Runs the exact single-process pipeline `edsr run` uses for `spec`.
+fn in_process(spec: &DistSpec) -> Reference {
+    let preset = preset_for(spec).expect("preset");
+    let (seq, augs) = preset.build_with_augmenters(&mut seeded(spec.seed));
+    let mut model = ContinualModel::new(
+        &ModelConfig::image(preset.grid.dim()),
+        &mut seeded(spec.seed + 1000),
+    );
+    let mut method = build_method(spec, &preset).expect("method");
+    let mut rng = seeded(spec.seed + 2000);
+    let result = RunBuilder::new(&spec.train)
+        .run(method.as_mut(), &mut model, &seq, &augs, &mut rng)
+        .expect("in-process run");
+    Reference {
+        params: params_to_bytes(&model.params),
+        matrix: result.matrix,
+        task_losses: result.task_losses,
+    }
+}
+
+fn assert_matches_reference(
+    reference: &Reference,
+    report: &edsr::dist::DistRunReport,
+    label: &str,
+) {
+    assert_eq!(
+        report.params_payload, reference.params,
+        "{label}: final parameter bytes differ from the in-process run"
+    );
+    assert_eq!(
+        report.matrix.num_increments(),
+        reference.matrix.num_increments(),
+        "{label}: increment count"
+    );
+    for i in 0..reference.matrix.num_increments() {
+        for j in 0..=i {
+            assert_eq!(
+                report.matrix.get(i, j),
+                reference.matrix.get(i, j),
+                "{label}: accuracy A_({i},{j}) differs"
+            );
+        }
+    }
+    assert_eq!(
+        report.task_losses, reference.task_losses,
+        "{label}: per-task mean losses differ"
+    );
+}
+
+#[test]
+fn single_worker_is_bit_identical_to_in_process() {
+    let spec = spec();
+    let reference = in_process(&spec);
+    let (report, workers) =
+        run_local(&spec, 1, PsConfig::default(), |_| WorkerOptions::default()).expect("dist run");
+    assert_matches_reference(&reference, &report, "1 worker");
+    assert_eq!(workers.len(), 1);
+    assert!(report.stats.steps > 0, "no training steps ran");
+    assert_eq!(report.final_version, report.stats.steps + 1);
+    // Every matrix cell was computed exactly once by some worker.
+    let n = report.matrix.num_increments() as u64;
+    assert_eq!(report.stats.eval_cells, n * (n + 1) / 2);
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let spec = spec();
+    let reference = in_process(&spec);
+    for n in [2usize, 3] {
+        let (report, workers) =
+            run_local(&spec, n, PsConfig::default(), |_| WorkerOptions::default())
+                .expect("dist run");
+        assert_matches_reference(&reference, &report, &format!("{n} workers"));
+        assert_eq!(workers.len(), n);
+        // The work actually spread: between them the workers computed
+        // every step and every eval cell.
+        let steps: u64 = workers.iter().map(|w| w.steps).sum();
+        assert!(steps >= report.stats.steps, "steps went missing");
+        let cells: u64 = workers.iter().map(|w| w.eval_cells).sum();
+        assert!(cells >= report.stats.eval_cells);
+        // Boundary ops run redundantly on every worker (barrier-verified).
+        for w in &workers {
+            assert!(w.boundaries > 0, "worker {} ran no boundaries", w.worker_id);
+        }
+    }
+}
+
+#[test]
+fn chaotic_wire_does_not_change_results() {
+    let spec = spec();
+    let reference = in_process(&spec);
+    // Worker 0 gets a fresh fault plan (delays, partial I/O, corruption,
+    // disconnects) for each of its first few connection attempts; worker 1
+    // stays clean so the run always has a healthy participant.
+    let opts = |w: usize| {
+        if w == 0 {
+            WorkerOptions {
+                chaos: (0..6)
+                    .map(|attempt| WireFaultPlan::seeded(0xD15C0 + attempt, 400, 5))
+                    .collect(),
+                ..WorkerOptions::default()
+            }
+        } else {
+            WorkerOptions::default()
+        }
+    };
+    let (report, workers) = run_local(&spec, 2, PsConfig::default(), opts).expect("chaos run");
+    assert_matches_reference(&reference, &report, "chaos");
+    let injected: u64 = workers.iter().map(|w| w.faults_injected).sum();
+    assert!(injected > 0, "the fault plans never fired");
+}
