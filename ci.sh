@@ -15,11 +15,23 @@ cargo test -q --workspace
 echo "== cargo test -q --workspace (EDSR_THREADS=2) =="
 EDSR_THREADS=2 cargo test -q --workspace
 
+echo "== cargo test -q --workspace (EDSR_ISA=scalar) =="
+# Pin the SIMD vtable to the scalar kernels: results must be identical
+# to the dispatched run (DESIGN.md §15), so the whole suite must pass.
+EDSR_ISA=scalar cargo test -q --workspace
+
+echo "== cargo test -q --workspace (EDSR_ISA=auto) =="
+EDSR_ISA=auto cargo test -q --workspace
+
 echo "== bench bin smoke (BENCH_par.json) =="
+# The bench binary exits non-zero itself if a zero-worker pool shows a
+# chunking slowdown (the flat fall-through regression gate).
 EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin bench
 test -s BENCH_par.json
 
-echo "== kernel bench smoke (BENCH_kernels.json) =="
+echo "== kernel bench smoke (BENCH_kernels.json + ISA dispatch gate) =="
+# Exits non-zero if the auto-dispatched tiled kernel runs >5% slower
+# than the scalar tiled kernel while a SIMD ISA is active (DESIGN.md §15).
 EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin kernels
 test -s BENCH_kernels.json
 

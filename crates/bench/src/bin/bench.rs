@@ -1,7 +1,10 @@
 //! Parallel-runtime micro-benchmark: times the four `edsr-par`-wired
 //! kernels (matmul, conv forward, batched kNN, PCA fit) at 1 thread and at
 //! the configured maximum, and writes `BENCH_par.json` (repo root) with
-//! one record per (op, thread count) plus the max-thread speedup.
+//! one record per (op, thread count) plus the max-thread speedup. When the
+//! configured maximum *is* 1 thread the max-thread rows are skipped — they
+//! would re-measure the identical configuration and differ only by timer
+//! noise (historically recorded as phantom speedup regressions).
 //!
 //! `EDSR_BENCH_QUICK=1` shrinks sizes and iteration counts to a smoke run
 //! (used by `ci.sh`). The JSON format is documented in DESIGN.md §9.
@@ -41,6 +44,8 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// Times `f` at 1 thread and at `max_threads`, appending both records.
+/// With `max_threads == 1` only the 1-thread record is taken: a second
+/// sample of the same configuration carries no information.
 fn bench_op(
     records: &mut Vec<Record>,
     op: &'static str,
@@ -57,6 +62,9 @@ fn bench_op(
         ns_per_iter: t1,
         speedup: 1.0,
     });
+    if max_threads == 1 {
+        return;
+    }
     let tm = edsr_par::with_threads(max_threads, || time_ns(iters, &mut *f));
     records.push(Record {
         op,
@@ -151,6 +159,25 @@ fn main() -> Result<(), edsr_core::Error> {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let single_core = hardware_threads == 1;
+
+    // Zero-worker regression gate: with no pool workers, every max-thread
+    // row takes the flat fall-through in `edsr_par::par_for_chunks` and
+    // runs the exact code of its 1-thread row, so the speedup must sit
+    // near 1.0. A large slowdown means chunking overhead leaked back into
+    // the zero-worker path. The 0.66 floor leaves headroom for timer
+    // noise while still catching a real (>1.5x) regression.
+    if pool_workers == 0 {
+        for r in records.iter().filter(|r| r.threads > 1) {
+            if r.speedup < 0.66 {
+                eprintln!(
+                    "REGRESSION: {} at {} threads has speedup {:.3} < 0.66 with a \
+                     zero-worker pool; the flat fall-through is not engaging",
+                    r.op, r.threads, r.speedup
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Hand-rolled JSON (no serde in the workspace).
     let mut json = format!(

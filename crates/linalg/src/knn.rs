@@ -8,6 +8,11 @@
 //!
 //! All searches go through the [`KnnQuery`] builder; the historical
 //! free-function variants remain as deprecated one-line shims.
+//!
+//! Distance accumulation is SIMD-dispatched (`edsr_tensor::simd` via
+//! [`crate::stats`]): every ISA computes the same canonical 8-lane-tree
+//! reduction, so neighbor lists are bit-identical across `EDSR_ISA`
+//! levels and thread counts (DESIGN.md §15).
 
 use edsr_tensor::Matrix;
 

@@ -57,30 +57,33 @@ impl Pca {
         // Scatter matrix Σ xᵢᵀxᵢ as a chunked parallel reduction: partial
         // sums over fixed `COV_CHUNK_ROWS`-sample chunks, folded serially
         // in chunk order (see `COV_CHUNK_ROWS` for the determinism
-        // argument).
+        // argument). All chunk accumulators live in one pooled matrix
+        // (row `ci` = chunk `ci`'s `d x d` partial) hoisted out of the
+        // chunk loop, so repeated fits reuse a single buffer instead of
+        // allocating per chunk; the inner row update is the dispatched
+        // SIMD axpy (elementwise — order-preserving).
         let mut cov = scratch.take_matrix(d, d);
         if n > 0 && d > 0 {
-            let partials = edsr_par::par_chunk_partials(
-                n,
-                COV_CHUNK_ROWS,
-                || vec![0.0f32; d * d],
-                |rows, acc: &mut Vec<f32>| {
-                    for i in rows {
-                        let xi = centered.row(i);
+            let n_chunks = n.div_ceil(COV_CHUNK_ROWS);
+            let mut partials = scratch.take_matrix(n_chunks, d * d);
+            let centered_ref = &centered;
+            edsr_par::par_for_rows(partials.data_mut(), n_chunks, |chunks, out| {
+                for (local, ci) in chunks.enumerate() {
+                    let acc = &mut out[local * d * d..(local + 1) * d * d];
+                    let lo = ci * COV_CHUNK_ROWS;
+                    let hi = n.min(lo + COV_CHUNK_ROWS);
+                    for i in lo..hi {
+                        let xi = centered_ref.row(i);
                         for (p, &a) in xi.iter().enumerate() {
-                            let acc_row = &mut acc[p * d..(p + 1) * d];
-                            for (o, &b) in acc_row.iter_mut().zip(xi) {
-                                *o += a * b;
-                            }
+                            edsr_tensor::simd::axpy(&mut acc[p * d..(p + 1) * d], xi, a);
                         }
                     }
-                },
-            );
-            for partial in &partials {
-                for (o, &v) in cov.data_mut().iter_mut().zip(partial) {
-                    *o += v;
                 }
+            });
+            for ci in 0..n_chunks {
+                edsr_tensor::simd::add_assign(cov.data_mut(), partials.row(ci));
             }
+            scratch.give_matrix(partials);
         }
         if n > 1 {
             cov.scale_inplace(1.0 / (n as f32 - 1.0));

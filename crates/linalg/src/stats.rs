@@ -79,17 +79,24 @@ pub fn centered_covariance(x: &Matrix) -> Matrix {
 }
 
 /// Squared Euclidean distance between two equal-length slices.
+///
+/// SIMD-dispatched through [`edsr_tensor::simd`]: the accumulation order is
+/// the canonical 8-lane interleaved tree, bit-identical at every ISA level
+/// (DESIGN.md §15) — kNN neighbor lists therefore never depend on the host.
 pub fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    edsr_tensor::simd::sq_euclidean(a, b)
 }
 
 /// Cosine similarity between two equal-length slices (0 when either is ~0).
+///
+/// Built from three canonical 8-lane-tree dot products (see
+/// [`sq_euclidean`]), so it is likewise bit-identical across ISAs.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
-    let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
-    let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let dot = edsr_tensor::simd::dot(a, b);
+    let na = edsr_tensor::simd::dot(a, a).sqrt();
+    let nb = edsr_tensor::simd::dot(b, b).sqrt();
     let denom = na * nb;
     if denom < 1e-12 {
         0.0

@@ -94,9 +94,13 @@ impl Optimizer for Sgd {
         let velocity = &mut self.velocity;
         params.for_each_mut(|i, value, grad| {
             let vel = &mut velocity[i];
-            for ((v, &g), w) in vel.data_mut().iter_mut().zip(grad.data()).zip(value.data()) {
-                *v = mu * *v + g + wd * *w;
-            }
+            // v <- mu·v + g + wd·w through the dispatched elementwise
+            // kernels (DESIGN.md §15). Each element sees the same
+            // mul/add/mul/add rounding chain as the fused scalar loop
+            // this replaces, so checkpoints are bit-unchanged.
+            edsr_tensor::simd::scale(vel.data_mut(), mu);
+            edsr_tensor::simd::add_assign(vel.data_mut(), grad.data());
+            edsr_tensor::simd::axpy(vel.data_mut(), value.data(), wd);
             value.add_scaled(vel, -lr);
         });
     }

@@ -181,7 +181,8 @@ fn run_chunks(n_chunks: usize, task: impl Fn(usize) + Sync) {
     if n_chunks == 0 {
         return;
     }
-    let inline = n_chunks == 1 || thread_count() == 1 || IN_POOL.with(Cell::get);
+    let inline =
+        n_chunks == 1 || thread_count() == 1 || IN_POOL.with(Cell::get) || pool_workers() == 0;
     if inline {
         for chunk in 0..n_chunks {
             task(chunk);
@@ -201,8 +202,12 @@ pub fn par_for_chunks(len: usize, f: impl Fn(Range<usize>) + Sync) {
     // Single-chunk fast path: identical to `chunk_ranges(len, 1)` (one
     // `0..len` range) but without allocating the range vector — this keeps
     // serial hot loops (e.g. every matmul on a 1-thread host) free of
-    // per-call heap traffic.
-    if len == 1 || thread_count() == 1 || IN_POOL.with(Cell::get) {
+    // per-call heap traffic. A zero-worker pool (single-core host or
+    // failed spawns) takes the same flat path: every chunk would run on
+    // the caller anyway, so splitting only adds per-chunk overhead —
+    // values are unaffected because chunk boundaries never influence
+    // results (see the determinism contract above).
+    if len == 1 || thread_count() == 1 || IN_POOL.with(Cell::get) || pool_workers() == 0 {
         f(0..len);
         return;
     }
@@ -458,6 +463,21 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn zero_worker_pool_takes_single_flat_chunk() {
+        if pool_workers() != 0 {
+            eprintln!("skipping zero-worker fall-through test: pool spawned workers");
+            return;
+        }
+        // With no workers, chunking is pure overhead: the scope override
+        // asks for 7 chunks but the call must collapse to one flat range.
+        let ranges = std::sync::Mutex::new(Vec::new());
+        with_threads(7, || {
+            par_for_chunks(100, |r| ranges.lock().expect("range log").push(r));
+        });
+        assert_eq!(ranges.into_inner().expect("range log"), vec![0..100]);
     }
 
     #[test]

@@ -29,7 +29,17 @@
 //!
 //! The [`naive`] module retains the original loop kernels verbatim as the
 //! bit-exact reference (property tests) and as the small-size fast path.
+//!
+//! ## ISA dispatch (DESIGN.md §15)
+//!
+//! The full `MR x NR` register tile is fetched from the [`crate::simd`]
+//! dispatch table (scalar / AVX2 / AVX-512, selected at startup or pinned
+//! with `EDSR_ISA`). Every ISA's tile preserves the per-element ascending
+//! `k` order with separate multiply and add, so the bit-identity contract
+//! above holds across ISAs too, not just per ISA level. Edge tiles (partial
+//! rows/columns) stay scalar: same addition sequence, negligible time.
 
+use crate::simd;
 use std::cell::Cell;
 use std::ops::Range;
 
@@ -168,40 +178,6 @@ fn pack_lhs(
     }
 }
 
-/// Full `MR x NR` register tile: `chunks_exact` pairs one packed A column
-/// (`MR` values) with one packed B row (`NR` values) per reduction step;
-/// the `MR x NR` accumulator array stays in vector registers. On the first
-/// reduction block accumulators start at `0.0` (the naive kernels' exact
-/// starting point); later blocks resume from the stored partial sums.
-#[inline(always)]
-fn full_tile(
-    ap: &[f32],
-    bp: &[f32],
-    c: &mut [f32],
-    row0: usize,
-    j0: usize,
-    ldc: usize,
-    first: bool,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    if !first {
-        for (ii, lane) in acc.iter_mut().enumerate() {
-            lane.copy_from_slice(&c[(row0 + ii) * ldc + j0..][..NR]);
-        }
-    }
-    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        for (ii, lane) in acc.iter_mut().enumerate() {
-            let a = a_col[ii];
-            for (o, &b) in lane.iter_mut().zip(b_row) {
-                *o += a * b;
-            }
-        }
-    }
-    for (ii, lane) in acc.iter().enumerate() {
-        c[(row0 + ii) * ldc + j0..][..NR].copy_from_slice(lane);
-    }
-}
-
 /// Edge tile (partial rows and/or columns): same packed panels, same
 /// per-element ascending-`k` addition sequence, scalar loop. Only live
 /// elements are loaded and stored.
@@ -236,7 +212,9 @@ fn edge_tile(
 /// Computes one contiguous out-row chunk (`rows`, writing into the
 /// chunk-local slice `chunk`) of the `R x C` product with reduction length
 /// `d_total`, reading the pre-packed right operand `bp`.
+#[allow(clippy::too_many_arguments)] // flat product coordinates, hot path
 fn tiled_chunk(
+    kern: &'static simd::Kernel,
     lhs: Lhs,
     bp: &[f32],
     chunk: &mut [f32],
@@ -270,7 +248,7 @@ fn tiled_chunk(
                 let j0 = jp * NR;
                 let bp_block = &bp[jp * d_total * NR + d0 * NR..][..dc * NR];
                 if mr_eff == MR && j0 + NR <= c_total {
-                    full_tile(&ap[..ap_used], bp_block, chunk, row0, j0, c_total, first);
+                    (kern.tile8x16)(&ap[..ap_used], bp_block, chunk, row0, j0, c_total, first);
                 } else {
                     let nr_eff = NR.min(c_total - j0);
                     edge_tile(
@@ -295,18 +273,27 @@ fn tiled_chunk(
 
 /// Packs the right operand, then runs the tiled chunk kernel over the
 /// output rows — through the pool when the product is large enough.
-fn tiled_product(lhs: Lhs, rhs: Rhs, out: &mut [f32], r: usize, d: usize, c: usize) {
+fn tiled_product(
+    kern: &'static simd::Kernel,
+    lhs: Lhs,
+    rhs: Rhs,
+    out: &mut [f32],
+    r: usize,
+    d: usize,
+    c: usize,
+) {
     debug_assert_eq!(out.len(), r * c);
     let panels = c.div_ceil(NR);
     with_pack_buf(panels * d * NR, |bp| {
         pack_rhs(rhs, bp, d, c);
         let bp: &[f32] = bp;
-        let kern =
-            |rows: Range<usize>, chunk: &mut [f32]| tiled_chunk(lhs, bp, chunk, rows, d, c, r);
+        let run = |rows: Range<usize>, chunk: &mut [f32]| {
+            tiled_chunk(kern, lhs, bp, chunk, rows, d, c, r)
+        };
         if r * d * c >= MIN_PAR_FLOPS {
-            edsr_par::par_for_rows(out, r, kern);
+            edsr_par::par_for_rows(out, r, run);
         } else {
-            kern(0..r, out);
+            run(0..r, out);
         }
     });
 }
@@ -325,7 +312,21 @@ pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usiz
 /// Tiled `a · b` without the small-size fallback (tests and benches force
 /// this path to compare it against the naive reference).
 pub fn matmul_tiled(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
-    tiled_product(Lhs::RowMajor(a), Rhs::RowMajor(b), out, n, k, m);
+    matmul_tiled_with(simd::active(), a, b, out, n, k, m);
+}
+
+/// Tiled `a · b` through an explicit dispatch vtable (benches and the ISA
+/// bit-identity proptests compare kernels side by side in one process).
+pub fn matmul_tiled_with(
+    kern: &'static simd::Kernel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+) {
+    tiled_product(kern, Lhs::RowMajor(a), Rhs::RowMajor(b), out, n, k, m);
 }
 
 /// `out += aᵀ (k x n)ᵀ… — i.e. `a` is `n x k`, `b` is `n x m`, and the
@@ -340,7 +341,21 @@ pub fn transpose_matmul(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usiz
 
 /// Tiled `aᵀ · b` without the small-size fallback.
 pub fn transpose_matmul_tiled(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
-    tiled_product(Lhs::Transposed(a), Rhs::RowMajor(b), out, k, n, m);
+    transpose_matmul_tiled_with(simd::active(), a, b, out, n, k, m);
+}
+
+/// Tiled `aᵀ · b` through an explicit dispatch vtable.
+#[allow(clippy::too_many_arguments)] // flat product coordinates
+pub fn transpose_matmul_tiled_with(
+    kern: &'static simd::Kernel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+) {
+    tiled_product(kern, Lhs::Transposed(a), Rhs::RowMajor(b), out, k, n, m);
 }
 
 /// `a` is `n x k`, `b` is `m x k`; the `n x m` product `a · bᵀ`
@@ -355,7 +370,21 @@ pub fn matmul_transpose(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usiz
 
 /// Tiled `a · bᵀ` without the small-size fallback.
 pub fn matmul_transpose_tiled(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
-    tiled_product(Lhs::RowMajor(a), Rhs::Transposed(b), out, n, k, m);
+    matmul_transpose_tiled_with(simd::active(), a, b, out, n, k, m);
+}
+
+/// Tiled `a · bᵀ` through an explicit dispatch vtable.
+#[allow(clippy::too_many_arguments)] // flat product coordinates
+pub fn matmul_transpose_tiled_with(
+    kern: &'static simd::Kernel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+) {
+    tiled_product(kern, Lhs::RowMajor(a), Rhs::Transposed(b), out, n, k, m);
 }
 
 /// Cache-blocked transpose: walks `TB x TB` tiles so both the row-major
@@ -601,6 +630,13 @@ mod proptests {
         a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
     }
 
+    /// Shapes for the per-ISA identity property: one-below / exact /
+    /// one-above each tile edge (MR = 8, NR = 16) plus a multi-tile size.
+    fn isa_dim() -> impl Strategy<Value = usize> {
+        let shapes = [1usize, 7, 8, 9, 15, 16, 17, 48];
+        (0usize..shapes.len()).prop_map(move |i| shapes[i])
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -664,6 +700,71 @@ mod proptests {
                     bits_eq(&want, &got),
                     "matmul_transpose {}x{}x{} diverged at {} threads", n, k, m, threads,
                 );
+            }
+        }
+
+        /// Every supported SIMD ISA level produces bit-identical products
+        /// to the scalar micro-kernel (DESIGN.md §15): the output-stationary
+        /// tile gives each lane one output element with the same ascending-k
+        /// mul+add chain at every width. Shapes cover the MR=8 / NR=16 tile
+        /// edges (one-below, exact, one-above) plus a multi-tile size.
+        #[test]
+        fn every_isa_bit_identical_to_scalar_kernel(
+            n in isa_dim(), k in isa_dim(), m in isa_dim(), seed in 0u64..=u64::MAX,
+        ) {
+            let scalar = simd::Kernel::for_isa(simd::Isa::Scalar)
+                .expect("scalar kernel is always supported");
+            let mut rng = seeded(seed);
+            let a = Matrix::randn(n, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, m, 1.0, &mut rng);
+            let bt = {
+                let mut t = vec![0.0f32; k * m];
+                transpose(b.data(), &mut t, k, m);
+                t // `b` as an m x k matrix, so a·btᵀ == a·b
+            };
+            let mut want_ab = vec![0.0f32; n * m];
+            matmul_tiled_with(scalar, a.data(), b.data(), &mut want_ab, n, k, m);
+            let mut want_atb = vec![0.0f32; k * k];
+            transpose_matmul_tiled_with(scalar, a.data(), a.data(), &mut want_atb, n, k, k);
+            let mut want_abt = vec![0.0f32; n * m];
+            matmul_transpose_tiled_with(scalar, a.data(), &bt, &mut want_abt, n, k, m);
+            for isa in [simd::Isa::Avx2, simd::Isa::Avx512] {
+                let Some(kern) = simd::Kernel::for_isa(isa) else {
+                    eprintln!(
+                        "SKIPPING ISA bit-identity case for {}: not supported on this host",
+                        isa.name()
+                    );
+                    continue;
+                };
+                for threads in [1usize, 2, 7] {
+                    let mut got = vec![0.0f32; n * m];
+                    edsr_par::with_threads(threads, || {
+                        matmul_tiled_with(kern, a.data(), b.data(), &mut got, n, k, m);
+                    });
+                    prop_assert!(
+                        bits_eq(&want_ab, &got),
+                        "matmul {}x{}x{} diverged from scalar on {} at {} threads",
+                        n, k, m, isa.name(), threads,
+                    );
+                    let mut got = vec![0.0f32; k * k];
+                    edsr_par::with_threads(threads, || {
+                        transpose_matmul_tiled_with(kern, a.data(), a.data(), &mut got, n, k, k);
+                    });
+                    prop_assert!(
+                        bits_eq(&want_atb, &got),
+                        "transpose_matmul {}x{}x{} diverged from scalar on {} at {} threads",
+                        n, k, k, isa.name(), threads,
+                    );
+                    let mut got = vec![0.0f32; n * m];
+                    edsr_par::with_threads(threads, || {
+                        matmul_transpose_tiled_with(kern, a.data(), &bt, &mut got, n, k, m);
+                    });
+                    prop_assert!(
+                        bits_eq(&want_abt, &got),
+                        "matmul_transpose {}x{}x{} diverged from scalar on {} at {} threads",
+                        n, k, m, isa.name(), threads,
+                    );
+                }
             }
         }
 

@@ -21,6 +21,7 @@ pub mod kernel;
 pub mod matrix;
 pub mod rng;
 pub mod scratch;
+pub mod simd;
 pub mod tape;
 
 pub use matrix::Matrix;

@@ -346,27 +346,31 @@ impl Matrix {
         self.map(|v| v * c)
     }
 
-    /// In-place `self += other`.
+    /// In-place `self += other` (SIMD-dispatched, [`crate::simd`]).
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::simd::add_assign(&mut self.data, &other.data);
     }
 
-    /// In-place `self += c * other` (axpy).
+    /// In-place `self += c * other` (axpy, SIMD-dispatched).
     pub fn add_scaled(&mut self, other: &Matrix, c: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += c * b;
-        }
+        crate::simd::axpy(&mut self.data, &other.data, c);
     }
 
-    /// In-place `self *= c`.
+    /// In-place `self *= c` (SIMD-dispatched).
     pub fn scale_inplace(&mut self, c: f32) {
-        for v in &mut self.data {
-            *v *= c;
-        }
+        crate::simd::scale(&mut self.data, c);
+    }
+
+    /// Writes `self * c` into same-shape `out` without allocating
+    /// (SIMD-dispatched).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn scale_into(&self, out: &mut Matrix, c: f32) {
+        assert_eq!(self.shape(), out.shape(), "scale_into: shape mismatch");
+        crate::simd::scale_into(&mut out.data, &self.data, c);
     }
 
     /// Sets all elements to zero, keeping the allocation.

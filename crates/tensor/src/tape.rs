@@ -246,7 +246,7 @@ impl Tape {
         let Self { nodes, scratch, .. } = self;
         let va = &nodes[a.0].value;
         let mut out = scratch.take_matrix(va.rows(), va.cols());
-        va.map_into(&mut out, |v| v * c);
+        va.scale_into(&mut out, c);
         self.push(Op::Scale(a, c), out)
     }
 
@@ -312,17 +312,13 @@ impl Tape {
         let (rows, cols) = x.shape();
         let mut out = scratch.take_copy(x);
         let kernel = |range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+            // SIMD-dispatched: the norm is the canonical 8-lane-tree
+            // self-dot (crate::simd), the division elementwise — both
+            // bit-identical at every ISA level and thread count.
             for (local, r) in range.enumerate() {
-                let norm = x
-                    .row(r)
-                    .iter()
-                    .map(|v| v * v)
-                    .sum::<f32>()
-                    .sqrt()
-                    .max(NORM_EPS);
-                for v in &mut out_chunk[local * cols..(local + 1) * cols] {
-                    *v /= norm;
-                }
+                let row = x.row(r);
+                let norm = crate::simd::dot(row, row).sqrt().max(NORM_EPS);
+                crate::simd::div_scalar(&mut out_chunk[local * cols..(local + 1) * cols], norm);
             }
         };
         if rows * cols >= MIN_PAR_ELEMS && rows > 1 {
@@ -526,7 +522,7 @@ impl Tape {
                 }
                 Op::Scale(a, c) => {
                     let mut ga = scratch.take_matrix(g.rows(), g.cols());
-                    g.map_into(&mut ga, |v| v * *c);
+                    g.scale_into(&mut ga, *c);
                     accumulate(&mut grads, scratch, *a, ga);
                 }
                 Op::AddConst(a) => {
@@ -569,19 +565,11 @@ impl Tape {
                     let y = &node.value;
                     let mut ga = scratch.take_matrix(x.rows(), x.cols());
                     for r in 0..x.rows() {
-                        let norm = x
-                            .row(r)
-                            .iter()
-                            .map(|v| v * v)
-                            .sum::<f32>()
-                            .sqrt()
-                            .max(NORM_EPS);
-                        let dot: f32 = g
-                            .row(r)
-                            .iter()
-                            .zip(y.row(r))
-                            .map(|(&gv, &yv)| gv * yv)
-                            .sum();
+                        // Same canonical reductions as the forward pass, so
+                        // the backward norm matches its bits exactly.
+                        let xr = x.row(r);
+                        let norm = crate::simd::dot(xr, xr).sqrt().max(NORM_EPS);
+                        let dot = crate::simd::dot(g.row(r), y.row(r));
                         for (c, out) in ga.row_mut(r).iter_mut().enumerate() {
                             *out = (g.get(r, c) - y.get(r, c) * dot) / norm;
                         }

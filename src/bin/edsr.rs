@@ -16,6 +16,9 @@
 //!          --memory N       total memory budget        (preset default)
 //!          --threads N      compute threads (default: all cores; results
 //!                           are bit-identical at any value — DESIGN.md §9)
+//!          --isa LEVEL      SIMD level: auto | scalar | avx2 | avx512
+//!                           (default auto; bit-identical at any level —
+//!                           DESIGN.md §15)
 //!          --save PATH      write the final model checkpoint
 //!          --checkpoint DIR snapshot run state after each increment
 //!          --resume         continue from the latest valid snapshot
@@ -46,11 +49,11 @@
 //! worker:  edsr worker ADDR   (or --dist-addr / EDSR_DIST_ADDR)
 //! ```
 //!
-//! `--threads`, `--checkpoint`, `--resume`, `--obs`, `--obs-path`,
-//! `--serve-batch` and `--serve-window-us` also read `EDSR_THREADS` /
-//! `EDSR_CHECKPOINT` / `EDSR_RESUME` / `EDSR_OBS` / `EDSR_OBS_PATH` /
-//! `EDSR_SERVE_BATCH` / `EDSR_SERVE_WINDOW_US`; the CLI flag wins
-//! ([`EnvConfig`] precedence).
+//! `--threads`, `--isa`, `--checkpoint`, `--resume`, `--obs`,
+//! `--obs-path`, `--serve-batch` and `--serve-window-us` also read
+//! `EDSR_THREADS` / `EDSR_ISA` / `EDSR_CHECKPOINT` / `EDSR_RESUME` /
+//! `EDSR_OBS` / `EDSR_OBS_PATH` / `EDSR_SERVE_BATCH` /
+//! `EDSR_SERVE_WINDOW_US`; the CLI flag wins ([`EnvConfig`] precedence).
 //!
 //! Every failure (bad flag, divergence after retries, checkpoint
 //! corruption) surfaces as a structured error with a non-zero exit, not
@@ -74,7 +77,7 @@ use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n  edsr ps <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n          [--dist-addr A] [--dist-workers N] [--dist-push-timeout-ms N] [--dist-sparse-threshold F]\n  edsr worker <ADDR>   (or --dist-addr / EDSR_DIST_ADDR)\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12).\n`edsr ps` + N×`edsr worker` reproduce `edsr run` bit-identically over\nTCP (DESIGN.md \u{a7}14)."
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--isa L] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n  edsr ps <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n          [--dist-addr A] [--dist-workers N] [--dist-push-timeout-ms N] [--dist-sparse-threshold F]\n  edsr worker <ADDR>   (or --dist-addr / EDSR_DIST_ADDR)\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--isa (or EDSR_ISA) pins the SIMD kernel level: auto | scalar | avx2 |\navx512; results are bit-identical at any level (DESIGN.md \u{a7}15).\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12).\n`edsr ps` + N×`edsr worker` reproduce `edsr run` bit-identically over\nTCP (DESIGN.md \u{a7}14)."
     );
     std::process::exit(2);
 }
