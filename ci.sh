@@ -23,6 +23,15 @@ EDSR_ISA=scalar cargo test -q --workspace
 echo "== cargo test -q --workspace (EDSR_ISA=auto) =="
 EDSR_ISA=auto cargo test -q --workspace
 
+echo "== deprecated-shim gate (RUSTFLAGS=-D deprecated) =="
+# New call sites must use the TaskSource API; the legacy `*_seq` shims
+# stay compilable but any un-annotated use of them fails the build.
+# Intentional uses (the re-export blocks, the shim-equivalence tests)
+# carry #[allow(deprecated)]. Separate target dir: RUSTFLAGS changes
+# would otherwise thrash the main cache for every later cargo call.
+RUSTFLAGS="-D deprecated" CARGO_TARGET_DIR=target/deprecated-gate \
+    cargo check --workspace --all-targets
+
 echo "== bench bin smoke (BENCH_par.json) =="
 # The bench binary exits non-zero itself if a zero-worker pool shows a
 # chunking slowdown (the flat fall-through regression gate).
@@ -212,6 +221,45 @@ for r in runs:
 print("dist bench smoke: " + ", ".join(
     f"{r['workers']}w {r['tasks_per_s']:.1f} tasks/s" for r in runs))
 EOF
+
+echo "== scenarios bench smoke (BENCH_scenarios.json) =="
+# Quick sweep over the full scenario zoo x method grid. The bin itself
+# asserts stream/RAM identity and the two-shard residency budget per
+# scenario; the JSON check pins the table shape the README documents.
+EDSR_BENCH_QUICK=1 cargo run -q --release -p edsr-bench --bin scenarios
+test -s BENCH_scenarios.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_scenarios.json"))
+scenarios = doc["scenarios"]
+assert len(scenarios) >= 4, f"only {len(scenarios)} scenarios"
+for s in scenarios:
+    methods = {m["method"] for m in s["methods"]}
+    assert len(methods) >= 4, f"{s['scenario']}: only {sorted(methods)}"
+    for required in ("CompEmb", "R2R"):
+        assert required in methods, f"{s['scenario']}: missing {required}"
+    assert s["stream_identical"] is True, f"{s['scenario']}: stream diverged"
+    assert s["resident_peak"] <= 2, f"{s['scenario']}: {s['resident_peak']} resident"
+    for m in s["methods"]:
+        assert 0.0 <= m["acc_mean"] <= 100.0, f"bad acc: {m}"
+print(f"scenarios smoke: {len(scenarios)} scenarios x "
+      f"{len(scenarios[0]['methods'])} methods, all streams bit-identical")
+EOF
+
+echo "== scenario shard round-trip (out-of-core cmp gate) =="
+# Two zoo scenarios trained twice each — once in RAM, once streamed from
+# an EDSRDS01 shard directory — must produce byte-identical checkpoints.
+for SCN in blurry long-tail; do
+    rm -rf ci_scn_shards ci_scn_ram.ckpt ci_scn_stream.ckpt
+    "$EDSR" scenario write "$SCN" ci_scn_shards --seed 11 > /dev/null
+    "$EDSR" scenario run "$SCN" lump --epochs 2 --save ci_scn_ram.ckpt > /dev/null
+    "$EDSR" scenario run "$SCN" lump --epochs 2 --stream ci_scn_shards \
+        --save ci_scn_stream.ckpt > /dev/null
+    cmp ci_scn_ram.ckpt ci_scn_stream.ckpt \
+        || { echo "scenario gate: $SCN streamed checkpoint differs from in-RAM"; exit 1; }
+    echo "scenario gate: $SCN streamed == in-RAM"
+done
+rm -rf ci_scn_shards ci_scn_ram.ckpt ci_scn_stream.ckpt
 
 echo "== observability smoke (EDSR_OBS=jsonl) =="
 # A short EDSR training run streaming metrics: the file must be non-empty,

@@ -42,7 +42,7 @@ fn main() {
                 let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
                 let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
                 let mut run_rng = seeded(seed + 2000);
-                match run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng) {
+                match run_multitask(&mut model, &mut &seq, &augs, &cfg, &mut run_rng) {
                     Ok(r) => mt.push(r.acc_pct()),
                     Err(e) => report.line(format!("  !! Multitask seed {seed}: {e}")),
                 }

@@ -44,11 +44,11 @@ fn main() {
     for &seed in &seeds {
         let mut data_rng = seeded(seed);
         let seq = tabular_sequence(&data_cfg, &mut data_rng);
-        let augs = tabular_augmenters(&seq, 0.4);
+        let augs = tabular_augmenters(&mut &seq, 0.4).expect("tabular augmenters");
         let model_cfg = ModelConfig::tabular(input_dims.clone());
         let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
         let mut run_rng = seeded(seed + 2000);
-        match run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng) {
+        match run_multitask(&mut model, &mut &seq, &augs, &cfg, &mut run_rng) {
             Ok(r) => mt.push(r.acc_pct()),
             Err(e) => report.line(format!("  !! Multitask seed {seed}: {e}")),
         }
@@ -62,7 +62,7 @@ fn main() {
         for &seed in &seeds {
             let mut data_rng = seeded(seed);
             let seq = tabular_sequence(&data_cfg, &mut data_rng);
-            let augs = tabular_augmenters(&seq, 0.4);
+            let augs = tabular_augmenters(&mut &seq, 0.4).expect("tabular augmenters");
             let model_cfg = ModelConfig::tabular(input_dims.clone());
             let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
             let mut run_rng = seeded(seed + 2000);
@@ -77,8 +77,13 @@ fn main() {
                     Box::new(Edsr::paper_default(budget, cfg.replay_batch, 10))
                 }
             };
-            match RunBuilder::new(&cfg).run(method.as_mut(), &mut model, &seq, &augs, &mut run_rng)
-            {
+            match RunBuilder::new(&cfg).run(
+                method.as_mut(),
+                &mut model,
+                &mut &seq,
+                &augs,
+                &mut run_rng,
+            ) {
                 Ok(run) => runs.push(run),
                 Err(error) => failures.push(SeedFailure { seed, error }),
             }

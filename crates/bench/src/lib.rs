@@ -171,11 +171,11 @@ pub fn run_method_over_seeds_with_model(
         let seed = seeds[si];
         edsr_par::catch_panic(|| {
             let mut data_rng = seeded(seed);
-            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+            let (mut seq, augs) = preset.build_with_augmenters(&mut data_rng);
             let mut model = ContinualModel::new(model_cfg, &mut seeded(seed + 1000));
             let mut run_rng = seeded(seed + 2000);
             let mut method = make_method();
-            RunBuilder::new(cfg).run(method.as_mut(), &mut model, &seq, &augs, &mut run_rng)
+            RunBuilder::new(cfg).run(method.as_mut(), &mut model, &mut seq, &augs, &mut run_rng)
         })
         .unwrap_or_else(|msg| Err(TrainError::Worker(msg)))
     });
@@ -202,11 +202,11 @@ pub fn run_multitask_over_seeds(
         let seed = seeds[si];
         edsr_par::catch_panic(|| {
             let mut data_rng = seeded(seed);
-            let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
+            let (mut seq, augs) = preset.build_with_augmenters(&mut data_rng);
             let model_cfg = image_model_config(preset);
             let mut model = ContinualModel::new(&model_cfg, &mut seeded(seed + 1000));
             let mut run_rng = seeded(seed + 2000);
-            run_multitask(&mut model, &seq, &augs, cfg, &mut run_rng)
+            run_multitask(&mut model, &mut seq, &augs, cfg, &mut run_rng)
         })
         .unwrap_or_else(|msg| Err(TrainError::Worker(msg)))
     });

@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use edsr_data::DataError;
 use edsr_nn::CheckpointError;
 
 /// A failure raised by the training runtime.
@@ -41,6 +42,9 @@ pub enum TrainError {
     /// A parallel worker panicked (payload text from
     /// `edsr_par::catch_panic`); the sweep records the seed and moves on.
     Worker(String),
+    /// The task source failed to yield an increment (corrupt shard,
+    /// truncated stream, out-of-range fetch, …).
+    Data(DataError),
 }
 
 impl fmt::Display for TrainError {
@@ -64,6 +68,7 @@ impl fmt::Display for TrainError {
                 write!(f, "{method} state persistence: {reason}")
             }
             TrainError::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
+            TrainError::Data(e) => write!(f, "task source: {e}"),
         }
     }
 }
@@ -72,6 +77,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Checkpoint(e) => Some(e),
+            TrainError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -80,6 +86,12 @@ impl std::error::Error for TrainError {
 impl From<CheckpointError> for TrainError {
     fn from(e: CheckpointError) -> Self {
         TrainError::Checkpoint(e)
+    }
+}
+
+impl From<DataError> for TrainError {
+    fn from(e: DataError) -> Self {
+        TrainError::Data(e)
     }
 }
 
@@ -101,6 +113,15 @@ mod tests {
         assert!(msg.contains("DER"), "{msg}");
         assert!(msg.contains("increment 3"), "{msg}");
         assert!(msg.contains("epoch 7"), "{msg}");
+    }
+
+    #[test]
+    fn data_errors_convert_and_chain() {
+        let e: TrainError = DataError::OutOfRange { index: 9, len: 4 }.into();
+        assert!(matches!(e, TrainError::Data(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("task source"), "{msg}");
+        assert!(msg.contains('9'), "{msg}");
     }
 
     #[test]

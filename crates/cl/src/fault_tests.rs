@@ -77,7 +77,7 @@ fn nan_fault_is_rolled_back_and_run_completes() {
     let cfg = tiny_cfg();
     let mut rng = seeded(42);
     let result = RunBuilder::new(&cfg)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("survives NaN");
     assert_eq!(method.injected(), 1, "fault did not fire");
     assert!(result.recoveries >= 1, "no rollback recorded");
@@ -106,7 +106,7 @@ fn corrupt_batch_is_survived_without_weight_damage() {
     let cfg = tiny_cfg();
     let mut rng = seeded(45);
     let result = RunBuilder::new(&cfg)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("survives");
     assert_eq!(method.injected(), 1);
     assert!(result.recoveries >= 1);
@@ -140,7 +140,7 @@ fn persistent_divergence_exhausts_retries_with_structured_error() {
             max_retries: 2,
             ..GuardConfig::default()
         })
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .unwrap_err();
     match err {
         TrainError::Diverged { task, retries, .. } => {
@@ -166,7 +166,13 @@ fn resume_after_truncation_matches_uninterrupted_run() {
     let mut ref_method = make_method();
     let mut ref_rng = seeded(52);
     let reference = RunBuilder::new(&cfg)
-        .run(&mut ref_method, &mut ref_model, &seq, &augs, &mut ref_rng)
+        .run(
+            &mut ref_method,
+            &mut ref_model,
+            &mut &seq,
+            &augs,
+            &mut ref_rng,
+        )
         .expect("reference run");
 
     // Checkpointed run over the full sequence (snapshots after both
@@ -177,7 +183,7 @@ fn resume_after_truncation_matches_uninterrupted_run() {
     let mut rng = seeded(52);
     let checkpointed = RunBuilder::new(&cfg)
         .checkpoint(ckpt.clone())
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("checkpointed run");
     assert_eq!(
         checkpointed.matrix.rows(),
@@ -203,7 +209,7 @@ fn resume_after_truncation_matches_uninterrupted_run() {
         .run(
             &mut resumed_method,
             &mut resumed_model,
-            &seq,
+            &mut &seq,
             &augs,
             &mut resumed_rng,
         )
@@ -234,7 +240,7 @@ fn stop_after_then_resume_completes_the_sequence() {
     let partial = RunBuilder::new(&cfg)
         .checkpoint(ckpt.clone())
         .stop_after(1)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("partial run");
     assert_eq!(partial.matrix.num_increments(), 1, "stop_after ignored");
 
@@ -247,7 +253,7 @@ fn stop_after_then_resume_completes_the_sequence() {
         .run(
             &mut resumed_method,
             &mut resumed_model,
-            &seq,
+            &mut &seq,
             &augs,
             &mut resumed_rng,
         )
@@ -294,7 +300,7 @@ fn checkpointing_requires_state_hooks() {
     let mut rng = seeded(58);
     let err = RunBuilder::new(&cfg)
         .checkpoint(temp_ckpt("stateless"))
-        .run(&mut Stateless, &mut model, &seq, &augs, &mut rng)
+        .run(&mut Stateless, &mut model, &mut &seq, &augs, &mut rng)
         .unwrap_err();
     assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
 }
@@ -312,7 +318,7 @@ fn resume_without_snapshot_source_is_an_explicit_error() {
     let mut rng = seeded(62);
     let err = RunBuilder::new(&cfg)
         .resume()
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .unwrap_err();
     match err {
         TrainError::InvalidConfig(msg) => {
@@ -340,7 +346,7 @@ fn resume_from_reads_one_dir_while_checkpointing_to_another() {
     RunBuilder::new(&cfg)
         .checkpoint(source.clone())
         .stop_after(1)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("partial run");
 
     // Resume from `source` but snapshot the continuation into `dest`.
@@ -350,7 +356,7 @@ fn resume_from_reads_one_dir_while_checkpointing_to_another() {
     let full = RunBuilder::new(&cfg)
         .checkpoint(dest.clone())
         .resume_from(source.clone())
-        .run(&mut method2, &mut model2, &seq, &augs, &mut rng2)
+        .run(&mut method2, &mut model2, &mut &seq, &augs, &mut rng2)
         .expect("cross-dir resume");
     assert_eq!(full.matrix.num_increments(), 2);
     let source_snaps = list_snapshots(&source);

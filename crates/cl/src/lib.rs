@@ -36,7 +36,10 @@ pub use trainer::{
     Observer, OptimizerKind, RunBuilder, RunOptions, RunResult, StepRecord, TrainConfig,
 };
 #[allow(deprecated)] // legacy entry points stay reachable during migration
-pub use trainer::{run_sequence, run_sequence_with};
+pub use trainer::{
+    evaluate_cell_seq, evaluate_row_seq, run_multitask_seq, run_sequence, run_sequence_with,
+    tabular_augmenters_seq,
+};
 
 #[cfg(test)]
 mod fault_tests;

@@ -20,7 +20,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use edsr_data::{Augmenter, BatchIter, Dataset, TaskSequence};
+use edsr_data::{materialize, Augmenter, BatchIter, Dataset, TaskSequence, TaskSource};
 use edsr_nn::io::{
     optim_state_from_bytes, optim_state_to_bytes, params_from_bytes, params_to_bytes,
 };
@@ -326,26 +326,61 @@ impl RunResult {
 /// the model's *current* weights and classifies its test split. Pure in
 /// the model and RNG-free, so cells can be computed in any order — or on
 /// different machines — and assembled into the same row, which is how the
-/// distributed runner fans evaluation out across workers.
-pub fn evaluate_cell(model: &ContinualModel, seq: &TaskSequence, col: usize, eval_k: usize) -> f32 {
-    let task = &seq.tasks[col];
+/// distributed runner fans evaluation out across workers. The source is
+/// `&mut` only so streaming sources can rotate buffers; the data returned
+/// for a given `col` is identical on every call.
+pub fn evaluate_cell(
+    model: &ContinualModel,
+    source: &mut dyn TaskSource,
+    col: usize,
+    eval_k: usize,
+) -> Result<f32, TrainError> {
+    let task = source.fetch(col)?;
     let train_reps = model.represent(&task.train.inputs, col);
     let test_reps = model.represent(&task.test.inputs, col);
     let preds = knn_classify(&train_reps, &task.train.labels, &test_reps, eval_k);
-    accuracy(&preds, &task.test.labels)
+    Ok(accuracy(&preds, &task.test.labels))
 }
 
 /// Evaluates `A_{i,j}` for all `j ≤ i` with the kNN protocol: one
 /// [`evaluate_cell`] per learned task.
 pub fn evaluate_row(
     model: &ContinualModel,
+    source: &mut dyn TaskSource,
+    upto: usize,
+    eval_k: usize,
+) -> Result<Vec<f32>, TrainError> {
+    (0..=upto)
+        .map(|j| evaluate_cell(model, source, j, eval_k))
+        .collect()
+}
+
+/// Legacy cell evaluation over a concrete sequence.
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_cell with any TaskSource (e.g. `&mut &seq`)"
+)]
+pub fn evaluate_cell_seq(
+    model: &ContinualModel,
+    seq: &TaskSequence,
+    col: usize,
+    eval_k: usize,
+) -> f32 {
+    evaluate_cell(model, &mut &*seq, col, eval_k).expect("col within sequence")
+}
+
+/// Legacy row evaluation over a concrete sequence.
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_row with any TaskSource (e.g. `&mut &seq`)"
+)]
+pub fn evaluate_row_seq(
+    model: &ContinualModel,
     seq: &TaskSequence,
     upto: usize,
     eval_k: usize,
 ) -> Vec<f32> {
-    (0..=upto)
-        .map(|j| evaluate_cell(model, seq, j, eval_k))
-        .collect()
+    evaluate_row(model, &mut &*seq, upto, eval_k).expect("upto within sequence")
 }
 
 /// An [`Optimizer`] whose `step` is a no-op: after [`apply_step`] runs
@@ -563,12 +598,12 @@ impl RunOptions {
 /// # use edsr_cl::trainer::{RunBuilder, TrainConfig};
 /// # fn demo(method: &mut dyn edsr_cl::Method,
 /// #         model: &mut edsr_cl::ContinualModel,
-/// #         seq: &edsr_data::TaskSequence,
+/// #         source: &mut dyn edsr_data::TaskSource,
 /// #         augs: &[edsr_data::Augmenter],
 /// #         rng: &mut rand::rngs::StdRng) {
 /// let cfg = TrainConfig::image();
 /// let result = RunBuilder::new(&cfg)
-///     .run(method, model, seq, augs, rng)
+///     .run(method, model, source, augs, rng)
 ///     .expect("run");
 /// # let _ = result;
 /// # }
@@ -658,22 +693,29 @@ impl<'a> RunBuilder<'a> {
         self
     }
 
-    /// Runs `method` over `seq`, evaluating after every increment.
+    /// Runs `method` over any [`TaskSource`] — an in-RAM
+    /// [`TaskSequence`] (pass `&mut seq` or `&mut &seq`) or an
+    /// out-of-core `ShardStream` — evaluating after every increment.
+    /// The runner's access pattern is sequential with a bounded
+    /// evaluation look-back, so a streaming source never holds more
+    /// than its resident window; training results are bit-identical
+    /// across sources that yield the same bytes.
     ///
     /// `augmenters` supplies the per-increment view generator (images
     /// share one; the tabular stream needs one per increment,
     /// referencing that increment's train split).
     ///
     /// Fails with [`TrainError::InvalidConfig`] when `augmenters.len()
-    /// != seq.len()`, when checkpointing a non-resumable method, or when
-    /// resume is requested without a snapshot source; fails with
+    /// != source.len()`, when checkpointing a non-resumable method, or
+    /// when resume is requested without a snapshot source; fails with
     /// [`TrainError::Diverged`] when an increment exhausts the
-    /// divergence guard's retry budget.
+    /// divergence guard's retry budget; fails with [`TrainError::Data`]
+    /// when the source cannot yield an increment (corrupt shard, …).
     pub fn run(
         self,
         method: &mut dyn Method,
         model: &mut ContinualModel,
-        seq: &TaskSequence,
+        source: &mut dyn TaskSource,
         augmenters: &[Augmenter],
         rng: &mut StdRng,
     ) -> Result<RunResult, TrainError> {
@@ -693,11 +735,12 @@ impl<'a> RunBuilder<'a> {
             None => &mut noop,
         };
 
-        if augmenters.len() != seq.len() {
+        let benchmark = source.name().to_string();
+        if augmenters.len() != source.len() {
             return Err(TrainError::InvalidConfig(format!(
                 "run: {} augmenters for {} tasks (one per task required)",
                 augmenters.len(),
-                seq.len()
+                source.len()
             )));
         }
         if checkpoint.is_some() && method.save_state().is_none() {
@@ -717,19 +760,19 @@ impl<'a> RunBuilder<'a> {
 
         let mut opt = cfg.build_optimizer();
         let mut matrix = AccuracyMatrix::new();
-        let mut task_seconds = Vec::with_capacity(seq.len());
-        let mut task_losses = Vec::with_capacity(seq.len());
+        let mut task_seconds = Vec::with_capacity(source.len());
+        let mut task_losses = Vec::with_capacity(source.len());
         let mut recoveries = 0usize;
         let mut start_task = 0usize;
         let mut resumed_lr_scale = 1.0f32;
 
         if resume {
-            let source = resume_source
+            let resume_src = resume_source
                 .as_ref()
                 .or(checkpoint.as_ref())
                 .expect("validated above");
-            if let Some((path, state)) = latest_valid_run_state(source) {
-                restore_from_state(method, model, opt.as_mut(), rng, seq, &state)?;
+            if let Some((path, state)) = latest_valid_run_state(resume_src) {
+                restore_from_state(method, model, opt.as_mut(), rng, &benchmark, &state)?;
                 for row in &state.matrix_rows {
                     matrix.push_row(row.clone());
                 }
@@ -743,15 +786,15 @@ impl<'a> RunBuilder<'a> {
 
         let mut guard = StepGuard::new(guard_cfg, &model.params);
         guard.set_lr_scale(resumed_lr_scale);
-        let until = stop_after.map_or(seq.len(), |n| n.min(seq.len()));
-        observer.on_run_start(&method.name(), &seq.name, until, start_task);
+        let until = stop_after.map_or(source.len(), |n| n.min(source.len()));
+        observer.on_run_start(&method.name(), &benchmark, until, start_task);
         let _run_span = edsr_obs::span!("run");
         // One workspace for the whole run: after the first step its scratch
         // pools are warm and steady-state steps stop allocating.
         let mut ws = Workspace::new();
 
         for task_idx in start_task..until {
-            let task = &seq.tasks[task_idx];
+            let task = source.fetch(task_idx)?;
             let _task_span = edsr_obs::span!("task", task_idx);
             observer.on_task_start(task_idx);
             let start = Instant::now();
@@ -843,7 +886,7 @@ impl<'a> RunBuilder<'a> {
 
             let row = {
                 let _eval_span = edsr_obs::span!("eval", task_idx);
-                evaluate_row(model, seq, task_idx, cfg.eval_k)
+                evaluate_row(model, source, task_idx, cfg.eval_k)?
             };
             if edsr_obs::enabled() {
                 let mean = row.iter().sum::<f32>() / row.len().max(1) as f32;
@@ -864,7 +907,7 @@ impl<'a> RunBuilder<'a> {
                 let state = RunState {
                     completed_tasks: task_idx + 1,
                     method: method.name(),
-                    benchmark: seq.name.clone(),
+                    benchmark: benchmark.clone(),
                     matrix_rows: matrix.rows().to_vec(),
                     task_seconds: task_seconds.clone(),
                     task_losses: task_losses.clone(),
@@ -886,7 +929,7 @@ impl<'a> RunBuilder<'a> {
                     model,
                     reprs,
                     repr_tasks,
-                    seq.name.clone(),
+                    benchmark.clone(),
                     task_idx + 1,
                 )?;
                 let path = save_serve_snapshot(serve_cfg, &snap)?;
@@ -896,7 +939,7 @@ impl<'a> RunBuilder<'a> {
 
         let result = RunResult {
             method: method.name(),
-            benchmark: seq.name.clone(),
+            benchmark,
             matrix,
             task_seconds,
             task_losses,
@@ -904,6 +947,22 @@ impl<'a> RunBuilder<'a> {
         };
         observer.on_run_end(&result);
         Ok(result)
+    }
+
+    /// Legacy entry point over a concrete `&TaskSequence`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run(...) with any TaskSource (e.g. `&mut seq` or `&mut &seq`)"
+    )]
+    pub fn run_seq(
+        self,
+        method: &mut dyn Method,
+        model: &mut ContinualModel,
+        seq: &TaskSequence,
+        augmenters: &[Augmenter],
+        rng: &mut StdRng,
+    ) -> Result<RunResult, TrainError> {
+        self.run(method, model, &mut &*seq, augmenters, rng)
     }
 }
 
@@ -917,7 +976,7 @@ pub fn run_sequence(
     cfg: &TrainConfig,
     rng: &mut StdRng,
 ) -> Result<RunResult, TrainError> {
-    RunBuilder::new(cfg).run(method, model, seq, augmenters, rng)
+    RunBuilder::new(cfg).run(method, model, &mut &*seq, augmenters, rng)
 }
 
 /// Runs a method with explicit [`RunOptions`]. Preserves the legacy
@@ -947,7 +1006,7 @@ pub fn run_sequence_with(
     if let Some(n) = opts.stop_after {
         builder = builder.stop_after(n);
     }
-    builder.run(method, model, seq, augmenters, rng)
+    builder.run(method, model, &mut &*seq, augmenters, rng)
 }
 
 /// Applies a loaded run state to the live objects, validating that it
@@ -957,16 +1016,16 @@ fn restore_from_state(
     model: &mut ContinualModel,
     opt: &mut dyn Optimizer,
     rng: &mut StdRng,
-    seq: &TaskSequence,
+    benchmark: &str,
     state: &RunState,
 ) -> Result<(), TrainError> {
-    if state.method != method.name() || state.benchmark != seq.name {
+    if state.method != method.name() || state.benchmark != benchmark {
         return Err(TrainError::InvalidConfig(format!(
             "snapshot belongs to {}/{} but the run is {}/{}",
             state.method,
             state.benchmark,
             method.name(),
-            seq.name
+            benchmark
         )));
     }
     params_from_bytes(&mut model.params, &state.params_payload)?;
@@ -1005,20 +1064,26 @@ impl MultitaskResult {
 /// Batches are drawn per task (so heterogeneous input widths work) and
 /// interleaved within each epoch. Runs under the same divergence guard
 /// as [`RunBuilder::run`] (epoch-granular rollback, bounded LR backoff).
+///
+/// Joint epochs interleave batches across *all* increments, so a
+/// streaming source is materialized up front — the upper bound is the
+/// one consumer that genuinely needs the whole stream in RAM.
 pub fn run_multitask(
     model: &mut ContinualModel,
-    seq: &TaskSequence,
+    source: &mut dyn TaskSource,
     augmenters: &[Augmenter],
     cfg: &TrainConfig,
     rng: &mut StdRng,
 ) -> Result<MultitaskResult, TrainError> {
-    if augmenters.len() != seq.len() {
+    if augmenters.len() != source.len() {
         return Err(TrainError::InvalidConfig(format!(
             "run_multitask: {} augmenters for {} tasks (one per task required)",
             augmenters.len(),
-            seq.len()
+            source.len()
         )));
     }
+    let seq = materialize(source)?;
+    let seq = &seq;
     let mut opt = cfg.build_optimizer();
     let mut guard = StepGuard::new(GuardConfig::default(), &model.params);
     guard.begin_task(&model.params);
@@ -1077,7 +1142,7 @@ pub fn run_multitask(
         guard.commit(&model.params);
         epoch += 1;
     }
-    let per_task_acc = evaluate_row(model, seq, seq.len() - 1, cfg.eval_k);
+    let per_task_acc = evaluate_row(model, &mut &*seq, seq.len() - 1, cfg.eval_k)?;
     let acc = per_task_acc.iter().sum::<f32>() / per_task_acc.len() as f32;
     Ok(MultitaskResult {
         per_task_acc,
@@ -1086,19 +1151,54 @@ pub fn run_multitask(
     })
 }
 
+/// Legacy joint-training entry point over a concrete sequence.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_multitask with any TaskSource (e.g. `&mut &seq`)"
+)]
+pub fn run_multitask_seq(
+    model: &mut ContinualModel,
+    seq: &TaskSequence,
+    augmenters: &[Augmenter],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> Result<MultitaskResult, TrainError> {
+    run_multitask(model, &mut &*seq, augmenters, cfg, rng)
+}
+
 /// Builds the per-task augmenters for an image benchmark (shared op
-/// pipeline over the preset's grid).
-pub fn image_augmenters(seq: &TaskSequence, grid: edsr_data::GridSpec) -> Vec<Augmenter> {
-    (0..seq.len())
+/// pipeline over the preset's grid). Only the source's length is read,
+/// so any `TaskSource` works without fetching — `&seq` coerces.
+pub fn image_augmenters(source: &dyn TaskSource, grid: edsr_data::GridSpec) -> Vec<Augmenter> {
+    (0..source.len())
         .map(|_| Augmenter::standard_image(grid))
         .collect()
 }
 
 /// Builds the per-task augmenters for the tabular stream (SCARF
-/// corruption referencing each increment's own train split).
-pub fn tabular_augmenters(seq: &TaskSequence, corruption_prob: f32) -> Vec<Augmenter> {
-    seq.tasks
-        .iter()
-        .map(|t| Augmenter::tabular(t.train.inputs.clone(), corruption_prob))
+/// corruption referencing each increment's own train split). Fetches
+/// every increment once, in order — a streaming source pays one
+/// sequential pass.
+pub fn tabular_augmenters(
+    source: &mut dyn TaskSource,
+    corruption_prob: f32,
+) -> Result<Vec<Augmenter>, TrainError> {
+    (0..source.len())
+        .map(|i| {
+            let task = source.fetch(i)?;
+            Ok(Augmenter::tabular(
+                task.train.inputs.clone(),
+                corruption_prob,
+            ))
+        })
         .collect()
+}
+
+/// Legacy tabular-augmenter builder over a concrete sequence.
+#[deprecated(
+    since = "0.1.0",
+    note = "use tabular_augmenters with any TaskSource (e.g. `&mut &seq`)"
+)]
+pub fn tabular_augmenters_seq(seq: &TaskSequence, corruption_prob: f32) -> Vec<Augmenter> {
+    tabular_augmenters(&mut &*seq, corruption_prob).expect("in-RAM sequence cannot fail")
 }

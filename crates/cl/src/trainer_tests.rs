@@ -70,7 +70,7 @@ fn cosine_floor_schedules_lr_without_breaking_training() {
     cfg.cosine_floor = 0.05;
     let mut rng = seeded(22);
     let result = RunBuilder::new(&cfg)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("run");
     assert_eq!(result.matrix.num_increments(), 2);
     assert!(result.task_losses.iter().all(|l| l.is_finite()));
@@ -89,9 +89,9 @@ fn optimizer_kind_builds_requested_optimizer() {
 fn evaluate_row_length_matches_upto() {
     let seq = toy_sequence(1);
     let model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(2));
-    let row0 = evaluate_row(&model, &seq, 0, 3);
+    let row0 = evaluate_row(&model, &mut &seq, 0, 3).expect("eval row 0");
     assert_eq!(row0.len(), 1);
-    let row1 = evaluate_row(&model, &seq, 1, 3);
+    let row1 = evaluate_row(&model, &mut &seq, 1, 3).expect("eval row 1");
     assert_eq!(row1.len(), 2);
     assert!(row1.iter().all(|a| (0.0..=1.0).contains(a)));
 }
@@ -105,7 +105,7 @@ fn run_sequence_fills_matrix_times_and_losses() {
     let cfg = tiny_cfg();
     let mut rng = seeded(5);
     let result = RunBuilder::new(&cfg)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("run");
     assert_eq!(result.matrix.num_increments(), 2);
     assert_eq!(result.task_seconds.len(), 2);
@@ -123,7 +123,7 @@ fn run_sequence_rejects_wrong_augmenter_count() {
     let cfg = tiny_cfg();
     let mut rng = seeded(8);
     let err = RunBuilder::new(&cfg)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .unwrap_err();
     assert!(
         matches!(err, crate::error::TrainError::InvalidConfig(_)),
@@ -139,7 +139,7 @@ fn run_multitask_reports_all_tasks() {
     let mut model = ContinualModel::new(&ModelConfig::image(8), &mut seeded(10));
     let cfg = tiny_cfg();
     let mut rng = seeded(11);
-    let mt = run_multitask(&mut model, &seq, &augs, &cfg, &mut rng).expect("multitask");
+    let mt = run_multitask(&mut model, &mut &seq, &augs, &cfg, &mut rng).expect("multitask");
     assert_eq!(mt.per_task_acc.len(), 2);
     let mean = mt.per_task_acc.iter().sum::<f32>() / 2.0;
     assert!((mt.acc - mean).abs() < 1e-6);
@@ -148,7 +148,7 @@ fn run_multitask_reports_all_tasks() {
 #[test]
 fn tabular_augmenters_reference_each_increment() {
     let seq = toy_sequence(12);
-    let augs = tabular_augmenters(&seq, 0.5);
+    let augs = tabular_augmenters(&mut &seq, 0.5).expect("tabular augmenters");
     assert_eq!(augs.len(), seq.len());
     for (aug, task) in augs.iter().zip(&seq.tasks) {
         match aug {
@@ -212,7 +212,7 @@ fn method_lifecycle_hooks_fire_in_order() {
     cfg.epochs_per_task = 1;
     let mut rng = seeded(15);
     RunBuilder::new(&cfg)
-        .run(&mut spy, &mut model, &seq, &augs, &mut rng)
+        .run(&mut spy, &mut model, &mut &seq, &augs, &mut rng)
         .expect("run");
 
     assert_eq!(spy.events.first().map(String::as_str), Some("begin0"));
@@ -283,7 +283,7 @@ fn observer_hooks_fire_in_order_with_consistent_payloads() {
     let mut rec = Recorder::default();
     RunBuilder::new(&cfg)
         .observer(&mut rec)
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .expect("observed run");
 
     assert_eq!(
@@ -332,7 +332,7 @@ fn deprecated_run_sequence_matches_builder() {
     let mut method_b = Finetune::new();
     let mut rng_b = seeded(35);
     let via_builder = RunBuilder::new(&cfg)
-        .run(&mut method_b, &mut model_b, &seq, &augs, &mut rng_b)
+        .run(&mut method_b, &mut model_b, &mut &seq, &augs, &mut rng_b)
         .expect("builder run");
 
     assert_eq!(via_shim.matrix.rows(), via_builder.matrix.rows());

@@ -1,0 +1,496 @@
+//! Replay-selection baselines from the related-work set (PAPERS.md).
+//!
+//! Two published selection rules, reimplemented on this repo's episodic
+//! memory + CSS replay substrate so they can be swept head-to-head with
+//! EDSR in the scenario zoo:
+//!
+//! - [`CompEmb`] — Yanowsky & Weinshall's *complementary embeddings*
+//!   rule: greedily pick the stored set that is maximally spread in the
+//!   frozen model's representation space (farthest-point traversal), so
+//!   a small buffer covers the increment's embedding support instead of
+//!   its modes.
+//! - [`R2r`] — *Replay to Remember*-style uncertainty-driven replay:
+//!   store the samples whose representations move the most under the
+//!   increment's own augmentation (highest view variance), i.e. the ones
+//!   the encoder is least certain about and most likely to forget.
+//!
+//! Both replay through `L_css` on the stored data (the same two-view
+//! objective used for new data), which keeps them comparable to LUMP and
+//! the `ReplayLoss::Css` ablation of EDSR: the *only* moving part between
+//! them is the selection rule.
+
+use edsr_cl::memory::{MemoryBatch, MemoryBuffer, MemoryItem};
+use edsr_cl::model::ContinualModel;
+use edsr_cl::trainer::{apply_step, Method};
+use edsr_data::{Augmenter, Dataset};
+use edsr_linalg::stats::scalar_std;
+use edsr_nn::{Optimizer, Workspace};
+use edsr_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Squared Euclidean distance between two representation rows.
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Greedy farthest-point traversal: seed with the sample farthest from
+/// the representation mean, then repeatedly add the sample maximizing
+/// its distance to the closest already-selected one. Deterministic given
+/// the representations (ties break on the lower index).
+fn farthest_point_selection(reps: &Matrix, budget: usize) -> Vec<usize> {
+    let n = reps.rows();
+    let budget = budget.min(n);
+    if budget == 0 {
+        return Vec::new();
+    }
+    let mean = reps.col_means();
+    let seed = (0..n)
+        .max_by(|&a, &b| {
+            sq_dist(reps.row(a), mean.row(0))
+                .total_cmp(&sq_dist(reps.row(b), mean.row(0)))
+                .then(b.cmp(&a))
+        })
+        .expect("non-empty population");
+    let mut selected = vec![seed];
+    // min_dist[i] = distance from i to its nearest selected sample.
+    let mut min_dist: Vec<f32> = (0..n)
+        .map(|i| sq_dist(reps.row(i), reps.row(seed)))
+        .collect();
+    while selected.len() < budget {
+        let next = (0..n)
+            .filter(|i| !selected.contains(i))
+            .max_by(|&a, &b| min_dist[a].total_cmp(&min_dist[b]).then(b.cmp(&a)))
+            .expect("budget <= n");
+        for (i, md) in min_dist.iter_mut().enumerate() {
+            let d = sq_dist(reps.row(i), reps.row(next));
+            if d < *md {
+                *md = d;
+            }
+        }
+        selected.push(next);
+    }
+    selected.sort_unstable();
+    selected
+}
+
+/// Draws replay groups the same way EDSR's uniform rule does: one merged
+/// batch under a shared adapter (batch-statistic losses degenerate on
+/// tiny per-task groups), per-task groups otherwise.
+fn draw_replay(
+    memory: &MemoryBuffer,
+    model: &ContinualModel,
+    replay_batch: usize,
+    rng: &mut StdRng,
+) -> Vec<MemoryBatch> {
+    if model.encoder.num_adapters() == 1 {
+        memory
+            .sample_merged(replay_batch, rng)
+            .into_iter()
+            .collect()
+    } else {
+        memory.sample_grouped(replay_batch, rng)
+    }
+}
+
+/// Shared train step for both baselines: `L_css` on the new increment
+/// plus `½ L_css` on each drawn memory group, each group augmented by
+/// its source increment's own view generator.
+#[allow(clippy::too_many_arguments)]
+fn css_with_replay(
+    memory: &MemoryBuffer,
+    replay_batch: usize,
+    model: &mut ContinualModel,
+    opt: &mut dyn Optimizer,
+    augs: &[Augmenter],
+    batch: &Matrix,
+    task_idx: usize,
+    ws: &mut Workspace,
+    rng: &mut StdRng,
+) -> f32 {
+    let aug = &augs[task_idx.min(augs.len() - 1)];
+    ws.reset();
+    let (_, _, mut loss) =
+        model.css_on_batch(&mut ws.tape, &mut ws.binder, aug, batch, task_idx, rng);
+    if !memory.is_empty() {
+        for group in draw_replay(memory, model, replay_batch, rng) {
+            let mem_aug = &augs[group.task.min(augs.len() - 1)];
+            let (m1, m2) = mem_aug.two_views(&group.inputs, rng);
+            let (_, _, l) = model.css_on_views(&mut ws.tape, &mut ws.binder, &m1, &m2, group.task);
+            let l = ws.tape.scale(l, 0.5);
+            loss = ws.tape.add(loss, l);
+        }
+    }
+    apply_step(model, opt, &mut ws.tape, &ws.binder, loss)
+}
+
+/// Complementary-embedding replay selection (Yanowsky & Weinshall).
+pub struct CompEmb {
+    per_task_budget: usize,
+    replay_batch: usize,
+    memory: MemoryBuffer,
+}
+
+impl CompEmb {
+    /// Creates the method with a per-increment storage budget and a
+    /// per-step replay batch size.
+    pub fn new(per_task_budget: usize, replay_batch: usize) -> Self {
+        Self {
+            per_task_budget,
+            replay_batch,
+            memory: MemoryBuffer::new(),
+        }
+    }
+
+    /// Stored sample count.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Read-only view of the memory (diagnostics / tests).
+    pub fn memory(&self) -> &MemoryBuffer {
+        &self.memory
+    }
+}
+
+impl Method for CompEmb {
+    fn name(&self) -> String {
+        "CompEmb".into()
+    }
+
+    fn train_step(
+        &mut self,
+        model: &mut ContinualModel,
+        opt: &mut dyn Optimizer,
+        augs: &[Augmenter],
+        batch: &Matrix,
+        task_idx: usize,
+        ws: &mut Workspace,
+        rng: &mut StdRng,
+    ) -> f32 {
+        css_with_replay(
+            &self.memory,
+            self.replay_batch,
+            model,
+            opt,
+            augs,
+            batch,
+            task_idx,
+            ws,
+            rng,
+        )
+    }
+
+    fn end_task(
+        &mut self,
+        model: &mut ContinualModel,
+        task_idx: usize,
+        train: &Dataset,
+        _aug: &Augmenter,
+        _rng: &mut StdRng,
+    ) {
+        let budget = self.per_task_budget.min(train.len());
+        if budget == 0 {
+            return;
+        }
+        let reps = model.represent(&train.inputs, task_idx);
+        let selected = farthest_point_selection(&reps, budget);
+        if edsr_obs::enabled() {
+            edsr_obs::gauge_at("memory/stored", task_idx as u64, selected.len() as f64);
+        }
+        self.memory.extend(selected.iter().map(|&i| MemoryItem {
+            input: train.inputs.row(i).to_vec(),
+            task: task_idx,
+            noise_scale: 0.0,
+            stored_features: Some(reps.row(i).to_vec()),
+        }));
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.memory.to_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn replay_representations(&self) -> Option<(Matrix, Vec<u64>)> {
+        let dim = self
+            .memory
+            .items()
+            .iter()
+            .find_map(|item| item.stored_features.as_ref().map(Vec::len))?;
+        Some(edsr_cl::memory_representations(&self.memory, dim))
+    }
+}
+
+/// Uncertainty-driven R2R-style replay (Mandalika et al.).
+pub struct R2r {
+    per_task_budget: usize,
+    replay_batch: usize,
+    views: usize,
+    memory: MemoryBuffer,
+}
+
+impl R2r {
+    /// Creates the method. `views` is the number of augmented views drawn
+    /// per sample when estimating representation uncertainty (clamped to
+    /// at least 2).
+    pub fn new(per_task_budget: usize, replay_batch: usize, views: usize) -> Self {
+        Self {
+            per_task_budget,
+            replay_batch,
+            views: views.max(2),
+            memory: MemoryBuffer::new(),
+        }
+    }
+
+    /// Stored sample count.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Read-only view of the memory (diagnostics / tests).
+    pub fn memory(&self) -> &MemoryBuffer {
+        &self.memory
+    }
+}
+
+impl Method for R2r {
+    fn name(&self) -> String {
+        "R2R".into()
+    }
+
+    fn train_step(
+        &mut self,
+        model: &mut ContinualModel,
+        opt: &mut dyn Optimizer,
+        augs: &[Augmenter],
+        batch: &Matrix,
+        task_idx: usize,
+        ws: &mut Workspace,
+        rng: &mut StdRng,
+    ) -> f32 {
+        css_with_replay(
+            &self.memory,
+            self.replay_batch,
+            model,
+            opt,
+            augs,
+            batch,
+            task_idx,
+            ws,
+            rng,
+        )
+    }
+
+    fn end_task(
+        &mut self,
+        model: &mut ContinualModel,
+        task_idx: usize,
+        train: &Dataset,
+        aug: &Augmenter,
+        rng: &mut StdRng,
+    ) {
+        let budget = self.per_task_budget.min(train.len());
+        if budget == 0 {
+            return;
+        }
+        let reps = model.represent(&train.inputs, task_idx);
+        // Uncertainty = spread of the representation across augmented
+        // views; the most view-sensitive samples are replayed.
+        let uncertainty: Vec<f32> = (0..train.len())
+            .map(|i| {
+                let row = train.inputs.select_rows(&[i]);
+                let mut view_reps = Matrix::zeros(self.views, model.repr_dim());
+                for v in 0..self.views {
+                    let view = aug.view_batch(&row, rng);
+                    let rep = model.represent(&view, task_idx);
+                    view_reps.row_mut(v).copy_from_slice(rep.row(0));
+                }
+                scalar_std(&view_reps)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        order.sort_by(|&a, &b| uncertainty[b].total_cmp(&uncertainty[a]).then(a.cmp(&b)));
+        let mut selected: Vec<usize> = order.into_iter().take(budget).collect();
+        selected.sort_unstable();
+        if edsr_obs::enabled() {
+            edsr_obs::gauge_at("memory/stored", task_idx as u64, selected.len() as f64);
+        }
+        self.memory.extend(selected.iter().map(|&i| MemoryItem {
+            input: train.inputs.row(i).to_vec(),
+            task: task_idx,
+            noise_scale: 0.0,
+            stored_features: Some(reps.row(i).to_vec()),
+        }));
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.memory.to_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.memory = MemoryBuffer::from_bytes(state).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn replay_representations(&self) -> Option<(Matrix, Vec<u64>)> {
+        let dim = self
+            .memory
+            .items()
+            .iter()
+            .find_map(|item| item.stored_features.as_ref().map(Vec::len))?;
+        Some(edsr_cl::memory_representations(&self.memory, dim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edsr_cl::model::ModelConfig;
+    use edsr_data::GridSpec;
+    use edsr_tensor::rng::seeded;
+
+    fn setup(seed: u64) -> (ContinualModel, edsr_nn::Sgd, Augmenter, Dataset) {
+        let mut rng = seeded(seed);
+        let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+        let opt = edsr_nn::Sgd::new(0.05, 0.9, 0.0);
+        let aug = Augmenter::standard_image(GridSpec::new(4, 4, 1));
+        let train = Dataset::new(
+            "d",
+            Matrix::randn(24, 16, 1.0, &mut rng),
+            (0..24).map(|i| i % 2).collect(),
+        );
+        (model, opt, aug, train)
+    }
+
+    #[test]
+    fn farthest_point_is_spread_and_deterministic() {
+        let mut rng = seeded(900);
+        let reps = Matrix::randn(20, 8, 1.0, &mut rng);
+        let a = farthest_point_selection(&reps, 6);
+        let b = farthest_point_selection(&reps, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "selected indices repeat: {a:?}");
+        // The greedy traversal must beat a contiguous prefix on minimum
+        // pairwise spread — that is the whole point of the rule.
+        let min_pair = |sel: &[usize]| {
+            let mut m = f32::INFINITY;
+            for (k, &i) in sel.iter().enumerate() {
+                for &j in &sel[k + 1..] {
+                    m = m.min(sq_dist(reps.row(i), reps.row(j)));
+                }
+            }
+            m
+        };
+        let prefix: Vec<usize> = (0..6).collect();
+        assert!(
+            min_pair(&a) >= min_pair(&prefix),
+            "farthest-point spread {} < prefix spread {}",
+            min_pair(&a),
+            min_pair(&prefix)
+        );
+    }
+
+    #[test]
+    fn farthest_point_handles_degenerate_budgets() {
+        let mut rng = seeded(901);
+        let reps = Matrix::randn(4, 3, 1.0, &mut rng);
+        assert!(farthest_point_selection(&reps, 0).is_empty());
+        assert_eq!(farthest_point_selection(&reps, 10).len(), 4);
+    }
+
+    #[test]
+    fn compemb_stores_budget_and_replays() {
+        let (mut model, mut opt, aug, train) = setup(910);
+        let mut rng = seeded(911);
+        let mut ws = Workspace::new();
+        let mut m = CompEmb::new(6, 4);
+        let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
+        let l0 = m.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            0,
+            &mut ws,
+            &mut rng,
+        );
+        assert!(l0.is_finite());
+        m.end_task(&mut model, 0, &train, &aug, &mut rng);
+        assert_eq!(m.memory_len(), 6);
+        assert!(m
+            .memory()
+            .items()
+            .iter()
+            .all(|i| i.stored_features.is_some()));
+        let l1 = m.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            1,
+            &mut ws,
+            &mut rng,
+        );
+        assert!(l1.is_finite());
+    }
+
+    #[test]
+    fn r2r_stores_most_uncertain_samples() {
+        let (mut model, mut opt, aug, train) = setup(920);
+        let mut rng = seeded(921);
+        let mut m = R2r::new(6, 4, 3);
+        m.end_task(&mut model, 0, &train, &aug, &mut rng);
+        assert_eq!(m.memory_len(), 6);
+        let mut ws = Workspace::new();
+        let batch = train.inputs.select_rows(&(0..8).collect::<Vec<_>>());
+        let l = m.train_step(
+            &mut model,
+            &mut opt,
+            std::slice::from_ref(&aug),
+            &batch,
+            1,
+            &mut ws,
+            &mut rng,
+        );
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    fn state_round_trips_through_bytes() {
+        let (mut model, _opt, aug, train) = setup(930);
+        let mut rng = seeded(931);
+        for method in [
+            Box::new(CompEmb::new(4, 4)) as Box<dyn Method>,
+            Box::new(R2r::new(4, 4, 2)),
+        ] {
+            let mut method = method;
+            method.end_task(&mut model, 0, &train, &aug, &mut rng);
+            let bytes = method.save_state().expect("state bytes");
+            let mut fresh: Box<dyn Method> = if method.name() == "CompEmb" {
+                Box::new(CompEmb::new(4, 4))
+            } else {
+                Box::new(R2r::new(4, 4, 2))
+            };
+            fresh.load_state(&bytes).expect("restore");
+            assert_eq!(fresh.save_state().expect("bytes"), bytes);
+        }
+    }
+
+    #[test]
+    fn replay_representations_expose_memory() {
+        let (mut model, _opt, aug, train) = setup(940);
+        let mut rng = seeded(941);
+        let mut m = CompEmb::new(5, 4);
+        assert!(m.replay_representations().is_none());
+        m.end_task(&mut model, 0, &train, &aug, &mut rng);
+        let (reps, tasks) = m.replay_representations().expect("cached reps");
+        assert_eq!(reps.rows(), 5);
+        assert_eq!(tasks.len(), 5);
+    }
+}

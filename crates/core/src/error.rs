@@ -82,6 +82,12 @@ impl From<edsr_data::CsvError> for Error {
     }
 }
 
+impl From<edsr_data::DataError> for Error {
+    fn from(e: edsr_data::DataError) -> Self {
+        Error::Data(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

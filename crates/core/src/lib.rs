@@ -15,12 +15,14 @@
 //! This crate also re-exports the substrate crates as a facade, so
 //! `edsr_core::prelude::*` is enough to run experiments.
 
+pub mod baselines;
 pub mod config;
 pub mod error;
 pub mod method;
 pub mod noise;
 pub mod select;
 
+pub use baselines::{CompEmb, R2r};
 pub use config::EnvConfig;
 pub use error::Error;
 pub use method::{Edsr, EdsrConfig, ReplayLoss, ReplaySampling};
@@ -30,7 +32,8 @@ pub use select::{table5_strategies, trace_cov, SelectionContext, SelectionStrate
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::{
-        Edsr, EdsrConfig, EnvConfig, Error, ReplayLoss, ReplaySampling, SelectionStrategy,
+        CompEmb, Edsr, EdsrConfig, EnvConfig, Error, R2r, ReplayLoss, ReplaySampling,
+        SelectionStrategy,
     };
     pub use edsr_cl::{
         image_augmenters, run_multitask, tabular_augmenters, Cassle, CheckpointConfig,
@@ -39,7 +42,10 @@ pub mod prelude {
     };
     #[allow(deprecated)] // legacy entry points stay reachable during migration
     pub use edsr_cl::{run_sequence, run_sequence_with};
-    pub use edsr_data::{cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim};
+    pub use edsr_data::{
+        build_scenario, cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim,
+        write_scenario, ShardStream, TaskSource, SCENARIO_NAMES,
+    };
     pub use edsr_ssl::SslVariant;
     pub use edsr_tensor::rng::seeded;
 }

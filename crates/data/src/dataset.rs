@@ -6,6 +6,8 @@
 
 use edsr_tensor::Matrix;
 
+use crate::error::DataError;
+
 /// A labeled set of samples (rows of `inputs`).
 #[derive(Debug, Clone)]
 pub struct Dataset {
@@ -20,18 +22,37 @@ pub struct Dataset {
 impl Dataset {
     /// Creates a dataset, validating that labels align with rows.
     ///
-    /// # Panics
-    /// Panics if `labels.len() != inputs.rows()`.
-    pub fn new(name: impl Into<String>, inputs: Matrix, labels: Vec<usize>) -> Self {
-        assert_eq!(
-            inputs.rows(),
-            labels.len(),
-            "Dataset: label/row count mismatch"
-        );
-        Self {
+    /// Returns [`DataError::Shape`] if `labels.len() != inputs.rows()`.
+    pub fn try_new(
+        name: impl Into<String>,
+        inputs: Matrix,
+        labels: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        if inputs.rows() != labels.len() {
+            return Err(DataError::Shape(format!(
+                "Dataset: label/row count mismatch ({} rows, {} labels)",
+                inputs.rows(),
+                labels.len()
+            )));
+        }
+        Ok(Self {
             inputs,
             labels,
             name: name.into(),
+        })
+    }
+
+    /// Creates a dataset, validating that labels align with rows.
+    ///
+    /// Prefer [`Dataset::try_new`]; this panicking variant delegates to it
+    /// and will be deprecated once remaining construction sites migrate.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != inputs.rows()`.
+    pub fn new(name: impl Into<String>, inputs: Matrix, labels: Vec<usize>) -> Self {
+        match Self::try_new(name, inputs, labels) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -68,28 +89,57 @@ impl Dataset {
     }
 
     /// Sub-dataset containing only the given classes.
+    ///
+    /// Membership is a binary search over a sorted copy of `classes`, so a
+    /// wide filter (e.g. all-seen-so-far on a 100-class stream) costs
+    /// O(n·log c) instead of the old O(n·c) linear scan per row.
     pub fn filter_classes(&self, classes: &[usize]) -> Dataset {
+        let mut sorted = classes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
         let indices: Vec<usize> = (0..self.len())
-            .filter(|&i| classes.contains(&self.labels[i]))
+            .filter(|&i| sorted.binary_search(&self.labels[i]).is_ok())
             .collect();
         self.subset(&indices)
     }
 
-    /// Concatenates datasets (dimension must agree).
-    ///
-    /// # Panics
-    /// Panics if `parts` is empty or dimensions differ.
-    pub fn concat(name: impl Into<String>, parts: &[&Dataset]) -> Dataset {
-        assert!(!parts.is_empty(), "Dataset::concat: no parts");
+    /// Concatenates datasets, validating that parts exist and agree on
+    /// dimensionality. Returns [`DataError::Shape`] otherwise.
+    pub fn try_concat(name: impl Into<String>, parts: &[&Dataset]) -> Result<Dataset, DataError> {
+        if parts.is_empty() {
+            return Err(DataError::Shape("Dataset::concat: no parts".into()));
+        }
+        let dim = parts[0].dim();
+        if let Some(bad) = parts.iter().find(|d| d.dim() != dim) {
+            return Err(DataError::Shape(format!(
+                "vstack: column mismatch in Dataset::concat ({} is {}-dim, expected {dim})",
+                bad.name,
+                bad.dim()
+            )));
+        }
         let inputs = Matrix::vstack(&parts.iter().map(|d| &d.inputs).collect::<Vec<_>>());
         let labels = parts
             .iter()
             .flat_map(|d| d.labels.iter().copied())
             .collect();
-        Dataset {
+        Ok(Dataset {
             inputs,
             labels,
             name: name.into(),
+        })
+    }
+
+    /// Concatenates datasets (dimension must agree).
+    ///
+    /// Prefer [`Dataset::try_concat`]; this panicking variant delegates to
+    /// it and will be deprecated once remaining call sites migrate.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or dimensions differ.
+    pub fn concat(name: impl Into<String>, parts: &[&Dataset]) -> Dataset {
+        match Self::try_concat(name, parts) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -203,6 +253,45 @@ mod tests {
     fn filter_unknown_class_yields_empty() {
         let d = toy();
         assert!(d.filter_classes(&[99]).is_empty());
+    }
+
+    #[test]
+    fn try_new_reports_mismatch_structurally() {
+        let err = Dataset::try_new("bad", Matrix::zeros(3, 2), vec![0]).unwrap_err();
+        assert!(matches!(err, DataError::Shape(_)));
+        assert!(err.to_string().contains("label/row count mismatch"));
+        assert!(Dataset::try_new("ok", Matrix::zeros(2, 2), vec![0, 1]).is_ok());
+    }
+
+    #[test]
+    fn try_concat_reports_empty_and_mismatch_structurally() {
+        let err = Dataset::try_concat("none", &[]).unwrap_err();
+        assert!(err.to_string().contains("no parts"));
+        let a = Dataset::new("a", Matrix::zeros(1, 2), vec![0]);
+        let b = Dataset::new("b", Matrix::zeros(1, 3), vec![0]);
+        let err = Dataset::try_concat("ab", &[&a, &b]).unwrap_err();
+        assert!(err.to_string().contains("column mismatch"), "{err}");
+        let ok = Dataset::try_concat("aa", &[&a, &a]).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn filter_classes_many_classes_regression() {
+        // 600 rows over 200 classes, filtered by a 100-class unsorted set:
+        // exercises the sorted-slice + binary-search path against a brute
+        // force reference.
+        let n = 600;
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7) % 200).collect();
+        let d = Dataset::new("many", Matrix::zeros(n, 2), labels.clone());
+        let wanted: Vec<usize> = (0..100).map(|k| (199 - k * 2) % 200).collect();
+        let f = d.filter_classes(&wanted);
+        let expect: Vec<usize> = labels
+            .iter()
+            .copied()
+            .filter(|l| wanted.contains(l))
+            .collect();
+        assert_eq!(f.labels, expect);
+        assert!(!f.is_empty());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Structured data-layer errors.
+//!
+//! Everything that can go wrong while validating, sharding, or streaming
+//! datasets is funnelled into [`DataError`], so callers above this crate
+//! (the trainer, the CLI, benches) can report *which* shard or shape
+//! check failed instead of unwinding on a panic. `edsr-cl` wraps it in
+//! `TrainError::Data` and `edsr-core` in `Error::Data`, keeping the `?`
+//! operator working across the whole stack.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use edsr_wire::EnvelopeError;
+
+/// A failure raised by the data subsystem.
+#[derive(Debug)]
+pub enum DataError {
+    /// Shape validation failed (label/row mismatch, column mismatch,
+    /// empty concat, …). The message carries the exact constraint.
+    Shape(String),
+    /// Plain file I/O on a shard directory or manifest.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// A shard or manifest envelope failed integrity validation
+    /// (bad magic, truncation, CRC mismatch) — the file is skipped
+    /// loudly, never partially decoded.
+    Envelope {
+        /// The offending file.
+        path: PathBuf,
+        /// What the envelope check found.
+        source: EnvelopeError,
+    },
+    /// A validated payload could not be parsed (internal length field
+    /// out of range, trailing bytes, bad UTF-8 name, …).
+    Format {
+        /// The offending file.
+        path: PathBuf,
+        /// What the parser found.
+        detail: String,
+    },
+    /// A task index beyond the source's length was requested.
+    OutOfRange {
+        /// Requested increment index.
+        index: usize,
+        /// Number of increments the source holds.
+        len: usize,
+    },
+    /// The background prefetcher died (panic while decoding).
+    Prefetch(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Shape(msg) => write!(f, "{msg}"),
+            DataError::Io { path, source } => {
+                write!(f, "data io on {}: {source}", path.display())
+            }
+            DataError::Envelope { path, source } => {
+                write!(f, "shard {}: {source}", path.display())
+            }
+            DataError::Format { path, detail } => {
+                write!(f, "malformed shard payload {}: {detail}", path.display())
+            }
+            DataError::OutOfRange { index, len } => {
+                write!(f, "task index {index} out of range for {len} increments")
+            }
+            DataError::Prefetch(msg) => write!(f, "shard prefetcher failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io { source, .. } => Some(source),
+            DataError::Envelope { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_file() {
+        let e = DataError::Envelope {
+            path: PathBuf::from("/tmp/task0003.shard"),
+            source: EnvelopeError::Corrupt {
+                stored: 1,
+                computed: 2,
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("task0003.shard"), "{msg}");
+        assert!(msg.contains("corrupt"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn out_of_range_reports_both_sides() {
+        let e = DataError::OutOfRange { index: 7, len: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains('3'), "{msg}");
+    }
+}

@@ -13,8 +13,13 @@ pub mod augment;
 pub mod batch;
 pub mod csv;
 pub mod dataset;
+pub mod error;
 pub mod grid;
 pub mod presets;
+pub mod scenarios;
+pub mod shard;
+pub mod source;
+pub mod stream;
 pub mod synth;
 pub mod tabular;
 pub mod tasks;
@@ -23,11 +28,16 @@ pub use augment::{AugOp, Augmenter};
 pub use batch::BatchIter;
 pub use csv::{read_csv, write_csv, CsvError};
 pub use dataset::{Dataset, Task, TaskSequence};
+pub use error::DataError;
 pub use grid::{render_ascii, GridSpec};
 pub use presets::{
     all_image_presets, cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim,
     Preset,
 };
+pub use scenarios::{build_scenario, write_scenario, ScenarioData, SCENARIO_NAMES};
+pub use shard::{read_manifest, read_task_shard, write_shard_dir, write_task_shard, ShardManifest};
+pub use source::{materialize, TaskSource};
+pub use stream::ShardStream;
 pub use synth::{make_class_datasets, ClassModel, SynthConfig};
 pub use tabular::{generate_tabular, tabular_sequence, TabularConfig, TabularSpec, TABULAR_SPECS};
 pub use tasks::split_by_classes;

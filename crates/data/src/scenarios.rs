@@ -1,0 +1,415 @@
+//! Scenario zoo: deterministic stream generators beyond clean
+//! class-incremental boundaries.
+//!
+//! Each scenario is a recipe that turns a seed into a [`TaskSequence`]
+//! plus matching augmenters, and can equally write itself to an
+//! `EDSRDS01` shard directory (see [`write_scenario`]) for the
+//! out-of-core path. All four are seed-deterministic and independent of
+//! thread count, so a streamed run is bit-identical to an in-RAM run of
+//! the same scenario.
+//!
+//! | scenario             | boundary structure                                  |
+//! |----------------------|-----------------------------------------------------|
+//! | `class-incremental`  | disjoint class groups per increment (paper setting) |
+//! | `blurry`             | task-free: each increment leaks a fraction of its   |
+//! |                      | head/tail samples into its neighbours               |
+//! | `domain-incremental` | same classes every increment, per-increment style   |
+//! |                      | shift (domain = additive smooth pattern)            |
+//! | `long-tail`          | power-law class sizes, then class-incremental split |
+//!
+//! The blurry and long-tail settings are where replay *selection*
+//! matters most (PAPERS.md: complementary-embedding and R2R-style
+//! baselines), which is why the scenarios bench sweeps methods over this
+//! zoo rather than only the clean splits.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::augment::Augmenter;
+use crate::dataset::{Dataset, Task, TaskSequence};
+use crate::error::DataError;
+use crate::grid::GridSpec;
+use crate::presets::Preset;
+use crate::shard::write_shard_dir;
+use crate::synth::{apply_style, make_class_datasets, smooth_pattern, NuisanceConfig, SynthConfig};
+use crate::tasks::split_by_classes;
+use edsr_tensor::rng::seeded;
+
+/// Names accepted by [`build_scenario`], in bench-sweep order.
+pub const SCENARIO_NAMES: &[&str] = &[
+    "class-incremental",
+    "blurry",
+    "domain-incremental",
+    "long-tail",
+];
+
+/// Fraction of an increment's rows leaked to each neighbour in the
+/// blurry scenario.
+const BLURRY_CARRYOVER: f32 = 0.25;
+
+/// Number of domains (increments) in the domain-incremental scenario.
+const DOMAINS: usize = 8;
+
+/// Per-class training counts decay by this factor per class rank in the
+/// long-tail scenario.
+const LONG_TAIL_DECAY: f32 = 0.82;
+
+/// A built scenario: the stream, its augmenters, and the preset whose
+/// budget/kNN parameters method construction should use.
+pub struct ScenarioData {
+    /// Parameter carrier (grid, memory budget, noise neighbours) for
+    /// building methods against this stream.
+    pub preset: Preset,
+    /// The increments in presentation order.
+    pub seq: TaskSequence,
+    /// One augmenter per increment, sharing the generator's nuisance
+    /// pattern world.
+    pub augmenters: Vec<Augmenter>,
+}
+
+/// Shared generator shape for the whole zoo: 4×4 single-channel grid so
+/// scenario sweeps stay test-sized while still giving 8-increment
+/// streams (4× the loader's two-shard resident budget).
+fn zoo_preset(name: &'static str, num_classes: usize, classes_per_task: usize) -> Preset {
+    Preset {
+        name,
+        grid: GridSpec::new(4, 4, 1),
+        synth: SynthConfig {
+            nuisance: NuisanceConfig {
+                n_patterns: 4,
+                pattern_scale: 0.8,
+                gain: 0.15,
+                flip: true,
+                shift: 1,
+            },
+            ..SynthConfig::default()
+        },
+        num_classes,
+        classes_per_task,
+        train_per_class: 20,
+        test_per_class: 6,
+        memory_total: 32,
+        noise_neighbors: 4,
+        style_strength: 0.6,
+    }
+}
+
+fn pattern_augmenters(preset: &Preset, patterns: Arc<Vec<Vec<f32>>>, n: usize) -> Vec<Augmenter> {
+    (0..n)
+        .map(|_| {
+            Augmenter::standard_image_with_patterns(
+                preset.grid,
+                Arc::clone(&patterns),
+                preset.synth.nuisance.pattern_scale,
+            )
+        })
+        .collect()
+}
+
+/// Clean class-incremental stream: 8 increments × 2 classes.
+fn class_incremental(seed: u64) -> ScenarioData {
+    let preset = zoo_preset("class-incremental", 16, 2);
+    let mut rng = seeded(seed);
+    let (seq, augmenters) = preset.build_with_augmenters(&mut rng);
+    ScenarioData {
+        preset,
+        seq,
+        augmenters,
+    }
+}
+
+/// Task-free/blurry stream: the class-incremental split with each
+/// boundary dissolved — the last quarter of increment `i`'s rows move
+/// into `i+1` and the first quarter of `i+1`'s rows move into `i`.
+/// Membership is decided on the *original* split, so the transform is a
+/// deterministic permutation of rows (byte-identical samples, blurred
+/// labels-per-increment). Test splits keep clean boundaries: evaluation
+/// still asks "how well is increment i's content represented".
+fn blurry(seed: u64) -> ScenarioData {
+    let base = class_incremental(seed);
+    let orig: Vec<Dataset> = base.seq.tasks.iter().map(|t| t.train.clone()).collect();
+    let n = orig.len();
+    let head_len = |d: &Dataset| (d.len() as f32 * BLURRY_CARRYOVER) as usize;
+
+    let mut tasks = Vec::with_capacity(n);
+    for (i, task) in base.seq.tasks.iter().enumerate() {
+        let mut parts: Vec<Dataset> = Vec::new();
+        if i > 0 {
+            // Tail of the previous increment leaks forward into this one.
+            let prev = &orig[i - 1];
+            let k = head_len(prev);
+            let idx: Vec<usize> = (prev.len() - k..prev.len()).collect();
+            parts.push(prev.subset(&idx));
+        }
+        // Own core: minus the head donated backward and tail donated
+        // forward (ends of the stream keep their edges).
+        let own = &orig[i];
+        let start = if i > 0 { head_len(own) } else { 0 };
+        let end = if i + 1 < n {
+            own.len() - head_len(own)
+        } else {
+            own.len()
+        };
+        parts.push(own.subset(&(start..end).collect::<Vec<usize>>()));
+        if i + 1 < n {
+            // Head of the next increment leaks backward into this one.
+            let next = &orig[i + 1];
+            let idx: Vec<usize> = (0..head_len(next)).collect();
+            parts.push(next.subset(&idx));
+        }
+        let train = Dataset::concat(
+            format!("blurry-train-{i}"),
+            &parts.iter().collect::<Vec<_>>(),
+        );
+        let classes = train.classes();
+        tasks.push(Task {
+            train,
+            test: task.test.clone(),
+            classes,
+        });
+    }
+    let preset = Preset {
+        name: "blurry",
+        ..base.preset
+    };
+    ScenarioData {
+        preset,
+        seq: TaskSequence {
+            name: "blurry".into(),
+            tasks,
+        },
+        augmenters: base.augmenters,
+    }
+}
+
+/// Domain-incremental stream: all 6 classes appear in every increment;
+/// each increment is one "domain" — a distinct additive smooth-pattern
+/// style over both its train and test rows. Forgetting here is loss of
+/// robustness to earlier domains, not of earlier classes.
+fn domain_incremental(seed: u64) -> ScenarioData {
+    let mut preset = zoo_preset("domain-incremental", 6, 6);
+    preset.train_per_class = 40; // 5 per class per domain
+    preset.test_per_class = 16; // 2 per class per domain
+    preset.style_strength = 0.8;
+    let mut rng = seeded(seed);
+    let (train, test, world) = make_class_datasets(
+        preset.name,
+        preset.num_classes,
+        preset.train_per_class,
+        preset.test_per_class,
+        preset.grid,
+        &preset.synth,
+        &mut rng,
+    );
+    // make_class_datasets lays rows out class-contiguously; domain d
+    // takes the d-th stripe of every class.
+    let stripe = |per_class: usize, d: usize, data: &Dataset| {
+        let width = per_class / DOMAINS;
+        let idx: Vec<usize> = (0..preset.num_classes)
+            .flat_map(|k| k * per_class + d * width..k * per_class + (d + 1) * width)
+            .collect();
+        data.subset(&idx)
+    };
+    let tasks = (0..DOMAINS)
+        .map(|d| {
+            let mut tr = stripe(preset.train_per_class, d, &train);
+            let mut te = stripe(preset.test_per_class, d, &test);
+            let style = smooth_pattern(preset.grid, preset.synth.coarse_factor, &mut rng);
+            apply_style(&mut tr, &style, preset.style_strength);
+            apply_style(&mut te, &style, preset.style_strength);
+            Task {
+                train: tr,
+                test: te,
+                classes: (0..preset.num_classes).collect(),
+            }
+        })
+        .collect();
+    let augmenters = pattern_augmenters(&preset, Arc::new(world.patterns), DOMAINS);
+    ScenarioData {
+        preset,
+        seq: TaskSequence {
+            name: "domain-incremental".into(),
+            tasks,
+        },
+        augmenters,
+    }
+}
+
+/// Long-tail stream: class `k` (in generation order) keeps
+/// `max(4, 20·0.82^k)` training rows, then the classes are split
+/// class-incrementally. Tail increments are data-starved, so replay
+/// quality dominates their retention.
+fn long_tail(seed: u64) -> ScenarioData {
+    let preset = zoo_preset("long-tail", 16, 2);
+    let mut rng = seeded(seed);
+    let (train, test, world) = make_class_datasets(
+        preset.name,
+        preset.num_classes,
+        preset.train_per_class,
+        preset.test_per_class,
+        preset.grid,
+        &preset.synth,
+        &mut rng,
+    );
+    // Truncate each class-contiguous block to its power-law count.
+    let idx: Vec<usize> = (0..preset.num_classes)
+        .flat_map(|k| {
+            let count =
+                ((preset.train_per_class as f32 * LONG_TAIL_DECAY.powi(k as i32)) as usize).max(4);
+            k * preset.train_per_class..k * preset.train_per_class + count
+        })
+        .collect();
+    let train = train.subset(&idx);
+    let mut seq = split_by_classes(
+        preset.name,
+        &train,
+        &test,
+        preset.classes_per_task,
+        true,
+        &mut rng,
+    );
+    for task in &mut seq.tasks {
+        let style = smooth_pattern(preset.grid, preset.synth.coarse_factor, &mut rng);
+        apply_style(&mut task.train, &style, preset.style_strength);
+        apply_style(&mut task.test, &style, preset.style_strength);
+    }
+    let n = seq.len();
+    let augmenters = pattern_augmenters(&preset, Arc::new(world.patterns), n);
+    ScenarioData {
+        preset,
+        seq,
+        augmenters,
+    }
+}
+
+/// Builds a scenario by name. Returns `None` for unknown names — callers
+/// report [`SCENARIO_NAMES`].
+pub fn build_scenario(name: &str, seed: u64) -> Option<ScenarioData> {
+    match name {
+        "class-incremental" => Some(class_incremental(seed)),
+        "blurry" => Some(blurry(seed)),
+        "domain-incremental" => Some(domain_incremental(seed)),
+        "long-tail" => Some(long_tail(seed)),
+        _ => None,
+    }
+}
+
+/// Generates a scenario and writes it as an `EDSRDS01` shard directory;
+/// returns the number of shards written. The stream read back from
+/// `dir` is bit-identical to [`build_scenario`]'s in-RAM sequence.
+pub fn write_scenario(name: &str, seed: u64, dir: impl AsRef<Path>) -> Result<usize, DataError> {
+    let data = build_scenario(name, seed).ok_or_else(|| {
+        DataError::Shape(format!(
+            "unknown scenario `{name}` (expected one of {SCENARIO_NAMES:?})"
+        ))
+    })?;
+    write_shard_dir(dir.as_ref(), &data.seq)?;
+    Ok(data.seq.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_deterministically() {
+        for &name in SCENARIO_NAMES {
+            let a = build_scenario(name, 9).unwrap();
+            let b = build_scenario(name, 9).unwrap();
+            assert_eq!(a.seq.name, name);
+            assert_eq!(a.seq.len(), b.seq.len());
+            assert!(a.seq.len() >= 8, "{name}: {} increments", a.seq.len());
+            assert_eq!(a.augmenters.len(), a.seq.len(), "{name}");
+            for (x, y) in a.seq.tasks.iter().zip(&b.seq.tasks) {
+                assert_eq!(x.train.inputs.max_abs_diff(&y.train.inputs), 0.0);
+                assert_eq!(x.test.labels, y.test.labels);
+                assert_eq!(x.classes, y.classes);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(build_scenario("nope", 1).is_none());
+    }
+
+    #[test]
+    fn blurry_leaks_classes_across_boundaries() {
+        let clean = build_scenario("class-incremental", 5).unwrap();
+        let blur = build_scenario("blurry", 5).unwrap();
+        assert_eq!(clean.seq.len(), blur.seq.len());
+        // Same total sample count — blurring permutes, never duplicates.
+        let total = |s: &TaskSequence| s.tasks.iter().map(|t| t.train.len()).sum::<usize>();
+        assert_eq!(total(&clean.seq), total(&blur.seq));
+        // Interior increments must contain classes from ≥2 clean groups.
+        let mut widened = 0;
+        for (i, t) in blur.seq.tasks.iter().enumerate() {
+            if t.classes.len() > clean.seq.tasks[i].classes.len() {
+                widened += 1;
+            }
+        }
+        assert!(widened >= blur.seq.len() - 2, "only {widened} blurred");
+        // Test boundaries stay clean.
+        for (c, b) in clean.seq.tasks.iter().zip(&blur.seq.tasks) {
+            assert_eq!(c.test.labels, b.test.labels);
+        }
+    }
+
+    #[test]
+    fn domain_incremental_repeats_classes_with_distinct_styles() {
+        let d = build_scenario("domain-incremental", 3).unwrap();
+        for t in &d.seq.tasks {
+            assert_eq!(t.classes, (0..6).collect::<Vec<_>>());
+            assert_eq!(t.train.len(), 30);
+            assert_eq!(t.test.len(), 12);
+        }
+        // Distinct domains: increments differ even though classes repeat.
+        let a = &d.seq.tasks[0].train.inputs;
+        let b = &d.seq.tasks[1].train.inputs;
+        assert!(a.max_abs_diff(b) > 0.1);
+    }
+
+    #[test]
+    fn long_tail_counts_decay() {
+        let d = build_scenario("long-tail", 4).unwrap();
+        let total: usize = d.seq.tasks.iter().map(|t| t.train.len()).sum();
+        let head = 16 * 20;
+        assert!(total < head, "no truncation happened: {total}");
+        // Class sizes span a real range: some class keeps 20, some hits
+        // the floor of 4.
+        let mut counts = std::collections::HashMap::new();
+        for t in &d.seq.tasks {
+            for &l in &t.train.labels {
+                *counts.entry(l).or_insert(0usize) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap();
+        let min = counts.values().min().copied().unwrap();
+        assert_eq!(max, 20);
+        assert_eq!(min, 4);
+    }
+
+    #[test]
+    fn write_scenario_round_trips_bit_identically() {
+        let dir = std::env::temp_dir().join("edsr_scenario_rt");
+        std::fs::remove_dir_all(&dir).ok();
+        let n = write_scenario("blurry", 11, &dir).unwrap();
+        assert!(n >= 8);
+        let built = build_scenario("blurry", 11).unwrap();
+        let mut stream = crate::stream::ShardStream::open(&dir).unwrap();
+        use crate::source::TaskSource;
+        for (i, t) in built.seq.tasks.iter().enumerate() {
+            let s = stream.fetch(i).unwrap();
+            assert_eq!(s.train.inputs.max_abs_diff(&t.train.inputs), 0.0);
+            assert_eq!(s.test.inputs.max_abs_diff(&t.test.inputs), 0.0);
+            assert_eq!(s.classes, t.classes);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_unknown_scenario_errors() {
+        let dir = std::env::temp_dir().join("edsr_scenario_bad");
+        assert!(write_scenario("nope", 1, &dir).is_err());
+    }
+}

@@ -7,7 +7,7 @@
 //! else* — any out-of-band configuration would be a determinism hazard.
 
 use edsr_cl::{Cassle, Der, Finetune, Lump, Method, OptimizerKind, Si, TrainConfig};
-use edsr_core::Edsr;
+use edsr_core::{CompEmb, Edsr, R2r};
 use edsr_data::{cifar100_sim, cifar10_sim, domainnet_sim, test_sim, tiny_imagenet_sim, Preset};
 
 use crate::protocol::{Cursor, ProtoError, Writer};
@@ -144,6 +144,8 @@ pub fn build_method(spec: &DistSpec, preset: &Preset) -> Option<Box<dyn Method>>
         "lump" => Box::new(Lump::new(budget)),
         "cassle" => Box::new(Cassle::new()),
         "edsr" => Box::new(Edsr::paper_default(budget, replay_batch, noise_k)),
+        "compemb" => Box::new(CompEmb::new(budget, replay_batch)),
+        "r2r" => Box::new(R2r::new(budget, replay_batch, 4)),
         _ => return None,
     })
 }
@@ -188,7 +190,9 @@ mod tests {
     #[test]
     fn every_method_name_builds() {
         let train = TrainConfig::image();
-        for name in ["finetune", "si", "der", "lump", "cassle", "edsr"] {
+        for name in [
+            "finetune", "si", "der", "lump", "cassle", "edsr", "compemb", "r2r",
+        ] {
             let spec = DistSpec::new("test", name, 11, &train, None);
             let preset = preset_for(&spec).unwrap();
             assert!(build_method(&spec, &preset).is_some(), "{name}");

@@ -22,7 +22,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use edsr_cl::{compute_step_grads, evaluate_cell, ContinualModel, Method, ModelConfig};
-use edsr_data::{Augmenter, TaskSequence};
+use edsr_data::{Augmenter, Dataset, TaskSequence};
 use edsr_nn::io::params_to_bytes;
 use edsr_nn::Workspace;
 use edsr_serve::{FaultyStream, WireFaultPlan};
@@ -143,6 +143,12 @@ fn build(spec: DistSpec) -> Result<Built, DistError> {
         ))
     })?;
     let (seq, augmenters) = preset.build_with_augmenters(&mut seeded(spec.seed));
+    // Cross-increment shape validation through the structured try-variants:
+    // a malformed spec/preset combination surfaces here as a DistError
+    // instead of a panic deep inside an increment.
+    let train_parts: Vec<&Dataset> = seq.tasks.iter().map(|t| &t.train).collect();
+    Dataset::try_concat("spec-validation", &train_parts)
+        .map_err(|e| DistError::Failed(format!("spec data validation: {e}")))?;
     let model = ContinualModel::new(
         &ModelConfig::image(preset.grid.dim()),
         &mut seeded(spec.seed + 1000),
@@ -461,7 +467,8 @@ impl Worker {
     ) -> Result<PushBody, DistError> {
         self.apply_params(params)?;
         let built = self.built.as_ref().expect("built before first pull");
-        let acc = evaluate_cell(&built.model, &built.seq, col, built.spec.train.eval_k);
+        let acc = evaluate_cell(&built.model, &mut &built.seq, col, built.spec.train.eval_k)
+            .map_err(|e| DistError::Failed(format!("eval cell {col}: {e}")))?;
         self.report.eval_cells += 1;
         Ok(PushBody::EvalCell {
             task: task as u32,

@@ -30,7 +30,7 @@ fn main() -> Result<(), Error> {
     let result = RunBuilder::new(&cfg).run(
         &mut edsr,
         &mut model,
-        &sequence,
+        &mut &sequence,
         &augmenters,
         &mut seeded(33),
     )?;
@@ -80,7 +80,7 @@ fn main() -> Result<(), Error> {
         .run(
             &mut partial_edsr,
             &mut partial_model,
-            &sequence,
+            &mut &sequence,
             &augmenters,
             &mut seeded(33),
         )?;
@@ -98,7 +98,7 @@ fn main() -> Result<(), Error> {
     let resumed = RunBuilder::new(&cfg).checkpoint(ckpt).resume().run(
         &mut resumed_edsr,
         &mut resumed_model,
-        &sequence,
+        &mut &sequence,
         &augmenters,
         &mut seeded(999), // ignored: the snapshot carries the RNG state
     )?;

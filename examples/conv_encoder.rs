@@ -34,7 +34,7 @@ fn main() -> Result<(), Error> {
         let result = RunBuilder::new(&cfg).run(
             &mut edsr,
             &mut model,
-            &sequence,
+            &mut &sequence,
             &augmenters,
             &mut seeded(93),
         )?;

@@ -127,7 +127,7 @@ fn main() -> Result<(), Error> {
         let result = RunBuilder::new(&cfg).run(
             method.as_mut(),
             &mut model,
-            &sequence,
+            &mut &sequence,
             &augmenters,
             &mut seeded(63),
         )?;

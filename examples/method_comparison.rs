@@ -59,7 +59,7 @@ fn main() -> Result<(), Error> {
         match RunBuilder::new(&cfg).run(
             method.as_mut(),
             &mut model,
-            &sequence,
+            &mut &sequence,
             &augmenters,
             &mut run_rng,
         ) {
@@ -82,7 +82,7 @@ fn main() -> Result<(), Error> {
         &mut seeded(seed + 1),
     );
     let mut run_rng = seeded(seed + 2);
-    let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng)?;
+    let mt = run_multitask(&mut model, &mut &sequence, &augmenters, &cfg, &mut run_rng)?;
     println!(
         "{:<10} | {:>7.2} | {:>7} | {:>8.1}",
         "Multitask",

@@ -79,7 +79,7 @@ fn main() -> Result<(), Error> {
     let result = RunBuilder::new(&cfg).observer(&mut progress).run(
         &mut edsr,
         &mut model,
-        &sequence,
+        &mut &sequence,
         &augmenters,
         &mut seeded(9),
     )?;

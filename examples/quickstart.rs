@@ -41,8 +41,13 @@ fn main() -> Result<(), Error> {
     let mut cfg = TrainConfig::image();
     cfg.epochs_per_task = 20; // quick demo
     let mut run_rng = seeded(9);
-    let result =
-        RunBuilder::new(&cfg).run(&mut edsr, &mut model, &sequence, &augmenters, &mut run_rng)?;
+    let result = RunBuilder::new(&cfg).run(
+        &mut edsr,
+        &mut model,
+        &mut &sequence,
+        &augmenters,
+        &mut run_rng,
+    )?;
 
     // 5. Inspect the results.
     for i in 0..result.matrix.num_increments() {

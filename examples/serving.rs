@@ -40,7 +40,7 @@ fn main() -> Result<(), Error> {
         .run(
             &mut edsr,
             &mut model,
-            &sequence,
+            &mut &sequence,
             &augmenters,
             &mut seeded(63),
         )?;

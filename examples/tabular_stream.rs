@@ -31,7 +31,7 @@ fn main() -> Result<(), Error> {
     }
 
     // SCARF corruption referencing each increment's own train split.
-    let augmenters = tabular_augmenters(&sequence, 0.4);
+    let augmenters = tabular_augmenters(&mut &sequence, 0.4)?;
 
     // Encoder with one input adapter per increment (paper: "the first
     // layer of f(·) is data-specific").
@@ -52,8 +52,13 @@ fn main() -> Result<(), Error> {
     let mut cfg = TrainConfig::tabular();
     cfg.epochs_per_task = 20; // quick demo
     let mut run_rng = seeded(13);
-    let result =
-        RunBuilder::new(&cfg).run(&mut edsr, &mut model, &sequence, &augmenters, &mut run_rng)?;
+    let result = RunBuilder::new(&cfg).run(
+        &mut edsr,
+        &mut model,
+        &mut &sequence,
+        &augmenters,
+        &mut run_rng,
+    )?;
 
     println!("\nper-increment kNN accuracy after the full stream:");
     let last = result.matrix.num_increments() - 1;

@@ -9,8 +9,13 @@
 //! edsr query <ADDR> <op> [opts]      talk to a running server
 //! edsr ps <preset> <method> [opts]   host a distributed training run
 //! edsr worker <ADDR>                 join a distributed training run
+//! edsr scenario list                 list the scenario zoo
+//! edsr scenario write <name> <dir>   materialize a scenario as shards
+//! edsr scenario run <name> <method>  train on a scenario, in RAM or
+//!                                    out-of-core (--stream DIR)
 //!
-//! methods: finetune | si | der | lump | cassle | edsr | multitask
+//! methods: finetune | si | der | lump | cassle | edsr | compemb | r2r
+//!          | multitask
 //! options: --seed N         data/model/run seed base   (default 11)
 //!          --epochs N       epochs per increment       (preset default)
 //!          --memory N       total memory budget        (preset default)
@@ -64,10 +69,11 @@ use edsr::cl::{
     ContinualModel, Der, Finetune, Lump, Method, ModelConfig, RunBuilder, ServeSnapshot, Si,
     TrainConfig,
 };
-use edsr::core::{Edsr, EnvConfig, Error};
+use edsr::core::{CompEmb, Edsr, EnvConfig, Error, R2r};
 use edsr::data::{
-    cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim, tiny_imagenet_sim,
-    Preset, TabularConfig, TABULAR_SPECS,
+    build_scenario, cifar100_sim, cifar10_sim, domainnet_sim, tabular_sequence, test_sim,
+    tiny_imagenet_sim, write_scenario, Preset, ShardStream, TabularConfig, SCENARIO_NAMES,
+    TABULAR_SPECS,
 };
 use edsr::dist::{run_worker, serve_ps, DistSpec, PsConfig, WorkerOptions};
 use edsr::serve::{
@@ -77,7 +83,7 @@ use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--isa L] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n  edsr ps <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n          [--dist-addr A] [--dist-workers N] [--dist-push-timeout-ms N] [--dist-sparse-threshold F]\n  edsr worker <ADDR>   (or --dist-addr / EDSR_DIST_ADDR)\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | multitask\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--isa (or EDSR_ISA) pins the SIMD kernel level: auto | scalar | avx2 |\navx512; results are bit-identical at any level (DESIGN.md \u{a7}15).\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12).\n`edsr ps` + N×`edsr worker` reproduce `edsr run` bit-identically over\nTCP (DESIGN.md \u{a7}14)."
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--isa L] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n  edsr ps <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n          [--dist-addr A] [--dist-workers N] [--dist-push-timeout-ms N] [--dist-sparse-threshold F]\n  edsr worker <ADDR>   (or --dist-addr / EDSR_DIST_ADDR)\n  edsr scenario list [--seed N]\n  edsr scenario write <name> <dir> [--seed N]\n  edsr scenario run <name> <method> [--seed N] [--epochs N] [--stream DIR] [--save PATH]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | compemb | r2r | multitask\nscenarios: class-incremental | blurry | domain-incremental | long-tail\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--isa (or EDSR_ISA) pins the SIMD kernel level: auto | scalar | avx2 |\navx512; results are bit-identical at any level (DESIGN.md \u{a7}15).\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12).\n`edsr ps` + N×`edsr worker` reproduce `edsr run` bit-identically over\nTCP (DESIGN.md \u{a7}14)."
     );
     std::process::exit(2);
 }
@@ -128,6 +134,8 @@ fn method_by_name(
         "lump" => Box::new(Lump::new(budget)),
         "cassle" => Box::new(Cassle::new()),
         "edsr" => Box::new(Edsr::paper_default(budget, replay_batch, noise_k)),
+        "compemb" => Box::new(CompEmb::new(budget, replay_batch)),
+        "r2r" => Box::new(R2r::new(budget, replay_batch, 4)),
         _ => return None,
     })
 }
@@ -183,7 +191,7 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     let serve_snapshot =
         parse_flag(args, "--serve-snapshot").map(|dir| CheckpointConfig::new(dir, run_id.clone()));
 
-    let (sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
+    let (mut sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
     let mut model = ContinualModel::new(
         &ModelConfig::image(preset.grid.dim()),
         &mut seeded(seed + 1000),
@@ -191,7 +199,7 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     let mut run_rng = seeded(seed + 2000);
 
     if method_name == "multitask" {
-        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng)?;
+        let mt = run_multitask(&mut model, &mut sequence, &augmenters, &cfg, &mut run_rng)?;
         println!(
             "Multitask on {}: Acc {:.2}% ({:.1}s)",
             preset.name,
@@ -223,7 +231,7 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
         let result = builder.run(
             method.as_mut(),
             &mut model,
-            &sequence,
+            &mut sequence,
             &augmenters,
             &mut run_rng,
         )?;
@@ -264,15 +272,15 @@ fn cmd_tabular(args: &[String]) -> Result<(), Error> {
     if let Some(e) = parse_flag(args, "--epochs") {
         cfg.epochs_per_task = parse_num(&e, "--epochs")?;
     }
-    let sequence = tabular_sequence(&TabularConfig::default(), &mut seeded(seed));
-    let augmenters = tabular_augmenters(&sequence, 0.4);
+    let mut sequence = tabular_sequence(&TabularConfig::default(), &mut seeded(seed));
+    let augmenters = tabular_augmenters(&mut sequence, 0.4)?;
     let input_dims: Vec<usize> = TABULAR_SPECS.iter().map(|s| s.input_dim).collect();
     let mut model =
         ContinualModel::new(&ModelConfig::tabular(input_dims), &mut seeded(seed + 1000));
     let mut run_rng = seeded(seed + 2000);
 
     if method_name == "multitask" {
-        let mt = run_multitask(&mut model, &sequence, &augmenters, &cfg, &mut run_rng)?;
+        let mt = run_multitask(&mut model, &mut sequence, &augmenters, &cfg, &mut run_rng)?;
         println!(
             "Multitask on tabular-sim: Acc {:.2}% ({:.1}s)",
             mt.acc_pct(),
@@ -295,7 +303,7 @@ fn cmd_tabular(args: &[String]) -> Result<(), Error> {
     let result = RunBuilder::new(&cfg).run(
         method.as_mut(),
         &mut model,
-        &sequence,
+        &mut sequence,
         &augmenters,
         &mut run_rng,
     )?;
@@ -627,6 +635,111 @@ fn cmd_worker(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     Ok(())
 }
 
+/// `edsr scenario list | write <name> <dir> | run <name> <method> …`.
+///
+/// `write` materializes a scenario-zoo stream as an `EDSRDS01` shard
+/// directory; `run` trains on a scenario either in RAM (default) or
+/// out-of-core from a shard directory (`--stream DIR`). Both paths are
+/// bit-identical by construction (DESIGN.md §16) — `--save` makes that
+/// checkable with a plain `cmp` of the two checkpoints.
+fn cmd_scenario(args: &[String]) -> Result<(), Error> {
+    let seed: u64 = match parse_flag(args, "--seed") {
+        Some(v) => parse_num(&v, "--seed")?,
+        None => 11,
+    };
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in SCENARIO_NAMES {
+                let data = build_scenario(name, seed).expect("listed scenario builds");
+                println!(
+                    "{:<20} {:>2} increments, dim {}",
+                    name,
+                    data.seq.len(),
+                    data.seq.tasks[0].train.dim()
+                );
+            }
+            Ok(())
+        }
+        Some("write") => {
+            let (Some(name), Some(dir)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let n = write_scenario(name, seed, dir)?;
+            println!("wrote {n} shards to {dir} (scenario {name}, seed {seed})");
+            Ok(())
+        }
+        Some("run") => {
+            let (Some(name), Some(method_name)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let data = build_scenario(name, seed)
+                .ok_or_else(|| Error::Data(format!("unknown scenario {name:?}")))?;
+            let mut cfg = TrainConfig::image();
+            cfg.epochs_per_task = match parse_flag(args, "--epochs") {
+                Some(e) => parse_num(&e, "--epochs")?,
+                None => 8,
+            };
+            let Some(mut method) = method_by_name(
+                method_name,
+                data.preset.per_task_budget(),
+                cfg.replay_batch,
+                data.preset.noise_neighbors,
+            ) else {
+                eprintln!("unknown method {method_name:?}");
+                usage()
+            };
+            let mut model = ContinualModel::new(
+                &ModelConfig::image(data.preset.grid.dim()),
+                &mut seeded(seed + 1000),
+            );
+            let mut run_rng = seeded(seed + 2000);
+            // The augmenters come from the in-RAM generator either way:
+            // they are part of the scenario definition (deterministic in
+            // the seed), not of the storage backend.
+            let result = match parse_flag(args, "--stream") {
+                Some(dir) => {
+                    let mut stream = ShardStream::open(&dir).map_err(edsr::cl::TrainError::from)?;
+                    let r = RunBuilder::new(&cfg).run(
+                        method.as_mut(),
+                        &mut model,
+                        &mut stream,
+                        &data.augmenters,
+                        &mut run_rng,
+                    )?;
+                    println!(
+                        "streamed from {dir}: resident peak {}, {} prefetch hits, {} sync loads",
+                        stream.resident_peak(),
+                        stream.prefetch_hits(),
+                        stream.sync_loads()
+                    );
+                    r
+                }
+                None => RunBuilder::new(&cfg).run(
+                    method.as_mut(),
+                    &mut model,
+                    &mut &data.seq,
+                    &data.augmenters,
+                    &mut run_rng,
+                )?,
+            };
+            println!(
+                "{} on {}: Acc {:.2}%  Fgt {:.2}%  ({:.1}s)",
+                result.method,
+                name,
+                result.final_acc_pct(),
+                result.final_fgt_pct(),
+                result.total_seconds(),
+            );
+            if let Some(path) = parse_flag(args, "--save") {
+                model.save(&path)?;
+                println!("checkpoint written to {path}");
+            }
+            Ok(())
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     // One reader for every knob: CLI > env > default (DESIGN.md §11).
     let env_cfg = match EnvConfig::from_process() {
@@ -653,6 +766,7 @@ fn main() {
         Some("query") => cmd_query(&args[1..]),
         Some("ps") => cmd_ps(&args[1..], &env_cfg),
         Some("worker") => cmd_worker(&args[1..], &env_cfg),
+        Some("scenario") => cmd_scenario(&args[1..]),
         _ => usage(),
     };
     // Pool occupancy is cumulative over the whole run; emit it last so

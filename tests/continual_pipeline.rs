@@ -29,7 +29,7 @@ fn run_method(method: &mut dyn Method, seed: u64, cfg: &TrainConfig) -> edsr::cl
     );
     let mut run_rng = seeded(seed + 2);
     RunBuilder::new(cfg)
-        .run(method, &mut model, &seq, &augs, &mut run_rng)
+        .run(method, &mut model, &mut &seq, &augs, &mut run_rng)
         .expect("run")
 }
 
@@ -171,7 +171,8 @@ fn multitask_runs_and_reports_per_task_accuracy() {
     let (seq, augs) = preset.build_with_augmenters(&mut data_rng);
     let mut model = ContinualModel::new(&ModelConfig::image(preset.grid.dim()), &mut seeded(801));
     let mut run_rng = seeded(802);
-    let mt = run_multitask(&mut model, &seq, &augs, &cfg, &mut run_rng).expect("run_multitask");
+    let mt =
+        run_multitask(&mut model, &mut &seq, &augs, &cfg, &mut run_rng).expect("run_multitask");
     assert_eq!(mt.per_task_acc.len(), preset.num_tasks());
     assert!(mt.acc > 0.3 && mt.acc <= 1.0);
 }
@@ -184,7 +185,7 @@ fn tabular_stream_with_heterogeneous_adapters() {
     };
     let mut data_rng = seeded(900);
     let seq = tabular_sequence(&data_cfg, &mut data_rng);
-    let augs = edsr::cl::tabular_augmenters(&seq, 0.4);
+    let augs = edsr::cl::tabular_augmenters(&mut &seq, 0.4).expect("tabular augmenters");
     let input_dims: Vec<usize> = TABULAR_SPECS.iter().map(|s| s.input_dim).collect();
     let mut model = ContinualModel::new(&ModelConfig::tabular(input_dims), &mut seeded(901));
     let mut cfg = TrainConfig::tabular();
@@ -192,7 +193,7 @@ fn tabular_stream_with_heterogeneous_adapters() {
     let mut edsr = Edsr::paper_default(2, 4, 3);
     let mut run_rng = seeded(902);
     let result = RunBuilder::new(&cfg)
-        .run(&mut edsr, &mut model, &seq, &augs, &mut run_rng)
+        .run(&mut edsr, &mut model, &mut &seq, &augs, &mut run_rng)
         .expect("tabular run");
     assert_eq!(result.matrix.num_increments(), 5);
     // Binary classification: even a weak model beats 35% on imbalanced

@@ -34,7 +34,7 @@ fn in_process(spec: &DistSpec) -> Reference {
     let mut method = build_method(spec, &preset).expect("method");
     let mut rng = seeded(spec.seed + 2000);
     let result = RunBuilder::new(&spec.train)
-        .run(method.as_mut(), &mut model, &seq, &augs, &mut rng)
+        .run(method.as_mut(), &mut model, &mut &seq, &augs, &mut rng)
         .expect("in-process run");
     Reference {
         params: params_to_bytes(&model.params),

@@ -192,7 +192,7 @@ fn spans_stay_balanced_when_a_run_diverges() {
             max_retries: 2,
             ..GuardConfig::default()
         })
-        .run(&mut method, &mut model, &seq, &augs, &mut rng)
+        .run(&mut method, &mut model, &mut &seq, &augs, &mut rng)
         .unwrap_err();
     edsr::obs::uninstall();
 
@@ -229,7 +229,7 @@ fn edsr_two_task_run_streams_paper_metrics_to_jsonl() {
     let path = std::env::temp_dir().join(format!("edsr-obs-smoke-{}.jsonl", std::process::id()));
     edsr::obs::install_mode(edsr::obs::ObsMode::Jsonl, &path).expect("create metrics file");
     RunBuilder::new(&cfg)
-        .run(&mut edsr, &mut model, &seq, &augs, &mut rng)
+        .run(&mut edsr, &mut model, &mut &seq, &augs, &mut rng)
         .expect("observed EDSR run");
     edsr::obs::uninstall();
 

@@ -1,0 +1,203 @@
+//! Integration tests for the out-of-core streaming pipeline: shard
+//! round-trip bit-identity against the in-RAM path (across thread
+//! counts), the two-shard residency budget on a stream 4x its size, and
+//! chaos behaviour on corrupt/truncated shards.
+
+use std::path::{Path, PathBuf};
+
+use edsr::cl::{ContinualModel, Finetune, ModelConfig, RunBuilder, TrainConfig, TrainError};
+use edsr::data::{
+    build_scenario, write_shard_dir, DataError, ShardStream, TaskSequence, TaskSource,
+};
+use edsr::nn::io::params_to_bytes;
+use edsr::tensor::rng::seeded;
+use proptest::prelude::*;
+
+fn quick_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::image();
+    cfg.epochs_per_task = 2;
+    cfg.batch_size = 32;
+    cfg.replay_batch = 6;
+    cfg
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edsr-streaming-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Trains Finetune over `source` and returns (params bytes, accuracy
+/// matrix rows). Model/run RNGs depend only on `seed`, so two calls with
+/// identical sources must agree bit-for-bit.
+fn train_finetune(
+    source: &mut dyn TaskSource,
+    augs: &[edsr::data::Augmenter],
+    seed: u64,
+    cfg: &TrainConfig,
+) -> (Vec<u8>, Vec<Vec<f32>>) {
+    let mut model = ContinualModel::new(&ModelConfig::image(source.dim()), &mut seeded(seed + 1));
+    let mut method = Finetune::new();
+    let result = RunBuilder::new(cfg)
+        .run(&mut method, &mut model, source, augs, &mut seeded(seed + 2))
+        .expect("run");
+    (
+        params_to_bytes(&model.params),
+        result.matrix.rows().to_vec(),
+    )
+}
+
+fn sharded(seq: &TaskSequence, dir: &Path) -> ShardStream {
+    write_shard_dir(dir, seq).expect("write shards");
+    ShardStream::open(dir).expect("open stream")
+}
+
+proptest! {
+    // Each case trains 4 full (tiny) runs in debug mode; keep the case
+    // count low — the seeds vary the scenario data, model init, and
+    // batch order all at once.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A `TaskSequence` round-tripped through `EDSRDS01` shards and
+    /// streamed back trains bit-identically (final params bytes AND the
+    /// full accuracy matrix) to the in-RAM path, at 1, 2, and 7 threads.
+    #[test]
+    fn shard_round_trip_trains_bit_identically_across_threads(seed in 0u64..10_000) {
+        let scenario = build_scenario("class-incremental", seed).expect("scenario");
+        let cfg = quick_cfg();
+        let (ram_params, ram_matrix) =
+            train_finetune(&mut &scenario.seq, &scenario.augmenters, seed, &cfg);
+
+        let dir = scratch_dir(&format!("prop-{seed}"));
+        for threads in [1usize, 2, 7] {
+            let mut stream = sharded(&scenario.seq, &dir);
+            let (params, matrix) = edsr::par::with_threads(threads, || {
+                train_finetune(&mut stream, &scenario.augmenters, seed, &cfg)
+            });
+            prop_assert_eq!(
+                &params, &ram_params,
+                "params diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                &matrix, &ram_matrix,
+                "accuracy matrix diverged at {} threads", threads
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A stream four times larger than the loader's two-shard resident
+/// budget trains end-to-end without ever holding a third shard, and the
+/// final checkpoint is byte-identical to the same data trained from RAM.
+#[test]
+fn stream_4x_resident_budget_trains_within_two_shards() {
+    let scenario = build_scenario("class-incremental", 11).expect("scenario");
+    assert!(
+        scenario.seq.len() >= 8,
+        "need >= 4x the 2-shard budget, got {} shards",
+        scenario.seq.len()
+    );
+    let cfg = quick_cfg();
+    let (ram_params, ram_matrix) =
+        train_finetune(&mut &scenario.seq, &scenario.augmenters, 11, &cfg);
+
+    let dir = scratch_dir("budget");
+    let mut stream = sharded(&scenario.seq, &dir);
+    let (stream_params, stream_matrix) =
+        train_finetune(&mut stream, &scenario.augmenters, 11, &cfg);
+
+    assert!(
+        stream.resident_peak() <= 2,
+        "loader held {} shards resident",
+        stream.resident_peak()
+    );
+    assert!(
+        stream.prefetch_hits() > 0,
+        "prefetcher never got ahead of the consumer"
+    );
+    assert_eq!(stream_params, ram_params, "checkpoint bytes diverged");
+    assert_eq!(stream_matrix, ram_matrix, "accuracy matrix diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupting one shard surfaces a structured `TrainError::Data` naming
+/// the shard, and the run never trains on partial samples: training up
+/// to the corrupt increment matches the clean run bit-for-bit.
+#[test]
+fn corrupt_shard_fails_structurally_mid_run() {
+    let scenario = build_scenario("class-incremental", 17).expect("scenario");
+    let cfg = quick_cfg();
+    let dir = scratch_dir("chaos");
+    write_shard_dir(&dir, &scenario.seq).expect("write shards");
+
+    // Flip one payload byte in the middle of increment 3's shard.
+    let victim = dir.join("task0003.shard");
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&victim, &bytes).expect("rewrite shard");
+
+    let mut stream = ShardStream::open(&dir).expect("manifest still valid");
+    let mut model = ContinualModel::new(
+        &ModelConfig::image(scenario.seq.tasks[0].train.dim()),
+        &mut seeded(18),
+    );
+    let mut method = Finetune::new();
+    let err = RunBuilder::new(&cfg)
+        .run(
+            &mut method,
+            &mut model,
+            &mut stream,
+            &scenario.augmenters,
+            &mut seeded(19),
+        )
+        .expect_err("corrupt shard must fail the run");
+    match &err {
+        TrainError::Data(e) => {
+            assert!(
+                e.to_string().contains("task0003.shard"),
+                "error does not name the corrupt shard: {e}"
+            );
+        }
+        other => panic!("expected TrainError::Data, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncating a shard mid-file is also a structured error — the loader
+/// must not hand back however many samples happened to decode.
+#[test]
+fn truncated_shard_never_yields_partial_samples() {
+    let scenario = build_scenario("blurry", 23).expect("scenario");
+    let dir = scratch_dir("truncate");
+    write_shard_dir(&dir, &scenario.seq).expect("write shards");
+
+    let victim = dir.join("task0002.shard");
+    let bytes = std::fs::read(&victim).expect("read shard");
+    std::fs::write(&victim, &bytes[..bytes.len() / 3]).expect("truncate shard");
+
+    let mut stream = ShardStream::open(&dir).expect("manifest still valid");
+    // Healthy shards before the truncation still stream fine...
+    assert_eq!(
+        stream.fetch(0).expect("shard 0 intact").train.len(),
+        scenario.seq.tasks[0].train.len()
+    );
+    // ...the truncated one is an all-or-nothing structured error...
+    match stream.fetch(2) {
+        Err(DataError::Envelope { path, .. }) => {
+            assert!(path.ends_with("task0002.shard"), "wrong path: {path:?}")
+        }
+        Err(other) => panic!("expected DataError::Envelope, got {other}"),
+        Ok(task) => panic!(
+            "truncated shard yielded {} partial samples",
+            task.train.len()
+        ),
+    }
+    // ...and the stream stays usable for later healthy shards.
+    assert_eq!(
+        stream.fetch(3).expect("shard 3 intact").train.len(),
+        scenario.seq.tasks[3].train.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
