@@ -80,11 +80,16 @@ test -s BENCH_serve.json
 python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_serve.json"))
-for key in ("reqs_per_s", "embed", "knn", "server", "saturation"):
+for key in ("reqs_per_s", "reqs_per_s_i8", "embed", "knn", "embed_i8", "knn_i8",
+            "snapshot_bytes", "server", "saturation"):
     assert key in doc, f"BENCH_serve.json missing {key}"
-for kind in ("embed", "knn"):
+for kind in ("embed", "knn", "embed_i8", "knn_i8"):
     assert doc[kind]["p50_us"] > 0 and doc[kind]["p99_us"] >= doc[kind]["p50_us"]
 assert doc["server"]["batches"] >= 1
+# v2 (int8) snapshots must be at least 3x smaller than v1 on disk.
+size = doc["snapshot_bytes"]
+assert size["v1"] >= 3 * size["v2"], \
+    f"quantized snapshot not >=3x smaller: {size}"
 sat = doc["saturation"]
 # At 2x-capacity offered load with a tight queue, every request is either
 # answered or shed as a structured error — none may simply vanish.
@@ -92,8 +97,11 @@ assert sat["answered"] + sat["rejected"] == sat["offered"], \
     f"saturation lost requests: {sat}"
 assert sat["answered"] >= 1 and sat["reqs_per_s"] > 0
 assert 0.0 <= sat["rejected_rate"] <= 1.0
-print(f"serve load smoke: {doc['reqs_per_s']:.0f} req/s, "
-      f"embed p50 {doc['embed']['p50_us']:.0f}us p99 {doc['embed']['p99_us']:.0f}us; "
+print(f"serve load smoke: f32 {doc['reqs_per_s']:.0f} req/s "
+      f"(embed p50 {doc['embed']['p50_us']:.0f}us), "
+      f"int8 {doc['reqs_per_s_i8']:.0f} req/s "
+      f"(embed p50 {doc['embed_i8']['p50_us']:.0f}us), "
+      f"snapshots {size['ratio']:.1f}x smaller quantized; "
       f"saturation {sat['reqs_per_s']:.0f} req/s at "
       f"{sat['rejected_rate']*100:.0f}% shed")
 EOF
@@ -176,6 +184,88 @@ grep -q "^drained: " ci_rotate.log \
 grep -q " 1 rotations," ci_rotate.log \
     || { echo "chaos smoke: drain report missing the rotation"; cat ci_rotate.log; exit 1; }
 rm -rf ci_chaos_snaps ci_rotate_snaps ci_chaos.log ci_rotate.log
+
+echo "== quantized serve smoke (run --quantize -> int8 serve -> query --quantized) =="
+# Train with v2 (int8) snapshot export: every export must print its
+# accuracy gate. Then serve on the int8 backend and hit every wire op
+# with --quantized, which pre-flights a stats round-trip per invocation
+# to assert the backend — so 4 ops drain as 8 accepted requests.
+rm -rf ci_quant_snaps ci_quant.log ci_quant_run.log
+"$EDSR" run test edsr --epochs 1 --serve-snapshot ci_quant_snaps --quantize \
+    | tee ci_quant_run.log
+grep -q "quant gate:" ci_quant_run.log \
+    || { echo "quant smoke: run --quantize printed no accuracy gate"; exit 1; }
+"$EDSR" serve ci_quant_snaps --port 0 --quantized > ci_quant.log &
+QUANT_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' ci_quant.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { echo "quant smoke: server never came up"; cat ci_quant.log; exit 1; }
+grep -q "int8 backend" ci_quant.log \
+    || { echo "quant smoke: server is not on the int8 backend"; cat ci_quant.log; exit 1; }
+INPUT=$(python3 -c "print(','.join('0.25' for _ in range(16)))")
+EMB=$("$EDSR" query "$ADDR" embed --task 0 --input "$INPUT" --quantized)
+QUERY=$(printf '%s' "$EMB" | tr -d '[]')
+"$EDSR" query "$ADDR" knn --k 3 --metric cosine --input "$QUERY" --quantized > /dev/null
+"$EDSR" query "$ADDR" stats --quantized | grep -q "quantized 1" \
+    || { echo "quant smoke: stats does not report the int8 backend"; exit 1; }
+"$EDSR" query "$ADDR" shutdown --quantized > /dev/null
+wait "$QUANT_PID"
+grep -q "^drained: 8 requests," ci_quant.log \
+    || { echo "quant smoke: graceful drain lost requests"; cat ci_quant.log; exit 1; }
+
+echo "== mixed v1/v2 rotation smoke (f32 server hot-swaps to a v2 snapshot) =="
+# Start a watcher on a directory holding only a v1 snapshot, then publish
+# a v2 (quantized) snapshot that sorts newer. The watcher must hot-swap
+# across format versions and the stats must flip to the int8 backend.
+rm -rf ci_mixrot_v1 ci_mixrot_snaps ci_mixrot.log
+"$EDSR" run test edsr --epochs 1 --serve-snapshot ci_mixrot_v1
+V1SNAP=$(ls ci_mixrot_v1/*.snapshot | sort | head -n 1)
+V2SNAP=$(ls ci_quant_snaps/*.snapshot | sort | tail -n 1)
+mkdir -p ci_mixrot_snaps
+cp "$V1SNAP" ci_mixrot_snaps/
+EDSR_SERVE_ROTATE_MS=50 "$EDSR" serve ci_mixrot_snaps --port 0 \
+    > ci_mixrot.log &
+MIXROT_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' ci_mixrot.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { echo "mixrot smoke: server never came up"; cat ci_mixrot.log; exit 1; }
+grep -q "f32 backend" ci_mixrot.log \
+    || { echo "mixrot smoke: server did not start on the f32 backend"; cat ci_mixrot.log; exit 1; }
+# Publish the v2 snapshot with the exporter's atomicity, sorting newest.
+cp "$V2SNAP" ci_mixrot_snaps/.staging
+mv ci_mixrot_snaps/.staging "ci_mixrot_snaps/zzz.task9998.snapshot"
+QUANTED=0
+for _ in $(seq 1 100); do
+    QUANTED=$("$EDSR" query "$ADDR" stats | sed -n 's/.*quantized \([0-9]*\).*/\1/p')
+    [ "${QUANTED:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+[ "${QUANTED:-0}" -ge 1 ] \
+    || { echo "mixrot smoke: server never swapped to the v2 snapshot"; cat ci_mixrot.log; exit 1; }
+# After the swap the full --quantized query path must work against what
+# started life as a plain f32 server.
+"$EDSR" query "$ADDR" embed --task 0 --input "$INPUT" --quantized > /dev/null
+"$EDSR" query "$ADDR" shutdown > /dev/null
+wait "$MIXROT_PID"
+grep -q " 1 rotations," ci_mixrot.log \
+    || { echo "mixrot smoke: drain report missing the rotation"; cat ci_mixrot.log; exit 1; }
+
+# And the on-disk acceptance bound: the v2 export of the SAME run must be
+# at least 3x smaller than its v1 counterpart.
+V1BYTES=$(stat -c %s "$V1SNAP")
+V2BYTES=$(stat -c %s "$V2SNAP")
+[ "$((3 * V2BYTES))" -le "$V1BYTES" ] \
+    || { echo "quant smoke: v2 snapshot ($V2BYTES B) not >=3x smaller than v1 ($V1BYTES B)"; exit 1; }
+echo "quant smoke: v1 $V1BYTES B -> v2 $V2BYTES B"
+rm -rf ci_quant_snaps ci_quant.log ci_quant_run.log ci_mixrot_v1 ci_mixrot_snaps ci_mixrot.log
 
 echo "== dist smoke (1 PS + 2 workers, bit-identical to edsr run) =="
 # Train the reference single-process checkpoint, then the same run as a

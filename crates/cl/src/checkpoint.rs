@@ -15,10 +15,11 @@
 use std::path::{Path, PathBuf};
 
 use edsr_nn::io::{
-    params_from_bytes, params_to_bytes, put_bytes, put_f32, put_f64, put_matrix, put_u32, put_u64,
-    read_envelope, write_envelope, ByteReader,
+    crc32, params_from_bytes, params_to_bytes, put_bytes, put_f32, put_f64, put_matrix, put_u32,
+    put_u64, read_envelope, write_envelope, ByteReader,
 };
 use edsr_nn::CheckpointError;
+use edsr_quant::{knn_gate, QuantEncoder, QuantLinear, QuantMemory, QuantSnapshot};
 use edsr_ssl::SslVariant;
 use edsr_tensor::Matrix;
 
@@ -549,23 +550,196 @@ pub fn list_serve_snapshots(cfg: &CheckpointConfig) -> Vec<(usize, PathBuf)> {
     found
 }
 
-/// Finds the newest serve snapshot under `dir` (any run id) that loads
-/// cleanly, skipping truncated or corrupt files. Returns `None` when no
-/// valid snapshot exists.
-pub fn latest_valid_serve_snapshot(dir: impl AsRef<Path>) -> Option<(PathBuf, ServeSnapshot)> {
-    let mut candidates: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())
-        .ok()?
+/// Quantizes a v1 serve snapshot into the EDSRSS02 format: restores the
+/// f32 model, flattens its eval-mode linear chain (adapter → backbone →
+/// projector) into per-layer symmetric int8 weights (per-output-channel
+/// scales on the final projector layer), quantizes the memory grid with
+/// one per-tensor scale calibrated over the snapshot's own
+/// representations, and runs the leave-one-out accuracy gate.
+///
+/// Fails with [`CheckpointError::Mismatch`] for conv-stem models, whose
+/// first stage is not a single linear map.
+pub fn quantize_serve_snapshot(snapshot: &ServeSnapshot) -> Result<QuantSnapshot, CheckpointError> {
+    let model = snapshot.restore_model()?;
+    let quant_layer = |w: edsr_nn::ParamId, b: edsr_nn::ParamId, relu: bool, per_channel: bool| {
+        QuantLinear::from_f32(
+            model.params.value(w),
+            model.params.value(b).row(0),
+            relu,
+            per_channel,
+        )
+    };
+    let chain0 = model.encoder.eval_linear_chain(0).ok_or_else(|| {
+        CheckpointError::Mismatch(
+            "quantization supports linear input stems only (conv stems are unsupported)".into(),
+        )
+    })?;
+    let mut adapters = Vec::with_capacity(model.encoder.num_adapters());
+    for a in 0..model.encoder.num_adapters() {
+        let (w, b, relu) = model.encoder.eval_linear_chain(a).expect("linear stem")[0];
+        adapters.push(quant_layer(w, b, relu, false));
+    }
+    let shared = &chain0[1..];
+    let mut chain = Vec::with_capacity(shared.len());
+    for (i, &(w, b, relu)) in shared.iter().enumerate() {
+        // Per-output-channel scales on the final layer only: its outputs
+        // feed the kNN distance directly, where channel-wise precision
+        // matters most and no further int8 re-quantization follows.
+        chain.push(quant_layer(w, b, relu, i + 1 == shared.len()));
+    }
+    let encoder = QuantEncoder::new(
+        snapshot.config.input_dims.clone(),
+        snapshot.config.repr_dim,
+        adapters,
+        chain,
+    )
+    .map_err(CheckpointError::Mismatch)?;
+    let memory = QuantMemory::from_matrix(&snapshot.memory_reprs);
+    let gate = knn_gate(&snapshot.memory_reprs, &snapshot.memory_tasks, &memory);
+    let mut memory_bytes = Vec::new();
+    put_matrix(&mut memory_bytes, &snapshot.memory_reprs);
+    Ok(QuantSnapshot {
+        completed_tasks: snapshot.completed_tasks,
+        benchmark: snapshot.benchmark.clone(),
+        encoder,
+        memory,
+        memory_tasks: snapshot.memory_tasks.clone(),
+        f32_params_crc: crc32(&snapshot.params_payload),
+        f32_memory_crc: crc32(&memory_bytes),
+        gate,
+    })
+}
+
+/// Writes a v2 (quantized) serve snapshot under the same filename
+/// convention as [`save_serve_snapshot`] — v1 and v2 files share one
+/// rotation namespace, which is what lets the serve watcher hot-swap
+/// across format versions — and prunes beyond `cfg.keep`.
+pub fn save_quant_serve_snapshot(
+    cfg: &CheckpointConfig,
+    snapshot: &QuantSnapshot,
+) -> Result<PathBuf, CheckpointError> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let path = serve_snapshot_path(cfg, snapshot.completed_tasks);
+    snapshot.save(&path)?;
+    if cfg.keep > 0 {
+        for (_, old) in list_serve_snapshots(cfg).iter().rev().skip(cfg.keep) {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+    Ok(path)
+}
+
+/// A serve snapshot in either on-disk format.
+#[derive(Debug, Clone)]
+pub enum AnyServeSnapshot {
+    /// v1 `EDSRSS01`: f32 model + f32 memory representations.
+    V1(Box<ServeSnapshot>),
+    /// v2 `EDSRSS02`: quantized encoder + int8 memory grid.
+    V2(Box<QuantSnapshot>),
+}
+
+impl AnyServeSnapshot {
+    /// Tasks completed when the snapshot was exported.
+    pub fn completed_tasks(&self) -> usize {
+        match self {
+            AnyServeSnapshot::V1(s) => s.completed_tasks,
+            AnyServeSnapshot::V2(s) => s.completed_tasks,
+        }
+    }
+
+    /// Benchmark name.
+    pub fn benchmark(&self) -> &str {
+        match self {
+            AnyServeSnapshot::V1(s) => &s.benchmark,
+            AnyServeSnapshot::V2(s) => &s.benchmark,
+        }
+    }
+}
+
+/// Loads a serve snapshot of either format: the v2 magic is tried first;
+/// a clean magic mismatch falls through to v1. Every other failure
+/// (truncation, corruption, I/O) propagates unchanged.
+pub fn load_any_serve_snapshot(
+    path: impl AsRef<Path>,
+) -> Result<AnyServeSnapshot, CheckpointError> {
+    match QuantSnapshot::load(path.as_ref()) {
+        Ok(s) => Ok(AnyServeSnapshot::V2(Box::new(s))),
+        Err(CheckpointError::BadMagic) => {
+            ServeSnapshot::load(path.as_ref()).map(|s| AnyServeSnapshot::V1(Box::new(s)))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// A snapshot candidate (or the scan directory itself) that could not be
+/// *read* — an I/O failure such as permission-denied, as opposed to a
+/// file that read fine but failed validation. Carries the offending path
+/// so operators know exactly which file to fix.
+#[derive(Debug)]
+pub struct UnreadableSnapshot {
+    /// The file (or directory) the I/O failure occurred on.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for UnreadableSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unreadable serve snapshot {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for UnreadableSnapshot {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Finds the newest serve snapshot under `dir` (any run id, either
+/// format) that loads cleanly. Candidates that read fine but fail
+/// validation — truncated, corrupt, foreign magic — are *skipped*, which
+/// is what lets rotation survive a torn decoy. Candidates that cannot
+/// even be read (e.g. permission denied) abort the scan with a
+/// [`UnreadableSnapshot`] naming the offending file instead of silently
+/// falling back to stale data; not-found races with concurrent pruning
+/// are still skipped. The scan is newest-first and stops at the first
+/// valid snapshot, so only an unreadable candidate newer than every
+/// valid one triggers the error. `Ok(None)` when the directory is
+/// missing or holds no valid snapshot.
+pub fn latest_valid_serve_snapshot(
+    dir: impl AsRef<Path>,
+) -> Result<Option<(PathBuf, AnyServeSnapshot)>, UnreadableSnapshot> {
+    let entries = match std::fs::read_dir(dir.as_ref()) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(UnreadableSnapshot {
+                path: dir.as_ref().to_path_buf(),
+                source: e,
+            })
+        }
+    };
+    let mut candidates: Vec<PathBuf> = entries
         .flatten()
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|e| e == "snapshot"))
         .collect();
     candidates.sort();
     for path in candidates.into_iter().rev() {
-        if let Ok(snapshot) = ServeSnapshot::load(&path) {
-            return Some((path, snapshot));
+        match load_any_serve_snapshot(&path) {
+            Ok(snapshot) => return Ok(Some((path, snapshot))),
+            Err(CheckpointError::Io(e)) if e.kind() != std::io::ErrorKind::NotFound => {
+                return Err(UnreadableSnapshot { path, source: e })
+            }
+            Err(_) => continue,
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -824,8 +998,104 @@ mod tests {
         let newest = serve_snapshot_path(&cfg, 4);
         let bytes = std::fs::read(&newest).expect("read");
         std::fs::write(&newest, &bytes[..bytes.len() - 3]).expect("truncate");
-        let (_, snap) = latest_valid_serve_snapshot(&cfg.dir).expect("fallback");
-        assert_eq!(snap.completed_tasks, 3);
+        let (_, snap) = latest_valid_serve_snapshot(&cfg.dir)
+            .expect("corrupt files are skipped, not errors")
+            .expect("fallback");
+        assert_eq!(snap.completed_tasks(), 3);
+        assert!(matches!(snap, AnyServeSnapshot::V1(_)));
         let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn latest_valid_reports_unreadable_candidates_by_path() {
+        let (model, reprs, tasks) = serve_fixture(706);
+        let cfg = temp_cfg("serve-unreadable");
+        let snap = ServeSnapshot::capture(&model, reprs, tasks, "b", 1).expect("capture");
+        save_serve_snapshot(&cfg, &snap).expect("save");
+        // A *directory* with the snapshot extension, sorting newest: opening
+        // it fails with an I/O error (EISDIR) rather than a validation
+        // error, which must abort the scan naming the offending path.
+        // (chmod-based decoys don't fail under root, so a directory is the
+        // portable way to provoke an unreadable candidate.)
+        let decoy = cfg.dir.join("zzz.task9999.snapshot");
+        std::fs::create_dir_all(&decoy).expect("mk decoy dir");
+        let err = latest_valid_serve_snapshot(&cfg.dir)
+            .expect_err("unreadable candidate must abort the scan");
+        assert_eq!(err.path, decoy);
+        assert!(err.to_string().contains("zzz.task9999.snapshot"));
+        // Removing the decoy restores the fallback behaviour.
+        std::fs::remove_dir(&decoy).expect("rm decoy");
+        assert!(latest_valid_serve_snapshot(&cfg.dir)
+            .expect("scan")
+            .is_some());
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn quantize_serve_snapshot_round_trips_and_gates() {
+        let (model, reprs, tasks) = serve_fixture(707);
+        let snap = ServeSnapshot::capture(&model, reprs.clone(), tasks.clone(), "bench", 2)
+            .expect("capture");
+        let qsnap = quantize_serve_snapshot(&snap).expect("quantize");
+        assert_eq!(qsnap.completed_tasks, 2);
+        assert_eq!(qsnap.benchmark, "bench");
+        assert_eq!(qsnap.memory_tasks, tasks);
+        assert_eq!(qsnap.memory.rows(), reprs.rows());
+        assert_eq!(qsnap.encoder.repr_dim(), model.repr_dim());
+        assert_eq!(qsnap.f32_params_crc, crc32(&snap.params_payload));
+        assert!(qsnap.gate.f32_accuracy >= 0.0 && qsnap.gate.f32_accuracy <= 100.0);
+        // v2 files round-trip through the shared namespace and the
+        // any-format loader picks them up as V2.
+        let mut cfg = temp_cfg("serve-quant");
+        cfg.keep = 2;
+        let path = save_quant_serve_snapshot(&cfg, &qsnap).expect("save v2");
+        let any = load_any_serve_snapshot(&path).expect("load any");
+        let AnyServeSnapshot::V2(loaded) = any else {
+            panic!("expected a v2 snapshot");
+        };
+        assert_eq!(*loaded, qsnap);
+        // The v2 file must be at least 3x smaller than its v1 source.
+        let v1_path = cfg.dir.join("v1.snapshot-src");
+        snap.save(&v1_path).expect("save v1");
+        let v1_bytes = std::fs::metadata(&v1_path).unwrap().len();
+        let v2_bytes = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            v2_bytes * 3 <= v1_bytes,
+            "v2 {} bytes not 3x smaller than v1 {} bytes",
+            v2_bytes,
+            v1_bytes
+        );
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn quantized_encoder_tracks_f32_representations() {
+        let (model, reprs, tasks) = serve_fixture(708);
+        let snap = ServeSnapshot::capture(&model, reprs, tasks, "bench", 1).expect("capture");
+        let qsnap = quantize_serve_snapshot(&snap).expect("quantize");
+        let mut rng = seeded(709);
+        let x = Matrix::randn(3, 16, 1.0, &mut rng);
+        // Eval mode: the quantized chain mirrors the serve-time eval
+        // forward, which skips batch standardization.
+        let f32_reprs = model.represent_eval(&x, 0);
+        let mut scratch = edsr_quant::QuantScratch::default();
+        let mut out = vec![0.0f32; model.repr_dim()];
+        for r in 0..x.rows() {
+            qsnap
+                .encoder
+                .represent_into(0, x.row(r), &mut scratch, &mut out);
+            let f32_row = f32_reprs.row(r);
+            let norm: f32 = f32_row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let err: f32 = out
+                .iter()
+                .zip(f32_row)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(
+                err <= 0.15 * norm.max(1.0),
+                "row {r}: int8 repr drifted {err} from f32 (norm {norm})"
+            );
+        }
     }
 }

@@ -18,9 +18,11 @@ pub mod model;
 pub mod trainer;
 
 pub use checkpoint::{
-    latest_valid_run_state, latest_valid_serve_snapshot, list_serve_snapshots, load_run_state,
-    memory_representations, save_run_state, save_serve_snapshot, serve_snapshot_path,
-    CheckpointConfig, RunState, ServeSnapshot, SERVE_SNAPSHOT_MAGIC,
+    latest_valid_run_state, latest_valid_serve_snapshot, list_serve_snapshots,
+    load_any_serve_snapshot, load_run_state, memory_representations, quantize_serve_snapshot,
+    save_quant_serve_snapshot, save_run_state, save_serve_snapshot, serve_snapshot_path,
+    AnyServeSnapshot, CheckpointConfig, RunState, ServeSnapshot, UnreadableSnapshot,
+    SERVE_SNAPSHOT_MAGIC,
 };
 pub use error::TrainError;
 pub use eval::{accuracy, knn_classify};

@@ -612,6 +612,7 @@ pub struct RunBuilder<'a> {
     cfg: &'a TrainConfig,
     checkpoint: Option<CheckpointConfig>,
     serve_snapshots: Option<CheckpointConfig>,
+    quantize_serve: bool,
     resume: bool,
     resume_source: Option<CheckpointConfig>,
     guard: GuardConfig,
@@ -627,6 +628,7 @@ impl<'a> RunBuilder<'a> {
             cfg,
             checkpoint: None,
             serve_snapshots: None,
+            quantize_serve: false,
             resume: false,
             resume_source: None,
             guard: GuardConfig::default(),
@@ -650,6 +652,17 @@ impl<'a> RunBuilder<'a> {
     /// (memory-free methods export an empty retrieval set).
     pub fn serve_snapshots(mut self, cfg: CheckpointConfig) -> Self {
         self.serve_snapshots = Some(cfg);
+        self
+    }
+
+    /// With [`serve_snapshots`](Self::serve_snapshots) enabled, exports
+    /// v2 quantized snapshots (`EDSRSS02`, via
+    /// [`crate::checkpoint::quantize_serve_snapshot`]) instead of f32 v1
+    /// files, and prints one `quant gate:` line per export with the
+    /// f32-vs-int8 leave-one-out accuracy so scripts can assert the
+    /// delta. No effect without a serve-snapshot location.
+    pub fn quantize_serve_snapshots(mut self) -> Self {
+        self.quantize_serve = true;
         self
     }
 
@@ -723,6 +736,7 @@ impl<'a> RunBuilder<'a> {
             cfg,
             checkpoint,
             serve_snapshots,
+            quantize_serve,
             resume,
             resume_source,
             guard: guard_cfg,
@@ -932,7 +946,13 @@ impl<'a> RunBuilder<'a> {
                     benchmark.clone(),
                     task_idx + 1,
                 )?;
-                let path = save_serve_snapshot(serve_cfg, &snap)?;
+                let path = if quantize_serve {
+                    let qsnap = crate::checkpoint::quantize_serve_snapshot(&snap)?;
+                    println!("quant gate: {}", qsnap.gate);
+                    crate::checkpoint::save_quant_serve_snapshot(serve_cfg, &qsnap)?
+                } else {
+                    save_serve_snapshot(serve_cfg, &snap)?
+                };
                 observer.on_checkpoint(task_idx, &path);
             }
         }

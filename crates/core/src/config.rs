@@ -23,6 +23,7 @@
 //! | serve queue cap | `--serve-queue N` | `EDSR_SERVE_QUEUE` | server default |
 //! | serve read timeout (ms) | `--serve-read-timeout-ms N` | `EDSR_SERVE_READ_TIMEOUT_MS` | server default |
 //! | serve stall cap (ms) | `--serve-stall-ms N` | `EDSR_SERVE_STALL_MS` | server default |
+//! | serve int8 quantized | `--quantized` | `EDSR_SERVE_QUANT` | off |
 //! | dist bind/connect address | `--dist-addr ADDR` | `EDSR_DIST_ADDR` | dist default |
 //! | dist worker count | `--dist-workers N` | `EDSR_DIST_WORKERS` | dist default |
 //! | dist push timeout (ms) | `--dist-push-timeout-ms N` | `EDSR_DIST_PUSH_TIMEOUT_MS` | dist default |
@@ -82,6 +83,10 @@ pub struct EnvConfig {
     /// connection idle mid-frame longer than this is dropped
     /// (`None` = server default).
     pub serve_stall_ms: Option<u64>,
+    /// Serve on the int8 quantized backend: `edsr serve` quantizes v1
+    /// snapshots in-process (v2 snapshots always serve quantized) and
+    /// `edsr query` asserts the server is quantized before sending.
+    pub serve_quant: bool,
     /// Bind address for `edsr ps` / connect address for `edsr worker`
     /// (`None` = dist default).
     pub dist_addr: Option<String>,
@@ -118,6 +123,7 @@ impl Default for EnvConfig {
             serve_queue: None,
             serve_read_timeout_ms: None,
             serve_stall_ms: None,
+            serve_quant: false,
             dist_addr: None,
             dist_workers: None,
             dist_push_timeout_ms: None,
@@ -191,6 +197,9 @@ impl EnvConfig {
         }
         if let Some(v) = env("EDSR_SERVE_STALL_MS") {
             cfg.serve_stall_ms = Some(parse_ms_nonzero("EDSR_SERVE_STALL_MS", &v)?);
+        }
+        if let Some(v) = env("EDSR_SERVE_QUANT") {
+            cfg.serve_quant = truthy(&v);
         }
         if let Some(v) = env("EDSR_DIST_ADDR") {
             if !v.is_empty() {
@@ -266,6 +275,7 @@ impl EnvConfig {
                     let v = value(&mut it)?;
                     cfg.serve_stall_ms = Some(parse_ms_nonzero("--serve-stall-ms", &v)?);
                 }
+                "--quantized" => cfg.serve_quant = true,
                 "--dist-addr" => cfg.dist_addr = Some(value(&mut it)?),
                 "--dist-workers" => {
                     let v = value(&mut it)?;
@@ -570,6 +580,20 @@ mod tests {
             Some(2000)
         );
         assert!(EnvConfig::resolve(no_env, &args(&["--serve-stall-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_quant_env_and_flag() {
+        let env = |k: &str| (k == "EDSR_SERVE_QUANT").then(|| "off".to_string());
+        assert!(!EnvConfig::resolve(env, &[]).unwrap().serve_quant);
+        assert!(
+            EnvConfig::resolve(env, &args(&["--quantized"]))
+                .unwrap()
+                .serve_quant
+        );
+        let env_on = |k: &str| (k == "EDSR_SERVE_QUANT").then(|| "1".to_string());
+        assert!(EnvConfig::resolve(env_on, &[]).unwrap().serve_quant);
+        assert!(!EnvConfig::resolve(no_env, &[]).unwrap().serve_quant);
     }
 
     #[test]

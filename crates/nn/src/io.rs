@@ -185,6 +185,12 @@ pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
     buf.extend_from_slice(bytes);
 }
 
+/// Appends a length-prefixed `i8` slice (raw two's-complement bytes).
+pub fn put_i8s(buf: &mut Vec<u8>, v: &[i8]) {
+    put_u64(buf, v.len() as u64);
+    buf.extend(v.iter().map(|&x| x as u8));
+}
+
 /// Appends a shape-prefixed matrix.
 pub fn put_matrix(buf: &mut Vec<u8>, m: &Matrix) {
     put_u32(buf, m.rows() as u32);
@@ -261,6 +267,11 @@ impl<'a> ByteReader<'a> {
     pub fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
         let len = self.u64()? as usize;
         self.take(len)
+    }
+
+    /// Reads a length-prefixed `i8` slice written by [`put_i8s`].
+    pub fn i8s(&mut self) -> Result<Vec<i8>, CheckpointError> {
+        Ok(self.bytes()?.iter().map(|&b| b as i8).collect())
     }
 
     /// Reads a shape-prefixed matrix.

@@ -1,0 +1,289 @@
+//! Quantized eval-mode encoder: a chain of int8 linear layers.
+
+use edsr_tensor::{simd, Matrix};
+
+use crate::tensor::{quantize_row_into, QuantTensor};
+
+/// One quantized linear layer: transposed int8 weights (one row per
+/// output channel), f32 bias, optional trailing ReLU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLinear {
+    /// `out_dim x in_dim` int8 weights (per-tensor or per-row scales).
+    pub wt: QuantTensor,
+    /// f32 bias, one per output channel.
+    pub bias: Vec<f32>,
+    /// Whether a ReLU follows this layer in the eval chain.
+    pub relu: bool,
+}
+
+impl QuantLinear {
+    /// Quantizes an f32 layer. `w` is the forward-orientation `in x out`
+    /// weight matrix (as registered by `edsr_nn::Linear`); it is stored
+    /// transposed here. `per_channel` selects one scale per output channel
+    /// (the final-layer mode) instead of one per tensor.
+    pub fn from_f32(w: &Matrix, bias: &[f32], relu: bool, per_channel: bool) -> QuantLinear {
+        let (in_dim, out_dim) = (w.rows(), w.cols());
+        assert_eq!(bias.len(), out_dim, "QuantLinear: bias length mismatch");
+        let mut wt = vec![0.0f32; in_dim * out_dim];
+        for i in 0..in_dim {
+            for o in 0..out_dim {
+                wt[o * in_dim + i] = w.get(i, o);
+            }
+        }
+        let wt = if per_channel {
+            QuantTensor::per_row(out_dim, in_dim, &wt)
+        } else {
+            QuantTensor::per_tensor(out_dim, in_dim, &wt)
+        };
+        QuantLinear {
+            wt,
+            bias: bias.to_vec(),
+            relu,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.wt.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.wt.rows()
+    }
+
+    /// Quantized forward for one row: dynamically quantizes `x` into `qx`
+    /// (recycled), runs one exact [`simd::i8_dot`] per output channel, and
+    /// dequantizes with `act_scale * weight_scale` before bias and ReLU.
+    pub fn forward(&self, x: &[f32], qx: &mut Vec<i8>, out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim());
+        debug_assert_eq!(out.len(), self.out_dim());
+        let sx = quantize_row_into(x, qx);
+        for (o, slot) in out.iter_mut().enumerate() {
+            let acc = simd::i8_dot(qx, self.wt.row(o));
+            let mut v = acc as f32 * (sx * self.wt.row_scale(o)) + self.bias[o];
+            if self.relu && v < 0.0 {
+                v = 0.0;
+            }
+            *slot = v;
+        }
+    }
+}
+
+/// Recycled int8/f32 buffers for [`QuantEncoder::represent_into`]; one per
+/// engine, grown on first use and allocation-free thereafter.
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    qx: Vec<i8>,
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+/// The quantized eval-mode encoder: per-task input adapters followed by a
+/// shared chain (backbone + projector), all [`QuantLinear`] layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantEncoder {
+    input_dims: Vec<usize>,
+    repr_dim: usize,
+    adapters: Vec<QuantLinear>,
+    chain: Vec<QuantLinear>,
+}
+
+impl QuantEncoder {
+    /// Assembles an encoder from quantized parts, validating dimensions.
+    pub fn new(
+        input_dims: Vec<usize>,
+        repr_dim: usize,
+        adapters: Vec<QuantLinear>,
+        chain: Vec<QuantLinear>,
+    ) -> Result<QuantEncoder, String> {
+        if adapters.is_empty() || adapters.len() != input_dims.len() {
+            return Err(format!(
+                "quant encoder: {} adapters for {} input dims",
+                adapters.len(),
+                input_dims.len()
+            ));
+        }
+        for (a, &dim) in adapters.iter().zip(&input_dims) {
+            if a.in_dim() != dim {
+                return Err(format!(
+                    "quant adapter in_dim {} != input dim {dim}",
+                    a.in_dim()
+                ));
+            }
+        }
+        let mut cur = adapters[0].out_dim();
+        if adapters.iter().any(|a| a.out_dim() != cur) {
+            return Err("quant adapters disagree on output width".into());
+        }
+        for layer in &chain {
+            if layer.in_dim() != cur {
+                return Err(format!(
+                    "quant chain layer in_dim {} != previous out_dim {cur}",
+                    layer.in_dim()
+                ));
+            }
+            cur = layer.out_dim();
+        }
+        if cur != repr_dim {
+            return Err(format!(
+                "quant chain ends at {cur}, want repr_dim {repr_dim}"
+            ));
+        }
+        Ok(QuantEncoder {
+            input_dims,
+            repr_dim,
+            adapters,
+            chain,
+        })
+    }
+
+    /// Representation dimensionality.
+    pub fn repr_dim(&self) -> usize {
+        self.repr_dim
+    }
+
+    /// Number of input adapters.
+    pub fn num_adapters(&self) -> usize {
+        self.adapters.len()
+    }
+
+    /// Input dimensionalities, one per adapter.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Per-task adapters.
+    pub fn adapters(&self) -> &[QuantLinear] {
+        &self.adapters
+    }
+
+    /// Shared backbone + projector chain.
+    pub fn chain(&self) -> &[QuantLinear] {
+        &self.chain
+    }
+
+    /// Adapter index used for `task` (single-adapter encoders share 0);
+    /// `None` when the task has no adapter.
+    pub fn adapter_for(&self, task: usize) -> Option<usize> {
+        if self.adapters.len() == 1 {
+            Some(0)
+        } else if task < self.adapters.len() {
+            Some(task)
+        } else {
+            None
+        }
+    }
+
+    /// Quantized eval forward for one input row of `task`, writing the
+    /// `repr_dim` representation into `out`. Ping-pongs activations through
+    /// the recycled `scratch` buffers; each row is quantized independently,
+    /// so batching cannot change any row's bits.
+    ///
+    /// # Panics
+    /// Panics if `task` has no adapter or the input/output lengths do not
+    /// match the adapter's `in_dim` / `repr_dim` (the engine validates
+    /// request shapes before reaching this hot path).
+    pub fn represent_into(
+        &self,
+        task: usize,
+        x: &[f32],
+        scratch: &mut QuantScratch,
+        out: &mut [f32],
+    ) {
+        let ai = self
+            .adapter_for(task)
+            .unwrap_or_else(|| panic!("QuantEncoder: no adapter for task {task}"));
+        assert_eq!(
+            x.len(),
+            self.adapters[ai].in_dim(),
+            "QuantEncoder: input dim"
+        );
+        assert_eq!(out.len(), self.repr_dim, "QuantEncoder: output dim");
+        let QuantScratch { qx, a, b } = scratch;
+        let total = 1 + self.chain.len();
+        let mut into_a = true;
+        for (li, layer) in std::iter::once(&self.adapters[ai])
+            .chain(self.chain.iter())
+            .enumerate()
+        {
+            let src_is_x = li == 0;
+            if li + 1 == total {
+                let src: &[f32] = if src_is_x {
+                    x
+                } else if into_a {
+                    b
+                } else {
+                    a
+                };
+                layer.forward(src, qx, out);
+            } else if into_a {
+                a.clear();
+                a.resize(layer.out_dim(), 0.0);
+                let src: &[f32] = if src_is_x { x } else { b };
+                layer.forward(src, qx, a);
+                into_a = false;
+            } else {
+                b.clear();
+                b.resize(layer.out_dim(), 0.0);
+                let src: &[f32] = if src_is_x { x } else { a };
+                layer.forward(src, qx, b);
+                into_a = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(w: &[f32], in_dim: usize, out_dim: usize, bias: &[f32], relu: bool) -> QuantLinear {
+        let m = Matrix::from_vec(in_dim, out_dim, w.to_vec());
+        QuantLinear::from_f32(&m, bias, relu, false)
+    }
+
+    #[test]
+    fn identity_layer_round_trips_within_quant_error() {
+        // 2x2 identity: quantizes exactly (values 0 and 1), so the only
+        // error left is the dynamic activation quantization of x.
+        let l = layer(&[1.0, 0.0, 0.0, 1.0], 2, 2, &[0.0, 0.0], false);
+        let mut qx = Vec::new();
+        let mut out = [0.0f32; 2];
+        l.forward(&[0.5, -0.25], &mut qx, &mut out);
+        let sx = 0.5 / 127.0;
+        assert!((out[0] - 0.5).abs() <= sx * 0.51, "got {}", out[0]);
+        assert!((out[1] + 0.25).abs() <= sx * 0.51, "got {}", out[1]);
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let l = layer(&[1.0, 0.0, 0.0, 1.0], 2, 2, &[0.0, 0.0], true);
+        let mut qx = Vec::new();
+        let mut out = [0.0f32; 2];
+        l.forward(&[0.5, -0.25], &mut qx, &mut out);
+        assert_eq!(out[1], 0.0);
+        assert!(out[0] > 0.0);
+    }
+
+    #[test]
+    fn encoder_chains_adapter_and_shared_layers() {
+        let adapter = layer(&[2.0, 0.0, 0.0, 2.0], 2, 2, &[0.0, 0.0], true);
+        let head = layer(&[1.0, 0.0, 0.0, 1.0], 2, 2, &[0.1, 0.1], false);
+        let enc = QuantEncoder::new(vec![2], 2, vec![adapter], vec![head]).unwrap();
+        assert_eq!(enc.adapter_for(5), Some(0));
+        let mut scratch = QuantScratch::default();
+        let mut out = [0.0f32; 2];
+        enc.represent_into(3, &[1.0, -1.0], &mut scratch, &mut out);
+        // adapter: (2, -2) → ReLU → (2, 0); head adds 0.1.
+        assert!((out[0] - 2.1).abs() < 0.05, "got {}", out[0]);
+        assert!((out[1] - 0.1).abs() < 0.05, "got {}", out[1]);
+    }
+
+    #[test]
+    fn encoder_new_rejects_mismatched_dims() {
+        let adapter = layer(&[1.0, 0.0, 0.0, 1.0], 2, 2, &[0.0, 0.0], true);
+        assert!(QuantEncoder::new(vec![3], 2, vec![adapter.clone()], vec![]).is_err());
+        assert!(QuantEncoder::new(vec![2], 3, vec![adapter], vec![]).is_err());
+    }
+}

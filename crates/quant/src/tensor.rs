@@ -1,0 +1,218 @@
+//! Symmetric int8 tensors with f32 scales (zero-point 0 throughout).
+
+use edsr_tensor::Matrix;
+
+/// Scale mapping `[-max_abs, max_abs]` onto `[-127, 127]`. An all-zero
+/// tensor gets scale 1.0, under which every value quantizes to exactly 0.
+pub fn scale_for(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+fn quantize_value(x: f32, scale: f32) -> i8 {
+    (x / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+fn max_abs(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Dynamically quantizes one activation row: computes the row's own
+/// symmetric scale, refills `out` with the quantized values, and returns
+/// the scale. `out` is recycled — no allocation once its capacity covers
+/// the row length.
+pub fn quantize_row_into(x: &[f32], out: &mut Vec<i8>) -> f32 {
+    let scale = scale_for(max_abs(x));
+    out.clear();
+    out.extend(x.iter().map(|&v| quantize_value(v, scale)));
+    scale
+}
+
+/// A quantized matrix: `rows x cols` int8 values with either one shared
+/// scale (`scales.len() == 1`) or one scale per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantTensor {
+    /// Quantizes row-major f32 data with one per-tensor scale.
+    pub fn per_tensor(rows: usize, cols: usize, data: &[f32]) -> QuantTensor {
+        assert_eq!(data.len(), rows * cols, "QuantTensor: shape mismatch");
+        let scale = scale_for(max_abs(data));
+        QuantTensor {
+            rows,
+            cols,
+            data: data.iter().map(|&v| quantize_value(v, scale)).collect(),
+            scales: vec![scale],
+        }
+    }
+
+    /// Quantizes row-major f32 data with one scale per row (the
+    /// per-output-channel mode for transposed final-layer weights).
+    pub fn per_row(rows: usize, cols: usize, data: &[f32]) -> QuantTensor {
+        assert_eq!(data.len(), rows * cols, "QuantTensor: shape mismatch");
+        let mut out = QuantTensor {
+            rows,
+            cols,
+            data: Vec::with_capacity(rows * cols),
+            scales: Vec::with_capacity(rows),
+        };
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            let scale = scale_for(max_abs(row));
+            out.scales.push(scale);
+            out.data
+                .extend(row.iter().map(|&v| quantize_value(v, scale)));
+        }
+        out
+    }
+
+    /// The per-tensor quantization of `m` (row-major, same shape).
+    pub fn from_matrix(m: &Matrix) -> QuantTensor {
+        QuantTensor::per_tensor(m.rows(), m.cols(), m.data())
+    }
+
+    /// Rebuilds a tensor from decoded parts, validating shape invariants.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+    ) -> Result<QuantTensor, String> {
+        if data.len() != rows * cols {
+            return Err(format!(
+                "quant tensor data length {} != {rows}x{cols}",
+                data.len()
+            ));
+        }
+        if scales.len() != 1 && scales.len() != rows {
+            return Err(format!(
+                "quant tensor scale count {} (want 1 or {rows})",
+                scales.len()
+            ));
+        }
+        Ok(QuantTensor {
+            rows,
+            cols,
+            data,
+            scales,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a contiguous int8 slice.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The scale applied to row `r` (shared scale when per-tensor).
+    pub fn row_scale(&self, r: usize) -> f32 {
+        if self.scales.len() == 1 {
+            self.scales[0]
+        } else {
+            self.scales[r]
+        }
+    }
+
+    /// Raw int8 values, row-major.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Raw scales (length 1 or `rows`).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Dequantized value at `(r, c)`.
+    pub fn dequantize(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c] as f32 * self.row_scale(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero_with_unit_scale() {
+        let t = QuantTensor::per_tensor(2, 3, &[0.0; 6]);
+        assert_eq!(t.scales(), &[1.0]);
+        assert!(t.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn max_abs_value_maps_to_127_exactly() {
+        let t = QuantTensor::per_tensor(1, 3, &[0.5, -2.0, 1.0]);
+        assert_eq!(t.data(), &[32, -127, 64]);
+    }
+
+    proptest! {
+        /// Round-trip bound: per-tensor quantize/dequantize error is at most
+        /// scale/2 per element (symmetric rounding; a small epsilon absorbs
+        /// the f32 division/multiplication rounding itself).
+        #[test]
+        fn round_trip_error_within_half_scale(
+            values in proptest::collection::vec(-1e3f32..1e3, 1..64),
+        ) {
+            let t = QuantTensor::per_tensor(1, values.len(), &values);
+            let scale = t.row_scale(0);
+            let bound = scale * 0.5 * (1.0 + 1e-4);
+            for (c, &x) in values.iter().enumerate() {
+                let err = (x - t.dequantize(0, c)).abs();
+                prop_assert!(
+                    err <= bound,
+                    "value {} dequantized to {} (err {}, scale {})",
+                    x, t.dequantize(0, c), err, scale,
+                );
+            }
+        }
+
+        /// Same bound for the per-row (per-output-channel) mode, per row.
+        #[test]
+        fn per_row_round_trip_error_within_half_scale(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1e3f32..1e3, 8), 1..8,
+            ),
+        ) {
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let t = QuantTensor::per_row(rows.len(), 8, &flat);
+            for (r, row) in rows.iter().enumerate() {
+                let bound = t.row_scale(r) * 0.5 * (1.0 + 1e-4);
+                for (c, &x) in row.iter().enumerate() {
+                    prop_assert!((x - t.dequantize(r, c)).abs() <= bound);
+                }
+            }
+        }
+
+        /// Dynamic activation rows obey the same bound and reuse the buffer.
+        #[test]
+        fn activation_row_round_trip_error_within_half_scale(
+            values in proptest::collection::vec(-1e2f32..1e2, 1..64),
+        ) {
+            let mut q = Vec::new();
+            let scale = quantize_row_into(&values, &mut q);
+            let bound = scale * 0.5 * (1.0 + 1e-4);
+            for (&x, &qi) in values.iter().zip(&q) {
+                prop_assert!((x - qi as f32 * scale).abs() <= bound);
+            }
+        }
+    }
+}

@@ -21,21 +21,23 @@
 //!   status 0 (ok):
 //!     embed     := dim:u32 f32*dim
 //!     knn       := n:u32 (index:u64 score:f32)*n
-//!     stats     := 11 x u64 (see [`StatsReply`])
+//!     stats     := 12 x u64 (see [`StatsReply`])
 //!     shutdown  := (empty)
 //!   status 1 (error) := code:u16 retry_after_ms:u32 len:u32 utf8*len
 //! ```
 //!
 //! Version 2 added `retry_after_ms` to error responses (the backpressure
 //! hint honoured by the retrying client) and the rotation/rejection
-//! counters to the stats body; v1 peers are rejected with
+//! counters to the stats body. Version 3 appended the `quantized` flag
+//! to the stats body (1 when the engine answers on the int8 backend) —
+//! `edsr query --quantized` keys off it. Older peers are rejected with
 //! [`ProtocolError::BadVersion`] rather than misparsed.
 
 use std::fmt;
 use std::io::{Read, Write};
 
 /// Wire protocol version carried in every payload.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Hard cap on a frame payload (16 MiB): anything larger is rejected
 /// before allocation, so a corrupt length prefix cannot OOM the server.
@@ -158,6 +160,8 @@ pub struct StatsReply {
     pub rejected_deadline: u64,
     /// Requests shed because the bounded submit queue was full.
     pub rejected_overload: u64,
+    /// 1 when the engine answers on the int8 quantized backend, else 0.
+    pub quantized: u64,
 }
 
 /// A server → client message.
@@ -483,6 +487,7 @@ impl Response {
                             s.rotations,
                             s.rejected_deadline,
                             s.rejected_overload,
+                            s.quantized,
                         ] {
                             put_u64(buf, v);
                         }
@@ -558,6 +563,7 @@ impl Response {
                     rotations: c.u64()?,
                     rejected_deadline: c.u64()?,
                     rejected_overload: c.u64()?,
+                    quantized: c.u64()?,
                 }),
                 OP_SHUTDOWN => Response::ShutdownAck,
                 other => return Err(ProtocolError::BadOpcode(other)),
@@ -628,7 +634,7 @@ mod tests {
                         .collect(),
                 )
             )),
-            proptest::collection::vec(any::<u64>(), 11).prop_map(|v| (
+            proptest::collection::vec(any::<u64>(), 12).prop_map(|v| (
                 OP_STATS,
                 Response::Stats(StatsReply {
                     requests: v[0],
@@ -642,6 +648,7 @@ mod tests {
                     rotations: v[8],
                     rejected_deadline: v[9],
                     rejected_overload: v[10],
+                    quantized: v[11],
                 })
             )),
             Just((OP_SHUTDOWN, Response::ShutdownAck)),

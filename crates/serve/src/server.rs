@@ -56,7 +56,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use edsr_cl::checkpoint::ServeSnapshot;
+use edsr_cl::checkpoint::{load_any_serve_snapshot, AnyServeSnapshot};
 use edsr_tensor::Matrix;
 
 use crate::engine::{EmbedReport, Engine};
@@ -91,6 +91,11 @@ pub struct RotateConfig {
     /// strictly newer paths are rotation candidates. `None` rotates to
     /// the newest valid snapshot on the first poll.
     pub current: Option<PathBuf>,
+    /// Serve candidates on the int8 backend (`EDSR_SERVE_QUANT`): v2
+    /// snapshots load natively, v1 candidates are quantized in-process
+    /// before the swap. When `false`, v2 candidates still serve
+    /// quantized (they carry no f32 weights to fall back to).
+    pub quantize: bool,
 }
 
 /// Server/batcher tuning knobs.
@@ -670,13 +675,8 @@ fn scan_snapshots(dir: &Path) -> Vec<PathBuf> {
 /// (CRC/decode failures), stopping at the live snapshot. The fresh
 /// engine is fully built before the engine lock is taken, so the swap
 /// itself is one pointer-sized store between micro-batch flushes.
-fn try_rotate(
-    shared: &BatchShared,
-    dir: &Path,
-    cache_capacity: usize,
-    current: &mut Option<PathBuf>,
-) {
-    let paths = scan_snapshots(dir);
+fn try_rotate(shared: &BatchShared, cfg: &RotateConfig, current: &mut Option<PathBuf>) {
+    let paths = scan_snapshots(&cfg.dir);
     for path in paths.iter().rev() {
         if let Some(cur) = current.as_ref() {
             if path <= cur {
@@ -684,9 +684,20 @@ fn try_rotate(
             }
         }
         let started = Instant::now();
-        let fresh = ServeSnapshot::load(path)
+        let fresh = load_any_serve_snapshot(path)
             .ok()
-            .and_then(|snap| Engine::from_snapshot(snap, cache_capacity).ok());
+            .and_then(|any| match any {
+                // Serving quantized: v1 candidates are quantized
+                // in-process so a mixed directory still hot-swaps onto
+                // the int8 backend.
+                AnyServeSnapshot::V1(snap) if cfg.quantize => {
+                    edsr_cl::quantize_serve_snapshot(&snap)
+                        .ok()
+                        .map(|q| AnyServeSnapshot::V2(Box::new(q)))
+                }
+                other => Some(other),
+            })
+            .and_then(|any| Engine::from_any(any, cfg.cache_capacity).ok());
         match fresh {
             Some(engine) => {
                 *lock(&shared.engine) = engine;
@@ -712,7 +723,7 @@ fn try_rotate(
 /// The rotator thread: sleep on its condvar (woken early by stop),
 /// then attempt one rotation per poll tick.
 fn rotation_worker(shared: &BatchShared, cfg: RotateConfig) {
-    let mut current = cfg.current;
+    let mut current = cfg.current.clone();
     loop {
         {
             let guard = lock(&shared.rotate_mx);
@@ -724,7 +735,7 @@ fn rotation_worker(shared: &BatchShared, cfg: RotateConfig) {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        try_rotate(shared, &cfg.dir, cfg.cache_capacity, &mut current);
+        try_rotate(shared, &cfg, &mut current);
     }
 }
 
@@ -1136,6 +1147,7 @@ fn answer(
                     engine.cache_misses(),
                     engine.memory_rows() as u64,
                     engine.repr_dim() as u64,
+                    engine.quantized() as u64,
                 )
             };
             Response::Stats(StatsReply {
@@ -1151,6 +1163,7 @@ fn answer(
                 rotations: shared.batch.stats.rotations.load(Ordering::Relaxed),
                 rejected_deadline: shared.batch.stats.rejected_deadline.load(Ordering::Relaxed),
                 rejected_overload: shared.batch.stats.rejected_overload.load(Ordering::Relaxed),
+                quantized: engine_stats.4,
             })
         }
         Request::Shutdown => {
@@ -1340,6 +1353,7 @@ mod tests {
             poll: Duration::from_millis(5),
             cache_capacity: 16,
             current: Some(first.clone()),
+            quantize: false,
         });
 
         // A corrupt newer candidate must be skipped. Corrupt a copy

@@ -8,7 +8,7 @@
 //! topology with MLP backbones: one `Linear` adapter per task-input-shape,
 //! a shared hidden backbone, and a 2-layer projector.
 
-use edsr_nn::{Activation, Binder, Conv2d, ConvShape, Init, Linear, Mlp, ParamSet};
+use edsr_nn::{Activation, Binder, Conv2d, ConvShape, Init, Linear, Mlp, ParamId, ParamSet};
 use edsr_tensor::{Matrix, Tape, Var};
 use rand::rngs::StdRng;
 
@@ -216,6 +216,38 @@ impl Encoder {
             assert!(task < n, "Encoder: no adapter for task {task}");
             task
         }
+    }
+
+    /// The eval-mode compute graph for one adapter, flattened to a pure
+    /// linear chain: ordered `(weight, bias, relu_after)` triples for
+    /// adapter → backbone → projector. Eval mode never standardizes
+    /// (see [`forward_mode`](Self::forward_eval)), so this chain *is* the
+    /// whole serve-time forward: ReLU follows every layer except the final
+    /// projector layer. Returns `None` for conv stems, whose first stage
+    /// is not a single linear map (`edsr-quant` rejects those models).
+    ///
+    /// `adapter` indexes [`num_adapters`](Self::num_adapters), not tasks;
+    /// single-adapter encoders share entry 0 across all tasks.
+    pub fn eval_linear_chain(&self, adapter: usize) -> Option<Vec<(ParamId, ParamId, bool)>> {
+        let adapters = match &self.stem {
+            Stem::Linear(adapters) => adapters,
+            Stem::Conv { .. } => return None,
+        };
+        let mut chain = Vec::with_capacity(1 + self.backbone.depth() + self.projector.depth());
+        let (w, b) = adapters[adapter].param_ids();
+        chain.push((w, b, true));
+        // Mlp applies the activation between layers only, but the encoder
+        // adds a ReLU after the backbone output, so every backbone layer
+        // ends up ReLU-terminated.
+        for pair in self.backbone.param_ids().chunks_exact(2) {
+            chain.push((pair[0], pair[1], true));
+        }
+        let proj = self.projector.param_ids();
+        let depth = self.projector.depth();
+        for (i, pair) in proj.chunks_exact(2).enumerate() {
+            chain.push((pair[0], pair[1], i + 1 < depth));
+        }
+        Some(chain)
     }
 
     /// Records the full (train-mode) forward pass; returns

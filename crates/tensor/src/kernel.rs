@@ -768,6 +768,53 @@ mod proptests {
             }
         }
 
+        /// The int8 reductions are exact i32 accumulations, so every ISA
+        /// (and any thread count) must agree with a plain sequential
+        /// reference sum to the bit (DESIGN.md §17). Lengths straddle the
+        /// AVX2 16-element step boundary to exercise the scalar tail.
+        #[test]
+        fn i8_reductions_exact_on_every_isa(
+            len in 0usize..=200,
+            seed in 0u64..=u64::MAX,
+        ) {
+            let mut rng = seeded(seed);
+            let a: Vec<i8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8 as i8).collect();
+            let b: Vec<i8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8 as i8).collect();
+            let mut want_dot = 0i64;
+            let mut want_sq = 0i64;
+            for (&x, &y) in a.iter().zip(&b) {
+                want_dot += x as i64 * y as i64;
+                let t = x as i64 - y as i64;
+                want_sq += t * t;
+            }
+            for isa in [simd::Isa::Scalar, simd::Isa::Avx2, simd::Isa::Avx512] {
+                let Some(kern) = simd::Kernel::for_isa(isa) else {
+                    eprintln!(
+                        "SKIPPING i8 bit-identity case for {}: not supported on this host",
+                        isa.name()
+                    );
+                    continue;
+                };
+                for threads in [1usize, 2, 7] {
+                    let mut got_dot = 0i32;
+                    let mut got_sq = 0i32;
+                    edsr_par::with_threads(threads, || {
+                        got_dot = (kern.i8_dot)(&a, &b);
+                        got_sq = (kern.i8_sq_euclidean)(&a, &b);
+                    });
+                    prop_assert_eq!(
+                        got_dot as i64, want_dot,
+                        "i8_dot len {} diverged on {} at {} threads", len, isa.name(), threads,
+                    );
+                    prop_assert_eq!(
+                        got_sq as i64, want_sq,
+                        "i8_sq_euclidean len {} diverged on {} at {} threads",
+                        len, isa.name(), threads,
+                    );
+                }
+            }
+        }
+
         #[test]
         fn blocked_transpose_bit_identical_across_shapes(
             r in 1usize..=70, c in 1usize..=70, seed in 0u64..=u64::MAX,

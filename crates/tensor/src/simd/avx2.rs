@@ -109,6 +109,76 @@ pub unsafe fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
     lanes.iter().fold(0.0, |s, &v| s + v)
 }
 
+/// Sums the eight `i32` lanes of `v` into a scalar.
+///
+/// # Safety
+/// Requires `avx2`.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256(v, 1);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+    _mm_cvtsi128_si32(s)
+}
+
+/// Exact int8 dot product: 16 elements per step via sign-extension to
+/// i16 and `madd` (adjacent-pair i32 sums — exact, since each product is
+/// at most `127² = 16129`). Integer addition is associative, so the lane
+/// layout is free and the result is bit-identical to [`super::scalar`]
+/// by construction (see the scalar kernel's determinism note).
+///
+/// # Safety
+/// Requires `avx2` and `fma`; `a.len() == b.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn i8_dot(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 16 <= n {
+        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i).cast()));
+        let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i).cast()));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+        i += 16;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        i += 1;
+    }
+    sum
+}
+
+/// Exact int8 squared Euclidean distance: differences fit i16 (range
+/// ±254), `madd(diff, diff)` pairs are at most `2 * 254² = 129032` —
+/// exact in i32. Bit-identical to [`super::scalar`] by construction.
+///
+/// # Safety
+/// Requires `avx2` and `fma`; `a.len() == b.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn i8_sq_euclidean(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 16 <= n {
+        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i).cast()));
+        let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i).cast()));
+        let t = _mm256_sub_epi16(av, bv);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(t, t));
+        i += 16;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        let t = *a.get_unchecked(i) as i32 - *b.get_unchecked(i) as i32;
+        sum += t * t;
+        i += 1;
+    }
+    sum
+}
+
 /// `y[i] += a * x[i]` — elementwise, mul + add per element.
 ///
 /// # Safety

@@ -39,6 +39,13 @@
 //! - **Elementwise** (`axpy`, `add_assign`, `scale`, `scale_into`,
 //!   `div_scalar`): one output per element, no cross-lane interaction;
 //!   any vector width is bit-identical by construction.
+//! - **Int8 reductions** (`i8_dot`, `i8_sq_euclidean`): exact `i32`
+//!   accumulator chains (DESIGN.md §17). Integer addition is associative,
+//!   so unlike the f32 reductions no canonical lane tree is needed — any
+//!   accumulation order yields identical bits, which makes the quantized
+//!   inference path structurally deterministic across ISA levels and
+//!   thread counts. Callers keep lengths ≤ 130 000 so `len * 127²` (and
+//!   `len * 254²` for distances) stays below `i32::MAX`.
 //!
 //! ## Adding a new ISA
 //!
@@ -169,6 +176,12 @@ pub struct Kernel {
     pub scale_into: fn(dst: &mut [f32], src: &[f32], c: f32),
     /// `x[i] /= d` (IEEE division, bit-identical at any vector width).
     pub div_scalar: fn(x: &mut [f32], d: f32),
+    /// Exact int8 dot product with an `i32` accumulator
+    /// (`a.len() == b.len()`, length ≤ 130 000).
+    pub i8_dot: fn(a: &[i8], b: &[i8]) -> i32,
+    /// Exact int8 squared Euclidean distance with an `i32` accumulator
+    /// (`a.len() == b.len()`, length ≤ 130 000).
+    pub i8_sq_euclidean: fn(a: &[i8], b: &[i8]) -> i32,
 }
 
 impl Kernel {
@@ -192,6 +205,8 @@ static SCALAR: Kernel = Kernel {
     scale: scalar::scale,
     scale_into: scalar::scale_into,
     div_scalar: scalar::div_scalar,
+    i8_dot: scalar::i8_dot,
+    i8_sq_euclidean: scalar::i8_sq_euclidean,
 };
 
 // Safe entry shims for the `#[target_feature]` implementations. They are
@@ -241,6 +256,14 @@ mod entry {
         // SAFETY: gated on `Isa::Avx2.supported()`.
         unsafe { avx2::div_scalar(x, d) }
     }
+    pub fn avx2_i8_dot(a: &[i8], b: &[i8]) -> i32 {
+        // SAFETY: gated on `Isa::Avx2.supported()`.
+        unsafe { avx2::i8_dot(a, b) }
+    }
+    pub fn avx2_i8_sq_euclidean(a: &[i8], b: &[i8]) -> i32 {
+        // SAFETY: gated on `Isa::Avx2.supported()`.
+        unsafe { avx2::i8_sq_euclidean(a, b) }
+    }
 
     pub fn avx512_tile8x16(
         ap: &[f32],
@@ -287,11 +310,14 @@ static AVX2: Kernel = Kernel {
     scale: entry::avx2_scale,
     scale_into: entry::avx2_scale_into,
     div_scalar: entry::avx2_div_scalar,
+    i8_dot: entry::avx2_i8_dot,
+    i8_sq_euclidean: entry::avx2_i8_sq_euclidean,
 };
 
 // AVX-512 reductions reuse the AVX2 entries on purpose: the canonical
 // reduction tree is 8 lanes wide, and `Isa::Avx512.supported()` implies
-// AVX2+FMA support.
+// AVX2+FMA support. The int8 reductions reuse them too — integer
+// accumulation is exact at any width, so a wider kernel would buy little.
 #[cfg(target_arch = "x86_64")]
 static AVX512: Kernel = Kernel {
     isa: Isa::Avx512,
@@ -303,6 +329,8 @@ static AVX512: Kernel = Kernel {
     scale: entry::avx512_scale,
     scale_into: entry::avx512_scale_into,
     div_scalar: entry::avx512_div_scalar,
+    i8_dot: entry::avx2_i8_dot,
+    i8_sq_euclidean: entry::avx2_i8_sq_euclidean,
 };
 
 fn table(isa: Isa) -> &'static Kernel {
@@ -459,4 +487,16 @@ pub fn scale_into(dst: &mut [f32], src: &[f32], c: f32) {
 #[inline]
 pub fn div_scalar(x: &mut [f32], d: f32) {
     (active().div_scalar)(x, d)
+}
+
+/// Dispatched exact int8 dot product (`i32` accumulation).
+#[inline]
+pub fn i8_dot(a: &[i8], b: &[i8]) -> i32 {
+    (active().i8_dot)(a, b)
+}
+
+/// Dispatched exact int8 squared Euclidean distance (`i32` accumulation).
+#[inline]
+pub fn i8_sq_euclidean(a: &[i8], b: &[i8]) -> i32 {
+    (active().i8_sq_euclidean)(a, b)
 }

@@ -93,6 +93,34 @@ pub fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
     lanes.iter().fold(0.0, |s, &v| s + v)
 }
 
+/// Exact int8 dot product with a single `i32` accumulator.
+///
+/// Integer addition is associative, so — unlike the f32 reductions above —
+/// no lane tree is needed: *any* accumulation order produces the same
+/// bits, which is what makes the quantized inference path structurally
+/// bit-identical across ISA levels and thread counts. Callers keep
+/// `a.len() <= 130_000` so `len * 127²` cannot overflow `i32`.
+pub fn i8_dot(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+/// Exact int8 squared Euclidean distance with a single `i32` accumulator
+/// (same overflow contract and order-independence as [`i8_dot`]).
+pub fn i8_sq_euclidean(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        let t = x as i32 - y as i32;
+        acc += t * t;
+    }
+    acc
+}
+
 /// `y[i] += a * x[i]` — multiply then add, two roundings per element.
 pub fn axpy(y: &mut [f32], x: &[f32], a: f32) {
     debug_assert_eq!(y.len(), x.len());

@@ -53,9 +53,10 @@ fn main() -> Result<(), Error> {
     // 2. Load the newest snapshot read-only and start the server on an
     //    ephemeral port.
     let (snap_path, snapshot) = latest_valid_serve_snapshot(&dir)
+        .map_err(|e| Error::Data(e.to_string()))?
         .ok_or_else(|| Error::Data("no serve snapshot written".into()))?;
     println!("serving {}", snap_path.display());
-    let engine = Engine::from_snapshot(snapshot, 256)?;
+    let engine = Engine::from_any(snapshot, 256)?;
     let repr_dim = engine.repr_dim();
     let handle = serve(engine, ("127.0.0.1", 0), ServerConfig::default())
         .map_err(|e| Error::Data(e.to_string()))?;

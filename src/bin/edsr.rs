@@ -28,20 +28,26 @@
 //!          --checkpoint DIR snapshot run state after each increment
 //!          --resume         continue from the latest valid snapshot
 //!          --serve-snapshot DIR  export a serve snapshot after each task
+//!          --quantize       export int8 v2 serve snapshots (with
+//!                           --serve-snapshot; prints the accuracy gate)
 //!          --obs MODE       observability sink: off | ring | jsonl
 //!          --obs-path PATH  metrics file for --obs jsonl (metrics.jsonl)
 //!
-//! serve:   <SNAPSHOT> is a `.snapshot` file or a directory (the latest
-//!          valid snapshot in it is served)
+//! serve:   <SNAPSHOT> is a `.snapshot` file (v1 or v2) or a directory
+//!          (the latest valid snapshot in it is served)
 //!          --port N            TCP port (default 7878; 0 = ephemeral)
 //!          --cache N           embedding-cache capacity (default 1024)
 //!          --serve-batch N     micro-batch flush size
 //!          --serve-window-us N micro-batch coalescing window
+//!          --quantized         serve on the int8 backend (quantizes v1
+//!                              snapshots in-process; EDSR_SERVE_QUANT)
 //!
 //! query:   edsr query ADDR embed --input 0.1,0.2,...  [--task N]
 //!          edsr query ADDR knn   --input ...  [--k N] [--metric M]
 //!          edsr query ADDR stats
 //!          edsr query ADDR shutdown
+//!          --quantized   assert the server answers on the int8 backend
+//!                        (one stats round-trip) before sending the op
 //!
 //! ps:      same run flags as `run` (--seed/--epochs/--memory/--save) plus
 //!          --dist-addr A                 bind address (default 127.0.0.1:0)
@@ -65,9 +71,9 @@
 //! a panic.
 
 use edsr::cl::{
-    latest_valid_serve_snapshot, run_multitask, tabular_augmenters, Cassle, CheckpointConfig,
-    ContinualModel, Der, Finetune, Lump, Method, ModelConfig, RunBuilder, ServeSnapshot, Si,
-    TrainConfig,
+    latest_valid_serve_snapshot, load_any_serve_snapshot, quantize_serve_snapshot, run_multitask,
+    tabular_augmenters, AnyServeSnapshot, Cassle, CheckpointConfig, ContinualModel, Der, Finetune,
+    Lump, Method, ModelConfig, RunBuilder, Si, TrainConfig,
 };
 use edsr::core::{CompEmb, Edsr, EnvConfig, Error, R2r};
 use edsr::data::{
@@ -83,7 +89,7 @@ use edsr::tensor::rng::seeded;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--isa L] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n  edsr ps <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n          [--dist-addr A] [--dist-workers N] [--dist-push-timeout-ms N] [--dist-sparse-threshold F]\n  edsr worker <ADDR>   (or --dist-addr / EDSR_DIST_ADDR)\n  edsr scenario list [--seed N]\n  edsr scenario write <name> <dir> [--seed N]\n  edsr scenario run <name> <method> [--seed N] [--epochs N] [--stream DIR] [--save PATH]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | compemb | r2r | multitask\nscenarios: class-incremental | blurry | domain-incremental | long-tail\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--isa (or EDSR_ISA) pins the SIMD kernel level: auto | scalar | avx2 |\navx512; results are bit-identical at any level (DESIGN.md \u{a7}15).\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12).\n`edsr ps` + N×`edsr worker` reproduce `edsr run` bit-identically over\nTCP (DESIGN.md \u{a7}14)."
+        "usage:\n  edsr presets\n  edsr run <preset> <method> [--seed N] [--epochs N] [--memory N] [--threads N] [--isa L] [--save PATH] [--checkpoint DIR] [--resume] [--serve-snapshot DIR] [--quantize] [--obs MODE] [--obs-path PATH]\n  edsr tabular <method> [--seed N] [--epochs N] [--threads N]\n  edsr metrics [PATH]\n  edsr serve <SNAPSHOT-FILE-or-DIR> [--port N] [--cache N] [--serve-batch N] [--serve-window-us N]\n             [--serve-rotate-ms N] [--serve-deadline-ms N] [--serve-queue N]\n             [--serve-read-timeout-ms N] [--serve-stall-ms N] [--quantized] [--chaos-seed N]\n  edsr query <ADDR> embed --input F,F,... [--task N] [--retries N] [--retry-rejections]\n  edsr query <ADDR> knn --input F,F,... [--k N] [--metric euclidean|cosine] [--retries N]\n  edsr query <ADDR> stats | shutdown\n  edsr ps <preset> <method> [--seed N] [--epochs N] [--memory N] [--save PATH]\n          [--dist-addr A] [--dist-workers N] [--dist-push-timeout-ms N] [--dist-sparse-threshold F]\n  edsr worker <ADDR>   (or --dist-addr / EDSR_DIST_ADDR)\n  edsr scenario list [--seed N]\n  edsr scenario write <name> <dir> [--seed N]\n  edsr scenario run <name> <method> [--seed N] [--epochs N] [--stream DIR] [--save PATH]\n\npresets: cifar10 | cifar100 | tiny-imagenet | domainnet | test\nmethods: finetune | si | der | lump | cassle | edsr | compemb | r2r | multitask\nscenarios: class-incremental | blurry | domain-incremental | long-tail\n\n--threads (or EDSR_THREADS) sets the compute thread count; results are\nbit-identical at any value (DESIGN.md \u{a7}9). 1 = pure serial.\n--isa (or EDSR_ISA) pins the SIMD kernel level: auto | scalar | avx2 |\navx512; results are bit-identical at any level (DESIGN.md \u{a7}15).\n--obs jsonl (or EDSR_OBS=jsonl) streams spans and metrics to --obs-path.\n--serve-snapshot (with `run`) exports a model+memory snapshot per task\nthat `edsr serve` loads read-only (DESIGN.md \u{a7}12).\n`edsr ps` + N×`edsr worker` reproduce `edsr run` bit-identically over\nTCP (DESIGN.md \u{a7}14)."
     );
     std::process::exit(2);
 }
@@ -190,6 +196,12 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
         .map(|dir| CheckpointConfig::new(dir.display().to_string(), run_id.clone()));
     let serve_snapshot =
         parse_flag(args, "--serve-snapshot").map(|dir| CheckpointConfig::new(dir, run_id.clone()));
+    let quantize = args.iter().any(|a| a == "--quantize");
+    if quantize && serve_snapshot.is_none() {
+        return Err(Error::Data(
+            "--quantize requires --serve-snapshot DIR (it selects the v2 export format)".into(),
+        ));
+    }
 
     let (mut sequence, augmenters) = preset.build_with_augmenters(&mut seeded(seed));
     let mut model = ContinualModel::new(
@@ -222,6 +234,9 @@ fn cmd_run(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
         }
         if let Some(snap_cfg) = serve_snapshot {
             builder = builder.serve_snapshots(snap_cfg);
+            if quantize {
+                builder = builder.quantize_serve_snapshots();
+            }
         }
         if env_cfg.resume {
             // Without --checkpoint this fails fast with InvalidConfig
@@ -357,10 +372,21 @@ fn cmd_serve(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     let Some(target) = args.first() else { usage() };
     let path = std::path::Path::new(target);
     let (snap_path, snapshot) = if path.is_dir() {
+        // An unreadable candidate (not merely corrupt) aborts with the
+        // offending file's path rather than being silently skipped.
         latest_valid_serve_snapshot(path)
+            .map_err(|e| Error::Data(e.to_string()))?
             .ok_or_else(|| Error::Data(format!("no valid serve snapshot in {}", path.display())))?
     } else {
-        (path.to_path_buf(), ServeSnapshot::load(path)?)
+        (path.to_path_buf(), load_any_serve_snapshot(path)?)
+    };
+    // --quantized / EDSR_SERVE_QUANT: serve on the int8 backend. A v1
+    // snapshot is quantized in-process; v2 snapshots are already int8.
+    let snapshot = match snapshot {
+        AnyServeSnapshot::V1(snap) if env_cfg.serve_quant => {
+            AnyServeSnapshot::V2(Box::new(quantize_serve_snapshot(&snap)?))
+        }
+        other => other,
     };
     let port: u16 = match parse_flag(args, "--port") {
         Some(v) => parse_num(&v, "--port")?,
@@ -403,16 +429,18 @@ fn cmd_serve(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
             poll: std::time::Duration::from_millis(poll_ms),
             cache_capacity: cache,
             current: Some(snap_path.clone()),
+            quantize: env_cfg.serve_quant,
         });
     }
 
-    let engine = Engine::from_snapshot(snapshot, cache)?;
+    let engine = Engine::from_any(snapshot, cache)?;
     println!(
-        "serving {} ({} tasks, repr_dim {}, {} memory rows) from {}",
+        "serving {} ({} tasks, repr_dim {}, {} memory rows, {} backend) from {}",
         engine.benchmark(),
         engine.completed_tasks(),
         engine.repr_dim(),
         engine.memory_rows(),
+        if engine.quantized() { "int8" } else { "f32" },
         snap_path.display()
     );
     let (max_batch, window) = (cfg.max_batch, cfg.window);
@@ -453,7 +481,7 @@ fn parse_input(args: &[String]) -> Result<Vec<f32>, Error> {
 }
 
 /// `edsr query <ADDR> <op>` — one-shot client for a running server.
-fn cmd_query(args: &[String]) -> Result<(), Error> {
+fn cmd_query(args: &[String], env_cfg: &EnvConfig) -> Result<(), Error> {
     let (Some(addr), Some(op)) = (args.first(), args.get(1)) else {
         usage()
     };
@@ -467,6 +495,17 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
         policy.retry_rejections = true;
     }
     let mut client = Client::connect_with(addr.as_str(), policy).map_err(serve_err)?;
+    if env_cfg.serve_quant {
+        // --quantized: the caller demands int8 answers — assert the
+        // server's backend before sending the real request.
+        let s = client.stats().map_err(serve_err)?;
+        if s.quantized != 1 {
+            return Err(Error::Data(format!(
+                "--quantized: server at {addr} answers on the f32 backend, not int8 \
+                 (restart it with `edsr serve --quantized` or a v2 snapshot)"
+            )));
+        }
+    }
     match op.as_str() {
         "embed" => {
             let input = parse_input(args)?;
@@ -501,7 +540,7 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
         "stats" => {
             let s = client.stats().map_err(serve_err)?;
             println!(
-                "requests {}  batches {}  batched {}  max_batch {}\ncache hits {}  misses {}  memory rows {}  repr_dim {}\nrotations {}  rejected deadline {}  rejected overload {}",
+                "requests {}  batches {}  batched {}  max_batch {}\ncache hits {}  misses {}  memory rows {}  repr_dim {}\nrotations {}  rejected deadline {}  rejected overload {}  quantized {}",
                 s.requests,
                 s.batches,
                 s.batched_requests,
@@ -512,7 +551,8 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
                 s.repr_dim,
                 s.rotations,
                 s.rejected_deadline,
-                s.rejected_overload
+                s.rejected_overload,
+                s.quantized
             );
         }
         "shutdown" => {
@@ -763,7 +803,7 @@ fn main() {
         Some("tabular") => cmd_tabular(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..], &env_cfg),
         Some("serve") => cmd_serve(&args[1..], &env_cfg),
-        Some("query") => cmd_query(&args[1..]),
+        Some("query") => cmd_query(&args[1..], &env_cfg),
         Some("ps") => cmd_ps(&args[1..], &env_cfg),
         Some("worker") => cmd_worker(&args[1..], &env_cfg),
         Some("scenario") => cmd_scenario(&args[1..]),

@@ -15,6 +15,7 @@ pub use edsr_linalg as linalg;
 pub use edsr_nn as nn;
 pub use edsr_obs as obs;
 pub use edsr_par as par;
+pub use edsr_quant as quant;
 pub use edsr_serve as serve;
 pub use edsr_ssl as ssl;
 pub use edsr_tensor as tensor;

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use edsr::cl::checkpoint::latest_valid_serve_snapshot;
 use edsr::cl::fault::{flip_byte, truncate_file};
-use edsr::cl::{ContinualModel, ModelConfig, ServeSnapshot};
+use edsr::cl::{quantize_serve_snapshot, ContinualModel, ModelConfig, ServeSnapshot};
 use edsr::serve::protocol::{ERR_DEADLINE, ERR_OVERLOADED};
 use edsr::serve::{
     serve, Client, Engine, Request, RetryPolicy, RotateConfig, ServeError, ServerConfig,
@@ -158,6 +158,7 @@ fn rotation_under_live_traffic_answers_from_exactly_one_snapshot() {
             poll: Duration::from_millis(5),
             cache_capacity: 64,
             current: Some(first),
+            quantize: false,
         }),
         ..ServerConfig::default()
     };
@@ -292,10 +293,12 @@ fn restart_resumes_from_newest_valid_snapshot_with_zero_accepted_loss() {
     snapshot_for(41)
         .save(dir.join("chaos.task0001.snapshot"))
         .unwrap();
-    let (path, snap) = latest_valid_serve_snapshot(&dir).expect("gen 1 visible");
+    let (path, snap) = latest_valid_serve_snapshot(&dir)
+        .expect("no unreadable candidates")
+        .expect("gen 1 visible");
     assert!(path.ends_with("chaos.task0001.snapshot"));
     let handle = serve(
-        Engine::from_snapshot(snap, 64).unwrap(),
+        Engine::from_any(snap, 64).unwrap(),
         ("127.0.0.1", 0),
         ServerConfig::default(),
     )
@@ -330,14 +333,16 @@ fn restart_resumes_from_newest_valid_snapshot_with_zero_accepted_loss() {
     truncate_file(&truncated, len / 3).unwrap();
 
     // Restart: the scan must skip both decoys and resume from gen 2.
-    let (path, snap) = latest_valid_serve_snapshot(&dir).expect("a valid snapshot survives");
+    let (path, snap) = latest_valid_serve_snapshot(&dir)
+        .expect("no unreadable candidates")
+        .expect("a valid snapshot survives");
     assert!(
         path.ends_with("chaos.task0002.snapshot"),
         "restart must pick the newest VALID snapshot, got {}",
         path.display()
     );
     let handle = serve(
-        Engine::from_snapshot(snap, 64).unwrap(),
+        Engine::from_any(snap, 64).unwrap(),
         ("127.0.0.1", 0),
         ServerConfig::default(),
     )
@@ -348,6 +353,109 @@ fn restart_resumes_from_newest_valid_snapshot_with_zero_accepted_loss() {
     client.shutdown().expect("shutdown");
     let report = handle.join().expect("join");
     assert_eq!(report.requests, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreadable_decoy_aborts_the_scan_naming_the_offending_file() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("unreadable");
+    snapshot_for(61)
+        .save(dir.join("chaos.task0001.snapshot"))
+        .unwrap();
+
+    // A candidate that cannot even be *read*, as opposed to the corrupt
+    // decoys in the restart test (which read fine, fail validation, and
+    // are skipped). chmod 000 is no barrier under root, so the decoy is
+    // a directory wearing a snapshot name: opening it for read fails
+    // with EISDIR, a genuine I/O error. It sorts newer than the valid
+    // file, exactly the case that must NOT silently fall back to stale
+    // data.
+    let decoy = dir.join("zzz.task9999.snapshot");
+    std::fs::create_dir_all(&decoy).unwrap();
+    let err = latest_valid_serve_snapshot(&dir)
+        .expect_err("an unreadable candidate must abort the scan, not be skipped");
+    assert_eq!(err.path, decoy, "error must name the offending candidate");
+    assert!(
+        err.to_string().contains("zzz.task9999.snapshot"),
+        "operator-facing message must carry the path, got: {err}"
+    );
+
+    // Fixing the decoy restores the normal newest-valid scan.
+    std::fs::remove_dir(&decoy).unwrap();
+    let (path, snap) = latest_valid_serve_snapshot(&dir)
+        .expect("scan readable again")
+        .expect("valid snapshot visible");
+    assert!(path.ends_with("chaos.task0001.snapshot"));
+    drop(Engine::from_any(snap, 64).expect("snapshot serves"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rotation_hot_swaps_v1_to_v2_quantized_under_live_traffic() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("rotate-quant");
+    let first = dir.join("chaos.task0001.snapshot");
+    snapshot_for(71).save(&first).unwrap();
+
+    let cfg = ServerConfig {
+        rotate: Some(RotateConfig {
+            dir: dir.clone(),
+            poll: Duration::from_millis(5),
+            cache_capacity: 64,
+            current: Some(first),
+            quantize: false,
+        }),
+        ..ServerConfig::default()
+    };
+    let handle = serve(engine_for(71), ("127.0.0.1", 0), cfg).expect("bind");
+    let addr = handle.addr();
+    let input = [0.25f32; DIM];
+    let old = expected_embedding(&model_for(71), &input);
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(
+        client.stats().expect("stats").quantized,
+        0,
+        "generation 1 serves on the f32 backend"
+    );
+    assert_eq!(client.embed(0, &input).expect("gen 1 embed"), old);
+
+    // Generation 2 lands as a v2 quantized export — the same file `edsr
+    // run --serve-snapshot --quantize` writes — into the same rotation
+    // namespace the v1 file lives in. Its expected answer comes from an
+    // in-process quantized engine: the int8 path is bit-deterministic,
+    // so the served embedding must match it exactly.
+    let quant = quantize_serve_snapshot(&snapshot_for(72)).expect("quantize gen 2");
+    let mut reference = Engine::from_quant_snapshot(quant.clone(), 64).expect("reference engine");
+    let mut new = Vec::new();
+    reference
+        .embed_into(0, &input, &mut new)
+        .expect("reference embed");
+    assert_ne!(old, new, "generations must be distinguishable");
+    quant.save(dir.join("chaos.task0002.snapshot")).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut swapped = false;
+    while Instant::now() < deadline {
+        let emb = client.embed(0, &input).expect("embed under rotation");
+        if emb == new {
+            swapped = true;
+            break;
+        }
+        assert_eq!(emb, old, "answer matches neither snapshot generation");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(swapped, "rotation to the v2 snapshot never happened");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rotations, 1);
+    assert_eq!(
+        stats.quantized, 1,
+        "post-rotation engine must answer on the int8 backend"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -356,6 +356,7 @@ fn serve_chaos_counters_cover_rejections_rotations_and_retries() {
         poll: std::time::Duration::from_millis(5),
         cache_capacity: 16,
         current: Some(first),
+        quantize: false,
     });
     serve_snapshot(81)
         .save(dir.join("obs.task0002.snapshot"))

@@ -14,7 +14,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use edsr::cl::{
-    apply_step, ContinualModel, ModelConfig, NoopObserver, Observer, ServeSnapshot, StepRecord,
+    apply_step, quantize_serve_snapshot, ContinualModel, ModelConfig, NoopObserver, Observer,
+    ServeSnapshot, StepRecord,
 };
 use edsr::nn::{Adam, Workspace};
 use edsr::serve::{Batcher, Engine, RotateConfig, ServerConfig};
@@ -185,6 +186,7 @@ fn warm_serve_embed_is_alloc_free_on_hits_and_bounded_on_misses() {
         poll: Duration::from_secs(3600),
         cache_capacity: 8,
         current: Some(snap_path),
+        quantize: false,
     });
     let mut sub = batcher.submitter();
     let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
@@ -242,6 +244,44 @@ fn warm_serve_embed_is_alloc_free_on_hits_and_bounded_on_misses() {
     assert!(
         first <= 16,
         "miss-path rounds allocate too much: {first} per 4 embeds"
+    );
+    batcher.stop();
+}
+
+#[test]
+fn warm_quantized_serve_embed_is_alloc_free_on_hits() {
+    let _serialized = ALLOC_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("EDSR_THREADS", "1");
+    assert!(edsr::obs::uninstall().is_none(), "stray sink installed");
+
+    // Same shape as the f32 hit-path test above, served on the int8
+    // backend: the quantized engine owns its scratch (the int8 GEMM
+    // workspace, the i8 query buffer, the f32 staging row), so once the
+    // LRU cache and those buffers are warm, repeated embeds through the
+    // micro-batcher must not touch the allocator at all.
+    let mut rng = seeded(31);
+    let model = ContinualModel::new(&ModelConfig::image(16), &mut rng);
+    let mem = Matrix::randn(4, 16, 1.0, &mut rng);
+    let reprs = model.represent_eval(&mem, 0);
+    let snap = ServeSnapshot::capture(&model, reprs, vec![0; 4], "za", 1).unwrap();
+    let quant = quantize_serve_snapshot(&snap).unwrap();
+    let engine = Engine::from_quant_snapshot(quant, 8).unwrap();
+    assert!(engine.quantized());
+    let mut batcher = Batcher::new(engine, 2, Duration::from_micros(50));
+    let mut sub = batcher.submitter();
+    let mut input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        sub.embed(0, &mut input, &mut out).expect("warmup embed");
+    }
+    let before = allocations();
+    for _ in 0..8 {
+        sub.embed(0, &mut input, &mut out).expect("hit embed");
+    }
+    let hit_allocs = allocations() - before;
+    assert_eq!(
+        hit_allocs, 0,
+        "warm quantized cache-hit embeds allocated {hit_allocs} times"
     );
     batcher.stop();
 }
